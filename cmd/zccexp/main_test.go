@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestPresetName(t *testing.T) {
+	if presetName(true) != "quick" || presetName(false) != "paper-scale" {
+		t.Error("presetName wrong")
+	}
+}

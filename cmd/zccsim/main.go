@@ -1,0 +1,149 @@
+// Command zccsim runs one Mira-ZCCloud scheduling simulation and prints
+// the metrics the paper reports.
+//
+// Examples:
+//
+//	zccsim -days 28                                # Mira only, 1xWorkload
+//	zccsim -days 28 -zc-factor 1 -zc-duty 0.5      # + 1xMira ZCCloud @50%
+//	zccsim -days 28 -zc-factor 2 -scale 1.5 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zccloud"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "random seed")
+		days     = flag.Float64("days", 28, "workload span in days")
+		scale    = flag.Float64("scale", 1, "workload scale (the paper's NxWorkload)")
+		burst    = flag.Bool("burst", false, "burst workload shape (2x node-hours during ZC uptime)")
+		nodes    = flag.Int("mira-nodes", 49152, "base system size in nodes")
+		zcFactor = flag.Float64("zc-factor", 0, "ZCCloud size as a multiple of Mira (0 = no ZCCloud)")
+		zcDuty   = flag.Float64("zc-duty", 0.5, "ZCCloud periodic duty factor in (0,1]")
+		zcPhase  = flag.Float64("zc-phase", 20, "daily hour the ZC window opens")
+		killMode = flag.Bool("kill-requeue", false, "non-oracle mode: kill and resubmit jobs at window end")
+		util     = flag.Float64("utilization", 0, "target base utilization (0 = Table I's 0.84)")
+		swfPath  = flag.String("trace", "", "replay an SWF trace file instead of generating a workload")
+		procsPer = flag.Int("procs-per-node", 16, "SWF processors per scheduler node (with -trace)")
+	)
+	flag.Parse()
+
+	var zc zccloud.AvailabilityModel
+	if *zcFactor > 0 {
+		if *zcDuty >= 1 {
+			zc = zccloud.AlwaysOn{}
+		} else {
+			zc = zccloud.NewPeriodic(*zcDuty, zccloud.Time(*zcPhase)*zccloud.Hour)
+		}
+	}
+
+	var tr *zccloud.Trace
+	if *swfPath != "" {
+		f, err := os.Open(*swfPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		var header zccloud.SWFHeader
+		var skipped int
+		tr, header, skipped, err = zccloud.ParseSWF(f, zccloud.SWFOptions{
+			ProcsPerNode: *procsPer,
+			SkipFailed:   true,
+		})
+		f.Close()
+		if err != nil {
+			fatal("parsing %s: %v", *swfPath, err)
+		}
+		fmt.Printf("replaying %s: %d jobs (%d skipped)", *swfPath, len(tr.Jobs), skipped)
+		if mn := header.MaxNodes(); mn > 0 {
+			fmt.Printf(", trace machine %d nodes", mn)
+		}
+		fmt.Println()
+	} else {
+		wcfg := zccloud.WorkloadConfig{
+			Seed:              *seed,
+			Days:              *days,
+			SystemNodes:       *nodes,
+			TargetUtilization: *util,
+			Scale:             *scale,
+		}
+		if *burst {
+			if zc == nil {
+				fatal("-burst requires -zc-factor > 0")
+			}
+			wcfg.Shape = zccloud.Burst
+			horizon := zccloud.Time(*days) * zccloud.Day
+			wcfg.UptimeWindows = materialize(zc, horizon)
+		}
+		var err error
+		tr, err = zccloud.GenerateWorkload(wcfg)
+		if err != nil {
+			fatal("generating workload: %v", err)
+		}
+	}
+	st := zccloud.SummarizeWorkload(tr, *nodes)
+	fmt.Printf("workload: %d jobs over %.0f days, %.0f M node-hours (%.1f%% of Mira)\n",
+		st.Jobs, st.Days, st.NodeHours/1e6, 100*st.Utilization)
+
+	m, err := zccloud.Simulate(zccloud.RunConfig{
+		Trace: tr,
+		System: zccloud.SystemConfig{
+			MiraNodes: *nodes,
+			ZCFactor:  *zcFactor,
+			ZCAvail:   zc,
+			NonOracle: *killMode,
+		},
+	})
+	if err != nil {
+		fatal("simulating: %v", err)
+	}
+
+	fmt.Printf("\ncompleted %d jobs (%d unfinished, %d unrunnable); makespan %.1f days\n",
+		m.Completed, m.Unfinished, m.Unrunnable, m.MakespanDays)
+	fmt.Printf("avg wait %.2f h (p50 %.2f, p90 %.2f, max %.1f)\n",
+		m.AvgWaitHrs, m.P50WaitHrs, m.P90WaitHrs, m.MaxWaitHrs)
+	fmt.Printf("capability jobs %.2f h, capacity jobs %.2f h\n",
+		m.AvgWaitCapabilityHrs, m.AvgWaitCapacityHrs)
+	if *zcFactor > 0 {
+		fmt.Printf("on-time %.2f h (%d jobs), late %.2f h (%d jobs)\n",
+			m.AvgWaitOnTimeHrs, m.OnTimeJobs, m.AvgWaitLateHrs, m.LateJobs)
+		fmt.Printf("ZCCloud carried %.1f%% of delivered node-hours\n", 100*m.ZCShareOfWork)
+	}
+	fmt.Printf("throughput %.1f jobs/day\n", m.ThroughputJobsPerDay)
+	for part, u := range m.UtilizationByPartition {
+		fmt.Printf("utilization[%s] = %.1f%%\n", part, 100*u)
+	}
+	fmt.Println("\nwait by job size:")
+	for _, b := range m.AvgWaitBySize {
+		if b.Jobs == 0 {
+			continue
+		}
+		fmt.Printf("  %12s nodes: %6d jobs, %8.2f h\n", b.Label, b.Jobs, b.AvgWaitHrs)
+	}
+}
+
+func materialize(m zccloud.AvailabilityModel, horizon zccloud.Time) []zccloud.Window {
+	var out []zccloud.Window
+	t := zccloud.Time(0)
+	for t < horizon {
+		w, ok := m.NextUp(t)
+		if !ok || w.Start >= horizon {
+			break
+		}
+		if w.End > horizon {
+			w.End = horizon
+		}
+		out = append(out, w)
+		t = w.End
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zccsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Stranded-power characterization (paper, Section V) at reduced scale:
+// synthesize a MISO-like market, extract stranded-power intervals under
+// the paper's four SP models, and print duty factors, interval durations,
+// and the Top500 comparison.
+//
+//	go run ./examples/strandedpower
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zccloud"
+)
+
+const (
+	days  = 90
+	sites = 60
+)
+
+func main() {
+	gen, err := zccloud.NewMarketDataset(zccloud.MarketConfig{
+		Seed: 3, Days: days, WindSites: sites,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One streaming pass feeds all four model analyses.
+	analyses := make([]*zccloud.SPAnalysis, len(zccloud.PaperSPModels))
+	for i, m := range zccloud.PaperSPModels {
+		analyses[i] = zccloud.NewSPAnalysis(m, sites)
+	}
+	var buf []zccloud.MarketRecord
+	intervals := int64(0)
+	for {
+		var ok bool
+		buf, ok = gen.Next(buf)
+		if !ok {
+			break
+		}
+		for _, r := range buf {
+			for _, a := range analyses {
+				a.Observe(r)
+			}
+		}
+		intervals++
+	}
+	sum := gen.Summary()
+	fmt.Printf("dataset: %d days, %d wind sites, %.0f wind GWh (%.1f%% of system), %.0f GWh curtailed\n\n",
+		days, sites, sum.WindGWh, 100*sum.WindGWh/sum.TotalGWh, sum.WindCurtailedGWh)
+
+	fmt.Printf("%-11s %10s %12s %22s\n", "model", "best duty", "avg SP MW", "SP time >24h intervals")
+	for i, m := range zccloud.PaperSPModels {
+		res := analyses[i].Results()
+		best := res[0]
+		var over24 float64
+		var total float64
+		for _, iv := range best.Intervals {
+			h := iv.Hours()
+			total += h
+			if h > 24 {
+				over24 += h
+			}
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = over24 / total
+		}
+		fmt.Printf("%-11s %9.1f%% %12.1f %21.0f%%\n",
+			m.String(), 100*best.DutyFactor, best.AvgSPMW, 100*frac)
+	}
+
+	// Multi-site gains (Figure 11) and Top500 coverage (Figure 12) under
+	// NetPrice5, the model with the highest duty factors.
+	var np5 *zccloud.SPAnalysis
+	for i, m := range zccloud.PaperSPModels {
+		if m.Kind == zccloud.NetPrice && m.Threshold == 5 {
+			np5 = analyses[i]
+		}
+	}
+	res := np5.Results()
+	cum := zccloud.CumulativeDutyFactor(res, intervals)
+	mw := zccloud.CumulativeAvgSPMW(res)
+	fmt.Println("\nNetPrice5 multi-site union:")
+	for _, n := range []int{1, 2, 3, 7} {
+		if n <= len(cum) {
+			fmt.Printf("  top %d sites: duty %.0f%%, %.0f MW average stranded power\n",
+				n, 100*cum[n-1], mw[n-1])
+		}
+	}
+	fmt.Println("\nTop500 systems this stranded power could carry:")
+	for _, rank := range []int{1, 10, 50} {
+		need := zccloud.Top500CumulativePowerMW(rank)
+		n := 0
+		for i, v := range mw {
+			if v >= need {
+				n = i + 1
+				break
+			}
+		}
+		if n > 0 {
+			fmt.Printf("  top %3d systems (%6.1f MW): %d sites\n", rank, need, n)
+		} else {
+			fmt.Printf("  top %3d systems (%6.1f MW): beyond these %d sites\n", rank, need, len(mw))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module zccloud
+
+go 1.22

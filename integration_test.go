@@ -1,0 +1,161 @@
+package zccloud
+
+// End-to-end integration tests of the public facade: the complete paper
+// pipeline — market synthesis → stranded-power extraction → availability
+// → scheduling — at a scale that runs in seconds.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	const (
+		marketDays = 30
+		sites      = 20
+		wlDays     = 10
+	)
+	// 1. Market.
+	gen, err := NewMarketDataset(MarketConfig{Seed: 8, Days: marketDays, WindSites: sites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewSPAnalysis(SPModel{Kind: NetPrice, Threshold: 5}, sites)
+	var buf []MarketRecord
+	for {
+		var ok bool
+		buf, ok = gen.Next(buf)
+		if !ok {
+			break
+		}
+		for _, r := range buf {
+			an.Observe(r)
+		}
+	}
+	best := an.Results()[0]
+	if best.DutyFactor <= 0 {
+		t.Skip("no stranded power at this tiny scale; seed-dependent")
+	}
+
+	// 2. Availability from SP intervals.
+	avail := NewIntervalTrace(SPWindows(best.Intervals))
+	df := MeasureDutyFactor(avail, 0, Time(marketDays)*Day)
+	if df <= 0 || df > 1 {
+		t.Fatalf("duty factor = %v", df)
+	}
+
+	// 3. Workload.
+	trace, err := GenerateWorkload(WorkloadConfig{Seed: 8, Days: wlDays})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Scheduling on both systems.
+	base, err := Simulate(RunConfig{Trace: trace.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mz, err := Simulate(RunConfig{
+		Trace:  trace.Clone(),
+		System: SystemConfig{ZCFactor: 1, ZCAvail: avail},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("duty %.1f%%: wait %.2f h -> %.2f h", 100*df, base.AvgWaitHrs, mz.AvgWaitHrs)
+	// The headline qualitative result: stranded power helps.
+	if mz.AvgWaitHrs > base.AvgWaitHrs {
+		t.Errorf("SP-driven ZCCloud worsened wait: %.2f > %.2f", mz.AvgWaitHrs, base.AvgWaitHrs)
+	}
+	if mz.Completed < base.Completed {
+		t.Errorf("fewer completions with more resources: %d < %d", mz.Completed, base.Completed)
+	}
+}
+
+func TestFacadeMarketCSV(t *testing.T) {
+	gen, err := NewMarketDataset(MarketConfig{Seed: 2, Days: 0.2, WindSites: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	rows, err := WriteMarketCSV(gen, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var read int64
+	err = ReadMarketCSV(&out, func(r MarketRecord) error { read++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != rows {
+		t.Fatalf("read %d rows, wrote %d", read, rows)
+	}
+}
+
+func TestFacadeTraceCSV(t *testing.T) {
+	tr, err := GenerateWorkload(WorkloadConfig{Seed: 3, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := tr.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceCSV(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(tr.Jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(back.Jobs), len(tr.Jobs))
+	}
+}
+
+func TestFacadeScaleAndSummarize(t *testing.T) {
+	tr, err := GenerateWorkload(WorkloadConfig{Seed: 4, Days: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := ScaleWorkload(tr, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := SummarizeWorkload(tr, 49152)
+	b := SummarizeWorkload(scaled, 49152)
+	if b.NodeHours <= a.NodeHours {
+		t.Error("scaling did not add node-hours")
+	}
+}
+
+func TestFacadeUnionAvailability(t *testing.T) {
+	a := NewIntervalTrace([]Window{{Start: 0, End: 10}})
+	b := NewIntervalTrace([]Window{{Start: 5, End: 20}})
+	u := UnionAvailability(0, 100, a, b)
+	if got := MeasureDutyFactor(u, 0, 100); got != 0.2 {
+		t.Errorf("union duty factor = %v, want 0.2", got)
+	}
+}
+
+func TestFacadeTop500(t *testing.T) {
+	if Top500PowerMW(1) != 17.81 {
+		t.Error("Tianhe-2 power wrong through facade")
+	}
+	if Top500CumulativePowerMW(10) <= Top500PowerMW(1) {
+		t.Error("cumulative power wrong")
+	}
+}
+
+func TestFacadeSPModelsList(t *testing.T) {
+	if len(PaperSPModels) != 4 {
+		t.Fatalf("paper models = %d", len(PaperSPModels))
+	}
+	names := map[string]bool{}
+	for _, m := range PaperSPModels {
+		names[m.String()] = true
+	}
+	for _, want := range []string{"LMP0", "LMP5", "NetPrice0", "NetPrice5"} {
+		if !names[want] {
+			t.Errorf("missing model %s", want)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package availability models when a compute partition has power.
+//
+// The ZCCloud study drives the intermittent partition with two kinds of
+// models: a Periodic model (Section IV — up for the same window every day)
+// and an interval trace derived from stranded-power analysis of grid market
+// records (Section VI). Both satisfy Model; the scheduler only sees the
+// interface.
+//
+// Windows are half-open [Start, End) spans of simulated time. All models
+// must produce non-overlapping windows in increasing order.
+package availability
+
+import (
+	"fmt"
+	"sort"
+
+	"zccloud/internal/sim"
+)
+
+// Window is a half-open availability interval [Start, End).
+type Window struct {
+	Start, End sim.Time
+}
+
+// Duration returns End − Start.
+func (w Window) Duration() sim.Duration { return w.End - w.Start }
+
+// Contains reports whether t lies in [Start, End).
+func (w Window) Contains(t sim.Time) bool { return t >= w.Start && t < w.End }
+
+// Model answers availability queries for a partition.
+type Model interface {
+	// WindowAt returns the window containing t; ok is false when the
+	// partition is down at t.
+	WindowAt(t sim.Time) (w Window, ok bool)
+	// NextUp returns the first window whose end is after t — the current
+	// window if up at t, otherwise the next one. ok is false if the
+	// partition never comes up again.
+	NextUp(t sim.Time) (w Window, ok bool)
+	// MaxWindow returns the longest window length the model can produce
+	// (used to pin jobs that can never fit on the partition). Infinite
+	// models return a very large value.
+	MaxWindow() sim.Duration
+}
+
+// AlwaysOn is a partition that never loses power (the Mira base system).
+type AlwaysOn struct{}
+
+// WindowAt implements Model with a single unbounded window.
+func (AlwaysOn) WindowAt(t sim.Time) (Window, bool) {
+	return Window{0, sim.Time(maxTime)}, true
+}
+
+// NextUp implements Model.
+func (AlwaysOn) NextUp(t sim.Time) (Window, bool) {
+	return Window{0, sim.Time(maxTime)}, true
+}
+
+// MaxWindow implements Model.
+func (AlwaysOn) MaxWindow() sim.Duration { return sim.Time(maxTime) }
+
+const maxTime = 1e18 // effectively forever; ~3e10 years of simulated time
+
+// Periodic is up for Uptime at the start of every Period, offset by Phase.
+// A duty factor d over a daily period is Periodic{Period: Day, Uptime: d*Day}.
+type Periodic struct {
+	Period sim.Duration // cycle length, e.g. 24 h
+	Uptime sim.Duration // up span at the start of each cycle
+	Phase  sim.Time     // shift of cycle origin, e.g. 20:00
+}
+
+// NewPeriodic builds a daily periodic model from a duty factor in (0, 1].
+func NewPeriodic(dutyFactor float64, phase sim.Time) Periodic {
+	if dutyFactor <= 0 || dutyFactor > 1 {
+		panic(fmt.Sprintf("availability: duty factor %v outside (0,1]", dutyFactor))
+	}
+	return Periodic{Period: sim.Day, Uptime: sim.Duration(dutyFactor * float64(sim.Day)), Phase: phase}
+}
+
+// DutyFactor returns Uptime/Period.
+func (p Periodic) DutyFactor() float64 { return float64(p.Uptime) / float64(p.Period) }
+
+func (p Periodic) cycleStart(t sim.Time) sim.Time {
+	n := int64((t - p.Phase) / p.Period)
+	s := p.Phase + sim.Time(n)*p.Period
+	if s > t {
+		s -= p.Period
+	}
+	return s
+}
+
+// WindowAt implements Model.
+func (p Periodic) WindowAt(t sim.Time) (Window, bool) {
+	if p.Uptime >= p.Period { // degenerate: always on
+		return Window{0, maxTime}, true
+	}
+	cs := p.cycleStart(t)
+	w := Window{cs, cs + p.Uptime}
+	if w.Contains(t) {
+		return w, true
+	}
+	return Window{}, false
+}
+
+// NextUp implements Model.
+func (p Periodic) NextUp(t sim.Time) (Window, bool) {
+	if p.Uptime >= p.Period {
+		return Window{0, maxTime}, true
+	}
+	if w, ok := p.WindowAt(t); ok {
+		return w, true
+	}
+	cs := p.cycleStart(t) + p.Period
+	return Window{cs, cs + p.Uptime}, true
+}
+
+// MaxWindow implements Model.
+func (p Periodic) MaxWindow() sim.Duration {
+	if p.Uptime >= p.Period {
+		return maxTime
+	}
+	return p.Uptime
+}
+
+// IntervalTrace is availability given by an explicit list of windows, e.g.
+// the stranded-power intervals of a wind site. Windows must be sorted,
+// non-overlapping, and non-empty; NewIntervalTrace normalizes its input.
+type IntervalTrace struct {
+	windows []Window
+	maxW    sim.Duration
+}
+
+// NewIntervalTrace normalizes ws (sorts, merges overlaps/adjacency, drops
+// empties) and returns a trace model.
+func NewIntervalTrace(ws []Window) *IntervalTrace {
+	norm := Normalize(ws)
+	t := &IntervalTrace{windows: norm}
+	for _, w := range norm {
+		if w.Duration() > t.maxW {
+			t.maxW = w.Duration()
+		}
+	}
+	return t
+}
+
+// Normalize sorts windows, drops empty ones, and merges overlapping or
+// adjacent ones. The input slice is not modified.
+func Normalize(ws []Window) []Window {
+	cp := make([]Window, 0, len(ws))
+	for _, w := range ws {
+		if w.End > w.Start {
+			cp = append(cp, w)
+		}
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Start < cp[j].Start })
+	out := cp[:0]
+	for _, w := range cp {
+		if n := len(out); n > 0 && w.Start <= out[n-1].End {
+			if w.End > out[n-1].End {
+				out[n-1].End = w.End
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Windows returns the normalized window list (read-only).
+func (tr *IntervalTrace) Windows() []Window { return tr.windows }
+
+// WindowAt implements Model by binary search.
+func (tr *IntervalTrace) WindowAt(t sim.Time) (Window, bool) {
+	i := sort.Search(len(tr.windows), func(i int) bool { return tr.windows[i].End > t })
+	if i < len(tr.windows) && tr.windows[i].Contains(t) {
+		return tr.windows[i], true
+	}
+	return Window{}, false
+}
+
+// NextUp implements Model.
+func (tr *IntervalTrace) NextUp(t sim.Time) (Window, bool) {
+	i := sort.Search(len(tr.windows), func(i int) bool { return tr.windows[i].End > t })
+	if i < len(tr.windows) {
+		return tr.windows[i], true
+	}
+	return Window{}, false
+}
+
+// MaxWindow implements Model.
+func (tr *IntervalTrace) MaxWindow() sim.Duration { return tr.maxW }
+
+// Materialize samples any model into an explicit window list over [from, to),
+// clipping windows to the range.
+func Materialize(m Model, from, to sim.Time) []Window {
+	var out []Window
+	t := from
+	for t < to {
+		w, ok := m.NextUp(t)
+		if !ok || w.Start >= to {
+			break
+		}
+		cl := w
+		if cl.Start < from {
+			cl.Start = from
+		}
+		if cl.End > to {
+			cl.End = to
+		}
+		if cl.End > cl.Start {
+			out = append(out, cl)
+		}
+		t = w.End
+	}
+	return out
+}
+
+// Union returns an IntervalTrace covering times when any of the models is
+// up, evaluated over [from, to). This models a multi-site ZCCloud where a
+// partition can draw stranded power from several wind farms.
+func Union(from, to sim.Time, models ...Model) *IntervalTrace {
+	var all []Window
+	for _, m := range models {
+		all = append(all, Materialize(m, from, to)...)
+	}
+	return NewIntervalTrace(all)
+}
+
+// Intersection returns an IntervalTrace of the times when all models are up
+// over [from, to).
+func Intersection(from, to sim.Time, models ...Model) *IntervalTrace {
+	if len(models) == 0 {
+		return NewIntervalTrace(nil)
+	}
+	cur := Materialize(models[0], from, to)
+	for _, m := range models[1:] {
+		next := Materialize(m, from, to)
+		cur = intersect(cur, next)
+	}
+	return NewIntervalTrace(cur)
+}
+
+func intersect(a, b []Window) []Window {
+	var out []Window
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if hi > lo {
+			out = append(out, Window{lo, hi})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// DutyFactor returns the fraction of [from, to) that m is up.
+func DutyFactor(m Model, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	up := sim.Duration(0)
+	for _, w := range Materialize(m, from, to) {
+		up += w.Duration()
+	}
+	return float64(up) / float64(to-from)
+}

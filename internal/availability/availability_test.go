@@ -1,0 +1,278 @@
+package availability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zccloud/internal/sim"
+)
+
+func TestWindowBasics(t *testing.T) {
+	w := Window{10, 20}
+	if w.Duration() != 10 {
+		t.Error("duration wrong")
+	}
+	if !w.Contains(10) || w.Contains(20) || !w.Contains(19.999) || w.Contains(9) {
+		t.Error("half-open containment wrong")
+	}
+}
+
+func TestAlwaysOn(t *testing.T) {
+	var m AlwaysOn
+	if _, ok := m.WindowAt(1e12); !ok {
+		t.Error("AlwaysOn should always be up")
+	}
+	w, ok := m.NextUp(5)
+	if !ok || !w.Contains(5) {
+		t.Error("NextUp should return the containing window")
+	}
+	if m.MaxWindow() < sim.Time(1e15) {
+		t.Error("MaxWindow should be effectively infinite")
+	}
+	if df := DutyFactor(m, 0, 1000); df != 1 {
+		t.Errorf("duty factor = %v, want 1", df)
+	}
+}
+
+func TestPeriodicBasic(t *testing.T) {
+	// up 12h starting at 20:00 each day (paper's 50% duty example)
+	p := Periodic{Period: sim.Day, Uptime: 12 * sim.Hour, Phase: 20 * sim.Hour}
+	if p.DutyFactor() != 0.5 {
+		t.Errorf("duty factor = %v", p.DutyFactor())
+	}
+	// 21:00 day 0: up, window [20:00, 32:00)
+	w, ok := p.WindowAt(21 * sim.Hour)
+	if !ok || w.Start != 20*sim.Hour || w.End != 32*sim.Hour {
+		t.Errorf("window at 21h = %+v ok=%v", w, ok)
+	}
+	// 10:00 day 0 (before first phase window... belongs to previous cycle [-4h, 8h))
+	w, ok = p.WindowAt(10 * sim.Hour)
+	if ok {
+		t.Errorf("expected down at 10h, got %+v", w)
+	}
+	// NextUp from 10:00 should be 20:00 same day
+	w, ok = p.NextUp(10 * sim.Hour)
+	if !ok || w.Start != 20*sim.Hour {
+		t.Errorf("NextUp(10h) = %+v", w)
+	}
+	// At 5:00 we are inside the window that began at 20:00 the previous day.
+	w, ok = p.WindowAt(5 * sim.Hour)
+	if !ok || w.Start != -4*sim.Hour || w.End != 8*sim.Hour {
+		t.Errorf("window at 5h = %+v ok=%v", w, ok)
+	}
+	if p.MaxWindow() != 12*sim.Hour {
+		t.Errorf("MaxWindow = %v", p.MaxWindow())
+	}
+}
+
+func TestPeriodicDegenerate(t *testing.T) {
+	p := Periodic{Period: sim.Day, Uptime: sim.Day}
+	if _, ok := p.WindowAt(123456); !ok {
+		t.Error("100%% duty should always be up")
+	}
+	if p.MaxWindow() < 1e15 {
+		t.Error("100%% duty MaxWindow should be infinite")
+	}
+	w, ok := p.NextUp(42)
+	if !ok || !w.Contains(42) {
+		t.Error("NextUp for degenerate periodic wrong")
+	}
+}
+
+func TestNewPeriodicValidation(t *testing.T) {
+	for _, df := range []float64{0, -0.5, 1.5} {
+		df := df
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPeriodic(%v) should panic", df)
+				}
+			}()
+			NewPeriodic(df, 0)
+		}()
+	}
+	p := NewPeriodic(0.25, 0)
+	if math.Abs(p.DutyFactor()-0.25) > 1e-12 {
+		t.Error("NewPeriodic duty factor wrong")
+	}
+}
+
+func TestPeriodicDutyFactorMeasured(t *testing.T) {
+	for _, df := range []float64{0.25, 0.5, 1.0} {
+		p := NewPeriodic(df, 20*sim.Hour)
+		got := DutyFactor(p, 0, 30*sim.Day)
+		if math.Abs(got-df) > 0.01 {
+			t.Errorf("measured duty factor %v, want %v", got, df)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	in := []Window{{5, 5}, {10, 20}, {0, 4}, {15, 25}, {25, 30}, {40, 41}}
+	got := Normalize(in)
+	want := []Window{{0, 4}, {10, 30}, {40, 41}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// input untouched
+	if in[0] != (Window{5, 5}) {
+		t.Error("Normalize mutated input")
+	}
+}
+
+func TestIntervalTrace(t *testing.T) {
+	tr := NewIntervalTrace([]Window{{10, 20}, {30, 40}})
+	if _, ok := tr.WindowAt(5); ok {
+		t.Error("should be down at 5")
+	}
+	w, ok := tr.WindowAt(15)
+	if !ok || w != (Window{10, 20}) {
+		t.Errorf("WindowAt(15) = %v %v", w, ok)
+	}
+	if _, ok := tr.WindowAt(20); ok {
+		t.Error("End is exclusive")
+	}
+	w, ok = tr.NextUp(25)
+	if !ok || w != (Window{30, 40}) {
+		t.Errorf("NextUp(25) = %v %v", w, ok)
+	}
+	if _, ok := tr.NextUp(40); ok {
+		t.Error("no window after 40")
+	}
+	if tr.MaxWindow() != 10 {
+		t.Errorf("MaxWindow = %v", tr.MaxWindow())
+	}
+	if n := len(NewIntervalTrace(nil).Windows()); n != 0 {
+		t.Errorf("empty trace has %d windows", n)
+	}
+}
+
+func TestMaterializeClipping(t *testing.T) {
+	p := Periodic{Period: 100, Uptime: 50, Phase: 0}
+	ws := Materialize(p, 25, 175)
+	want := []Window{{25, 50}, {100, 150}}
+	if len(ws) != len(want) {
+		t.Fatalf("got %v, want %v", ws, want)
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Fatalf("got %v, want %v", ws, want)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewIntervalTrace([]Window{{0, 10}, {20, 30}})
+	b := NewIntervalTrace([]Window{{5, 15}, {40, 50}})
+	u := Union(0, 100, a, b)
+	want := []Window{{0, 15}, {20, 30}, {40, 50}}
+	got := u.Windows()
+	if len(got) != len(want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("union = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := NewIntervalTrace([]Window{{0, 10}, {20, 30}})
+	b := NewIntervalTrace([]Window{{5, 25}})
+	x := Intersection(0, 100, a, b)
+	want := []Window{{5, 10}, {20, 25}}
+	got := x.Windows()
+	if len(got) != len(want) {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intersection = %v, want %v", got, want)
+		}
+	}
+	if n := len(Intersection(0, 10).Windows()); n != 0 {
+		t.Error("empty intersection should have no windows")
+	}
+}
+
+func TestDutyFactorEdge(t *testing.T) {
+	if DutyFactor(AlwaysOn{}, 10, 10) != 0 {
+		t.Error("zero-length range duty factor should be 0")
+	}
+}
+
+// Property: normalized windows are sorted, disjoint, and cover exactly the
+// union of input windows (total measure of union is preserved).
+func TestNormalizeProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var ws []Window
+		for i := 0; i < int(n)%30; i++ {
+			s := sim.Time(r.Intn(1000))
+			ws = append(ws, Window{s, s + sim.Time(r.Intn(50))})
+		}
+		norm := Normalize(ws)
+		for i := range norm {
+			if norm[i].End <= norm[i].Start {
+				return false
+			}
+			if i > 0 && norm[i].Start <= norm[i-1].End {
+				return false
+			}
+		}
+		// measure check against a brute-force boolean timeline
+		covered := make([]bool, 1100)
+		for _, w := range ws {
+			for t := int(w.Start); t < int(w.End); t++ {
+				covered[t] = true
+			}
+		}
+		want := 0
+		for _, c := range covered {
+			if c {
+				want++
+			}
+		}
+		got := 0
+		for _, w := range norm {
+			got += int(w.Duration())
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union duty factor bounded by sum of parts and at least max part.
+func TestUnionDutyFactorBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() *IntervalTrace {
+			var ws []Window
+			for i := 0; i < 10; i++ {
+				s := sim.Time(r.Intn(900))
+				ws = append(ws, Window{s, s + sim.Time(1+r.Intn(80))})
+			}
+			return NewIntervalTrace(ws)
+		}
+		a, b := mk(), mk()
+		dfa := DutyFactor(a, 0, 1000)
+		dfb := DutyFactor(b, 0, 1000)
+		dfu := DutyFactor(Union(0, 1000, a, b), 0, 1000)
+		lo := math.Max(dfa, dfb)
+		hi := math.Min(1, dfa+dfb)
+		return dfu >= lo-1e-9 && dfu <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

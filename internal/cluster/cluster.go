@@ -1,0 +1,122 @@
+// Package cluster models the compute resources of a Mira-ZCCloud system:
+// named partitions with node-count allocation and an availability model.
+//
+// Mira allocates jobs in blocks of nodes; following Qsim's published
+// utilization-level abstraction, we account in node counts rather than
+// torus geometry. A Machine is a set of partitions scheduled together by a
+// single scheduler (paper, Figure 4).
+package cluster
+
+import (
+	"fmt"
+
+	"zccloud/internal/availability"
+)
+
+// MiraNodes is the node count of ALCF's Mira (paper, Section IV.A).
+const MiraNodes = 49152
+
+// Partition is one pool of identical nodes under a common availability
+// model.
+type Partition struct {
+	Name  string
+	Nodes int
+	Avail availability.Model
+
+	free int
+	busy int // jobs currently running, for sanity checks
+}
+
+// NewPartition creates a partition with all nodes free.
+func NewPartition(name string, nodes int, avail availability.Model) *Partition {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("cluster: partition %q with %d nodes", name, nodes))
+	}
+	if avail == nil {
+		avail = availability.AlwaysOn{}
+	}
+	return &Partition{Name: name, Nodes: nodes, Avail: avail, free: nodes}
+}
+
+// Free returns the number of unallocated nodes.
+func (p *Partition) Free() int { return p.free }
+
+// InUse returns allocated nodes.
+func (p *Partition) InUse() int { return p.Nodes - p.free }
+
+// Running returns the number of allocations outstanding.
+func (p *Partition) Running() int { return p.busy }
+
+// Allocate reserves n nodes. It returns an error if n exceeds the free
+// count; partial allocation never happens.
+func (p *Partition) Allocate(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("cluster: allocate %d nodes on %q", n, p.Name)
+	}
+	if n > p.free {
+		return fmt.Errorf("cluster: %q has %d free nodes, need %d", p.Name, p.free, n)
+	}
+	p.free -= n
+	p.busy++
+	return nil
+}
+
+// Release returns n nodes to the free pool. Releasing more than allocated
+// panics: it means the scheduler double-freed, which must not be masked.
+func (p *Partition) Release(n int) {
+	if n <= 0 || p.free+n > p.Nodes || p.busy == 0 {
+		panic(fmt.Sprintf("cluster: bad release of %d nodes on %q (free %d/%d, busy %d)",
+			n, p.Name, p.free, p.Nodes, p.busy))
+	}
+	p.free += n
+	p.busy--
+}
+
+// ResetAllocations frees all nodes (between simulation runs).
+func (p *Partition) ResetAllocations() {
+	p.free = p.Nodes
+	p.busy = 0
+}
+
+// Machine is the set of partitions visible to one scheduler.
+type Machine struct {
+	Partitions []*Partition
+}
+
+// NewMachine builds a machine; partition names must be unique.
+func NewMachine(parts ...*Partition) *Machine {
+	seen := map[string]bool{}
+	for _, p := range parts {
+		if seen[p.Name] {
+			panic(fmt.Sprintf("cluster: duplicate partition %q", p.Name))
+		}
+		seen[p.Name] = true
+	}
+	return &Machine{Partitions: parts}
+}
+
+// Partition returns the named partition, or nil.
+func (m *Machine) Partition(name string) *Partition {
+	for _, p := range m.Partitions {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// TotalNodes sums node counts across partitions.
+func (m *Machine) TotalNodes() int {
+	sum := 0
+	for _, p := range m.Partitions {
+		sum += p.Nodes
+	}
+	return sum
+}
+
+// ResetAllocations frees all nodes on all partitions.
+func (m *Machine) ResetAllocations() {
+	for _, p := range m.Partitions {
+		p.ResetAllocations()
+	}
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zccloud/internal/availability"
+)
+
+func TestPartitionAllocate(t *testing.T) {
+	p := NewPartition("mira", 100, nil)
+	if p.Free() != 100 || p.InUse() != 0 || p.Running() != 0 {
+		t.Fatal("fresh partition wrong")
+	}
+	if err := p.Allocate(60); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 40 || p.InUse() != 60 || p.Running() != 1 {
+		t.Errorf("after alloc: free=%d inuse=%d running=%d", p.Free(), p.InUse(), p.Running())
+	}
+	if err := p.Allocate(41); err == nil {
+		t.Error("overallocation should fail")
+	}
+	if p.Free() != 40 {
+		t.Error("failed allocation must not change state")
+	}
+	if err := p.Allocate(0); err == nil {
+		t.Error("zero allocation should fail")
+	}
+	p.Release(60)
+	if p.Free() != 100 || p.Running() != 0 {
+		t.Error("release did not restore")
+	}
+}
+
+func TestPartitionReleasePanics(t *testing.T) {
+	cases := []func(p *Partition){
+		func(p *Partition) { p.Release(1) },                     // nothing allocated
+		func(p *Partition) { _ = p.Allocate(5); p.Release(6) },  // over-release
+		func(p *Partition) { _ = p.Allocate(5); p.Release(0) },  // zero release
+		func(p *Partition) { _ = p.Allocate(5); p.Release(-3) }, // negative
+	}
+	for i, f := range cases {
+		p := NewPartition("x", 10, nil)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f(p)
+		}()
+	}
+}
+
+func TestNewPartitionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero nodes")
+		}
+	}()
+	NewPartition("bad", 0, nil)
+}
+
+func TestDefaultAvailability(t *testing.T) {
+	p := NewPartition("m", 1, nil)
+	if _, ok := p.Avail.(availability.AlwaysOn); !ok {
+		t.Error("nil availability should default to AlwaysOn")
+	}
+}
+
+func TestResetAllocations(t *testing.T) {
+	p := NewPartition("m", 10, nil)
+	_ = p.Allocate(7)
+	p.ResetAllocations()
+	if p.Free() != 10 || p.Running() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestMachine(t *testing.T) {
+	mira := NewPartition("mira", MiraNodes, nil)
+	zc := NewPartition("zc", MiraNodes, availability.NewPeriodic(0.5, 0))
+	m := NewMachine(mira, zc)
+	if m.TotalNodes() != 2*MiraNodes {
+		t.Errorf("total nodes = %d", m.TotalNodes())
+	}
+	if m.Partition("zc") != zc || m.Partition("nope") != nil {
+		t.Error("Partition lookup wrong")
+	}
+	_ = mira.Allocate(5)
+	m.ResetAllocations()
+	if mira.Free() != MiraNodes {
+		t.Error("machine reset incomplete")
+	}
+}
+
+func TestMachineDuplicateNames(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for duplicate partition names")
+		}
+	}()
+	NewMachine(NewPartition("a", 1, nil), NewPartition("a", 1, nil))
+}
+
+// Property: any sequence of successful allocations and matching releases
+// keeps 0 <= free <= Nodes and ends balanced.
+func TestAllocationConservation(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewPartition("m", 1000, nil)
+		var live []int
+		for i := 0; i < int(steps); i++ {
+			if r.Intn(2) == 0 || len(live) == 0 {
+				n := 1 + r.Intn(400)
+				if err := p.Allocate(n); err == nil {
+					live = append(live, n)
+				}
+			} else {
+				k := r.Intn(len(live))
+				p.Release(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+			if p.Free() < 0 || p.Free() > p.Nodes || p.Running() != len(live) {
+				return false
+			}
+		}
+		for _, n := range live {
+			p.Release(n)
+		}
+		return p.Free() == p.Nodes && p.Running() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

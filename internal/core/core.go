@@ -1,0 +1,327 @@
+// Package core assembles the paper's system under study: a base
+// supercomputer (Mira) optionally extended with an intermittent ZCCloud
+// partition, simulates a workload trace through the shared batch
+// scheduler, and extracts the metrics the paper reports — average job
+// wait time (overall, by job-size bin, by capability/capacity class, by
+// on-time/late class), throughput, and per-partition utilization.
+//
+// This is the top of the stack: availability models come from
+// internal/availability (periodic) or internal/stranded (SP-driven),
+// workloads from internal/workload, and scheduling from internal/sched.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"zccloud/internal/availability"
+	"zccloud/internal/cluster"
+	"zccloud/internal/job"
+	"zccloud/internal/sched"
+	"zccloud/internal/sim"
+)
+
+// Partition names used throughout reporting.
+const (
+	MiraPartition = "mira"
+	ZCPartition   = "zc"
+)
+
+// SystemConfig describes a Mira-ZCCloud deployment (paper, Figure 4).
+type SystemConfig struct {
+	// MiraNodes is the base system size; defaults to 49,152.
+	MiraNodes int
+	// ZCFactor sizes the ZCCloud partition as a multiple of Mira
+	// (the paper's 1xMira, 2xMira, 4xMira). Zero means no ZCCloud.
+	ZCFactor float64
+	// ZCAvail drives the ZCCloud partition's power. Required when
+	// ZCFactor > 0.
+	ZCAvail availability.Model
+	// Oracle selects the paper's window-aware scheduling; NonOracle
+	// (kill/requeue) is the sensitivity variant. Default true is
+	// expressed as !NonOracle to keep the zero value faithful.
+	NonOracle bool
+	// BackfillDepth bounds the scheduler's backfill scan (0 = unlimited).
+	BackfillDepth int
+	// DisableBackfill selects plain FCFS (ablation).
+	DisableBackfill bool
+	// PredictedWindow enables predictive admission in non-oracle mode:
+	// the scheduler assumes every ZC window lasts this long from its
+	// start (paper Section VIII's prediction direction).
+	PredictedWindow sim.Duration
+	// Predictor supersedes PredictedWindow with an age-aware window-end
+	// predictor (e.g. internal/forecast's hazard model).
+	Predictor sched.WindowPredictor
+	// FCFS selects plain first-come-first-served queue ordering instead
+	// of the default WFP utility (Cobalt's production policy at ALCF,
+	// which favors long-waiting and capability jobs).
+	FCFS bool
+	// CheckpointInterval enables checkpoint/restart in non-oracle mode:
+	// killed jobs resume from their last checkpoint.
+	CheckpointInterval sim.Duration
+	// CheckpointOverhead is the wall-clock stall per checkpoint taken.
+	CheckpointOverhead sim.Duration
+}
+
+func (c SystemConfig) withDefaults() SystemConfig {
+	if c.MiraNodes == 0 {
+		c.MiraNodes = cluster.MiraNodes
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c SystemConfig) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.MiraNodes <= 0:
+		return fmt.Errorf("core: mira nodes %d <= 0", c.MiraNodes)
+	case c.ZCFactor < 0:
+		return fmt.Errorf("core: zc factor %v < 0", c.ZCFactor)
+	case c.ZCFactor > 0 && c.ZCAvail == nil:
+		return fmt.Errorf("core: ZCFactor %v without an availability model", c.ZCFactor)
+	}
+	return nil
+}
+
+// BuildMachine constructs the cluster for a system config.
+func BuildMachine(c SystemConfig) (*cluster.Machine, error) {
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	parts := []*cluster.Partition{
+		cluster.NewPartition(MiraPartition, c.MiraNodes, availability.AlwaysOn{}),
+	}
+	if c.ZCFactor > 0 {
+		zcNodes := int(math.Round(c.ZCFactor * float64(c.MiraNodes)))
+		parts = append(parts, cluster.NewPartition(ZCPartition, zcNodes, c.ZCAvail))
+	}
+	return cluster.NewMachine(parts...), nil
+}
+
+// RunConfig is one simulation run.
+type RunConfig struct {
+	System SystemConfig
+	// Trace is the workload; jobs are reset before the run and carry
+	// their outcomes afterwards.
+	Trace *job.Trace
+	// Deadline bounds the run; zero defaults to the trace span plus 90
+	// days of drain time.
+	Deadline sim.Time
+}
+
+// SizeBin is one job-size bucket of Figure 5.
+type SizeBin struct {
+	Label      string
+	MaxNodes   int // inclusive upper bound of the bin
+	Jobs       int
+	AvgWaitHrs float64
+}
+
+// sizeBinBounds are the Figure 5 node-count bins (upper bounds).
+var sizeBinBounds = []int{511, 1024, 2048, 4096, 8192, 16384, 32768, 49152}
+
+// Metrics is everything the paper's figures read off one run.
+type Metrics struct {
+	Completed  int
+	Unfinished int
+	Unrunnable int
+
+	// WorkloadCompleted is false when the system lacked the node-hour
+	// capacity to finish the trace by the deadline (the paper's "X").
+	WorkloadCompleted bool
+
+	AvgWaitHrs float64
+	P50WaitHrs float64
+	P90WaitHrs float64
+	MaxWaitHrs float64
+
+	// AvgWaitBySize has one entry per Figure 5 size bin.
+	AvgWaitBySize []SizeBin
+	// Class splits: capability (>8k nodes) vs capacity.
+	AvgWaitCapabilityHrs float64
+	AvgWaitCapacityHrs   float64
+	// Timeliness splits (only populated when a ZC partition exists).
+	AvgWaitOnTimeHrs float64
+	AvgWaitLateHrs   float64
+	OnTimeJobs       int
+	LateJobs         int
+
+	// ThroughputJobsPerDay is completed jobs per simulated day of the
+	// workload span.
+	ThroughputJobsPerDay float64
+	// NodeHoursByPartition is delivered node-hours per partition.
+	NodeHoursByPartition map[string]float64
+	// UtilizationByPartition is delivered node-hours over available
+	// node-hours (availability-adjusted capacity) per partition.
+	UtilizationByPartition map[string]float64
+	// ZCShareOfWork is the fraction of delivered node-hours that ran on
+	// ZCCloud.
+	ZCShareOfWork float64
+
+	MakespanDays float64
+}
+
+// Run simulates one configuration and extracts metrics.
+func Run(cfg RunConfig) (*Metrics, error) {
+	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	sys := cfg.System.withDefaults()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	machine, err := BuildMachine(sys)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Trace.Reset()
+
+	first, last := cfg.Trace.Span()
+	deadline := cfg.Deadline
+	if deadline == 0 {
+		deadline = last + 90*sim.Day
+	}
+
+	eng := sim.New()
+	policy := sched.WFP
+	if sys.FCFS {
+		policy = sched.FCFS
+	}
+	scfg := sched.Config{
+		Machine:            machine,
+		Engine:             eng,
+		Policy:             policy,
+		Oracle:             !sys.NonOracle,
+		BackfillDepth:      sys.BackfillDepth,
+		DisableBackfill:    sys.DisableBackfill,
+		PredictedWindow:    sys.PredictedWindow,
+		Predictor:          sys.Predictor,
+		CheckpointInterval: sys.CheckpointInterval,
+		CheckpointOverhead: sys.CheckpointOverhead,
+	}
+	if sys.ZCFactor > 0 {
+		scfg.Classify = sys.ZCAvail
+	}
+	s := sched.New(scfg)
+	s.LoadTrace(cfg.Trace)
+	res := s.Run(deadline)
+
+	m := &Metrics{
+		Completed:            res.Completed,
+		Unfinished:           res.Unfinished,
+		Unrunnable:           res.Unrunnable,
+		WorkloadCompleted:    res.Unfinished == 0,
+		NodeHoursByPartition: res.NodeHoursByPartition,
+	}
+
+	waits := make([]float64, 0, res.Completed)
+	var bySize []accum
+	for range sizeBinBounds {
+		bySize = append(bySize, accum{})
+	}
+	var capab, capac, onTime, late accum
+	for _, j := range cfg.Trace.Jobs {
+		if !j.Completed {
+			continue
+		}
+		w := j.Wait().Hours()
+		waits = append(waits, w)
+		bin := sizeBinIndex(j.Nodes)
+		bySize[bin].add(w)
+		if j.Class() == job.ClassCapability {
+			capab.add(w)
+		} else {
+			capac.add(w)
+		}
+		switch j.Timeliness {
+		case job.OnTime:
+			onTime.add(w)
+		case job.Late:
+			late.add(w)
+		}
+	}
+	if len(waits) > 0 {
+		sort.Float64s(waits)
+		sum := 0.0
+		for _, w := range waits {
+			sum += w
+		}
+		m.AvgWaitHrs = sum / float64(len(waits))
+		m.P50WaitHrs = waits[len(waits)/2]
+		m.P90WaitHrs = waits[int(float64(len(waits))*0.9)]
+		m.MaxWaitHrs = waits[len(waits)-1]
+	}
+	for i, b := range bySize {
+		lo := 1
+		if i > 0 {
+			lo = sizeBinBounds[i-1] + 1
+		}
+		m.AvgWaitBySize = append(m.AvgWaitBySize, SizeBin{
+			Label:      fmt.Sprintf("%d-%d", lo, sizeBinBounds[i]),
+			MaxNodes:   sizeBinBounds[i],
+			Jobs:       b.n,
+			AvgWaitHrs: b.mean(),
+		})
+	}
+	m.AvgWaitCapabilityHrs = capab.mean()
+	m.AvgWaitCapacityHrs = capac.mean()
+	m.AvgWaitOnTimeHrs = onTime.mean()
+	m.AvgWaitLateHrs = late.mean()
+	m.OnTimeJobs = onTime.n
+	m.LateJobs = late.n
+
+	spanDays := float64(last-first) / float64(sim.Day)
+	if spanDays > 0 {
+		m.ThroughputJobsPerDay = float64(res.Completed) / spanDays
+	}
+	m.MakespanDays = float64(res.Makespan) / float64(sim.Day)
+
+	// Utilization: delivered node-hours over availability-adjusted
+	// capacity across the active span [first, makespan].
+	m.UtilizationByPartition = make(map[string]float64, len(machine.Partitions))
+	activeEnd := res.Makespan
+	if activeEnd <= first {
+		activeEnd = last
+	}
+	var totalNH float64
+	for _, p := range machine.Partitions {
+		df := availability.DutyFactor(p.Avail, first, activeEnd)
+		capNH := float64(p.Nodes) * (activeEnd - first).Hours() * df
+		nh := res.NodeHoursByPartition[p.Name]
+		totalNH += nh
+		if capNH > 0 {
+			m.UtilizationByPartition[p.Name] = nh / capNH
+		}
+	}
+	if totalNH > 0 {
+		m.ZCShareOfWork = res.NodeHoursByPartition[ZCPartition] / totalNH
+	}
+	return m, nil
+}
+
+// sizeBinIndex maps a node count to its Figure 5 bin.
+func sizeBinIndex(nodes int) int {
+	for i, hi := range sizeBinBounds {
+		if nodes <= hi {
+			return i
+		}
+	}
+	return len(sizeBinBounds) - 1
+}
+
+type accum struct {
+	n   int
+	sum float64
+}
+
+func (a *accum) add(x float64) { a.n++; a.sum += x }
+
+func (a *accum) mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}

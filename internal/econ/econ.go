@@ -1,0 +1,209 @@
+// Package econ models the economics of stranded-power computing — the
+// paper's Section VIII future-work question ("assess the costs and
+// economics of stranded-power based computing"), following the framing of
+// the companion study (Chien & Richard, "Zero-Carbon Cloud: High-value,
+// Dispatchable Demand for Renewable Power Generators", 2015).
+//
+// The comparison: a traditional machine-room deployment pays building
+// infrastructure, cooling overhead (PUE), and grid energy, but runs its
+// hardware nearly 100% of the time. A ZCCloud container pays much less
+// infrastructure (containerized, free cooling, no transmission) and
+// nothing for energy — but its hardware only produces during stranded
+// power intervals, so capital amortizes over duty-factor × life. The
+// crossover duty factor is where ZCCloud's delivered node-hour becomes
+// cheaper.
+package econ
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the cost-model inputs. All dollars are US$.
+type Params struct {
+	// ServerCostPerNode is compute hardware capex per node.
+	ServerCostPerNode float64
+	// ServerLifeYears amortizes node capex.
+	ServerLifeYears float64
+	// NodePowerKW is IT power per node (Mira: ~3.9 MW / 49,152 nodes).
+	NodePowerKW float64
+
+	// DatacenterCapexPerKW is machine-room infrastructure (building,
+	// power distribution, chillers) per IT kW.
+	DatacenterCapexPerKW float64
+	// DatacenterLifeYears amortizes the building.
+	DatacenterLifeYears float64
+	// ContainerCapexPerKW is containerized infrastructure per IT kW.
+	ContainerCapexPerKW float64
+	// ContainerLifeYears amortizes containers.
+	ContainerLifeYears float64
+
+	// GridEnergyPerKWh is delivered grid energy price (energy + demand
+	// charges) for the traditional deployment.
+	GridEnergyPerKWh float64
+	// StrandedEnergyPerKWh is what the ZCCloud pays per kWh — at or near
+	// zero (negative-price power; the generator would otherwise curtail).
+	StrandedEnergyPerKWh float64
+
+	// PUETraditional and PUEContainer are total-power/IT-power overheads.
+	PUETraditional float64
+	// PUEContainer reflects free cooling at wind-farm sites.
+	PUEContainer float64
+
+	// OpexFracPerYear is annual operations spend as a fraction of total
+	// capex (staffing, maintenance, network).
+	OpexFracPerYear float64
+}
+
+// DefaultParams returns literature-anchored 2015-era values.
+func DefaultParams() Params {
+	return Params{
+		ServerCostPerNode:    2500,
+		ServerLifeYears:      4,
+		NodePowerKW:          0.08, // Mira: 3.9 MW / 49,152 nodes
+		DatacenterCapexPerKW: 10000,
+		DatacenterLifeYears:  15,
+		ContainerCapexPerKW:  3000,
+		ContainerLifeYears:   10,
+		GridEnergyPerKWh:     0.06,
+		StrandedEnergyPerKWh: 0.0,
+		PUETraditional:       1.35,
+		PUEContainer:         1.10,
+		OpexFracPerYear:      0.05,
+	}
+}
+
+// RecycledParams returns the "second-life hardware" scenario the ZCCloud
+// line of work advocates: containers populated with decommissioned
+// previous-generation servers at salvage cost. Low hardware capex makes
+// idle downtime cheap, collapsing the breakeven duty factor.
+func RecycledParams() Params {
+	p := DefaultParams()
+	p.ServerCostPerNode = 400 // salvage/transfer cost of retired nodes
+	p.ServerLifeYears = 3     // shorter remaining life
+	return p
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.ServerCostPerNode <= 0 || p.ServerLifeYears <= 0:
+		return fmt.Errorf("econ: server cost/life must be positive")
+	case p.NodePowerKW <= 0:
+		return fmt.Errorf("econ: node power must be positive")
+	case p.DatacenterCapexPerKW < 0 || p.ContainerCapexPerKW < 0:
+		return fmt.Errorf("econ: negative capex")
+	case p.DatacenterLifeYears <= 0 || p.ContainerLifeYears <= 0:
+		return fmt.Errorf("econ: infrastructure life must be positive")
+	case p.PUETraditional < 1 || p.PUEContainer < 1:
+		return fmt.Errorf("econ: PUE below 1")
+	case p.OpexFracPerYear < 0 || p.OpexFracPerYear > 1:
+		return fmt.Errorf("econ: opex fraction outside [0,1]")
+	}
+	return nil
+}
+
+const hoursPerYear = 8766.0
+
+// Deployment selects the cost structure.
+type Deployment int
+
+// Deployment kinds.
+const (
+	Traditional Deployment = iota
+	Container
+)
+
+func (d Deployment) String() string {
+	if d == Container {
+		return "zccloud-container"
+	}
+	return "traditional"
+}
+
+// CostPerNodeHour returns the fully-burdened cost of one *delivered*
+// node-hour for a deployment operating at the given duty factor (fraction
+// of wall-clock the nodes can run). Traditional deployments typically run
+// at duty factor ~1; ZCCloud containers at the stranded-power duty factor.
+func (p Params) CostPerNodeHour(d Deployment, dutyFactor float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if dutyFactor <= 0 || dutyFactor > 1 {
+		return 0, fmt.Errorf("econ: duty factor %v outside (0,1]", dutyFactor)
+	}
+	var infraPerKW, infraLife, energyPerKWh, pue float64
+	switch d {
+	case Traditional:
+		infraPerKW, infraLife = p.DatacenterCapexPerKW, p.DatacenterLifeYears
+		energyPerKWh, pue = p.GridEnergyPerKWh, p.PUETraditional
+	case Container:
+		infraPerKW, infraLife = p.ContainerCapexPerKW, p.ContainerLifeYears
+		energyPerKWh, pue = p.StrandedEnergyPerKWh, p.PUEContainer
+	default:
+		return 0, fmt.Errorf("econ: unknown deployment %d", d)
+	}
+	deliveredHrsPerYear := hoursPerYear * dutyFactor
+
+	serverPerYear := p.ServerCostPerNode / p.ServerLifeYears
+	infraPerYear := infraPerKW * p.NodePowerKW / infraLife
+	opexPerYear := p.OpexFracPerYear * (p.ServerCostPerNode + infraPerKW*p.NodePowerKW)
+	capexOpexPerNodeHour := (serverPerYear + infraPerYear + opexPerYear) / deliveredHrsPerYear
+
+	energyPerNodeHour := p.NodePowerKW * pue * energyPerKWh
+
+	return capexOpexPerNodeHour + energyPerNodeHour, nil
+}
+
+// BreakevenDutyFactor returns the duty factor at which a ZCCloud
+// container's delivered node-hour costs the same as a traditional
+// deployment at 100% duty, with both sides priced from p. Returns +Inf if
+// the container never breaks even.
+func (p Params) BreakevenDutyFactor() (float64, error) {
+	return p.BreakevenAgainst(p)
+}
+
+// BreakevenAgainst prices the container from p but the traditional
+// reference from ref — e.g. recycled-hardware containers (p) against a
+// new-hardware machine room (ref), the comparison a center deciding where
+// to add capacity actually faces.
+func (p Params) BreakevenAgainst(ref Params) (float64, error) {
+	target, err := ref.CostPerNodeHour(Traditional, 1)
+	if err != nil {
+		return 0, err
+	}
+	// Container cost is strictly decreasing in duty factor: solve by
+	// bisection on (0, 1].
+	lo, hi := 1e-6, 1.0
+	costAt := func(df float64) float64 {
+		c, err := p.CostPerNodeHour(Container, df)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return c
+	}
+	if costAt(1) > target {
+		return math.Inf(1), nil // never breaks even
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if costAt(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// CarbonTonnesPerYear estimates operational CO2 for a deployment of n
+// nodes at a duty factor, using a grid emission intensity (MISO ~0.75
+// tCO2/MWh in 2014). ZCCloud containers consume only curtailed renewable
+// output, so their operational emissions are zero by construction.
+func (p Params) CarbonTonnesPerYear(d Deployment, nodes int, dutyFactor, gridTonnesPerMWh float64) float64 {
+	if d == Container {
+		return 0
+	}
+	mwh := float64(nodes) * p.NodePowerKW * p.PUETraditional * hoursPerYear * dutyFactor / 1000
+	return mwh * gridTonnesPerMWh
+}

@@ -1,0 +1,192 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.ServerCostPerNode = 0 },
+		func(p *Params) { p.ServerLifeYears = -1 },
+		func(p *Params) { p.NodePowerKW = 0 },
+		func(p *Params) { p.DatacenterCapexPerKW = -5 },
+		func(p *Params) { p.ContainerLifeYears = 0 },
+		func(p *Params) { p.PUEContainer = 0.9 },
+		func(p *Params) { p.OpexFracPerYear = 2 },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCostPerNodeHourBasics(t *testing.T) {
+	p := DefaultParams()
+	trad, err := p.CostPerNodeHour(Traditional, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := p.CostPerNodeHour(Container, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trad <= 0 || cont <= 0 {
+		t.Fatal("costs must be positive")
+	}
+	// at full duty, the container (cheaper infra, free power) must win
+	if cont >= trad {
+		t.Errorf("container at 100%% duty should beat traditional: %v >= %v", cont, trad)
+	}
+	// plausible magnitudes: cents per node-hour
+	if trad < 0.01 || trad > 1 {
+		t.Errorf("traditional cost %v $/node-h implausible", trad)
+	}
+}
+
+func TestCostDecreasingInDuty(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(1)
+	for df := 0.1; df <= 1.0; df += 0.1 {
+		c, err := p.CostPerNodeHour(Container, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c >= prev {
+			t.Fatalf("cost not decreasing at duty %v", df)
+		}
+		prev = c
+	}
+}
+
+func TestCostErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := p.CostPerNodeHour(Container, 0); err == nil {
+		t.Error("zero duty factor should error")
+	}
+	if _, err := p.CostPerNodeHour(Container, 1.5); err == nil {
+		t.Error("duty > 1 should error")
+	}
+	if _, err := p.CostPerNodeHour(Deployment(9), 0.5); err == nil {
+		t.Error("unknown deployment should error")
+	}
+	bad := DefaultParams()
+	bad.NodePowerKW = 0
+	if _, err := bad.CostPerNodeHour(Container, 0.5); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestBreakeven(t *testing.T) {
+	p := DefaultParams()
+	be, err := p.BreakevenDutyFactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be <= 0 || be >= 1 {
+		t.Fatalf("breakeven duty = %v, want in (0,1) for default params", be)
+	}
+	// at breakeven the two costs agree
+	trad, _ := p.CostPerNodeHour(Traditional, 1)
+	cont, _ := p.CostPerNodeHour(Container, be)
+	if math.Abs(trad-cont) > 1e-6*trad {
+		t.Errorf("costs at breakeven differ: %v vs %v", trad, cont)
+	}
+	// With new hardware, capex dominates: breakeven sits high — above
+	// NetPrice0's ~0.6 duty factor. This is the finding that motivates
+	// recycled hardware.
+	if be < 0.5 {
+		t.Errorf("new-hardware breakeven %v suspiciously low", be)
+	}
+}
+
+func TestRecycledBreakeven(t *testing.T) {
+	// Second-life servers: breakeven collapses below the paper's NetPrice
+	// duty factors, making stranded-power computing economical.
+	p := RecycledParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// compare against a traditional deployment with NEW hardware — the
+	// decision a center adding capacity actually faces
+	be, err := p.BreakevenAgainst(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tradNew, _ := DefaultParams().CostPerNodeHour(Traditional, 1)
+	contAt60, _ := p.CostPerNodeHour(Container, 0.6)
+	if contAt60 >= tradNew {
+		t.Errorf("recycled container at 60%% duty (%v) should beat new traditional (%v)",
+			contAt60, tradNew)
+	}
+	if be >= 0.6 {
+		t.Errorf("recycled breakeven = %v, want below NetPrice0's duty factor", be)
+	}
+}
+
+func TestBreakevenNeverForExpensiveContainers(t *testing.T) {
+	p := DefaultParams()
+	p.ContainerCapexPerKW = 1e7 // absurd
+	be, err := p.BreakevenDutyFactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(be, 1) {
+		t.Errorf("breakeven = %v, want +inf", be)
+	}
+}
+
+// Property: breakeven is consistent — containers are cheaper above it,
+// costlier below.
+func TestBreakevenConsistencyProperty(t *testing.T) {
+	f := func(seedCapex uint16, seedEnergy uint8) bool {
+		p := DefaultParams()
+		p.ContainerCapexPerKW = 500 + float64(seedCapex%9500)
+		p.GridEnergyPerKWh = 0.02 + float64(seedEnergy%100)/1000
+		be, err := p.BreakevenDutyFactor()
+		if err != nil {
+			return false
+		}
+		trad, _ := p.CostPerNodeHour(Traditional, 1)
+		if math.IsInf(be, 1) {
+			c, _ := p.CostPerNodeHour(Container, 1)
+			return c > trad
+		}
+		above := math.Min(1, be*1.1)
+		below := be * 0.9
+		ca, _ := p.CostPerNodeHour(Container, above)
+		cb, _ := p.CostPerNodeHour(Container, below)
+		return ca <= trad*(1+1e-9) && cb >= trad*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCarbon(t *testing.T) {
+	p := DefaultParams()
+	if p.CarbonTonnesPerYear(Container, 49152, 0.6, 0.75) != 0 {
+		t.Error("container operational carbon must be zero")
+	}
+	trad := p.CarbonTonnesPerYear(Traditional, 49152, 1, 0.75)
+	// Mira-scale: ~3.9 MW × 1.35 PUE × 8766 h ≈ 46 GWh → ~35 kt CO2
+	if trad < 20000 || trad > 60000 {
+		t.Errorf("traditional carbon = %v t/yr, implausible for Mira scale", trad)
+	}
+}
+
+func TestDeploymentString(t *testing.T) {
+	if Traditional.String() != "traditional" || Container.String() != "zccloud-container" {
+		t.Error("Deployment.String wrong")
+	}
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zccloud/internal/availability"
+	"zccloud/internal/core"
+	"zccloud/internal/job"
+	"zccloud/internal/sim"
+	"zccloud/internal/workload"
+)
+
+// zcPhase is the daily uptime start of the periodic model: 20:00, the
+// paper's example window (20:00 → 08:00 at 50% duty).
+const zcPhase = 20 * sim.Hour
+
+// periodicZC builds the paper's daily periodic availability at a duty
+// factor.
+func periodicZC(duty float64) availability.Model {
+	if duty >= 1 {
+		return availability.AlwaysOn{}
+	}
+	return availability.NewPeriodic(duty, zcPhase)
+}
+
+// sysFor builds the system config for Mira + ZCCloud(factor, model).
+func sysFor(l *Lab, zcFactor float64, avail availability.Model) core.SystemConfig {
+	sys := core.SystemConfig{MiraNodes: l.opt.MiraNodes}
+	if zcFactor > 0 {
+		sys.ZCFactor = zcFactor
+		sys.ZCAvail = avail
+	}
+	return sys
+}
+
+// runSys simulates a trace on a configured system.
+func runSys(tr *job.Trace, sys core.SystemConfig) (*core.Metrics, error) {
+	return core.Run(core.RunConfig{Trace: tr, System: sys})
+}
+
+// runMZ simulates a trace on Mira + ZCCloud(factor, duty-model).
+func (l *Lab) runMZ(tr *job.Trace, zcFactor float64, avail availability.Model) (*core.Metrics, error) {
+	return runSys(tr, sysFor(l, zcFactor, avail))
+}
+
+// Table1 reproduces Table I: the workload trace statistics.
+func Table1(l *Lab) (*Table, error) {
+	tr, err := l.BaseTrace()
+	if err != nil {
+		return nil, err
+	}
+	s := workload.Summarize(tr, l.opt.MiraNodes)
+	t := &Table{
+		ID:      "table1",
+		Title:   "ALCF workload trace statistics (synthetic, calibrated to Table I)",
+		Columns: []string{"Parameter", "Paper", "Measured"},
+	}
+	t.AddRow("# Jobs", "78,795", fmt.Sprintf("%d", s.Jobs))
+	t.AddRow("Time period (days)", "364", s.Days)
+	t.AddRow("Runtime avg (h)", "1.7", s.RuntimeMeanHrs)
+	t.AddRow("Runtime stdev (h)", "3.0", s.RuntimeSDHrs)
+	t.AddRow("Runtime max (h)", "82", s.RuntimeMaxHrs)
+	t.AddRow("Nodes avg", "1,975", s.NodesMean)
+	t.AddRow("Nodes stdev", "4,100", s.NodesSD)
+	t.AddRow("Nodes max", "49,152", s.NodesMax)
+	t.AddRow("Utilization @100% avail", "84%", fmt.Sprintf("%.1f%%", 100*s.Utilization))
+	if l.opt.WorkloadDays != workload.TraceDays {
+		t.AddNote("reduced %v-day preset: job count scales with span", l.opt.WorkloadDays)
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table II: the Section IV experiment grid (static).
+func Table2(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Section IV experiment parameters",
+		Columns: []string{"Parameter", "Values"},
+	}
+	t.AddRow("Node hours", "[N]xWorkload, N = 1 + DutyFactor*Resources")
+	t.AddRow("Shape", "Uniform, Burst")
+	t.AddRow("System", "Mira, Mira+ZC(1xMira), Mira+ZC(2xMira), Mira+ZC(4xMira)")
+	t.AddRow("Duty factor", "25%, 50%, 100%")
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: average wait time by job-size bin for Mira
+// (1xWorkload) vs Mira-ZCCloud with 1xMira intermittent resources at 50%
+// duty — both at the same workload (1x) and at the paper's same
+// utilization (1.5x on M-Z).
+func Fig5(l *Lab) (*Table, error) {
+	base, err := l.BaseTrace()
+	if err != nil {
+		return nil, err
+	}
+	mira, err := l.runMZ(base.Clone(), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr1, err := l.Trace(1)
+	if err != nil {
+		return nil, err
+	}
+	mz1, err := l.runMZ(tr1, 1, periodicZC(0.5))
+	if err != nil {
+		return nil, err
+	}
+	tr15, err := l.Trace(1.5)
+	if err != nil {
+		return nil, err
+	}
+	mz, err := l.runMZ(tr15, 1, periodicZC(0.5))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig5",
+		Title: "Average wait time (h) vs job size — Mira@1x vs M-Z@1x and M-Z@1.5x (same utilization)",
+		Columns: []string{"Job size (nodes)", "Mira jobs", "Mira wait (h)",
+			"M-Z@1x wait (h)", "M-Z@1.5x wait (h)"},
+	}
+	for i, b := range mira.AvgWaitBySize {
+		t.AddRow(b.Label, b.Jobs, b.AvgWaitHrs,
+			mz1.AvgWaitBySize[i].AvgWaitHrs, mz.AvgWaitBySize[i].AvgWaitHrs)
+	}
+	t.AddRow("capability (>8k)", "", mira.AvgWaitCapabilityHrs,
+		mz1.AvgWaitCapabilityHrs, mz.AvgWaitCapabilityHrs)
+	if mira.AvgWaitCapabilityHrs > 0 {
+		t.AddNote("capability-job wait reduction: %.0f%% at same workload, %.0f%% at same "+
+			"utilization (paper: ≈75%% at same utilization; our long capability jobs pinned "+
+			"to Mira keep the same-utilization class average high — see EXPERIMENTS.md)",
+			100*(1-mz1.AvgWaitCapabilityHrs/mira.AvgWaitCapabilityHrs),
+			100*(1-mz.AvgWaitCapabilityHrs/mira.AvgWaitCapabilityHrs))
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: average wait for on-time vs late jobs under
+// the Figure 5 configuration.
+func Fig6(l *Lab) (*Table, error) {
+	base, err := l.BaseTrace()
+	if err != nil {
+		return nil, err
+	}
+	baseRun := base.Clone()
+	mira, err := l.runMZ(baseRun, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr1, err := l.Trace(1)
+	if err != nil {
+		return nil, err
+	}
+	mz1, err := l.runMZ(tr1, 1, periodicZC(0.5))
+	if err != nil {
+		return nil, err
+	}
+	tr15, err := l.Trace(1.5)
+	if err != nil {
+		return nil, err
+	}
+	mz, err := l.runMZ(tr15, 1, periodicZC(0.5))
+	if err != nil {
+		return nil, err
+	}
+	// Baseline waits per class: the scheduler only classifies jobs when a
+	// ZC partition exists, so classify the baseline's jobs against the
+	// same hypothetical window here.
+	zc := periodicZC(0.5)
+	var baseOn, baseLate accumMean
+	for _, j := range baseRun.Jobs {
+		if !j.Completed {
+			continue
+		}
+		w := j.Wait().Hours()
+		if cls, ok := zc.WindowAt(j.Submit); ok && j.Submit+j.Runtime <= cls.End {
+			baseOn.add(w)
+		} else {
+			baseLate.add(w)
+		}
+	}
+	t := &Table{
+		ID:    "fig6",
+		Title: "Average wait time (h) vs on-time metric (M-Z = 1xMira @50% duty)",
+		Columns: []string{"Class", "Mira wait (h)", "M-Z@1x wait (h)",
+			"M-Z@1.5x wait (h)", "Reduction @1x", "Reduction @1.5x"},
+	}
+	addClass := func(name string, baseW, mz1W, mz15W float64) {
+		red := func(w float64) string {
+			if baseW <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f%%", 100*(1-w/baseW))
+		}
+		t.AddRow(name, baseW, mz1W, mz15W, red(mz1W), red(mz15W))
+	}
+	addClass("on-time", baseOn.mean(), mz1.AvgWaitOnTimeHrs, mz.AvgWaitOnTimeHrs)
+	addClass("late", baseLate.mean(), mz1.AvgWaitLateHrs, mz.AvgWaitLateHrs)
+	t.AddNote("paper (same utilization): on-time −80%%, late −55%%; overall Mira %.1f h vs "+
+		"M-Z@1.5x %.1f h; on-time jobs gain more than late jobs in both comparisons",
+		mira.AvgWaitHrs, mz.AvgWaitHrs)
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: average wait vs workload size and shape.
+func Fig7(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Average wait time (h) vs workload size and shape (M-Z = 1xMira @50% duty)",
+		Columns: []string{"Workload", "Shape", "System", "Avg wait (h)", "Completed"},
+	}
+	base, err := l.BaseTrace()
+	if err != nil {
+		return nil, err
+	}
+	mira, err := l.runMZ(base.Clone(), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("1x", "uniform", "Mira", mira.AvgWaitHrs, done(mira))
+
+	zc := periodicZC(0.5)
+	tr1, err := l.Trace(1)
+	if err != nil {
+		return nil, err
+	}
+	mz1, err := l.runMZ(tr1, 1, zc)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("1x", "uniform", "M-Z", mz1.AvgWaitHrs, done(mz1))
+
+	tr15, err := l.Trace(1.5)
+	if err != nil {
+		return nil, err
+	}
+	mz15, err := l.runMZ(tr15, 1, zc)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("1.5x", "uniform", "M-Z", mz15.AvgWaitHrs, done(mz15))
+
+	up := availability.Materialize(zc, 0, sim.Time(l.opt.WorkloadDays*float64(sim.Day)))
+	burst, err := l.BurstTrace(1.5, up)
+	if err != nil {
+		return nil, err
+	}
+	mzB, err := l.runMZ(burst, 1, zc)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("1.5x", "burst", "M-Z", mzB.AvgWaitHrs, done(mzB))
+
+	if mira.AvgWaitHrs > 0 {
+		t.AddNote("same workload (1x): M-Z reduces wait %.0f%% (paper: >80%%)",
+			100*(1-mz1.AvgWaitHrs/mira.AvgWaitHrs))
+		t.AddNote("same utilization (M-Z@1.5x vs Mira@1x): %.0f%% (paper: ≈50%%)",
+			100*(1-mz15.AvgWaitHrs/mira.AvgWaitHrs))
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: system throughput vs duty factor vs ZCCloud
+// size, at matched utilization (workload scale = 1 + duty × size).
+func Fig8(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Throughput (jobs/day) vs duty factor vs system size (same utilization)",
+		Columns: []string{"System", "Duty", "Workload", "Jobs/day", "Avg wait (h)", "Completed"},
+	}
+	base, err := l.BaseTrace()
+	if err != nil {
+		return nil, err
+	}
+	mira, err := l.runMZ(base.Clone(), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Mira", "-", "1x", mira.ThroughputJobsPerDay, mira.AvgWaitHrs, done(mira))
+
+	for _, size := range []float64{1, 2, 4} {
+		for _, duty := range []float64{0.25, 0.5, 1.0} {
+			scale := 1 + duty*size
+			tr, err := l.Trace(scale)
+			if err != nil {
+				return nil, err
+			}
+			m, err := l.runMZ(tr, size, periodicZC(duty))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("M-Z %gxMira", size),
+				fmt.Sprintf("%.0f%%", duty*100),
+				fmt.Sprintf("%.2fx", scale),
+				m.ThroughputJobsPerDay, m.AvgWaitHrs, done(m))
+		}
+	}
+	t.AddNote("paper: throughput scales with duty×size; {1x,50%%} ≈ {2x,25%%}")
+	return t, nil
+}
+
+// done summarizes completion for a metrics row ("yes" or the paper's "X").
+func done(m *core.Metrics) string {
+	if m.WorkloadCompleted {
+		return "yes"
+	}
+	return fmt.Sprintf("X (%d left)", m.Unfinished)
+}
+
+type accumMean struct {
+	n   int
+	sum float64
+}
+
+func (a *accumMean) add(x float64) { a.n++; a.sum += x }
+
+func (a *accumMean) mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}

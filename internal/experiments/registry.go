@@ -1,0 +1,52 @@
+package experiments
+
+import "fmt"
+
+// Experiment is one runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Kind is "table", "figure", or "extension".
+	Kind string
+	Run  func(*Lab) (*Table, error)
+}
+
+// All lists every experiment in paper order, followed by the extensions.
+var All = []Experiment{
+	{"table1", "ALCF workload trace", "table", Table1},
+	{"table2", "Section IV parameters", "table", Table2},
+	{"fig5", "Wait vs job size", "figure", Fig5},
+	{"fig6", "Wait vs on-time metric", "figure", Fig6},
+	{"fig7", "Wait vs workload size and shape", "figure", Fig7},
+	{"fig8", "Throughput vs duty factor vs size", "figure", Fig8},
+	{"table3", "MISO dataset", "table", Table3},
+	{"table4", "Cleared-offer record schema", "table", Table4},
+	{"table5", "SP models", "table", Table5},
+	{"fig9", "Sites vs duty factor", "figure", Fig9},
+	{"fig10", "Best-site duty factor and durations", "figure", Fig10},
+	{"fig11", "Cumulative duty factor vs sites", "figure", Fig11},
+	{"fig12", "Stranded power vs Top500", "figure", Fig12},
+	{"table6", "Best site per SP model", "table", Table6},
+	{"table7", "Section VI parameters", "table", Table7},
+	{"fig13", "Periodic vs SP-driven", "figure", Fig13},
+	{"fig14", "Wait vs workload vs SP model", "figure", Fig14},
+	{"fig15", "Wait vs workload vs system size", "figure", Fig15},
+	{"multisite", "Multi-site ZCCloud (future work)", "extension", Multisite},
+	{"killrequeue", "Oracle vs kill/requeue (ablation)", "extension", KillRequeue},
+	{"prediction", "Window-end prediction (future work)", "extension", Prediction},
+	{"backfill", "EASY backfill vs plain FCFS (ablation)", "extension", BackfillAblation},
+	{"burstiness", "Arrival burstiness sensitivity (ablation)", "extension", BurstinessAblation},
+	{"economics", "Cost per node-hour (future work)", "extension", Economics},
+	{"checkpoint", "Checkpoint/restart on stranded power (future work)", "extension", Checkpoint},
+	{"caiso", "Solar-dominated ISO scenario (future work)", "extension", CAISO},
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}

@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zccloud/internal/core"
+	"zccloud/internal/forecast"
+	"zccloud/internal/sim"
+	"zccloud/internal/stats"
+	"zccloud/internal/stranded"
+)
+
+// Fig13 reproduces Figure 13: periodic resources vs SP-driven resources
+// at the same duty factor (1xMira ZCCloud, 1xWorkload).
+func Fig13(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Periodic vs SP-driven ZCCloud at matched duty factor (1xMira, 1xWorkload)",
+		Columns: []string{"SP model", "Duty factor", "Mira-only (h)", "Periodic (h)", "SP-driven (h)"},
+	}
+	base, err := l.BaseTrace()
+	if err != nil {
+		return nil, err
+	}
+	mira, err := l.runMZ(base.Clone(), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range stranded.PaperModels {
+		best, err := l.BestSite(m)
+		if err != nil {
+			return nil, err
+		}
+		if best.DutyFactor <= 0 {
+			t.AddRow(m.String(), "0%", mira.AvgWaitHrs, "-", "-")
+			continue
+		}
+		spAvail, err := l.BestSiteAvailability(m)
+		if err != nil {
+			return nil, err
+		}
+		tr1, err := l.Trace(1)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := l.runMZ(tr1, 1, spAvail)
+		if err != nil {
+			return nil, err
+		}
+		tr1b, err := l.Trace(1)
+		if err != nil {
+			return nil, err
+		}
+		per, err := l.runMZ(tr1b, 1, periodicZC(best.DutyFactor))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m.String(), fmt.Sprintf("%.1f%%", 100*best.DutyFactor),
+			mira.AvgWaitHrs, per.AvgWaitHrs, sp.AvgWaitHrs)
+	}
+	t.AddNote("paper: SP-driven ≈ periodic — slightly worse for LMP (short intervals), " +
+		"better at 80%% duty (NetPrice intervals can exceed 24 h)")
+	return t, nil
+}
+
+// Fig14 reproduces Figure 14: average wait vs workload scale vs SP model
+// (1xMira ZCCloud on the best site of each model).
+func Fig14(l *Lab) (*Table, error) {
+	scales := []float64{1, 1.25, 1.5}
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Average wait (h) vs workload vs SP model (1xMira ZCCloud)",
+		Columns: append([]string{"System"}, scaleLabels(scales)...),
+	}
+	// Mira baseline row.
+	row := []any{"Mira"}
+	for _, s := range scales {
+		tr, err := l.Trace(s)
+		if err != nil {
+			return nil, err
+		}
+		m, err := l.runMZ(tr, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, waitOrX(m.AvgWaitHrs, m.WorkloadCompleted))
+	}
+	t.AddRow(row...)
+
+	for _, mm := range stranded.PaperModels {
+		spAvail, err := l.BestSiteAvailability(mm)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{"M-Z " + mm.String()}
+		for _, s := range scales {
+			tr, err := l.Trace(s)
+			if err != nil {
+				return nil, err
+			}
+			m, err := l.runMZ(tr, 1, spAvail)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, waitOrX(m.AvgWaitHrs, m.WorkloadCompleted))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("X marks workloads the configuration cannot complete (paper's notation); " +
+		"paper: improvements range 20-90%%, LMP models fail at 1.5x")
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: average wait vs workload vs ZCCloud size
+// under the NetPrice0 model.
+func Fig15(l *Lab) (*Table, error) {
+	scales := []float64{1, 1.25, 1.5, 1.75}
+	sizes := []float64{1, 2, 4}
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Average wait (h) vs workload vs ZCCloud size (NetPrice0 SP-driven)",
+		Columns: append([]string{"System"}, scaleLabels(scales)...),
+	}
+	spAvail, err := l.BestSiteAvailability(stranded.Model{Kind: stranded.NetPrice, Threshold: 0})
+	if err != nil {
+		return nil, err
+	}
+	row := []any{"Mira"}
+	for _, s := range scales {
+		tr, err := l.Trace(s)
+		if err != nil {
+			return nil, err
+		}
+		m, err := l.runMZ(tr, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, waitOrX(m.AvgWaitHrs, m.WorkloadCompleted))
+	}
+	t.AddRow(row...)
+	for _, size := range sizes {
+		row := []any{fmt.Sprintf("M-Z %gxMira", size)}
+		for _, s := range scales {
+			tr, err := l.Trace(s)
+			if err != nil {
+				return nil, err
+			}
+			m, err := l.runMZ(tr, size, spAvail)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, waitOrX(m.AvgWaitHrs, m.WorkloadCompleted))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: each added ZCCloud increment lowers waits; 2xMira absorbs 1.75x workload")
+	return t, nil
+}
+
+// Multisite explores the paper's Section VIII future-work direction: a
+// ZCCloud drawing on the union of the top-N sites' stranded power.
+func Multisite(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:      "multisite",
+		Title:   "Future work: multi-site ZCCloud (NetPrice0, 1xMira, 1xWorkload)",
+		Columns: []string{"Sites", "Union duty factor", "Avg wait (h)"},
+	}
+	observed, err := l.SPObserved()
+	if err != nil {
+		return nil, err
+	}
+	res, err := l.SPNodeResults(stranded.Model{Kind: stranded.NetPrice, Threshold: 0})
+	if err != nil {
+		return nil, err
+	}
+	cum := stranded.CumulativeDutyFactor(res, observed)
+	for _, n := range []int{1, 3, 7} {
+		if n > len(res) {
+			break
+		}
+		avail, err := l.MultiSiteAvailability(stranded.Model{Kind: stranded.NetPrice, Threshold: 0}, n)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := l.Trace(1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := l.runMZ(tr, 1, avail)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, fmt.Sprintf("%.1f%%", 100*cum[n-1]), m.AvgWaitHrs)
+	}
+	return t, nil
+}
+
+// KillRequeue is a sensitivity ablation beyond the paper: the scheduler
+// without the window-end oracle, killing and resubmitting interrupted
+// jobs.
+func KillRequeue(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:      "killrequeue",
+		Title:   "Ablation: oracle vs kill/requeue scheduling (NetPrice0, 1xMira, 1xWorkload)",
+		Columns: []string{"Mode", "Avg wait (h)", "Completed", "Requeued jobs"},
+	}
+	spAvail, err := l.BestSiteAvailability(stranded.Model{Kind: stranded.NetPrice, Threshold: 0})
+	if err != nil {
+		return nil, err
+	}
+	for _, oracle := range []bool{true, false} {
+		tr, err := l.Trace(1)
+		if err != nil {
+			return nil, err
+		}
+		sys := sysFor(l, 1, spAvail)
+		sys.NonOracle = !oracle
+		m, err := runSys(tr, sys)
+		if err != nil {
+			return nil, err
+		}
+		requeued := 0
+		for _, j := range tr.Jobs {
+			if j.Requeues > 0 {
+				requeued++
+			}
+		}
+		mode := "oracle"
+		if !oracle {
+			mode = "kill/requeue"
+		}
+		t.AddRow(mode, m.AvgWaitHrs, done(m), requeued)
+	}
+	return t, nil
+}
+
+// Prediction explores the paper's Section VIII "use of prediction"
+// direction: when the scheduler does not know window ends (non-oracle),
+// how much of the oracle's performance does a simple duration predictor
+// recover? The predictor assumes every window lasts a fixed quantile of
+// the site's historical SP interval durations.
+func Prediction(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:      "prediction",
+		Title:   "Future work: window-end prediction (NetPrice0, 1xMira, 1xWorkload)",
+		Columns: []string{"Scheduler", "Avg wait (h)", "Completed", "Requeued jobs", "Wasted node-h (%)"},
+	}
+	model := stranded.Model{Kind: stranded.NetPrice, Threshold: 0}
+	best, err := l.BestSite(model)
+	if err != nil {
+		return nil, err
+	}
+	spAvail, err := l.BestSiteAvailability(model)
+	if err != nil {
+		return nil, err
+	}
+	durations := make([]float64, 0, len(best.Intervals))
+	for _, iv := range best.Intervals {
+		durations = append(durations, iv.Hours())
+	}
+	if len(durations) == 0 {
+		t.AddNote("no SP intervals at this scale; skipped")
+		return t, nil
+	}
+	quantile := func(p float64) float64 { return stats.Percentile(durations, p) }
+
+	type variant struct {
+		name   string
+		mutate func(*core.SystemConfig)
+	}
+	durSamples := make([]sim.Duration, len(best.Intervals))
+	for i, iv := range best.Intervals {
+		durSamples[i] = sim.Duration(iv.Hours() * float64(sim.Hour))
+	}
+	hazard, err := forecast.Median(durSamples)
+	if err != nil {
+		return nil, err
+	}
+	variants := []variant{
+		{"oracle (paper)", func(c *core.SystemConfig) {}},
+		{"blind kill/requeue", func(c *core.SystemConfig) { c.NonOracle = true }},
+		{fmt.Sprintf("fixed median (%.1f h)", quantile(50)), func(c *core.SystemConfig) {
+			c.NonOracle = true
+			c.PredictedWindow = sim.Duration(quantile(50) * float64(sim.Hour))
+		}},
+		{fmt.Sprintf("fixed p90 (%.1f h)", quantile(90)), func(c *core.SystemConfig) {
+			c.NonOracle = true
+			c.PredictedWindow = sim.Duration(quantile(90) * float64(sim.Hour))
+		}},
+		{"hazard (age-aware median)", func(c *core.SystemConfig) {
+			c.NonOracle = true
+			c.Predictor = hazard
+		}},
+	}
+	for _, v := range variants {
+		tr, err := l.Trace(1)
+		if err != nil {
+			return nil, err
+		}
+		sys := sysFor(l, 1, spAvail)
+		v.mutate(&sys)
+		m, err := runSys(tr, sys)
+		if err != nil {
+			return nil, err
+		}
+		requeued, wastedNH, usefulNH := 0, 0.0, 0.0
+		for _, j := range tr.Jobs {
+			if j.Requeues > 0 {
+				requeued++
+			}
+			if j.Completed {
+				usefulNH += j.NodeHours()
+			}
+		}
+		var totalNH float64
+		for _, nh := range m.NodeHoursByPartition {
+			totalNH += nh
+		}
+		if totalNH > usefulNH {
+			wastedNH = 100 * (totalNH - usefulNH) / totalNH
+		}
+		t.AddRow(v.name, m.AvgWaitHrs, done(m), requeued, fmt.Sprintf("%.1f%%", wastedNH))
+	}
+	t.AddNote("wasted node-hours are partial executions lost to kills; fixed-duration " +
+		"predictors underperform blind kill/requeue for two reasons: interval COUNTS are " +
+		"dominated by short runs while stranded TIME lives in the heavy tail, and a fixed " +
+		"horizon stops admitting into a long window once its age exceeds the prediction " +
+		"(stale-window throttling) — the age-aware hazard predictor fixes both and " +
+		"effectively recovers the oracle's performance without any oracle knowledge")
+	return t, nil
+}
+
+func scaleLabels(scales []float64) []string {
+	out := make([]string, len(scales))
+	for i, s := range scales {
+		out[i] = fmt.Sprintf("%gx", s)
+	}
+	return out
+}
+
+func waitOrX(wait float64, completed bool) string {
+	if !completed {
+		return "X"
+	}
+	return trimFloat(wait)
+}

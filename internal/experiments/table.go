@@ -1,0 +1,116 @@
+// Package experiments defines one reproducible experiment per table and
+// figure of the ZCCloud paper's evaluation, and a Lab that shares the
+// expensive artifacts (workload traces, the synthetic MISO dataset and
+// its stranded-power analysis) across experiments.
+//
+// Every experiment returns a Table whose rows are the series the paper
+// plots; cmd/zccexp renders them into EXPERIMENTS.md next to the paper's
+// published values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a titled grid with optional notes.
+type Table struct {
+	ID      string // "fig5", "table6", ...
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-form note rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func trimFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", strings.ToUpper(t.ID[:1])+t.ID[1:], t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, r := range t.Rows {
+		padded := make([]string, len(t.Columns))
+		copy(padded, r)
+		b.WriteString("| " + strings.Join(padded, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// Text renders the table as aligned plain text for terminal output.
+func (t *Table) Text() string {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	pad := func(s string, w int) string { return s + strings.Repeat(" ", w-len(s)) }
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(pad(c, width[i]))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(width) {
+				b.WriteString(pad(c, width[i]))
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}

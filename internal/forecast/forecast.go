@@ -1,0 +1,87 @@
+// Package forecast predicts availability-window ends for the scheduler's
+// predictive-admission mode (the paper's Section VIII "use of prediction"
+// direction).
+//
+// The fixed-horizon predictor ("every window lasts X") has a pathology on
+// heavy-tailed stranded-power intervals: once a window's age exceeds X the
+// scheduler stops admitting work into it, even though a window that has
+// already survived long is *more* likely to keep going. The hazard
+// predictor conditions on age: it predicts the q-quantile of historical
+// window durations among those at least as long as the window's current
+// age — a nonparametric survival estimate that grows with age exactly the
+// way heavy tails demand.
+package forecast
+
+import (
+	"fmt"
+	"sort"
+
+	"zccloud/internal/sim"
+)
+
+// Fixed predicts every window lasts Duration from its start.
+type Fixed struct {
+	Duration sim.Duration
+}
+
+// PredictedEnd implements the scheduler's WindowPredictor.
+func (f Fixed) PredictedEnd(start, now sim.Time) sim.Time {
+	return start + f.Duration
+}
+
+// Hazard predicts conditionally on window age from an empirical duration
+// sample.
+type Hazard struct {
+	durations []sim.Duration // sorted ascending
+	quantile  float64        // e.g. 0.5 = conditional median
+}
+
+// NewHazard builds a predictor from historical window durations. quantile
+// in (0,1) picks how optimistic the prediction is: 0.5 is the conditional
+// median remaining life, lower is more conservative.
+func NewHazard(durations []sim.Duration, quantile float64) (*Hazard, error) {
+	if len(durations) == 0 {
+		return nil, fmt.Errorf("forecast: no historical durations")
+	}
+	if quantile <= 0 || quantile >= 1 {
+		return nil, fmt.Errorf("forecast: quantile %v outside (0,1)", quantile)
+	}
+	ds := make([]sim.Duration, len(durations))
+	copy(ds, durations)
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	if ds[0] <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive duration %v", ds[0])
+	}
+	return &Hazard{durations: ds, quantile: quantile}, nil
+}
+
+// PredictedEnd returns start + the q-quantile of historical durations
+// conditioned on the window having already lasted now − start. If the
+// window has outlived every historical sample, the longest observed
+// duration's excess over the age is granted again (the tail keeps paying
+// out).
+func (h *Hazard) PredictedEnd(start, now sim.Time) sim.Time {
+	age := now - start
+	if age < 0 {
+		age = 0
+	}
+	// first index with duration > age
+	i := sort.Search(len(h.durations), func(i int) bool { return h.durations[i] > age })
+	if i == len(h.durations) {
+		// beyond all history: predict the max duration's margin anew
+		maxD := h.durations[len(h.durations)-1]
+		return now + maxD/4
+	}
+	survivors := h.durations[i:]
+	k := int(h.quantile * float64(len(survivors)))
+	if k >= len(survivors) {
+		k = len(survivors) - 1
+	}
+	return start + survivors[k]
+}
+
+// Median is a convenience constructor for the conditional-median hazard
+// predictor.
+func Median(durations []sim.Duration) (*Hazard, error) {
+	return NewHazard(durations, 0.5)
+}

@@ -1,0 +1,99 @@
+package forecast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zccloud/internal/sim"
+)
+
+func TestFixed(t *testing.T) {
+	f := Fixed{Duration: 100}
+	if f.PredictedEnd(50, 120) != 150 {
+		t.Errorf("fixed prediction = %v, want 150", f.PredictedEnd(50, 120))
+	}
+}
+
+func TestNewHazardValidation(t *testing.T) {
+	if _, err := NewHazard(nil, 0.5); err == nil {
+		t.Error("empty history should fail")
+	}
+	if _, err := NewHazard([]sim.Duration{10}, 0); err == nil {
+		t.Error("quantile 0 should fail")
+	}
+	if _, err := NewHazard([]sim.Duration{10}, 1); err == nil {
+		t.Error("quantile 1 should fail")
+	}
+	if _, err := NewHazard([]sim.Duration{0}, 0.5); err == nil {
+		t.Error("zero duration should fail")
+	}
+}
+
+func TestHazardConditionalMedian(t *testing.T) {
+	// durations 1..10: at age 0 the median survivor is ~5-6; at age 7 the
+	// survivors are {8,9,10} → median 9.
+	var ds []sim.Duration
+	for d := 1; d <= 10; d++ {
+		ds = append(ds, sim.Duration(d))
+	}
+	h, err := Median(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end := h.PredictedEnd(0, 0); end < 5 || end > 7 {
+		t.Errorf("fresh-window prediction = %v, want ≈ median", end)
+	}
+	if end := h.PredictedEnd(0, 7); end != 9 {
+		t.Errorf("age-7 prediction = %v, want 9", end)
+	}
+}
+
+// Property: the predicted end never precedes now for surviving windows,
+// and grows (weakly) with age — the fix for stale-window throttling.
+func TestHazardMonotoneInAge(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var ds []sim.Duration
+		for i := 0; i < 50; i++ {
+			ds = append(ds, sim.Duration(1+r.ExpFloat64()*100))
+		}
+		h, err := NewHazard(ds, 0.5)
+		if err != nil {
+			return false
+		}
+		prev := sim.Time(0)
+		for age := sim.Time(0); age < 500; age += 7 {
+			end := h.PredictedEnd(0, age)
+			if end < age {
+				return false // predicted end in the past
+			}
+			if end < prev {
+				return false // got more pessimistic with age
+			}
+			prev = end
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHazardBeyondHistory(t *testing.T) {
+	h, err := Median([]sim.Duration{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// age 100 exceeds all history: prediction extends beyond now
+	if end := h.PredictedEnd(0, 100); end <= 100 {
+		t.Errorf("beyond-history prediction %v should exceed now", end)
+	}
+}
+
+func TestHazardNegativeAgeClamped(t *testing.T) {
+	h, _ := Median([]sim.Duration{10, 20})
+	if end := h.PredictedEnd(100, 50); end < 100 {
+		t.Errorf("prediction %v before window start", end)
+	}
+}

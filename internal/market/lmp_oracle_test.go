@@ -1,0 +1,188 @@
+package market
+
+// Oracle test for the LMP rerooting DP: on random small tree networks,
+// the DP must agree with a brute-force search that, for every bus, scans
+// all generators with spare capacity and checks residual capacity along
+// the unique tree path.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zccloud/internal/powergrid"
+)
+
+// randomTree builds a random connected tree network with nb buses.
+func randomTree(r *rand.Rand, nb int) *powergrid.Network {
+	n := &powergrid.Network{}
+	for i := 0; i < nb; i++ {
+		n.Buses = append(n.Buses, powergrid.Bus{ID: powergrid.BusID(i)})
+	}
+	for i := 1; i < nb; i++ {
+		parent := powergrid.BusID(r.Intn(i))
+		n.Lines = append(n.Lines, powergrid.Line{
+			A: parent, B: powergrid.BusID(i), CapacityMW: 5 + 50*r.Float64(),
+		})
+	}
+	ng := 1 + r.Intn(2*nb)
+	for g := 0; g < ng; g++ {
+		n.Gens = append(n.Gens, powergrid.Generator{
+			ID:          g,
+			Bus:         powergrid.BusID(r.Intn(nb)),
+			Type:        powergrid.Thermal,
+			NameplateMW: 5 + 40*r.Float64(),
+			OfferPrice:  -30 + 90*r.Float64(),
+		})
+	}
+	nl := 1 + r.Intn(nb)
+	for l := 0; l < nl; l++ {
+		n.Loads = append(n.Loads, powergrid.Load{
+			Bus:    powergrid.BusID(r.Intn(nb)),
+			BaseMW: 5 + 40*r.Float64(),
+		})
+	}
+	if err := n.Finalize(); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// bruteLMP computes the LMP at every bus by path search.
+func bruteLMP(n *powergrid.Network, res *Result) []float64 {
+	nb := len(n.Buses)
+	// parent pointers from a BFS at bus 0
+	parent := make([]powergrid.BusID, nb)
+	parentLine := make([]int, nb)
+	depth := make([]int, nb)
+	for i := range parent {
+		parent[i] = -1
+		parentLine[i] = -1
+	}
+	order := []powergrid.BusID{0}
+	seen := make([]bool, nb)
+	seen[0] = true
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		for _, e := range n.Adjacency(v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				parent[e.To] = v
+				parentLine[e.To] = e.Line
+				depth[e.To] = depth[v] + 1
+				order = append(order, e.To)
+			}
+		}
+	}
+	// residual in the direction toward `toward` over `line`
+	resid := func(line int, toward powergrid.BusID) float64 {
+		l := n.Lines[line]
+		if toward == l.B {
+			return l.CapacityMW - res.FlowMW[line]
+		}
+		return l.CapacityMW + res.FlowMW[line]
+	}
+	// pathOpen reports whether every edge from src to dst has residual
+	// capacity in the direction of dst.
+	pathOpen := func(src, dst powergrid.BusID) bool {
+		a, b := src, dst
+		// walk up to the common ancestor; edges from a's side must be
+		// traversable toward the root (i.e., toward parent), edges on b's
+		// side toward b (away from root).
+		var upA []int   // lines walked from a upward
+		var downB []int // lines walked from b upward (will be traversed downward)
+		for depth[a] > depth[b] {
+			upA = append(upA, parentLine[a])
+			a = parent[a]
+		}
+		for depth[b] > depth[a] {
+			downB = append(downB, parentLine[b])
+			b = parent[b]
+		}
+		for a != b {
+			upA = append(upA, parentLine[a])
+			a = parent[a]
+			downB = append(downB, parentLine[b])
+			b = parent[b]
+		}
+		cur := src
+		for _, line := range upA {
+			next := parent[cur]
+			if resid(line, next) <= eps {
+				return false
+			}
+			cur = next
+		}
+		// downB lines from the ancestor toward dst: traverse in reverse
+		for i := len(downB) - 1; i >= 0; i-- {
+			line := downB[i]
+			l := n.Lines[line]
+			// the child end of this parent line
+			child := l.A
+			if parent[l.A] == l.B {
+				child = l.A
+			} else {
+				child = l.B
+			}
+			if resid(line, child) <= eps {
+				return false
+			}
+		}
+		return true
+	}
+	out := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		best := math.Inf(1)
+		for g, gen := range n.Gens {
+			if res.GenMaxMW[g]-res.GenOutputMW[g] <= eps {
+				continue
+			}
+			if gen.OfferPrice >= best {
+				continue
+			}
+			if pathOpen(gen.Bus, powergrid.BusID(b)) {
+				best = gen.OfferPrice
+			}
+		}
+		if math.IsInf(best, 1) {
+			best = VOLL
+		}
+		out[b] = best
+	}
+	return out
+}
+
+func TestLMPAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 3+r.Intn(7))
+		e, err := NewEngine(n)
+		if err != nil {
+			return false
+		}
+		loads := make([]float64, len(n.Buses))
+		for _, l := range n.Loads {
+			loads[l.Bus] += l.BaseMW * (0.2 + 1.5*r.Float64())
+		}
+		gmax := make([]float64, len(n.Gens))
+		for i, g := range n.Gens {
+			gmax[i] = g.NameplateMW * r.Float64()
+		}
+		var res Result
+		if err := e.Run(loads, gmax, &res); err != nil {
+			return false
+		}
+		want := bruteLMP(n, &res)
+		for b := range want {
+			if math.Abs(res.LMP[b]-want[b]) > 1e-9 {
+				t.Logf("seed %d bus %d: dp=%v brute=%v", seed, b, res.LMP[b], want[b])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

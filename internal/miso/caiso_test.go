@@ -1,0 +1,106 @@
+package miso
+
+import (
+	"testing"
+
+	"zccloud/internal/powergrid"
+)
+
+func TestCAISOScenario(t *testing.T) {
+	g, err := NewGenerator(Config{Seed: 3, Days: 3, WindSites: 30, Scenario: ScenarioCAISO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solarSites, windSites := 0, 0
+	for s := 0; s < 30; s++ {
+		switch g.SiteKind(s) {
+		case powergrid.Solar:
+			solarSites++
+		case powergrid.Wind:
+			windSites++
+		default:
+			t.Fatalf("site %d has non-renewable kind", s)
+		}
+	}
+	if solarSites == 0 || windSites == 0 {
+		t.Fatalf("mix = %d solar / %d wind; want both", solarSites, windSites)
+	}
+	if solarSites <= windSites {
+		t.Errorf("CAISO should be solar-dominated: %d solar vs %d wind", solarSites, windSites)
+	}
+
+	// Solar sites must offer zero at night and something during the day.
+	var buf []Record
+	nightMax := make([]float64, 30)
+	dayMax := make([]float64, 30)
+	iv := int64(0)
+	for {
+		var ok bool
+		buf, ok = g.Next(buf)
+		if !ok {
+			break
+		}
+		hod := float64(iv%IntervalsPerDay) * IntervalMinutes / 60
+		for _, r := range buf {
+			if hod < 3 || hod > 23 {
+				if r.EconomicMaxMW > nightMax[r.Site] {
+					nightMax[r.Site] = r.EconomicMaxMW
+				}
+			}
+			if hod > 11 && hod < 13 {
+				if r.EconomicMaxMW > dayMax[r.Site] {
+					dayMax[r.Site] = r.EconomicMaxMW
+				}
+			}
+		}
+		iv++
+	}
+	for s := 0; s < 30; s++ {
+		if g.SiteKind(s) != powergrid.Solar {
+			continue
+		}
+		if nightMax[s] != 0 {
+			t.Errorf("solar site %d offered %v MW at night", s, nightMax[s])
+		}
+		if dayMax[s] <= 0 {
+			t.Errorf("solar site %d offered nothing at noon", s)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if err := (Config{Scenario: "nope"}).Validate(); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	if err := (Config{Scenario: ScenarioCAISO}).Validate(); err != nil {
+		t.Errorf("caiso scenario: %v", err)
+	}
+}
+
+func TestCAISODeterminism(t *testing.T) {
+	mk := func() *Generator {
+		g, err := NewGenerator(Config{Seed: 9, Days: 0.5, WindSites: 12, Scenario: ScenarioCAISO})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	var ba, bb []Record
+	for {
+		var okA, okB bool
+		ba, okA = a.Next(ba)
+		bb, okB = b.Next(bb)
+		if okA != okB {
+			t.Fatal("stream length mismatch")
+		}
+		if !okA {
+			break
+		}
+		for i := range ba {
+			if ba[i] != bb[i] {
+				t.Fatalf("record %d differs", i)
+			}
+		}
+	}
+}

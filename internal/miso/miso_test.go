@@ -1,0 +1,277 @@
+package miso
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zccloud/internal/stats"
+)
+
+func testGen(t testing.TB, seed int64, days float64, sites int) *Generator {
+	t.Helper()
+	g, err := NewGenerator(Config{Seed: seed, Days: days, WindSites: sites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Days: -1},
+		{WindSites: -2},
+		{LoadNoiseSD: 0.9},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("default config: %v", err)
+	}
+}
+
+func TestStreamShape(t *testing.T) {
+	g := testGen(t, 1, 2, 20) // 2 days, 20 sites
+	if g.Intervals() != 2*IntervalsPerDay {
+		t.Fatalf("intervals = %d", g.Intervals())
+	}
+	var buf []Record
+	var ok bool
+	count := int64(0)
+	for {
+		buf, ok = g.Next(buf)
+		if !ok {
+			break
+		}
+		if len(buf) != 20 {
+			t.Fatalf("interval batch has %d records, want 20", len(buf))
+		}
+		for _, r := range buf {
+			if r.Interval != count {
+				t.Fatalf("record interval %d, want %d", r.Interval, count)
+			}
+			if r.DeliveredMW < -1e-9 || r.DeliveredMW > r.EconomicMaxMW+1e-9 {
+				t.Fatalf("delivered %v outside [0, %v]", r.DeliveredMW, r.EconomicMaxMW)
+			}
+			if r.CurtailedMW() < -1e-9 {
+				t.Fatalf("negative curtailment")
+			}
+		}
+		count++
+	}
+	if count != g.Intervals() {
+		t.Fatalf("streamed %d intervals, want %d", count, g.Intervals())
+	}
+	// exhausted generator stays exhausted
+	if _, ok := g.Next(buf); ok {
+		t.Error("Next after exhaustion returned true")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := testGen(t, 5, 1, 10)
+	b := testGen(t, 5, 1, 10)
+	var ba, bb []Record
+	for {
+		var okA, okB bool
+		ba, okA = a.Next(ba)
+		bb, okB = b.Next(bb)
+		if okA != okB {
+			t.Fatal("stream lengths differ")
+		}
+		if !okA {
+			break
+		}
+		for i := range ba {
+			if ba[i] != bb[i] {
+				t.Fatalf("record %d differs: %+v vs %+v", i, ba[i], bb[i])
+			}
+		}
+	}
+}
+
+func TestNegativePricesOccur(t *testing.T) {
+	// The whole study depends on negative-price episodes existing. Over a
+	// winter month (high wind) they must appear at some wind site.
+	g := testGen(t, 2, 30, 60)
+	var buf []Record
+	neg, tot := 0, 0
+	var ok bool
+	for {
+		buf, ok = g.Next(buf)
+		if !ok {
+			break
+		}
+		for _, r := range buf {
+			tot++
+			if r.LMP < 0 {
+				neg++
+			}
+		}
+	}
+	frac := float64(neg) / float64(tot)
+	t.Logf("negative-price record fraction: %.4f", frac)
+	if neg == 0 {
+		t.Fatal("no negative LMP records in a winter month; stranded power cannot exist")
+	}
+	if frac > 0.8 {
+		t.Fatalf("negative fraction %.2f implausibly high", frac)
+	}
+}
+
+func TestSummaryAccumulates(t *testing.T) {
+	g := testGen(t, 3, 2, 15)
+	var buf []Record
+	for {
+		var ok bool
+		buf, ok = g.Next(buf)
+		if !ok {
+			break
+		}
+	}
+	s := g.Summary()
+	if s.WindIntervals != 15*2*IntervalsPerDay {
+		t.Errorf("wind intervals = %d", s.WindIntervals)
+	}
+	if s.Intervals <= s.WindIntervals {
+		t.Error("total intervals should include thermal units")
+	}
+	if s.TotalGWh <= s.WindGWh || s.WindGWh <= 0 {
+		t.Errorf("GWh accounting wrong: total %v wind %v", s.TotalGWh, s.WindGWh)
+	}
+	if s.WindSites != 15 {
+		t.Errorf("wind sites = %d", s.WindSites)
+	}
+	// wind share scales with site count: 15 sites on a MISO-scale load is
+	// a sub-percent sliver; 200 sites lands near MISO's ~10%.
+	share := s.WindGWh / s.TotalGWh
+	if share < 0.002 || share > 0.5 {
+		t.Errorf("wind energy share = %.3f, implausible for 15 sites", share)
+	}
+}
+
+func TestSiteAccessors(t *testing.T) {
+	g := testGen(t, 4, 1, 8)
+	for s := 0; s < 8; s++ {
+		if np := g.SiteNameplateMW(s); np < 15 || np > 150 {
+			t.Errorf("site %d nameplate %v", s, np)
+		}
+		if reg := g.SiteRegion(s); reg < 0 || reg > 4 {
+			t.Errorf("site %d region %d", s, reg)
+		}
+	}
+	if g.Network() == nil {
+		t.Error("Network accessor nil")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := testGen(t, 6, 0.5, 5)
+	var out bytes.Buffer
+	rows, err := WriteCSV(g, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(5) * g.Intervals()
+	if rows != want {
+		t.Fatalf("wrote %d rows, want %d", rows, want)
+	}
+	// re-generate the same dataset for comparison
+	g2 := testGen(t, 6, 0.5, 5)
+	var expect []Record
+	var buf []Record
+	for {
+		var ok bool
+		buf, ok = g2.Next(buf)
+		if !ok {
+			break
+		}
+		expect = append(expect, buf...)
+	}
+	i := 0
+	err = ReadCSV(&out, func(r Record) error {
+		e := expect[i]
+		if r.Interval != e.Interval || r.Site != e.Site {
+			t.Fatalf("row %d key mismatch", i)
+		}
+		if abs(r.LMP-e.LMP) > 0.002 || abs(r.DeliveredMW-e.DeliveredMW) > 0.002 {
+			t.Fatalf("row %d value mismatch: %+v vs %+v", i, r, e)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(expect) {
+		t.Fatalf("read %d rows, want %d", i, len(expect))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bad,header\n",
+		"interval,site,lmp,delivered_mw,economic_max_mw\n1,2,3\n",
+		"interval,site,lmp,delivered_mw,economic_max_mw\nx,0,1,1,1\n",
+		"interval,site,lmp,delivered_mw,economic_max_mw\n1,x,1,1,1\n",
+		"interval,site,lmp,delivered_mw,economic_max_mw\n1,0,x,1,1\n",
+		"interval,site,lmp,delivered_mw,economic_max_mw\n1,0,1,x,1\n",
+		"interval,site,lmp,delivered_mw,economic_max_mw\n1,0,1,1,x\n",
+	}
+	for i, in := range cases {
+		if err := ReadCSV(strings.NewReader(in), func(Record) error { return nil }); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestWindCFStatistics(t *testing.T) {
+	// Offered power over a year should average near the fleet capacity
+	// factor times nameplate.
+	if testing.Short() {
+		t.Skip("month-scale statistics")
+	}
+	g := testGen(t, 7, 60, 30)
+	var ratio stats.Moments
+	var buf []Record
+	for {
+		var ok bool
+		buf, ok = g.Next(buf)
+		if !ok {
+			break
+		}
+		for _, r := range buf {
+			ratio.Add(r.EconomicMaxMW / g.SiteNameplateMW(int(r.Site)))
+		}
+	}
+	if ratio.Mean() < 0.2 || ratio.Mean() > 0.6 {
+		t.Errorf("mean offered/nameplate = %.3f, want ≈ 0.38", ratio.Mean())
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func BenchmarkGeneratorDay(b *testing.B) {
+	g, err := NewGenerator(Config{Seed: 1, Days: float64(b.N), WindSites: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []Record
+	b.ResetTimer()
+	for i := 0; i < b.N*IntervalsPerDay; i++ {
+		var ok bool
+		buf, ok = g.Next(buf)
+		if !ok {
+			b.Fatal("stream ended early")
+		}
+	}
+}

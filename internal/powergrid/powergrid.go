@@ -1,0 +1,540 @@
+// Package powergrid models the transmission network the market simulator
+// dispatches over: buses, transmission lines, generators, and loads.
+//
+// The network is a tree (radial transmission), which keeps power flow a
+// transport problem: power moving between two buses uses the unique path
+// between them, and a line is congested when the scheduled flow reaches
+// its capacity. This reproduces the two mechanisms that strand wind power
+// in MISO — local oversupply and congested export paths — without a full
+// AC power-flow solver (see DESIGN.md, substitutions).
+package powergrid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BusID indexes a bus within a Network.
+type BusID int
+
+// Bus is a node of the transmission network.
+type Bus struct {
+	ID     BusID
+	Name   string
+	Region int // weather/geography region, shared with the wind field
+}
+
+// Line is an undirected transmission line with a symmetric MW limit.
+type Line struct {
+	A, B       BusID
+	CapacityMW float64
+}
+
+// GenType distinguishes generator technologies.
+type GenType int
+
+// Generator technologies.
+const (
+	Wind GenType = iota
+	Thermal
+	Solar
+)
+
+func (g GenType) String() string {
+	switch g {
+	case Wind:
+		return "wind"
+	case Solar:
+		return "solar"
+	default:
+		return "thermal"
+	}
+}
+
+// Renewable reports whether the type is an intermittent renewable whose
+// offer depends on a capacity-factor field.
+func (g GenType) Renewable() bool { return g == Wind || g == Solar }
+
+// Generator is one dispatchable unit.
+type Generator struct {
+	ID          int
+	Bus         BusID
+	Type        GenType
+	NameplateMW float64
+	// OfferPrice is the unit's offer in $/MWh. Renewables offer negative
+	// (production/investment tax credits make output valuable even at
+	// negative prices); thermal offers at marginal fuel cost.
+	OfferPrice float64
+	// WindSite indexes the unit's site among the network's renewable
+	// units (wind and solar), for capacity-factor lookup.
+	WindSite int
+}
+
+// Load is a time-varying demand attached to a bus.
+type Load struct {
+	Bus    BusID
+	BaseMW float64
+}
+
+// Network is a radial transmission system.
+type Network struct {
+	Buses []Bus
+	Lines []Line
+	Gens  []Generator
+	Loads []Load
+
+	adj [][]AdjEdge // adjacency: bus -> (neighbor, line index)
+}
+
+// AdjEdge is one adjacency entry: the neighbor bus and the connecting
+// line's index in Lines.
+type AdjEdge struct {
+	To   BusID
+	Line int
+}
+
+// Finalize validates the network and builds adjacency. It must be called
+// (once) before dispatch. Requirements: at least one bus, lines form a
+// spanning tree, all references in range, positive capacities.
+func (n *Network) Finalize() error {
+	nb := len(n.Buses)
+	if nb == 0 {
+		return fmt.Errorf("powergrid: no buses")
+	}
+	for i, b := range n.Buses {
+		if int(b.ID) != i {
+			return fmt.Errorf("powergrid: bus %d has ID %d; IDs must be dense", i, b.ID)
+		}
+	}
+	if len(n.Lines) != nb-1 {
+		return fmt.Errorf("powergrid: %d lines for %d buses; need a spanning tree", len(n.Lines), nb)
+	}
+	n.adj = make([][]AdjEdge, nb)
+	for i, l := range n.Lines {
+		if !n.validBus(l.A) || !n.validBus(l.B) || l.A == l.B {
+			return fmt.Errorf("powergrid: line %d endpoints invalid", i)
+		}
+		if l.CapacityMW <= 0 {
+			return fmt.Errorf("powergrid: line %d capacity %v <= 0", i, l.CapacityMW)
+		}
+		n.adj[l.A] = append(n.adj[l.A], AdjEdge{l.B, i})
+		n.adj[l.B] = append(n.adj[l.B], AdjEdge{l.A, i})
+	}
+	// connectivity: BFS from bus 0 must reach all buses (with nb-1 edges
+	// this also proves acyclicity)
+	seen := make([]bool, nb)
+	queue := []BusID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range n.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if count != nb {
+		return fmt.Errorf("powergrid: network not connected (%d of %d buses reachable)", count, nb)
+	}
+	for i, g := range n.Gens {
+		if !n.validBus(g.Bus) {
+			return fmt.Errorf("powergrid: generator %d on invalid bus %d", i, g.Bus)
+		}
+		if g.NameplateMW <= 0 {
+			return fmt.Errorf("powergrid: generator %d nameplate %v <= 0", i, g.NameplateMW)
+		}
+	}
+	for i, l := range n.Loads {
+		if !n.validBus(l.Bus) {
+			return fmt.Errorf("powergrid: load %d on invalid bus %d", i, l.Bus)
+		}
+		if l.BaseMW < 0 {
+			return fmt.Errorf("powergrid: load %d base %v < 0", i, l.BaseMW)
+		}
+	}
+	return nil
+}
+
+func (n *Network) validBus(b BusID) bool { return b >= 0 && int(b) < len(n.Buses) }
+
+// Adjacency returns the neighbors of a bus as (neighbor, line index)
+// pairs. The returned slice is owned by the network; callers must not
+// modify it. Finalize must have been called.
+func (n *Network) Adjacency(b BusID) []AdjEdge { return n.adj[b] }
+
+// Neighbors calls fn for each neighbor of b with the connecting line index.
+func (n *Network) Neighbors(b BusID, fn func(to BusID, line int)) {
+	for _, e := range n.adj[b] {
+		fn(e.To, e.Line)
+	}
+}
+
+// WindCapacityMW sums wind nameplate.
+func (n *Network) WindCapacityMW() float64 {
+	sum := 0.0
+	for _, g := range n.Gens {
+		if g.Type == Wind {
+			sum += g.NameplateMW
+		}
+	}
+	return sum
+}
+
+// ThermalCapacityMW sums thermal nameplate.
+func (n *Network) ThermalCapacityMW() float64 {
+	sum := 0.0
+	for _, g := range n.Gens {
+		if g.Type == Thermal {
+			sum += g.NameplateMW
+		}
+	}
+	return sum
+}
+
+// PeakLoadMW sums base loads (profiles modulate around base; see market).
+func (n *Network) PeakLoadMW() float64 {
+	sum := 0.0
+	for _, l := range n.Loads {
+		sum += l.BaseMW
+	}
+	return sum
+}
+
+// DefaultConfig parameterizes BuildDefault.
+type DefaultConfig struct {
+	WindSites int   // number of wind units (>= 1)
+	Seed      int64 // nameplate/site-placement randomness
+	// WindShareWest is the fraction of wind sites placed in the
+	// export-constrained West region; defaults to 0.55.
+	WindShareWest float64
+}
+
+// WindPTCOffer is the central wind offer price in $/MWh: units bid
+// negative because the US production tax credit (~$23/MWh) pays on
+// delivered energy. Individual units spread around it (PPA terms vary)
+// and a minority of PTC-expired units offer near zero.
+const WindPTCOffer = -23
+
+// windLeavesPerRegion is the number of wind-collector buses in each of
+// the two wind regions. Each collector line's tightness varies, spreading
+// per-site duty factors across a continuum (Figure 9's distribution). At
+// the paper's 200 sites this puts ~4 units on a node, matching the
+// paper's footnote that same-node sites share pricing behavior.
+const windLeavesPerRegion = 25
+
+// BuildDefault constructs a MISO-like radial system:
+//
+//	West ─ Central ─ East
+//	         │  │
+//	      North  South
+//
+// Scale follows MISO: average load ≈ 53 GW, wind fleet ≈ 10 GW nameplate
+// (≈ 7–10% of energy). Wind concentrates in West and North on collector
+// buses whose line capacities range from comfortable to tight relative to
+// the wind behind them; the tight ones are where output is economically
+// curtailed and prices go negative — the stranded power the study mines.
+// Loads and the thermal fleet sit in Central, East, and South.
+func BuildDefault(cfg DefaultConfig) (*Network, error) {
+	if cfg.WindSites < 1 {
+		return nil, fmt.Errorf("powergrid: wind sites %d < 1", cfg.WindSites)
+	}
+	if cfg.WindShareWest == 0 {
+		cfg.WindShareWest = 0.55
+	}
+	if cfg.WindShareWest < 0 || cfg.WindShareWest > 1 {
+		return nil, fmt.Errorf("powergrid: wind share west %v outside [0,1]", cfg.WindShareWest)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{}
+
+	// Regions: 0=West 1=North 2=Central 3=South 4=East
+	const (
+		West = iota
+		North
+		Central
+		South
+		East
+		numRegions
+	)
+	regionName := []string{"west", "north", "central", "south", "east"}
+	hubs := make([]BusID, numRegions)
+	addBus := func(name string, region int) BusID {
+		id := BusID(len(n.Buses))
+		n.Buses = append(n.Buses, Bus{ID: id, Name: name, Region: region})
+		return id
+	}
+	for reg := 0; reg < numRegions; reg++ {
+		hubs[reg] = addBus(regionName[reg]+"-hub", reg)
+	}
+	// Inter-region backbone: generous — curtailment in MISO is mostly a
+	// local collector phenomenon, not a backbone one.
+	n.Lines = append(n.Lines,
+		Line{hubs[West], hubs[Central], 7000},
+		Line{hubs[North], hubs[Central], 6000},
+		Line{hubs[South], hubs[Central], 22000},
+		Line{hubs[East], hubs[Central], 26000},
+	)
+
+	// Wind collector buses. Lines are added after wind placement so each
+	// collector's capacity can be set relative to the nameplate behind it.
+	type collector struct {
+		bus   BusID
+		hub   BusID
+		ratio float64 // line capacity as a fraction of attached nameplate
+	}
+	var collectors []collector
+	// Tightness spectrum: a few heavily-constrained pockets, a middle
+	// band, and comfortable exports. P(capacity factor > ratio) sets each
+	// pocket's curtailment duty factor.
+	ratios := []float64{0.58, 0.64, 0.71, 0.79, 0.88, 1.00, 1.15, 1.35, 1.60, 2.00}
+	for reg, hub := range []BusID{hubs[West], hubs[North]} {
+		for k := 0; k < windLeavesPerRegion; k++ {
+			id := addBus(fmt.Sprintf("%s-w%d", regionName[reg], k), reg)
+			collectors = append(collectors, collector{bus: id, hub: hub, ratio: ratios[k%len(ratios)]})
+		}
+	}
+	// Non-wind leaf buses with comfortable feeds (keeps topology realistic).
+	for _, reg := range []int{Central, South, East} {
+		for k := 0; k < 3; k++ {
+			id := addBus(fmt.Sprintf("%s-%d", regionName[reg], k), reg)
+			n.Lines = append(n.Lines, Line{hubs[reg], id, 6000})
+		}
+	}
+
+	// Wind units: lognormal-ish nameplates 15–150 MW (MISO registers farm
+	// phases as separate units). Offers spread around the PTC level; a
+	// minority of PTC-expired units offer just above zero, which is what
+	// separates the LMP5 model from LMP0.
+	nextGen := 0
+	addGen := func(g Generator) {
+		g.ID = nextGen
+		nextGen++
+		n.Gens = append(n.Gens, g)
+	}
+	westCollectors := collectors[:windLeavesPerRegion]
+	northCollectors := collectors[windLeavesPerRegion:]
+	attached := make(map[BusID]float64)
+	for s := 0; s < cfg.WindSites; s++ {
+		pool := northCollectors
+		if float64(s%100)/100 < cfg.WindShareWest {
+			pool = westCollectors
+		}
+		c := pool[s%len(pool)]
+		name := 15 + math.Min(135, 45*math.Exp(0.8*r.NormFloat64()))
+		// Offers stack PTC with state renewable credits and PPA terms:
+		// deep negatives are common; a small PTC-expired minority bids
+		// just above zero (what separates LMP5 from LMP0).
+		offer := -26 + 14*(r.Float64()*2-1) // [-40, -12]
+		if r.Float64() < 0.08 {
+			offer = 0.5 + 3.5*r.Float64() // PTC-expired: [0.5, 4)
+		}
+		addGen(Generator{
+			Bus:         c.bus,
+			Type:        Wind,
+			NameplateMW: name,
+			OfferPrice:  offer,
+			WindSite:    s,
+		})
+		attached[c.bus] += name
+	}
+	for _, c := range collectors {
+		capMW := c.ratio * attached[c.bus]
+		if capMW < 30 {
+			capMW = 30 // empty or near-empty collectors get a floor
+		}
+		n.Lines = append(n.Lines, Line{c.hub, c.bus, capMW})
+	}
+
+	// Thermal fleet at load hubs, MISO-scale: merit order from baseload
+	// coal through combined cycle to gas peakers and scarcity units.
+	thermal := []struct {
+		reg   int
+		count int
+		unit  float64
+		price float64
+	}{
+		{Central, 4, 6000, 12}, // baseload coal (2013-era PRB fuel cost)
+		{East, 3, 5000, 19},
+		{South, 3, 4500, 26},
+		{Central, 3, 3500, 36},
+		{East, 2, 3000, 55},
+		{South, 2, 2500, 75},
+		{Central, 2, 2500, 95},
+	}
+	for _, tc := range thermal {
+		for k := 0; k < tc.count; k++ {
+			addGen(Generator{
+				Bus:         hubs[tc.reg],
+				Type:        Thermal,
+				NameplateMW: tc.unit,
+				OfferPrice:  tc.price + 2*r.Float64(), // tie-break jitter
+			})
+		}
+	}
+
+	// Loads: heavy at Central/East/South hubs, light in wind country.
+	loadSpec := []struct {
+		reg  int
+		base float64
+	}{
+		{Central, 21000}, {East, 17000}, {South, 13000}, {North, 1500}, {West, 1200},
+	}
+	for _, ls := range loadSpec {
+		n.Loads = append(n.Loads, Load{Bus: hubs[ls.reg], BaseMW: ls.base})
+	}
+
+	if err := n.Finalize(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// CAISOConfig parameterizes BuildCAISO.
+type CAISOConfig struct {
+	// Sites is the total number of renewable units; roughly 70% solar and
+	// 30% wind, CAISO's 2015-era mix trajectory.
+	Sites int
+	Seed  int64
+}
+
+// BuildCAISO constructs a CAISO-like radial system for the paper's
+// "additional ISO's" future-work direction: a solar-dominated renewable
+// fleet concentrated in the Central Valley and desert behind collectors
+// of varying tightness, wind in the mountain passes, and coastal load
+// centers. Midday solar oversupply at constrained buses produces the
+// duck-curve negative prices that strand power — on a diurnal rhythm
+// rather than MISO's multi-day wind episodes.
+func BuildCAISO(cfg CAISOConfig) (*Network, error) {
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("powergrid: sites %d < 1", cfg.Sites)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{}
+
+	// Regions: 0=Valley(solar) 1=Desert(solar) 2=Passes(wind) 3=Coast(load) 4=North
+	const (
+		Valley = iota
+		Desert
+		Passes
+		Coast
+		North
+		numRegions
+	)
+	regionName := []string{"valley", "desert", "passes", "coast", "north"}
+	hubs := make([]BusID, numRegions)
+	addBus := func(name string, region int) BusID {
+		id := BusID(len(n.Buses))
+		n.Buses = append(n.Buses, Bus{ID: id, Name: name, Region: region})
+		return id
+	}
+	for reg := 0; reg < numRegions; reg++ {
+		hubs[reg] = addBus(regionName[reg]+"-hub", reg)
+	}
+	n.Lines = append(n.Lines,
+		Line{hubs[Valley], hubs[Coast], 9000},
+		Line{hubs[Desert], hubs[Coast], 7000},
+		Line{hubs[Passes], hubs[Coast], 4000},
+		Line{hubs[North], hubs[Coast], 8000},
+	)
+
+	type collector struct {
+		bus   BusID
+		hub   BusID
+		ratio float64
+	}
+	var collectors []collector
+	ratios := []float64{0.55, 0.62, 0.70, 0.80, 0.92, 1.05, 1.25, 1.50, 1.80, 2.20}
+	const leavesPerSolarRegion = 12
+	for _, reg := range []int{Valley, Desert} {
+		for k := 0; k < leavesPerSolarRegion; k++ {
+			id := addBus(fmt.Sprintf("%s-s%d", regionName[reg], k), reg)
+			collectors = append(collectors, collector{id, hubs[reg], ratios[k%len(ratios)]})
+		}
+	}
+	const windLeaves = 6
+	for k := 0; k < windLeaves; k++ {
+		id := addBus(fmt.Sprintf("passes-w%d", k), Passes)
+		collectors = append(collectors, collector{id, hubs[Passes], ratios[(k*2+1)%len(ratios)]})
+	}
+
+	nextGen := 0
+	addGen := func(g Generator) {
+		g.ID = nextGen
+		nextGen++
+		n.Gens = append(n.Gens, g)
+	}
+	solarLeaves := collectors[:2*leavesPerSolarRegion]
+	windLeafs := collectors[2*leavesPerSolarRegion:]
+	attached := make(map[BusID]float64)
+	for s := 0; s < cfg.Sites; s++ {
+		kind := Solar
+		pool := solarLeaves
+		if s%10 >= 7 { // 30% wind
+			kind = Wind
+			pool = windLeafs
+		}
+		c := pool[s%len(pool)]
+		name := 20 + math.Min(180, 60*math.Exp(0.7*r.NormFloat64()))
+		offer := -24 + 12*(r.Float64()*2-1) // ITC/REC-stacked renewables
+		addGen(Generator{
+			Bus:         c.bus,
+			Type:        kind,
+			NameplateMW: name,
+			OfferPrice:  offer,
+			WindSite:    s,
+		})
+		attached[c.bus] += name
+	}
+	for _, c := range collectors {
+		capMW := c.ratio * attached[c.bus]
+		if capMW < 30 {
+			capMW = 30
+		}
+		n.Lines = append(n.Lines, Line{c.hub, c.bus, capMW})
+	}
+
+	// Thermal fleet: CAISO leans on gas; imports modeled as cheap units
+	// at the North hub.
+	thermal := []struct {
+		reg   int
+		count int
+		unit  float64
+		price float64
+	}{
+		{North, 3, 4000, 14}, // hydro/imports
+		{Coast, 4, 4500, 24}, // combined cycle
+		{Coast, 3, 3000, 40},
+		{Coast, 3, 2200, 65}, // peakers
+		{Coast, 2, 2000, 95},
+	}
+	for _, tc := range thermal {
+		for k := 0; k < tc.count; k++ {
+			addGen(Generator{
+				Bus:         hubs[tc.reg],
+				Type:        Thermal,
+				NameplateMW: tc.unit,
+				OfferPrice:  tc.price + 2*r.Float64(),
+			})
+		}
+	}
+
+	loadSpec := []struct {
+		reg  int
+		base float64
+	}{
+		{Coast, 20000}, {Valley, 3500}, {North, 3000}, {Desert, 1200}, {Passes, 400},
+	}
+	for _, ls := range loadSpec {
+		n.Loads = append(n.Loads, Load{Bus: hubs[ls.reg], BaseMW: ls.base})
+	}
+
+	if err := n.Finalize(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,155 @@
+package powergrid
+
+import (
+	"strings"
+	"testing"
+)
+
+// line returns a small valid 3-bus chain network.
+func chain3() *Network {
+	return &Network{
+		Buses: []Bus{{ID: 0}, {ID: 1}, {ID: 2}},
+		Lines: []Line{{0, 1, 100}, {1, 2, 50}},
+		Gens:  []Generator{{ID: 0, Bus: 0, Type: Wind, NameplateMW: 80, OfferPrice: -23}},
+		Loads: []Load{{Bus: 2, BaseMW: 40}},
+	}
+}
+
+func TestFinalizeValid(t *testing.T) {
+	n := chain3()
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Adjacency(1)) != 2 {
+		t.Errorf("bus 1 should have 2 neighbors")
+	}
+	count := 0
+	n.Neighbors(1, func(to BusID, line int) { count++ })
+	if count != 2 {
+		t.Errorf("Neighbors visited %d", count)
+	}
+}
+
+func TestFinalizeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Network)
+		want string
+	}{
+		{"no buses", func(n *Network) { n.Buses = nil }, "no buses"},
+		{"sparse ids", func(n *Network) { n.Buses[1].ID = 5 }, "dense"},
+		{"wrong line count", func(n *Network) { n.Lines = n.Lines[:1] }, "spanning tree"},
+		{"self loop", func(n *Network) { n.Lines[0] = Line{0, 0, 10}; n.Lines[1] = Line{1, 2, 10} }, "endpoints"},
+		{"bad capacity", func(n *Network) { n.Lines[0].CapacityMW = 0 }, "capacity"},
+		{"disconnected", func(n *Network) { n.Lines[1] = Line{0, 1, 10} }, "connected"},
+		{"gen bad bus", func(n *Network) { n.Gens[0].Bus = 9 }, "invalid bus"},
+		{"gen bad nameplate", func(n *Network) { n.Gens[0].NameplateMW = -1 }, "nameplate"},
+		{"load bad bus", func(n *Network) { n.Loads[0].Bus = 9 }, "invalid bus"},
+		{"load negative", func(n *Network) { n.Loads[0].BaseMW = -1 }, "< 0"},
+	}
+	for _, c := range cases {
+		n := chain3()
+		c.mut(n)
+		err := n.Finalize()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCapacitySums(t *testing.T) {
+	n := chain3()
+	n.Gens = append(n.Gens, Generator{ID: 1, Bus: 1, Type: Thermal, NameplateMW: 200, OfferPrice: 30})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if n.WindCapacityMW() != 80 {
+		t.Errorf("wind capacity = %v", n.WindCapacityMW())
+	}
+	if n.ThermalCapacityMW() != 200 {
+		t.Errorf("thermal capacity = %v", n.ThermalCapacityMW())
+	}
+	if n.PeakLoadMW() != 40 {
+		t.Errorf("peak load = %v", n.PeakLoadMW())
+	}
+}
+
+func TestGenTypeString(t *testing.T) {
+	if Wind.String() != "wind" || Thermal.String() != "thermal" {
+		t.Error("GenType.String wrong")
+	}
+}
+
+func TestBuildDefault(t *testing.T) {
+	n, err := BuildDefault(DefaultConfig{WindSites: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Lines) != len(n.Buses)-1 {
+		t.Errorf("not a tree: %d lines, %d buses", len(n.Lines), len(n.Buses))
+	}
+	wind, negOffers := 0, 0
+	for _, g := range n.Gens {
+		if g.Type == Wind {
+			wind++
+			if g.OfferPrice < 0 {
+				negOffers++
+			}
+			if g.OfferPrice < -40 || g.OfferPrice >= 5 {
+				t.Errorf("wind unit %d offers %v, outside [-40, 5)", g.ID, g.OfferPrice)
+			}
+			if g.NameplateMW < 15 || g.NameplateMW > 150 {
+				t.Errorf("wind nameplate %v outside [15,150]", g.NameplateMW)
+			}
+		}
+	}
+	if wind != 50 {
+		t.Errorf("wind units = %d, want 50", wind)
+	}
+	// the large majority of wind bids negative (PTC); a minority of
+	// PTC-expired units bid just above zero
+	if negOffers < 35 || negOffers == wind {
+		t.Errorf("negative-offer wind units = %d of %d, want a large majority but not all", negOffers, wind)
+	}
+	// thermal fleet must cover peak load with margin
+	if n.ThermalCapacityMW() < 1.1*n.PeakLoadMW() {
+		t.Errorf("thermal %v cannot cover peak %v", n.ThermalCapacityMW(), n.PeakLoadMW())
+	}
+	// wind country is export-constrained: West+North wind capacity should
+	// exceed the ties leaving those regions (sum of the two backbone lines)
+	var westNorthWind float64
+	for _, g := range n.Gens {
+		if g.Type == Wind {
+			westNorthWind += g.NameplateMW
+		}
+	}
+	tieCap := 900.0 + 700.0
+	if westNorthWind < tieCap {
+		t.Logf("note: wind capacity %v below tie capacity %v at 50 sites (congestion needs more sites)", westNorthWind, tieCap)
+	}
+	// generator IDs dense
+	for i, g := range n.Gens {
+		if g.ID != i {
+			t.Fatalf("gen %d has ID %d", i, g.ID)
+		}
+	}
+}
+
+func TestBuildDefaultErrors(t *testing.T) {
+	if _, err := BuildDefault(DefaultConfig{WindSites: 0}); err == nil {
+		t.Error("0 sites should fail")
+	}
+	if _, err := BuildDefault(DefaultConfig{WindSites: 5, WindShareWest: 2}); err == nil {
+		t.Error("share > 1 should fail")
+	}
+}
+
+func TestBuildDefaultDeterministic(t *testing.T) {
+	a, _ := BuildDefault(DefaultConfig{WindSites: 30, Seed: 9})
+	b, _ := BuildDefault(DefaultConfig{WindSites: 30, Seed: 9})
+	for i := range a.Gens {
+		if a.Gens[i] != b.Gens[i] {
+			t.Fatalf("gen %d differs between identical seeds", i)
+		}
+	}
+}

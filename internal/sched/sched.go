@@ -1,0 +1,703 @@
+// Package sched implements the batch scheduler of the ZCCloud study: an
+// event-driven FCFS scheduler with EASY backfill over a machine of
+// partitions, where partitions may be intermittently available.
+//
+// It reproduces the scheduling model of Cobalt/Qsim at the abstraction
+// level the paper measures (job wait time, throughput):
+//
+//   - jobs are served first-come-first-served by submission time;
+//   - EASY backfill: the first blocked job receives a reservation at its
+//     earliest feasible start, and later jobs may jump ahead only if they
+//     cannot delay that reservation;
+//   - a single scheduler dispatches across all partitions, balancing load
+//     ("distributes jobs equally across Mira and ZCCloud resources when
+//     ZCCloud is available");
+//   - a job whose walltime request can never fit inside the intermittent
+//     partition's longest window is pinned to always-on partitions
+//     ("long-running jobs ... are only assigned to Mira resources");
+//   - in Oracle mode (the paper's model) the scheduler knows the current
+//     availability window's end and starts a job on an intermittent
+//     partition only if the job's request fits before the window closes,
+//     so downtime never kills work;
+//   - in non-Oracle (kill/requeue) mode the window end is unknown: jobs
+//     running at a downtime transition are killed and resubmitted.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"zccloud/internal/availability"
+	"zccloud/internal/cluster"
+	"zccloud/internal/job"
+	"zccloud/internal/sim"
+)
+
+// infTime is an unreachable simulated time used as "never".
+const infTime = sim.Time(math.MaxFloat64 / 4)
+
+// Policy selects the queue-ordering discipline.
+type Policy int
+
+// Queue policies.
+const (
+	// FCFS orders strictly by submission time.
+	FCFS Policy = iota
+	// WFP orders by Cobalt's production utility at ALCF: score =
+	// (wait / requested walltime)³ × nodes — long-waiting and large
+	// (capability) jobs rise to the head. This is the policy behind the
+	// paper's Mira results.
+	WFP
+)
+
+func (p Policy) String() string {
+	if p == WFP {
+		return "wfp"
+	}
+	return "fcfs"
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	Machine *cluster.Machine
+	Engine  *sim.Engine
+	// Policy is the queue discipline; default FCFS.
+	Policy Policy
+	// Oracle selects window-aware scheduling (the paper's model). When
+	// false, the scheduler is blind to window ends and kills/requeues.
+	Oracle bool
+	// BackfillDepth bounds how many queued jobs each pass considers for
+	// backfill after the reservation is placed; 0 means the whole queue.
+	BackfillDepth int
+	// DisableBackfill selects plain FCFS: when the queue head is blocked
+	// nothing jumps ahead of it.
+	DisableBackfill bool
+	// PredictedWindow enables predictive scheduling in non-Oracle mode:
+	// instead of being blind to window ends, the scheduler assumes every
+	// availability window lasts PredictedWindow from its start and admits
+	// a job only if its request fits the assumed remainder. Jobs still
+	// get killed if the real window ends sooner (the paper's "use of
+	// prediction" future-work direction). Ignored in Oracle mode or when
+	// zero.
+	PredictedWindow sim.Duration
+	// Predictor generalizes PredictedWindow: an age-aware window-end
+	// predictor (e.g. internal/forecast's hazard model). When set it
+	// supersedes PredictedWindow for admission decisions. Ignored in
+	// Oracle mode.
+	Predictor WindowPredictor
+	// CheckpointInterval enables checkpoint/restart in non-Oracle mode:
+	// running jobs snapshot their state every interval, and a job killed
+	// by a window end resumes from its last checkpoint instead of
+	// restarting from scratch. Zero disables checkpointing (kills lose
+	// all partial work). Ignored in Oracle mode, where nothing is killed.
+	CheckpointInterval sim.Duration
+	// CheckpointOverhead is the time cost added per checkpoint taken
+	// (write-out stall). Only meaningful with CheckpointInterval > 0.
+	CheckpointOverhead sim.Duration
+	// Classify, when non-nil, is the availability model used to tag each
+	// arriving job OnTime or Late (paper, Figure 6): OnTime if the model
+	// is up at submission and the job's runtime fits in the remaining
+	// window.
+	Classify availability.Model
+}
+
+// WindowPredictor estimates when the availability window that began at
+// start will end, given the current time. Implementations live in
+// internal/forecast.
+type WindowPredictor interface {
+	PredictedEnd(start, now sim.Time) sim.Time
+}
+
+// fixedPredictor implements PredictedWindow as a WindowPredictor.
+type fixedPredictor sim.Duration
+
+func (f fixedPredictor) PredictedEnd(start, now sim.Time) sim.Time {
+	return start + sim.Duration(f)
+}
+
+// Result summarizes a completed simulation run.
+type Result struct {
+	Completed  int
+	Unfinished int // jobs still queued or running at the deadline
+	Unrunnable int // jobs that fit no partition at all
+	Makespan   sim.Time
+	// NodeHoursByPartition is delivered node-hours per partition name.
+	NodeHoursByPartition map[string]float64
+	// Passes counts scheduling passes (for performance reporting).
+	Passes int
+}
+
+type runningJob struct {
+	j   *job.Job
+	p   *cluster.Partition
+	end *sim.Event
+}
+
+// Scheduler is the event-driven batch scheduler.
+type Scheduler struct {
+	cfg      Config
+	eng      *sim.Engine
+	queue    []*job.Job // FCFS order: (Submit, ID)
+	running  map[int]*runningJob
+	total    int
+	done     int
+	unrun    int
+	nodeHrs  map[string]float64
+	passes   int
+	deadline sim.Time
+	passAt   sim.Time // coalesce multiple pass requests at one instant
+	passSet  bool
+	lastEnd  sim.Time
+	scores   []float64 // scratch for WFP sorting
+}
+
+// New creates a Scheduler. Machine and Engine are required.
+func New(cfg Config) *Scheduler {
+	if cfg.Machine == nil || cfg.Engine == nil {
+		panic("sched: Config requires Machine and Engine")
+	}
+	if cfg.Predictor == nil && cfg.PredictedWindow > 0 {
+		cfg.Predictor = fixedPredictor(cfg.PredictedWindow)
+	}
+	return &Scheduler{
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		running: make(map[int]*runningJob),
+		nodeHrs: make(map[string]float64),
+	}
+}
+
+// LoadTrace schedules arrival events for every job in the trace.
+func (s *Scheduler) LoadTrace(tr *job.Trace) {
+	for _, j := range tr.Jobs {
+		s.Submit(j)
+	}
+}
+
+// Submit schedules the arrival of one job.
+func (s *Scheduler) Submit(j *job.Job) {
+	if err := job.Validate(j); err != nil {
+		panic(fmt.Sprintf("sched: %v", err))
+	}
+	s.total++
+	s.eng.Schedule(j.Submit, sim.PrioArrival, func(now sim.Time) { s.arrive(j, now) })
+}
+
+// Run executes the simulation until all jobs finish or deadline passes,
+// and returns the result. Deadline bounds runs whose workload exceeds
+// capacity (the paper's "X" configurations).
+func (s *Scheduler) Run(deadline sim.Time) Result {
+	s.deadline = deadline
+	s.scheduleAvailabilityEvents(deadline)
+	for {
+		t, ok := s.eng.NextTime()
+		if !ok || t > deadline {
+			break
+		}
+		s.eng.Step()
+	}
+	res := Result{
+		Completed:            s.done,
+		Unfinished:           s.total - s.done - s.unrun,
+		Unrunnable:           s.unrun,
+		Makespan:             s.lastEnd,
+		NodeHoursByPartition: s.nodeHrs,
+		Passes:               s.passes,
+	}
+	return res
+}
+
+// scheduleAvailabilityEvents enqueues window-start (and, for kill/requeue
+// mode, window-end) events for intermittent partitions up to the deadline.
+func (s *Scheduler) scheduleAvailabilityEvents(deadline sim.Time) {
+	for _, p := range s.cfg.Machine.Partitions {
+		if _, ok := p.Avail.(availability.AlwaysOn); ok {
+			continue
+		}
+		p := p
+		for _, w := range availability.Materialize(p.Avail, 0, deadline) {
+			w := w
+			s.eng.Schedule(w.Start, sim.PrioRelease, func(now sim.Time) { s.requestPass(now) })
+			if !s.cfg.Oracle {
+				s.eng.Schedule(w.End, sim.PrioWithdraw, func(now sim.Time) { s.windowEnd(p, now) })
+			}
+		}
+	}
+}
+
+func (s *Scheduler) arrive(j *job.Job, now sim.Time) {
+	if s.cfg.Classify != nil {
+		j.Timeliness = classify(j, s.cfg.Classify, now)
+	}
+	if !s.fitsAnywhere(j) {
+		s.unrun++
+		return
+	}
+	s.enqueue(j)
+	s.requestPass(now)
+}
+
+// classify tags a job OnTime if the intermittent model is up at submission
+// with enough window left for the job's runtime, else Late (paper, §IV.B).
+func classify(j *job.Job, m availability.Model, now sim.Time) job.Timeliness {
+	if w, ok := m.WindowAt(now); ok && now+j.Runtime <= w.End {
+		return job.OnTime
+	}
+	return job.Late
+}
+
+// fitsAnywhere reports whether some partition can ever run the job.
+func (s *Scheduler) fitsAnywhere(j *job.Job) bool {
+	for _, p := range s.cfg.Machine.Partitions {
+		if s.eligible(j, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// eligible reports whether partition p can ever run job j: enough nodes,
+// and (in oracle mode) a window long enough for the request.
+func (s *Scheduler) eligible(j *job.Job, p *cluster.Partition) bool {
+	if j.Nodes > p.Nodes {
+		return false
+	}
+	if s.cfg.Oracle && j.Request > p.Avail.MaxWindow() {
+		return false
+	}
+	if !s.cfg.Oracle && s.cfg.PredictedWindow > 0 && !s.alwaysOn(p) &&
+		j.Request > s.cfg.PredictedWindow {
+		return false
+	}
+	return true
+}
+
+// enqueue inserts a job keeping FCFS (Submit, ID) order. Arrivals come in
+// time order so this is O(1) amortized; requeues binary-search.
+func (s *Scheduler) enqueue(j *job.Job) {
+	n := len(s.queue)
+	if n == 0 || less(s.queue[n-1], j) {
+		s.queue = append(s.queue, j)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return !less(s.queue[i], j) })
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = j
+}
+
+func less(a, b *job.Job) bool {
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+// requestPass coalesces scheduling passes so that many events at one
+// instant trigger a single pass.
+func (s *Scheduler) requestPass(now sim.Time) {
+	if s.passSet && s.passAt == now {
+		return
+	}
+	s.passSet = true
+	s.passAt = now
+	s.eng.Schedule(now, sim.PrioSchedule, func(t sim.Time) {
+		s.passSet = false
+		s.pass(t)
+	})
+}
+
+// pass is one scheduling cycle: start jobs in queue order, reserve for
+// the first blocked job, then backfill.
+func (s *Scheduler) pass(now sim.Time) {
+	s.passes++
+	if s.cfg.Policy == WFP {
+		s.sortWFP(now)
+	}
+
+	// Phase 1: start queue-head jobs while they fit somewhere.
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		p := s.bestStart(j, now)
+		if p == nil {
+			break
+		}
+		s.start(j, p, now)
+		s.queue = s.queue[1:]
+	}
+	if len(s.queue) == 0 || s.cfg.DisableBackfill {
+		return
+	}
+
+	// Phase 2: reservation for the first blocked job (EASY).
+	head := s.queue[0]
+	resPart, resTime := s.earliestStartAnywhere(head, now)
+	if resPart == nil {
+		// Head can never start (should not happen for eligible jobs);
+		// leave it queued — a later event may change the machine.
+		return
+	}
+	extra := s.extraNodesAt(resPart, resTime, head)
+
+	// Phase 3: backfill — later jobs may start now if they cannot delay
+	// the reservation.
+	depth := s.cfg.BackfillDepth
+	if depth <= 0 || depth > len(s.queue)-1 {
+		depth = len(s.queue) - 1
+	}
+	i := 1
+	for scanned := 0; scanned < depth && i < len(s.queue); scanned++ {
+		j := s.queue[i]
+		p := s.backfillStart(j, now, resPart, resTime, extra)
+		if p == nil {
+			i++
+			continue
+		}
+		s.start(j, p, now)
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		if p == resPart {
+			// The backfilled job changed the reserved partition's free
+			// pool; recompute the spare capacity guard.
+			extra = s.extraNodesAt(resPart, resTime, head)
+		}
+	}
+}
+
+// sortWFP reorders the queue by descending WFP score. Scores are
+// precomputed once per pass; the order drifts slowly between passes, so
+// the adaptive sort runs near O(n) on the almost-sorted queue.
+func (s *Scheduler) sortWFP(now sim.Time) {
+	if cap(s.scores) < len(s.queue) {
+		s.scores = make([]float64, len(s.queue))
+	}
+	s.scores = s.scores[:len(s.queue)]
+	for i, j := range s.queue {
+		wait := float64(now - j.Submit)
+		if wait < 0 {
+			wait = 0
+		}
+		r := wait / float64(j.Request)
+		s.scores[i] = r * r * r * float64(j.Nodes)
+	}
+	sort.Sort(&wfpSorter{s.queue, s.scores})
+}
+
+// wfpSorter sorts jobs and their scores together, descending by score
+// with FCFS tie-break (a deterministic total order, so an unstable sort
+// is fine).
+type wfpSorter struct {
+	jobs   []*job.Job
+	scores []float64
+}
+
+func (w *wfpSorter) Len() int { return len(w.jobs) }
+
+func (w *wfpSorter) Less(a, b int) bool {
+	if w.scores[a] != w.scores[b] {
+		return w.scores[a] > w.scores[b]
+	}
+	return less(w.jobs[a], w.jobs[b])
+}
+
+func (w *wfpSorter) Swap(a, b int) {
+	w.jobs[a], w.jobs[b] = w.jobs[b], w.jobs[a]
+	w.scores[a], w.scores[b] = w.scores[b], w.scores[a]
+}
+
+// bestStart returns the partition on which j can start right now, choosing
+// the one with the largest free fraction (this balances load across Mira
+// and ZCCloud, the paper's "distributes jobs equally"). Nil if none.
+func (s *Scheduler) bestStart(j *job.Job, now sim.Time) *cluster.Partition {
+	var best *cluster.Partition
+	bestFrac := -1.0
+	for _, p := range s.cfg.Machine.Partitions {
+		if !s.canStartNow(j, p, now) {
+			continue
+		}
+		frac := float64(p.Free()) / float64(p.Nodes)
+		if frac > bestFrac {
+			bestFrac = frac
+			best = p
+		}
+	}
+	return best
+}
+
+// canStartNow checks nodes and availability for an immediate start.
+func (s *Scheduler) canStartNow(j *job.Job, p *cluster.Partition, now sim.Time) bool {
+	if !s.eligible(j, p) || j.Nodes > p.Free() {
+		return false
+	}
+	w, up := p.Avail.WindowAt(now)
+	if !up {
+		return false
+	}
+	if s.cfg.Oracle {
+		if now+s.attemptRequest(j) > w.End {
+			return false
+		}
+	} else if s.cfg.Predictor != nil && !s.alwaysOn(p) {
+		// Predictive admission against the assumed window end.
+		if now+s.attemptRequest(j) > s.cfg.Predictor.PredictedEnd(w.Start, now) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Scheduler) alwaysOn(p *cluster.Partition) bool {
+	_, ok := p.Avail.(availability.AlwaysOn)
+	return ok
+}
+
+// stretch is the wall-clock inflation from checkpoint write-out: a job
+// doing W seconds of work stalls W/interval times for overhead each.
+func (s *Scheduler) stretch() float64 {
+	if s.cfg.Oracle || s.cfg.CheckpointInterval <= 0 || s.cfg.CheckpointOverhead <= 0 {
+		return 1
+	}
+	return 1 + float64(s.cfg.CheckpointOverhead)/float64(s.cfg.CheckpointInterval)
+}
+
+// attemptRuntime is the wall-clock a fresh attempt of j needs: remaining
+// work after checkpointed progress, inflated by checkpoint overhead.
+func (s *Scheduler) attemptRuntime(j *job.Job) sim.Duration {
+	rem := j.Runtime - j.Progress
+	if rem < 0 {
+		rem = 0
+	}
+	return sim.Duration(float64(rem) * s.stretch())
+}
+
+// attemptRequest is the walltime the scheduler budgets for an attempt.
+func (s *Scheduler) attemptRequest(j *job.Job) sim.Duration {
+	rem := j.Request - j.Progress
+	if rem < j.Runtime-j.Progress {
+		rem = j.Runtime - j.Progress
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	return sim.Duration(float64(rem) * s.stretch())
+}
+
+// backfillStart returns a partition where j may start now without delaying
+// the reservation (resPart, resTime) of the head job; nil if none.
+func (s *Scheduler) backfillStart(j *job.Job, now sim.Time, resPart *cluster.Partition, resTime sim.Time, extra int) *cluster.Partition {
+	var best *cluster.Partition
+	bestFrac := -1.0
+	for _, p := range s.cfg.Machine.Partitions {
+		if !s.canStartNow(j, p, now) {
+			continue
+		}
+		if p == resPart {
+			// EASY conditions: finish before the reservation, or use only
+			// nodes the reservation leaves spare.
+			if now+s.attemptRequest(j) > resTime && j.Nodes > extra {
+				continue
+			}
+		}
+		frac := float64(p.Free()) / float64(p.Nodes)
+		if frac > bestFrac {
+			bestFrac = frac
+			best = p
+		}
+	}
+	return best
+}
+
+// start launches j on p at now and schedules its completion.
+func (s *Scheduler) start(j *job.Job, p *cluster.Partition, now sim.Time) {
+	if err := p.Allocate(j.Nodes); err != nil {
+		panic(fmt.Sprintf("sched: start failed: %v", err))
+	}
+	j.Started = true
+	j.Start = now
+	j.Partition = p.Name
+	end := now + s.attemptRuntime(j)
+	rj := &runningJob{j: j, p: p}
+	rj.end = s.eng.Schedule(end, sim.PrioRelease, func(t sim.Time) { s.finish(rj, t) })
+	s.running[j.ID] = rj
+}
+
+// finish completes a running job, releasing its nodes.
+func (s *Scheduler) finish(rj *runningJob, now sim.Time) {
+	j := rj.j
+	rj.p.Release(j.Nodes)
+	delete(s.running, j.ID)
+	j.Completed = true
+	j.End = now
+	s.done++
+	s.nodeHrs[rj.p.Name] += float64(j.Nodes) * (now - j.Start).Hours()
+	if now > s.lastEnd {
+		s.lastEnd = now
+	}
+	s.requestPass(now)
+}
+
+// windowEnd (kill/requeue mode only) kills jobs running on a partition
+// whose power just went away and resubmits them.
+func (s *Scheduler) windowEnd(p *cluster.Partition, now sim.Time) {
+	var killed []*runningJob
+	for _, rj := range s.running {
+		if rj.p == p {
+			killed = append(killed, rj)
+		}
+	}
+	// Deterministic order: by job ID.
+	sort.Slice(killed, func(i, k int) bool { return killed[i].j.ID < killed[k].j.ID })
+	for _, rj := range killed {
+		s.eng.Cancel(rj.end)
+		rj.p.Release(rj.j.Nodes)
+		delete(s.running, rj.j.ID)
+		// Account the attempt's node-hours to the partition (it did
+		// consume power) whether or not the work survives.
+		s.nodeHrs[p.Name] += float64(rj.j.Nodes) * (now - rj.j.Start).Hours()
+		j := rj.j
+		if iv := s.cfg.CheckpointInterval; iv > 0 {
+			// Work up to the last completed checkpoint survives.
+			work := sim.Duration(float64(now-j.Start) / s.stretch())
+			saved := sim.Duration(int64(work/iv)) * iv
+			j.Progress += saved
+			if j.Progress > j.Runtime {
+				j.Progress = j.Runtime
+			}
+		}
+		j.Started = false
+		j.Partition = ""
+		j.Requeues++
+		s.enqueue(j)
+	}
+	if len(killed) > 0 {
+		s.requestPass(now)
+	}
+}
+
+// earliestStartAnywhere returns the partition and time of the earliest
+// feasible start for j at or after now, or (nil, inf) if none exists.
+func (s *Scheduler) earliestStartAnywhere(j *job.Job, now sim.Time) (*cluster.Partition, sim.Time) {
+	var bestP *cluster.Partition
+	bestT := infTime
+	for _, p := range s.cfg.Machine.Partitions {
+		t := s.earliestStart(j, p, now)
+		if t < bestT {
+			bestT = t
+			bestP = p
+		}
+	}
+	return bestP, bestT
+}
+
+// earliestStart computes the earliest time >= now at which job j could
+// start on partition p, assuming running jobs hold their nodes until their
+// requested end and no further arrivals. Returns infTime if never.
+func (s *Scheduler) earliestStart(j *job.Job, p *cluster.Partition, now sim.Time) sim.Time {
+	if !s.eligible(j, p) {
+		return infTime
+	}
+	const maxWindows = 400 // availability search horizon
+	t := now
+	for iter := 0; iter < maxWindows; iter++ {
+		w, ok := p.Avail.NextUp(t)
+		if !ok || w.Start >= s.deadline {
+			return infTime
+		}
+		lb := t
+		if w.Start > lb {
+			lb = w.Start
+		}
+		req := s.attemptRequest(j)
+		fits := func(at sim.Time) bool {
+			if s.cfg.Oracle {
+				return at+req <= w.End
+			}
+			if s.cfg.Predictor != nil && !s.alwaysOn(p) {
+				return at+req <= s.cfg.Predictor.PredictedEnd(w.Start, at)
+			}
+			return true
+		}
+		if w.Start > now {
+			// Future window: in oracle mode the partition is empty at
+			// w.Start (everything drained); in kill mode jobs are killed
+			// at window ends, so it is also empty.
+			if fits(lb) {
+				return lb
+			}
+			t = w.End
+			continue
+		}
+		// Current window: replay node releases of running jobs.
+		free := p.Free()
+		if free >= j.Nodes && fits(lb) {
+			return lb
+		}
+		type rel struct {
+			at    sim.Time
+			nodes int
+		}
+		var rels []rel
+		for _, rj := range s.running {
+			if rj.p != p {
+				continue
+			}
+			at := rj.j.Start + s.attemptRequest(rj.j)
+			if !s.cfg.Oracle && at > w.End {
+				at = w.End // job will be killed at window end
+			}
+			rels = append(rels, rel{at, rj.j.Nodes})
+		}
+		sort.Slice(rels, func(a, b int) bool {
+			if rels[a].at != rels[b].at {
+				return rels[a].at < rels[b].at
+			}
+			return rels[a].nodes < rels[b].nodes
+		})
+		for _, r := range rels {
+			if r.at > w.End {
+				break
+			}
+			free += r.nodes
+			if r.at > lb {
+				lb = r.at
+			}
+			if free >= j.Nodes && fits(lb) && lb < w.End {
+				return lb
+			}
+		}
+		t = w.End
+	}
+	return infTime
+}
+
+// extraNodesAt returns the nodes that remain free on p at time resTime
+// after placing the reserved job there — the spare capacity backfill may
+// consume without delaying the reservation.
+func (s *Scheduler) extraNodesAt(p *cluster.Partition, resTime sim.Time, reserved *job.Job) int {
+	free := p.Free()
+	for _, rj := range s.running {
+		if rj.p != p {
+			continue
+		}
+		end := rj.j.Start + s.attemptRequest(rj.j)
+		if !s.cfg.Oracle {
+			if w, ok := p.Avail.WindowAt(rj.j.Start); ok && end > w.End {
+				end = w.End
+			}
+		}
+		if end <= resTime {
+			free += rj.j.Nodes
+		}
+	}
+	extra := free - reserved.Nodes
+	if extra < 0 {
+		extra = 0
+	}
+	return extra
+}
+
+// QueueLen returns the current queue length (for tests and monitoring).
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// RunningCount returns the number of jobs currently executing.
+func (s *Scheduler) RunningCount() int { return len(s.running) }

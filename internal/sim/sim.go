@@ -1,0 +1,187 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock and a binary-heap event queue with stable ordering.
+//
+// Events scheduled for the same instant are ordered by priority, then by
+// insertion sequence, so a simulation run is a pure function of its inputs.
+// Simulated time is a Time (seconds since the simulation epoch) rather than
+// a time.Time; the simulator never reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in seconds since the simulation epoch.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration = Time
+
+// Common durations, in seconds.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	Hour   Duration = 3600
+	Day    Duration = 24 * Hour
+)
+
+// Hours returns the duration expressed in hours.
+func (t Time) Hours() float64 { return float64(t) / float64(Hour) }
+
+// Event priorities. Lower runs first at the same instant. The scheduler
+// relies on resource-releasing events (job end, availability-up) running
+// before resource-consuming passes at the same time.
+const (
+	PrioRelease  = 0 // frees resources: job completion, partition up
+	PrioWithdraw = 1 // removes resources: partition down
+	PrioArrival  = 2 // job submission
+	PrioSchedule = 3 // scheduling pass
+)
+
+// Event is a callback scheduled at a virtual time.
+type Event struct {
+	at   Time
+	prio int
+	seq  uint64
+	fn   func(now Time)
+	idx  int // heap index; -1 when popped or cancelled
+}
+
+// At returns the scheduled time of the event.
+func (e *Event) At() Time { return e.at }
+
+// Engine is a discrete-event simulator. The zero value is invalid; use New.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	steps  uint64
+	maxLen int
+}
+
+// New returns an engine with the clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns how many events have been dispatched.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// MaxQueueLen returns the observed high-water mark of the pending queue.
+func (e *Engine) MaxQueueLen() int { return e.maxLen }
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at time at with the given priority. It panics
+// if at precedes the current time: an event in the past indicates a logic
+// error in the caller, not a recoverable condition. It returns a handle
+// that can cancel the event.
+func (e *Engine) Schedule(at Time, prio int, fn func(now Time)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, prio: prio, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.maxLen {
+		e.maxLen = len(e.queue)
+	}
+	return ev
+}
+
+// After queues fn to run d seconds from now.
+func (e *Engine) After(d Duration, prio int, fn func(now Time)) *Event {
+	return e.Schedule(e.now+d, prio, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-run or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+	ev.fn = nil
+	return true
+}
+
+// NextTime returns the time of the next pending event.
+func (e *Engine) NextTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// Step dispatches the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.steps++
+	fn := ev.fn
+	ev.fn = nil
+	fn(e.now)
+	return true
+}
+
+// Run dispatches events until the queue empties.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time <= deadline, then advances the clock
+// to the deadline (if the deadline is later than the last event time).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// eventHeap orders by (time, priority, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}

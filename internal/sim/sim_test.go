@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDispatchOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(10, PrioSchedule, func(Time) { got = append(got, 3) })
+	e.Schedule(5, PrioSchedule, func(Time) { got = append(got, 1) })
+	e.Schedule(10, PrioRelease, func(Time) { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Errorf("now = %v, want 10", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Errorf("steps = %d, want 3", e.Steps())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, PrioArrival, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant same-priority events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	e.Schedule(100, PrioSchedule, func(now Time) {
+		e.After(50, PrioSchedule, func(now Time) {
+			if now != 150 {
+				t.Errorf("After fired at %v, want 150", now)
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, PrioSchedule, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(5, PrioSchedule, func(Time) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(10, PrioSchedule, func(Time) { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Error("double Cancel returned true")
+	}
+	if e.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []Time
+	var evs []*Event
+	for i := 1; i <= 20; i++ {
+		at := Time(i)
+		evs = append(evs, e.Schedule(at, PrioSchedule, func(now Time) { got = append(got, now) }))
+	}
+	// cancel every third event
+	for i := 2; i < len(evs); i += 3 {
+		e.Cancel(evs[i])
+	}
+	e.Run()
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out-of-order dispatch after cancels: %v", got)
+		}
+	}
+	if len(got) != 14 {
+		t.Errorf("fired %d events, want 14", len(got))
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 10} {
+		at := at
+		e.Schedule(at, PrioSchedule, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by t=5, want 3", len(fired))
+	}
+	if e.Now() != 5 {
+		t.Errorf("now = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(3) // deadline before now: must not rewind
+	if e.Now() != 5 {
+		t.Errorf("RunUntil rewound the clock to %v", e.Now())
+	}
+	e.Run()
+	if e.Now() != 10 {
+		t.Errorf("final now = %v, want 10", e.Now())
+	}
+}
+
+// Property: events always dispatch in nondecreasing time order, and all
+// scheduled events run exactly once.
+func TestDispatchMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New()
+		count := int(n)
+		var times []float64
+		fired := 0
+		last := Time(-1)
+		ok := true
+		for i := 0; i < count; i++ {
+			at := Time(r.Float64() * 1000)
+			times = append(times, float64(at))
+			e.Schedule(at, r.Intn(4), func(now Time) {
+				fired++
+				if now < last {
+					ok = false
+				}
+				last = now
+			})
+		}
+		e.Run()
+		sort.Float64s(times)
+		return ok && fired == count && (count == 0 || Time(times[count-1]) == e.Now())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Events scheduled from inside handlers at the current instant run
+	// in the same pass, respecting priority.
+	e := New()
+	var got []string
+	e.Schedule(1, PrioArrival, func(now Time) {
+		got = append(got, "arrival")
+		e.Schedule(now, PrioSchedule, func(Time) { got = append(got, "sched") })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "arrival" || got[1] != "sched" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), PrioSchedule, func(Time) {})
+	}
+	if e.MaxQueueLen() != 5 {
+		t.Errorf("max queue len = %d, want 5", e.MaxQueueLen())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after Run", e.Pending())
+	}
+}
+
+func TestHours(t *testing.T) {
+	if (2 * Hour).Hours() != 2 {
+		t.Error("Hours conversion wrong")
+	}
+}

@@ -1,0 +1,114 @@
+package solar
+
+import (
+	"math"
+	"testing"
+
+	"zccloud/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []FieldConfig{
+		{Regions: 0, Sites: 1},
+		{Regions: 1, Sites: 0},
+		{Regions: 1, Sites: 1, PeakCF: 1.5},
+	}
+	for i, c := range bad {
+		if _, err := NewField(c); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+	if _, err := NewFieldWithRegions(2, []int{0, 5}, 1, 0); err == nil {
+		t.Error("out-of-range region should fail")
+	}
+}
+
+func TestClearSkyShape(t *testing.T) {
+	// zero at night, peak at noon
+	if ClearSky(0) != 0 || ClearSky(3) != 0 {
+		t.Error("night should be zero")
+	}
+	noonJun := ClearSky(171*24 + 12)
+	if math.Abs(noonJun-1) > 1e-9 {
+		t.Errorf("June noon = %v, want 1", noonJun)
+	}
+	// longer days in June than December
+	junHrs, decHrs := 0, 0
+	for h := 0.0; h < 24; h += 0.1 {
+		if ClearSky(171*24+h) > 0 {
+			junHrs++
+		}
+		if ClearSky(354*24+h) > 0 {
+			decHrs++
+		}
+	}
+	if junHrs <= decHrs {
+		t.Errorf("June daylight (%d) should exceed December (%d)", junHrs, decHrs)
+	}
+	// morning rises, afternoon falls (hours 9 → 11 → 13 → 15 of day 0)
+	if ClearSky(9) >= ClearSky(11) || ClearSky(13) <= ClearSky(15) {
+		t.Error("day arc shape wrong")
+	}
+}
+
+func TestBoundsAndNight(t *testing.T) {
+	f, err := NewField(FieldConfig{Regions: 3, Sites: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nightZero := true
+	for step := 0; step < 288*10; step++ {
+		hod := math.Mod(float64(step)*StepMinutes/60, 24)
+		for s := 0; s < f.Sites(); s++ {
+			cf := f.CapacityFactor(s)
+			if cf < 0 || cf > 1 {
+				t.Fatalf("cf %v outside [0,1]", cf)
+			}
+			if (hod < 4 || hod > 22) && cf != 0 {
+				nightZero = false
+			}
+		}
+		f.Step()
+	}
+	if !nightZero {
+		t.Error("solar output at deep night must be zero")
+	}
+}
+
+func TestDiurnalMeanPlausible(t *testing.T) {
+	f, err := NewField(FieldConfig{Regions: 2, Sites: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m stats.Moments
+	for step := 0; step < 288*60; step++ {
+		for s := 0; s < f.Sites(); s++ {
+			m.Add(f.CapacityFactor(s))
+		}
+		f.Step()
+	}
+	// utility solar annual CF ~0.2-0.3; winter-start 60 days run lower
+	if m.Mean() < 0.08 || m.Mean() > 0.35 {
+		t.Errorf("mean CF = %.3f, implausible", m.Mean())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := NewField(FieldConfig{Regions: 2, Sites: 4, Seed: 7})
+	b, _ := NewField(FieldConfig{Regions: 2, Sites: 4, Seed: 7})
+	for step := 0; step < 500; step++ {
+		for s := 0; s < 4; s++ {
+			if a.CapacityFactor(s) != b.CapacityFactor(s) {
+				t.Fatal("nondeterministic")
+			}
+		}
+		a.Step()
+		b.Step()
+	}
+	if a.Interval() != 500 {
+		t.Errorf("interval = %d", a.Interval())
+	}
+	if a.Region(1) != 1 {
+		t.Errorf("round-robin region = %d", a.Region(1))
+	}
+}

@@ -1,0 +1,288 @@
+// Package stats provides descriptive statistics used throughout the
+// ZCCloud simulator: online moment accumulators, percentiles, histograms,
+// and small numeric helpers.
+//
+// All accumulators are deterministic and allocation-light; they are used in
+// the inner loops of the market simulator and the scheduling simulator.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Moments accumulates count, mean, and variance online using Welford's
+// algorithm, plus min and max. The zero value is ready to use.
+type Moments struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds x into the accumulator.
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// AddN folds x into the accumulator with integer weight w (w observations
+// of value x). w <= 0 is a no-op.
+func (m *Moments) AddN(x float64, w int64) {
+	for i := int64(0); i < w; i++ {
+		m.Add(x)
+	}
+}
+
+// Merge combines another accumulator into m (parallel Welford merge).
+func (m *Moments) Merge(o Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.mean += d * float64(o.n) / float64(n)
+	m.n = n
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (m *Moments) Count() int64 { return m.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Sum returns the sum of all observations.
+func (m *Moments) Sum() float64 { return m.mean * float64(m.n) }
+
+// Variance returns the population variance.
+func (m *Moments) Variance() float64 {
+	if m.n < 1 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// SampleVariance returns the Bessel-corrected variance.
+func (m *Moments) SampleVariance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (m *Moments) Max() float64 { return m.max }
+
+// String summarizes the accumulator for logs and reports.
+func (m *Moments) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		m.n, m.Mean(), m.StdDev(), m.min, m.max)
+}
+
+// WeightedMean accumulates a weighted arithmetic mean, e.g. the
+// power-weighted average price (NetPrice) over a run of market records.
+// The zero value is ready to use.
+type WeightedMean struct {
+	sumWX, sumW float64
+}
+
+// Add folds value x with weight w.
+func (w *WeightedMean) Add(x, weight float64) {
+	w.sumWX += x * weight
+	w.sumW += weight
+}
+
+// Mean returns sum(w*x)/sum(w); if total weight is 0 it returns the
+// unweighted fallback f (NetPrice over a zero-power run is defined by the
+// caller).
+func (w *WeightedMean) Mean(fallback float64) float64 {
+	if w.sumW == 0 {
+		return fallback
+	}
+	return w.sumWX / w.sumW
+}
+
+// Weight returns the accumulated total weight.
+func (w *WeightedMean) Weight() float64 { return w.sumW }
+
+// Reset clears the accumulator.
+func (w *WeightedMean) Reset() { w.sumWX, w.sumW = 0, 0 }
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs is not modified. It panics if
+// xs is empty or p is outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// PercentilesSorted returns the percentiles ps of an already-sorted slice.
+func PercentilesSorted(sorted []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	return m.StdDev()
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi) with uniform bucket
+// width; values outside the range land in saturating edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int64
+	total   int64
+	underlo int64
+	overhi  int64
+}
+
+// NewHistogram creates a histogram with n uniform buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underlo++
+	case x >= h.Hi:
+		h.overhi++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) { // float edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Under and Over return the out-of-range counts.
+func (h *Histogram) Under() int64 { return h.underlo }
+
+// Over returns the count of observations at or above Hi.
+func (h *Histogram) Over() int64 { return h.overhi }
+
+// BucketLow returns the lower bound of bucket i.
+func (h *Histogram) BucketLow(i int) float64 {
+	return h.Lo + (h.Hi-h.Lo)*float64(i)/float64(len(h.Counts))
+}
+
+// Fraction returns the fraction of observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// BucketedCounts buckets xs by arbitrary boundaries: result[i] counts
+// values in [bounds[i-1], bounds[i]); result[0] counts values < bounds[0];
+// result[len(bounds)] counts values >= bounds[len(bounds)-1]. bounds must
+// be strictly increasing.
+func BucketedCounts(xs []float64, bounds []float64) []int64 {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: bounds not strictly increasing")
+		}
+	}
+	out := make([]int64, len(bounds)+1)
+	for _, x := range xs {
+		i := sort.SearchFloat64s(bounds, x)
+		// SearchFloat64s returns the first index with bounds[i] >= x;
+		// for x == bounds[i] we want the next bucket up.
+		if i < len(bounds) && bounds[i] == x {
+			i++
+		}
+		out[i]++
+	}
+	return out
+}
+
+// Clamp bounds x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,271 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMomentsBasic(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		m.Add(x)
+	}
+	if m.Count() != 5 {
+		t.Fatalf("count = %d, want 5", m.Count())
+	}
+	if !almostEq(m.Mean(), 3, 1e-12) {
+		t.Errorf("mean = %v, want 3", m.Mean())
+	}
+	if !almostEq(m.Variance(), 2, 1e-12) {
+		t.Errorf("variance = %v, want 2", m.Variance())
+	}
+	if !almostEq(m.SampleVariance(), 2.5, 1e-12) {
+		t.Errorf("sample variance = %v, want 2.5", m.SampleVariance())
+	}
+	if m.Min() != 1 || m.Max() != 5 {
+		t.Errorf("min/max = %v/%v, want 1/5", m.Min(), m.Max())
+	}
+	if !almostEq(m.Sum(), 15, 1e-12) {
+		t.Errorf("sum = %v, want 15", m.Sum())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Variance() != 0 || m.StdDev() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	if m.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestMomentsAddN(t *testing.T) {
+	var a, b Moments
+	a.AddN(4, 3)
+	for i := 0; i < 3; i++ {
+		b.Add(4)
+	}
+	if a.Count() != b.Count() || a.Mean() != b.Mean() {
+		t.Errorf("AddN mismatch: %v vs %v", a, b)
+	}
+	a.AddN(7, 0)
+	if a.Count() != 3 {
+		t.Error("AddN with non-positive weight must be a no-op")
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestMomentsMergeProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := in[:0]
+			for _, v := range in {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Moments
+		for _, x := range xs {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(b)
+		scale := 1 + math.Abs(all.Mean()) + all.Variance()
+		return a.Count() == all.Count() &&
+			almostEq(a.Mean(), all.Mean(), 1e-8*scale) &&
+			almostEq(a.Variance(), all.Variance(), 1e-6*scale*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(2)
+	saved := a
+	a.Merge(b) // empty other: no-op
+	if a != saved {
+		t.Error("merging empty changed accumulator")
+	}
+	b.Merge(a) // empty receiver adopts other
+	if b.Count() != 1 || b.Mean() != 2 {
+		t.Error("empty receiver should adopt other")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	var w WeightedMean
+	if got := w.Mean(42); got != 42 {
+		t.Errorf("empty weighted mean fallback = %v, want 42", got)
+	}
+	w.Add(10, 1)
+	w.Add(20, 3)
+	if got := w.Mean(0); !almostEq(got, 17.5, 1e-12) {
+		t.Errorf("weighted mean = %v, want 17.5", got)
+	}
+	if w.Weight() != 4 {
+		t.Errorf("weight = %v, want 4", w.Weight())
+	}
+	w.Reset()
+	if w.Weight() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {62.5, 3.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// input must not be reordered
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentilesSortedSingle(t *testing.T) {
+	got := PercentilesSorted([]float64{7}, 0, 50, 100)
+	for _, v := range got {
+		if v != 7 {
+			t.Fatalf("single-element percentiles = %v", got)
+		}
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almostEq(Mean([]float64{2, 4}), 3, 1e-12) {
+		t.Error("Mean wrong")
+	}
+	if !almostEq(StdDev([]float64{2, 4}), 1, 1e-12) {
+		t.Error("StdDev wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 11} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Under() != 1 || h.Over() != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Under(), h.Over())
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bucket0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bucket1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.999
+		t.Errorf("bucket4 = %d, want 1", h.Counts[4])
+	}
+	if got := h.BucketLow(2); !almostEq(got, 4, 1e-12) {
+		t.Errorf("BucketLow(2) = %v, want 4", got)
+	}
+	if got := h.Fraction(0); !almostEq(got, 2.0/7, 1e-12) {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid shape")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 1)
+	if h.Fraction(0) != 0 {
+		t.Error("fraction of empty histogram should be 0")
+	}
+}
+
+func TestBucketedCounts(t *testing.T) {
+	got := BucketedCounts([]float64{0.5, 1, 1.5, 6, 24, 100}, []float64{1, 6, 24})
+	want := []int64{1, 2, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBucketedCountsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-increasing bounds")
+		}
+	}()
+	BucketedCounts([]float64{1}, []float64{2, 2})
+}
+
+// Property: histogram bucket counts plus out-of-range equal total.
+func TestHistogramConservation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-5, 5, 7)
+		for i := 0; i < int(n); i++ {
+			h.Add(r.NormFloat64() * 4)
+		}
+		var inRange int64
+		for _, c := range h.Counts {
+			inRange += c
+		}
+		return inRange+h.Under()+h.Over() == h.Total() && h.Total() == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp wrong")
+	}
+}

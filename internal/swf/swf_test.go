@@ -1,0 +1,147 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zccloud/internal/workload"
+)
+
+const sample = `; Version: 2.2
+; Computer: Blue Gene/Q
+; MaxNodes: 49152
+; MaxProcs: 786432
+;
+1 0 10 3600 16 -1 -1 16 7200 -1 1 3 4 -1 1 -1 -1 -1
+2 60 -1 1800 32 -1 -1 64 1800 -1 1 3 4 -1 1 -1 -1 -1
+3 120 -1 0 16 -1 -1 16 3600 -1 0 3 4 -1 1 -1 -1 -1
+4 180 -1 600 16 -1 -1 16 300 -1 1 3 4 -1 1 -1 -1 -1
+5 240 -1 900 16 -1 -1 16 900 -1 5 3 4 -1 1 -1 -1 -1
+`
+
+func TestParseBasic(t *testing.T) {
+	tr, h, skipped, err := Parse(strings.NewReader(sample), Options{ProcsPerNode: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxNodes() != 49152 {
+		t.Errorf("MaxNodes = %d", h.MaxNodes())
+	}
+	// job 3 has runtime 0 → skipped
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if len(tr.Jobs) != 4 {
+		t.Fatalf("jobs = %d, want 4", len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if j.ID != 1 || j.Submit != 0 || j.Runtime != 3600 || j.Request != 7200 || j.Nodes != 1 {
+		t.Errorf("job 1 = %+v", j)
+	}
+	// job 2: requested 64 procs → 4 nodes at 16 procs/node
+	if tr.Jobs[1].Nodes != 4 {
+		t.Errorf("job 2 nodes = %d, want 4", tr.Jobs[1].Nodes)
+	}
+	// job 4: requested time 300 < runtime 600 → clamped up to runtime
+	if tr.Jobs[2].Request != 600 {
+		t.Errorf("job 4 request = %v, want clamped to 600", tr.Jobs[2].Request)
+	}
+}
+
+func TestParseSkipFailed(t *testing.T) {
+	tr, _, skipped, err := Parse(strings.NewReader(sample), Options{SkipFailed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// job 3 (runtime 0) and job 5 (status 5) skipped
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if len(tr.Jobs) != 3 {
+		t.Errorf("jobs = %d, want 3", len(tr.Jobs))
+	}
+}
+
+func TestParseMaxJobs(t *testing.T) {
+	tr, _, _, err := Parse(strings.NewReader(sample), Options{MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Errorf("jobs = %d, want 2", len(tr.Jobs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"1 2 3\n", // too few fields
+		"x 0 -1 10 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n", // bad id
+		"1 x -1 10 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n", // bad submit
+		"1 0 -1 x 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n",  // bad runtime
+		"1 0 -1 10 x -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n", // bad procs
+	}
+	for i, in := range cases {
+		if _, _, _, err := Parse(strings.NewReader(in), Options{}); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestParseSorted(t *testing.T) {
+	in := `2 100 -1 10 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0
+1 50 -1 10 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0
+`
+	tr, _, _, err := Parse(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].ID != 1 || tr.Jobs[1].ID != 2 {
+		t.Error("trace not sorted by submit")
+	}
+}
+
+func TestRoundTripThroughSWF(t *testing.T) {
+	src, err := workload.Generate(workload.Config{Seed: 3, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, src, 16); err != nil {
+		t.Fatal(err)
+	}
+	back, _, skipped, err := Parse(&buf, Options{ProcsPerNode: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d on round trip", skipped)
+	}
+	if len(back.Jobs) != len(src.Jobs) {
+		t.Fatalf("jobs = %d, want %d", len(back.Jobs), len(src.Jobs))
+	}
+	for i := range src.Jobs {
+		a, b := src.Jobs[i], back.Jobs[i]
+		if a.Nodes != b.Nodes {
+			t.Fatalf("job %d nodes %d != %d", i, a.Nodes, b.Nodes)
+		}
+		// SWF stores whole seconds
+		if d := float64(a.Runtime - b.Runtime); d > 0.5 || d < -0.5 {
+			t.Fatalf("job %d runtime drift %v", i, d)
+		}
+	}
+}
+
+func TestHeaderMaxProcsFallback(t *testing.T) {
+	in := "; MaxProcs: 1024\n1 0 -1 10 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n"
+	_, h, _, err := Parse(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxNodes() != 1024 {
+		t.Errorf("MaxNodes fallback = %d", h.MaxNodes())
+	}
+	if (Header{}).MaxNodes() != 0 {
+		t.Error("empty header should report 0")
+	}
+}

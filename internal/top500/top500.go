@@ -1,0 +1,91 @@
+// Package top500 models the power consumption of the Top500
+// supercomputer list as of 2015, the comparison line of the paper's
+// Figure 12 ("can N wind sites' stranded power carry the top K
+// systems?").
+//
+// The head of the list uses the published power draws of the June 2015
+// list; the tail, where the list stops reporting power, is a fitted
+// power-law decay. The full-list cumulative power lands near 370 MW,
+// consistent with the sum of reported draws plus a smooth tail.
+package top500
+
+import (
+	"fmt"
+	"math"
+)
+
+// headMW holds published power draws (MW) for the top of the June 2015
+// list: Tianhe-2, Titan, Sequoia, K computer, Mira, Piz Daint, Shaheen II,
+// Stampede, JUQUEEN, Vulcan, and the next tier.
+var headMW = []float64{
+	17.81,                        // 1 Tianhe-2
+	8.21,                         // 2 Titan
+	7.89,                         // 3 Sequoia
+	12.66,                        // 4 K computer
+	3.95,                         // 5 Mira
+	2.33,                         // 6 Piz Daint
+	2.83,                         // 7 Shaheen II
+	4.51,                         // 8 Stampede
+	2.30,                         // 9 JUQUEEN
+	1.97,                         // 10 Vulcan
+	1.40, 3.58, 1.26, 1.75, 2.58, // 11-15
+	1.09, 1.31, 0.85, 1.75, 1.32, // 16-20
+}
+
+// tail parameters: MW(rank) = tailA * rank^(-tailAlpha) for rank > len(headMW).
+// Fitted to continue the head smoothly and to put the 500th system near
+// 0.35 MW.
+const (
+	tailA     = 9.5
+	tailAlpha = 0.53
+)
+
+// Systems is the list length.
+const Systems = 500
+
+// PowerMW returns the modeled power draw of the system at 1-based rank.
+func PowerMW(rank int) float64 {
+	if rank < 1 || rank > Systems {
+		panic(fmt.Sprintf("top500: rank %d outside [1,%d]", rank, Systems))
+	}
+	if rank <= len(headMW) {
+		return headMW[rank-1]
+	}
+	return tailA * math.Pow(float64(rank), -tailAlpha)
+}
+
+// CumulativePowerMW returns the summed power of systems ranked 1..k.
+func CumulativePowerMW(k int) float64 {
+	if k < 1 || k > Systems {
+		panic(fmt.Sprintf("top500: k %d outside [1,%d]", k, Systems))
+	}
+	sum := 0.0
+	for r := 1; r <= k; r++ {
+		sum += PowerMW(r)
+	}
+	return sum
+}
+
+// Milestones are the ranks Figure 12 marks: the Top system, Top 10,
+// Top 50, and Top 250.
+var Milestones = []int{1, 10, 50, 250}
+
+// SitesToCover returns, for each milestone rank, the minimum N such that
+// cumulativeMW[N-1] >= the milestone's cumulative power — i.e. how many
+// wind sites (ordered by duty factor, cumulative average SP in
+// cumulativeMW) cover the top-K systems. Returns 0 for milestones the
+// sites never cover.
+func SitesToCover(cumulativeMW []float64) map[int]int {
+	out := make(map[int]int, len(Milestones))
+	for _, k := range Milestones {
+		need := CumulativePowerMW(k)
+		out[k] = 0
+		for i, mw := range cumulativeMW {
+			if mw >= need {
+				out[k] = i + 1
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package top500
+
+import "testing"
+
+func TestPowerMWHead(t *testing.T) {
+	if PowerMW(1) != 17.81 {
+		t.Errorf("Tianhe-2 power = %v", PowerMW(1))
+	}
+	if PowerMW(5) != 3.95 {
+		t.Errorf("Mira power = %v", PowerMW(5))
+	}
+}
+
+func TestPowerMWTailDecays(t *testing.T) {
+	prev := PowerMW(len(headMW) + 1)
+	for r := len(headMW) + 2; r <= Systems; r++ {
+		p := PowerMW(r)
+		if p <= 0 || p > prev {
+			t.Fatalf("tail not decreasing at rank %d: %v after %v", r, p, prev)
+		}
+		prev = p
+	}
+	// head-to-tail transition should be roughly continuous (within 3x)
+	h, u := PowerMW(len(headMW)), PowerMW(len(headMW)+1)
+	if u > 3*h || h > 3*u {
+		t.Errorf("discontinuous transition: %v vs %v", h, u)
+	}
+	// 500th system should be sub-MW but not absurd
+	if p := PowerMW(500); p < 0.1 || p > 1 {
+		t.Errorf("rank-500 power = %v", p)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { PowerMW(0) },
+		func() { PowerMW(501) },
+		func() { CumulativePowerMW(0) },
+		func() { CumulativePowerMW(501) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCumulative(t *testing.T) {
+	if CumulativePowerMW(1) != PowerMW(1) {
+		t.Error("cumulative(1) != power(1)")
+	}
+	c10 := CumulativePowerMW(10)
+	if c10 < 60 || c10 > 70 {
+		t.Errorf("Top10 cumulative = %v MW, expect ≈ 64 MW", c10)
+	}
+	c500 := CumulativePowerMW(500)
+	if c500 < 300 || c500 > 900 {
+		t.Errorf("Top500 cumulative = %v MW, expect several hundred MW", c500)
+	}
+	// monotone
+	prev := 0.0
+	for k := 1; k <= 500; k += 13 {
+		c := CumulativePowerMW(k)
+		if c <= prev {
+			t.Fatalf("cumulative not increasing at %d", k)
+		}
+		prev = c
+	}
+}
+
+func TestSitesToCover(t *testing.T) {
+	// cumulative MW of hypothetical sites: 20, 40, ..., 2000
+	cum := make([]float64, 100)
+	for i := range cum {
+		cum[i] = float64(i+1) * 20
+	}
+	got := SitesToCover(cum)
+	if got[1] != 1 {
+		t.Errorf("Top1 (17.8 MW) needs %d sites, want 1", got[1])
+	}
+	if got[10] < 2 || got[10] > 5 {
+		t.Errorf("Top10 (≈64 MW) needs %d sites", got[10])
+	}
+	if got[250] <= got[50] {
+		t.Errorf("deeper milestones need more sites: %v", got)
+	}
+	// insufficient sites → 0
+	small := SitesToCover([]float64{1})
+	if small[250] != 0 {
+		t.Errorf("uncoverable milestone should be 0, got %d", small[250])
+	}
+}

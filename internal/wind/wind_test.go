@@ -1,0 +1,172 @@
+package wind
+
+import (
+	"math"
+	"testing"
+
+	"zccloud/internal/stats"
+)
+
+func newTestField(t *testing.T, seed int64) *Field {
+	t.Helper()
+	f, err := NewField(FieldConfig{Regions: 4, Sites: 12, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	bad := []FieldConfig{
+		{Regions: 0, Sites: 1},
+		{Regions: 1, Sites: 0},
+		{Regions: 1, Sites: 1, MeanCF: 1.5},
+		{Regions: 1, Sites: 1, MeanCF: -0.1},
+	}
+	for i, c := range bad {
+		if _, err := NewField(c); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	f := newTestField(t, 1)
+	for step := 0; step < 5000; step++ {
+		for s := 0; s < f.Sites(); s++ {
+			cf := f.CapacityFactor(s)
+			if cf < 0 || cf > 1 {
+				t.Fatalf("capacity factor %v outside [0,1]", cf)
+			}
+		}
+		f.Step()
+	}
+	if f.Interval() != 5000 {
+		t.Errorf("interval = %d", f.Interval())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := newTestField(t, 7), newTestField(t, 7)
+	for step := 0; step < 1000; step++ {
+		for s := 0; s < a.Sites(); s++ {
+			if a.CapacityFactor(s) != b.CapacityFactor(s) {
+				t.Fatalf("divergence at step %d site %d", step, s)
+			}
+		}
+		a.Step()
+		b.Step()
+	}
+}
+
+func TestMeanCapacityFactor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long calibration")
+	}
+	f := newTestField(t, 3)
+	var m stats.Moments
+	steps := 288 * 365 // one year
+	for step := 0; step < steps; step++ {
+		for s := 0; s < f.Sites(); s++ {
+			m.Add(f.CapacityFactor(s))
+		}
+		f.Step()
+	}
+	if m.Mean() < 0.28 || m.Mean() > 0.50 {
+		t.Errorf("annual mean CF = %.3f, want ≈ 0.38", m.Mean())
+	}
+	// wind must actually vary
+	if m.StdDev() < 0.10 {
+		t.Errorf("CF σ = %.3f, too static", m.StdDev())
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	// lag-1h autocorrelation must be high (wind persists over hours)
+	f := newTestField(t, 5)
+	var xs []float64
+	for step := 0; step < 288*30; step++ {
+		xs = append(xs, f.CapacityFactor(0))
+		f.Step()
+	}
+	lag := 12 // 1 hour of 5-min steps
+	if ac := autocorr(xs, lag); ac < 0.8 {
+		t.Errorf("lag-1h autocorrelation = %.3f, want > 0.8", ac)
+	}
+	if ac := autocorr(xs, 288*3); ac > 0.6 {
+		t.Errorf("lag-3d autocorrelation = %.3f, want decay", ac)
+	}
+}
+
+func TestRegionalCorrelation(t *testing.T) {
+	// Sites in the same region correlate more than sites across regions.
+	f := newTestField(t, 11)
+	// sites 0 and 4 share region 0 (round-robin with 4 regions); 0 and 1 differ
+	var same0, same1, diff0, diff1 []float64
+	for step := 0; step < 288*60; step++ {
+		same0 = append(same0, f.CapacityFactor(0))
+		same1 = append(same1, f.CapacityFactor(4))
+		diff0 = append(diff0, f.CapacityFactor(0))
+		diff1 = append(diff1, f.CapacityFactor(1))
+		f.Step()
+	}
+	if f.Region(0) != f.Region(4) || f.Region(0) == f.Region(1) {
+		t.Fatal("round-robin region assignment changed; fix test")
+	}
+	within := corr(same0, same1)
+	across := corr(diff0, diff1)
+	if within <= across {
+		t.Errorf("within-region corr %.3f <= across-region %.3f", within, across)
+	}
+	if within < 0.3 {
+		t.Errorf("within-region corr %.3f too weak", within)
+	}
+}
+
+func TestSeasonalCycle(t *testing.T) {
+	// winter (Jan) should out-produce late summer (Aug) on average
+	f := newTestField(t, 13)
+	var jan, aug stats.Moments
+	for step := 0; step < 288*365; step++ {
+		day := step / 288
+		cf := f.CapacityFactor(0)
+		switch {
+		case day < 31:
+			jan.Add(cf)
+		case day >= 212 && day < 243:
+			aug.Add(cf)
+		}
+		f.Step()
+	}
+	if jan.Mean() <= aug.Mean() {
+		t.Errorf("seasonal cycle inverted: jan %.3f <= aug %.3f", jan.Mean(), aug.Mean())
+	}
+}
+
+func autocorr(xs []float64, lag int) float64 {
+	return corr(xs[:len(xs)-lag], xs[lag:])
+}
+
+func corr(a, b []float64) float64 {
+	n := len(a)
+	ma, mb := stats.Mean(a), stats.Mean(b)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func BenchmarkFieldStep(b *testing.B) {
+	f, err := NewField(FieldConfig{Regions: 8, Sites: 200, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Step()
+		_ = f.CapacityFactor(0)
+	}
+}

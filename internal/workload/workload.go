@@ -1,0 +1,582 @@
+// Package workload synthesizes batch-job traces with the statistical
+// profile of the ALCF Mira trace used in the ZCCloud study (paper,
+// Table I): 78,795 jobs over 12 months, runtimes 0.004–82 h averaging
+// 1.7 h (σ 3.0 h), node counts 1–49,152 averaging 1,975 (σ 4,100), and
+// 84% utilization of Mira at 100% availability.
+//
+// The generator reproduces the properties the scheduling results depend
+// on:
+//
+//   - a heavy mass of small (≤2k-node) jobs plus a rare capability tail,
+//     drawn from a Blue Gene/Q-style partition-size distribution;
+//   - log-normal runtimes with the trace's mean and dispersion;
+//   - positive size/runtime correlation via a Gaussian copula, calibrated
+//     so that per-job node-hours yield Table I's utilization at Table I's
+//     job count;
+//   - non-homogeneous Poisson arrivals with diurnal and weekly cycles,
+//     plus the paper's Burst shape (2x arrival mass during ZCCloud
+//     uptime, 1x during downtime);
+//   - user walltime requests that overestimate runtime the way production
+//     logs do (required for backfill).
+//
+// All output is a deterministic function of Config.Seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"zccloud/internal/availability"
+	"zccloud/internal/job"
+	"zccloud/internal/sim"
+	"zccloud/internal/stats"
+)
+
+// Shape selects the temporal arrival profile (paper, Table II).
+type Shape int
+
+// Workload shapes.
+const (
+	Uniform Shape = iota // diurnal/weekly modulation only
+	Burst                // 2x node-hours during uptime windows, 1x during downtime
+)
+
+func (s Shape) String() string {
+	if s == Burst {
+		return "burst"
+	}
+	return "uniform"
+}
+
+// Table I anchor values.
+const (
+	TraceJobs      = 78795
+	TraceDays      = 364.0
+	MeanRuntimeHrs = 1.7
+	SDRuntimeHrs   = 3.0
+	MinRuntimeHrs  = 0.004
+	MaxRuntimeHrs  = 82.0
+	MeanNodes      = 1975.0
+	SDNodes        = 4100.0
+	Utilization    = 0.84
+)
+
+// Log-normal runtime parameters derived from the Table I moments
+// (mean 1.7 h, σ 3.0 h ⇒ CV² = (3/1.7)², σ² = ln(1+CV²)).
+var (
+	runtimeSigma = math.Sqrt(math.Log(1 + (SDRuntimeHrs/MeanRuntimeHrs)*(SDRuntimeHrs/MeanRuntimeHrs)))
+	runtimeMu    = math.Log(MeanRuntimeHrs) - runtimeSigma*runtimeSigma/2
+)
+
+// sizeBucket is one entry of the node-count distribution: Blue Gene/Q
+// partition sizes plus a small-debug-job bucket. Probabilities are
+// calibrated against Table I's node-count moments (tested in
+// workload_test.go).
+type sizeBucket struct {
+	nodes int
+	prob  float64
+}
+
+var sizeDist = []sizeBucket{
+	{128, 0.085}, // sub-midplane debug jobs (1–511 nodes, representative 128)
+	{512, 0.427},
+	{1024, 0.245},
+	{2048, 0.122},
+	{4096, 0.068},
+	{8192, 0.032},
+	{16384, 0.013},
+	{32768, 0.006},
+	{49152, 0.002},
+}
+
+// latentCorr is the Gaussian-copula correlation between node count and
+// runtime. Calibrated so mean node-hours/job ≈ Utilization × MiraNodes ×
+// 24 × TraceDays / TraceJobs ≈ 4,578 (Table I's utilization at Table I's
+// job count).
+const latentCorr = 0.26
+
+// Config controls trace synthesis.
+type Config struct {
+	Seed int64
+	// Days is the trace span; defaults to TraceDays.
+	Days float64
+	// SystemNodes is the base-system size used for the utilization
+	// target; defaults to 49,152 (Mira).
+	SystemNodes int
+	// TargetUtilization is delivered node-hours divided by SystemNodes ×
+	// Days × 24 h; defaults to 0.84 (Table I).
+	TargetUtilization float64
+	// Scale multiplies total node-hours: the paper's NxWorkload knob.
+	// Defaults to 1.
+	Scale float64
+	// Shape selects Uniform or Burst arrivals.
+	Shape Shape
+	// UptimeWindows are the intermittent-resource uptime windows used by
+	// the Burst shape (ignored for Uniform).
+	UptimeWindows []availability.Window
+	// ExactRequests sets every job's walltime request equal to its true
+	// runtime, the way Qsim replays a trace (the paper's methodology).
+	// When false, requests carry realistic user overestimates.
+	ExactRequests bool
+	// CampaignMean is the mean number of jobs per submission campaign
+	// (users submit ensembles of similar jobs together, the dominant
+	// source of burstiness in production logs). Jobs within a campaign
+	// share a size and a jittered runtime. 1 disables campaigns;
+	// 0 selects the default of 2, calibrated so the Mira baseline's
+	// queueing matches the congestion level the paper's Figure 7
+	// comparisons imply.
+	CampaignMean float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Days == 0 {
+		c.Days = TraceDays
+	}
+	if c.SystemNodes == 0 {
+		c.SystemNodes = 49152
+	}
+	if c.TargetUtilization == 0 {
+		c.TargetUtilization = Utilization
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.CampaignMean == 0 {
+		c.CampaignMean = 2
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.Days <= 0:
+		return fmt.Errorf("workload: days %v <= 0", c.Days)
+	case c.SystemNodes <= 0:
+		return fmt.Errorf("workload: system nodes %d <= 0", c.SystemNodes)
+	case c.TargetUtilization <= 0 || c.TargetUtilization > 3:
+		return fmt.Errorf("workload: target utilization %v outside (0,3]", c.TargetUtilization)
+	case c.Scale <= 0:
+		return fmt.Errorf("workload: scale %v <= 0", c.Scale)
+	case c.CampaignMean < 1:
+		return fmt.Errorf("workload: campaign mean %v < 1", c.CampaignMean)
+	case c.Shape == Burst && len(c.UptimeWindows) == 0:
+		return fmt.Errorf("workload: burst shape requires uptime windows")
+	}
+	return nil
+}
+
+// Generate synthesizes a trace. The job count is derived from the
+// node-hours target: count ≈ target / E[node-hours per job], so a default
+// Config yields approximately Table I's 78,795 jobs.
+func Generate(cfg Config) (*job.Trace, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	targetNH := cfg.TargetUtilization * float64(cfg.SystemNodes) * cfg.Days * 24 * cfg.Scale
+
+	// Phase 1: draw campaigns (a user submitting an ensemble of k similar
+	// jobs) until the node-hours budget is spent. Pinning total node-hours
+	// rather than job count puts realized utilization on target for every
+	// seed; job count then averages out near Table I's.
+	type protoJob struct {
+		runtime sim.Duration
+		request sim.Duration
+		nodes   int
+	}
+	var protos []protoJob
+	accNH := 0.0
+	for accNH < targetNH {
+		k := 1
+		if cfg.CampaignMean > 1 {
+			k = 1 + geometric(r, cfg.CampaignMean-1)
+		}
+		rtHrs, nodes := sampleJob(r)
+		reqFactor := 1.0
+		if !cfg.ExactRequests {
+			req := requestFor(r, sim.Duration(rtHrs*float64(sim.Hour)))
+			reqFactor = float64(req) / (rtHrs * float64(sim.Hour))
+		}
+		for n := 0; n < k && accNH < targetNH; n++ {
+			jitter := 0.9 + 0.2*r.Float64()
+			h := stats.Clamp(rtHrs*jitter, MinRuntimeHrs, MaxRuntimeHrs)
+			rt := sim.Duration(h * float64(sim.Hour))
+			protos = append(protos, protoJob{
+				runtime: rt,
+				request: sim.Duration(float64(rt) * reqFactor),
+				nodes:   nodes,
+			})
+			accNH += h * float64(nodes)
+		}
+	}
+
+	// Phase 2: arrival times, one per job, from the temporal profile.
+	horizon := sim.Time(cfg.Days * float64(sim.Day))
+	arrivals := sampleArrivals(r, len(protos), horizon, cfg.Shape, cfg.UptimeWindows)
+
+	tr := &job.Trace{Jobs: make([]*job.Job, 0, len(protos))}
+	for i, p := range protos {
+		j := &job.Job{
+			ID:      i + 1,
+			Submit:  arrivals[i],
+			Runtime: p.runtime,
+			Request: p.request,
+			Nodes:   p.nodes,
+		}
+		if err := job.Validate(j); err != nil {
+			return nil, err
+		}
+		tr.Jobs = append(tr.Jobs, j)
+	}
+	tr.SortBySubmit()
+	return tr, nil
+}
+
+// geometric draws from a geometric distribution with the given mean
+// (support 0, 1, 2, ...).
+func geometric(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (1 + mean)
+	n := 0
+	for r.Float64() > p {
+		n++
+		if n > 10000 {
+			break
+		}
+	}
+	return n
+}
+
+// MustGenerate is Generate for known-good configs; it panics on error.
+func MustGenerate(cfg Config) *job.Trace {
+	tr, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// sampleJob draws one correlated (runtime hours, nodes) pair via a
+// Gaussian copula: a shared latent normal couples the node-size quantile
+// and the runtime quantile.
+func sampleJob(r *rand.Rand) (runtimeHrs float64, nodes int) {
+	z1 := r.NormFloat64()
+	z2 := r.NormFloat64()
+	zRuntime := latentCorr*z1 + math.Sqrt(1-latentCorr*latentCorr)*z2
+
+	nodes = nodesFromQuantile(normCDF(z1))
+
+	runtimeHrs = math.Exp(runtimeMu + runtimeSigma*zRuntime)
+	if nodes > 8192 {
+		// Tail dependence: capability jobs in the production trace run
+		// disproportionately long (INCITE campaigns), beyond what the
+		// body-level copula correlation captures.
+		runtimeHrs *= capabilityRuntimeBoost
+	}
+	if runtimeHrs < MinRuntimeHrs {
+		runtimeHrs = MinRuntimeHrs
+	}
+	if runtimeHrs > MaxRuntimeHrs {
+		runtimeHrs = MaxRuntimeHrs
+	}
+	return runtimeHrs, nodes
+}
+
+// capabilityRuntimeBoost lengthens >8k-node jobs relative to the shared
+// log-normal body. Calibrated with latentCorr against Table I's moments
+// and the capability-wait structure of Figure 5.
+const capabilityRuntimeBoost = 1.5
+
+// nodesFromQuantile maps a uniform quantile to a node count through the
+// calibrated bucket distribution (larger quantile ⇒ larger job).
+func nodesFromQuantile(u float64) int {
+	acc := 0.0
+	for _, b := range sizeDist {
+		acc += b.prob
+		if u < acc {
+			return b.nodes
+		}
+	}
+	return sizeDist[len(sizeDist)-1].nodes
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// requestFor draws a user walltime request: production users overestimate
+// runtime with mass at common inflation levels.
+func requestFor(r *rand.Rand, runtime sim.Duration) sim.Duration {
+	var f float64
+	switch u := r.Float64(); {
+	case u < 0.15:
+		f = 1.0 // exact request
+	case u < 0.45:
+		f = 1.25
+	case u < 0.75:
+		f = 1.5
+	case u < 0.92:
+		f = 2.0
+	default:
+		f = 3.0
+	}
+	req := sim.Duration(float64(runtime) * f)
+	if max := sim.Duration(MaxRuntimeHrs * float64(sim.Hour) * 1.5); req > max {
+		req = max
+	}
+	if req < runtime {
+		req = runtime
+	}
+	return req
+}
+
+// sampleArrivals draws count arrival times over [0, horizon) from a
+// non-homogeneous Poisson profile by inverse-CDF sampling of the
+// intensity, then sorts (order statistics of an NHPP).
+func sampleArrivals(r *rand.Rand, count int, horizon sim.Time, shape Shape, up []availability.Window) []sim.Time {
+	// Build a piecewise-constant intensity profile at 1 h resolution.
+	hours := int(math.Ceil(float64(horizon) / float64(sim.Hour)))
+	if hours < 1 {
+		hours = 1
+	}
+	weights := make([]float64, hours)
+	cum := make([]float64, hours+1)
+	upAt := func(t sim.Time) bool {
+		for _, w := range up {
+			if w.Contains(t) {
+				return true
+			}
+		}
+		return false
+	}
+	isUp := make([]bool, hours)
+	for h := 0; h < hours; h++ {
+		t := sim.Time(h) * sim.Hour
+		weights[h] = diurnal(t) * weekly(t)
+		isUp[h] = upAt(t + 30*sim.Minute)
+	}
+	if shape == Burst {
+		// Paper: 2x node-hours during uptime vs 1x during downtime. The
+		// diurnal/weekly profile already tilts the hours, so solve for the
+		// uptime multiplier that makes the achieved mass ratio exactly 2:1.
+		var upW, downW float64
+		for h := 0; h < hours; h++ {
+			if isUp[h] {
+				upW += weights[h]
+			} else {
+				downW += weights[h]
+			}
+		}
+		if upW > 0 && downW > 0 {
+			alpha := 2 * downW / upW
+			for h := 0; h < hours; h++ {
+				if isUp[h] {
+					weights[h] *= alpha
+				}
+			}
+		}
+	}
+	for h := 0; h < hours; h++ {
+		cum[h+1] = cum[h] + weights[h]
+	}
+	total := cum[hours]
+
+	out := make([]sim.Time, count)
+	for i := range out {
+		target := r.Float64() * total
+		// binary search the cumulative profile
+		lo, hi := 0, hours
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		frac := (target - cum[lo]) / weights[lo]
+		out[i] = (sim.Time(lo) + sim.Time(frac)) * sim.Hour
+		if out[i] >= horizon {
+			out[i] = horizon - 1
+		}
+	}
+	sortTimes(out)
+	return out
+}
+
+func sortTimes(ts []sim.Time) {
+	// insertion-free: delegate to sort via a tiny shim to avoid float64
+	// conversions at call sites
+	quickSortTimes(ts)
+}
+
+func quickSortTimes(ts []sim.Time) {
+	if len(ts) < 2 {
+		return
+	}
+	// median-of-three quicksort with insertion sort for small runs;
+	// avoids sort.Slice closure overhead on the hot generation path.
+	if len(ts) < 16 {
+		for i := 1; i < len(ts); i++ {
+			for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+		return
+	}
+	m := len(ts) / 2
+	last := len(ts) - 1
+	if ts[0] > ts[m] {
+		ts[0], ts[m] = ts[m], ts[0]
+	}
+	if ts[m] > ts[last] {
+		ts[m], ts[last] = ts[last], ts[m]
+	}
+	if ts[0] > ts[m] {
+		ts[0], ts[m] = ts[m], ts[0]
+	}
+	pivot := ts[m]
+	i, j := 0, last
+	for i <= j {
+		for ts[i] < pivot {
+			i++
+		}
+		for ts[j] > pivot {
+			j--
+		}
+		if i <= j {
+			ts[i], ts[j] = ts[j], ts[i]
+			i++
+			j--
+		}
+	}
+	quickSortTimes(ts[:j+1])
+	quickSortTimes(ts[i:])
+}
+
+// diurnal is the within-day arrival intensity multiplier, peaking in the
+// local afternoon the way interactive submission does.
+func diurnal(t sim.Time) float64 {
+	hourOfDay := math.Mod(float64(t)/float64(sim.Hour), 24)
+	return 1 + 0.35*math.Sin(2*math.Pi*(hourOfDay-8)/24)
+}
+
+// weekly damps weekend submission.
+func weekly(t sim.Time) float64 {
+	day := int(float64(t)/float64(sim.Day)) % 7
+	if day >= 5 {
+		return 0.7
+	}
+	return 1.06 // keeps the weekly mean near 1
+}
+
+// ScaleTrace returns a new trace whose node-hours are factor × the input's,
+// implemented the way the paper scales workloads: duplicating jobs with the
+// same attribute distribution at jittered submission times. factor must be
+// >= 1; factor == 1 returns a plain clone.
+func ScaleTrace(tr *job.Trace, factor float64, seed int64) (*job.Trace, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("workload: scale factor %v < 1", factor)
+	}
+	out := tr.Clone()
+	if factor == 1 {
+		return out, nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	_, last := tr.Span()
+	extraNH := (factor - 1) * tr.NodeHours()
+	nextID := 0
+	for _, j := range tr.Jobs {
+		if j.ID > nextID {
+			nextID = j.ID
+		}
+	}
+	acc := 0.0
+	for acc < extraNH {
+		src := tr.Jobs[r.Intn(len(tr.Jobs))]
+		cp := *src
+		nextID++
+		cp.ID = nextID
+		// jitter within ±6 h keeps the diurnal profile while decorrelating
+		// exact collision with the source job
+		cp.Submit += sim.Duration((r.Float64()*2 - 1) * 6 * float64(sim.Hour))
+		if cp.Submit < 0 {
+			cp.Submit = 0
+		}
+		if cp.Submit > last {
+			cp.Submit = last
+		}
+		cp.Reset()
+		out.Jobs = append(out.Jobs, &cp)
+		acc += cp.NodeHours()
+	}
+	out.SortBySubmit()
+	return out, nil
+}
+
+// Stats summarizes a trace against the Table I columns.
+type Stats struct {
+	Jobs           int
+	Days           float64
+	RuntimeMeanHrs float64
+	RuntimeSDHrs   float64
+	RuntimeMinHrs  float64
+	RuntimeMaxHrs  float64
+	NodesMean      float64
+	NodesSD        float64
+	NodesMin       int
+	NodesMax       int
+	NodeHours      float64
+	// Utilization is node-hours over SystemNodes × span, the Table I
+	// "resource utilization at 100% availability".
+	Utilization float64
+}
+
+// Summarize computes Stats for a trace against a base system size.
+func Summarize(tr *job.Trace, systemNodes int) Stats {
+	var s Stats
+	s.Jobs = len(tr.Jobs)
+	if s.Jobs == 0 {
+		return s
+	}
+	var rt, nodes struct{ mean, m2, min, max float64 }
+	rt.min, nodes.min = math.Inf(1), math.Inf(1)
+	rt.max, nodes.max = math.Inf(-1), math.Inf(-1)
+	n := 0.0
+	for _, j := range tr.Jobs {
+		n++
+		rh := j.Runtime.Hours()
+		nd := float64(j.Nodes)
+		d := rh - rt.mean
+		rt.mean += d / n
+		rt.m2 += d * (rh - rt.mean)
+		d = nd - nodes.mean
+		nodes.mean += d / n
+		nodes.m2 += d * (nd - nodes.mean)
+		rt.min = math.Min(rt.min, rh)
+		rt.max = math.Max(rt.max, rh)
+		nodes.min = math.Min(nodes.min, nd)
+		nodes.max = math.Max(nodes.max, nd)
+		s.NodeHours += j.NodeHours()
+	}
+	first, last := tr.Span()
+	s.Days = float64(last-first) / float64(sim.Day)
+	s.RuntimeMeanHrs = rt.mean
+	s.RuntimeSDHrs = math.Sqrt(rt.m2 / n)
+	s.RuntimeMinHrs = rt.min
+	s.RuntimeMaxHrs = rt.max
+	s.NodesMean = nodes.mean
+	s.NodesSD = math.Sqrt(nodes.m2 / n)
+	s.NodesMin = int(nodes.min)
+	s.NodesMax = int(nodes.max)
+	if s.Days > 0 && systemNodes > 0 {
+		s.Utilization = s.NodeHours / (float64(systemNodes) * s.Days * 24)
+	}
+	return s
+}

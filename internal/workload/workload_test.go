@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"zccloud/internal/availability"
+	"zccloud/internal/job"
+	"zccloud/internal/sim"
+)
+
+// smallCfg keeps unit tests fast: ~1/16 of the full trace span.
+func smallCfg(seed int64) Config {
+	return Config{Seed: seed, Days: 28}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Days: -1},
+		{SystemNodes: -5},
+		{TargetUtilization: 5},
+		{Scale: -1},
+		{Shape: Burst}, // no windows
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(smallCfg(7))
+	b := MustGenerate(smallCfg(7))
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if *a.Jobs[i] != *b.Jobs[i] {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+	c := MustGenerate(smallCfg(8))
+	if len(a.Jobs) == len(c.Jobs) && *a.Jobs[0] == *c.Jobs[0] {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateSortedAndValid(t *testing.T) {
+	tr := MustGenerate(smallCfg(1))
+	horizon := sim.Time(28 * float64(sim.Day))
+	for i, j := range tr.Jobs {
+		if err := job.Validate(j); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+		if j.Submit < 0 || j.Submit >= horizon {
+			t.Fatalf("job %d submit %v outside [0, %v)", i, j.Submit, horizon)
+		}
+		if i > 0 && j.Submit < tr.Jobs[i-1].Submit {
+			t.Fatalf("trace not sorted at %d", i)
+		}
+	}
+}
+
+// TestTableICalibration is the Table I reproduction check: moments of the
+// synthetic trace must match the published trace statistics.
+func TestTableICalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-span calibration in -short mode")
+	}
+	tr := MustGenerate(Config{Seed: 42}) // full 364-day default
+	s := Summarize(tr, 49152)
+
+	if s.Jobs < 65000 || s.Jobs > 95000 {
+		t.Errorf("job count = %d, Table I has 78,795 (tolerance ±~20%%)", s.Jobs)
+	}
+	if s.RuntimeMeanHrs < 1.4 || s.RuntimeMeanHrs > 2.0 {
+		t.Errorf("mean runtime = %.2f h, Table I: 1.7 h", s.RuntimeMeanHrs)
+	}
+	if s.RuntimeSDHrs < 2.2 || s.RuntimeSDHrs > 3.8 {
+		t.Errorf("runtime σ = %.2f h, Table I: 3.0 h", s.RuntimeSDHrs)
+	}
+	if s.RuntimeMaxHrs > MaxRuntimeHrs+1e-9 {
+		t.Errorf("max runtime %.1f h exceeds Table I cap 82 h", s.RuntimeMaxHrs)
+	}
+	if s.NodesMean < 1700 || s.NodesMean > 2300 {
+		t.Errorf("mean nodes = %.0f, Table I: 1,975", s.NodesMean)
+	}
+	if s.NodesSD < 3400 || s.NodesSD > 4800 {
+		t.Errorf("nodes σ = %.0f, Table I: 4,100", s.NodesSD)
+	}
+	if s.NodesMax > 49152 {
+		t.Errorf("max nodes %d > 49,152", s.NodesMax)
+	}
+	if s.Utilization < 0.80 || s.Utilization > 0.90 {
+		t.Errorf("utilization = %.3f, Table I: 0.84", s.Utilization)
+	}
+}
+
+func TestScaleKnob(t *testing.T) {
+	base := MustGenerate(smallCfg(3))
+	scaled := MustGenerate(func() Config { c := smallCfg(3); c.Scale = 1.5; return c }())
+	ratio := scaled.NodeHours() / base.NodeHours()
+	if ratio < 1.35 || ratio > 1.65 {
+		t.Errorf("1.5x scale produced node-hour ratio %.2f", ratio)
+	}
+}
+
+func TestBurstShape(t *testing.T) {
+	// uptime 20:00–08:00 daily over 28 days
+	p := availability.Periodic{Period: sim.Day, Uptime: 12 * sim.Hour, Phase: 20 * sim.Hour}
+	windows := availability.Materialize(p, 0, sim.Time(28*float64(sim.Day)))
+	cfg := smallCfg(5)
+	cfg.Shape = Burst
+	cfg.UptimeWindows = windows
+	tr := MustGenerate(cfg)
+
+	upAt := func(ts sim.Time) bool {
+		_, ok := p.WindowAt(ts)
+		return ok
+	}
+	up, down := 0, 0
+	for _, j := range tr.Jobs {
+		if upAt(j.Submit) {
+			up++
+		} else {
+			down++
+		}
+	}
+	// with 50% duty and 2x intensity, expect ~2/3 of arrivals during uptime
+	frac := float64(up) / float64(up+down)
+	if frac < 0.58 || frac < float64(down)/float64(up+down) {
+		t.Errorf("burst uptime arrival fraction = %.2f, want ≈ 0.67", frac)
+	}
+}
+
+func TestCapabilityTail(t *testing.T) {
+	tr := MustGenerate(smallCfg(11))
+	cap := 0
+	for _, j := range tr.Jobs {
+		if j.Class() == job.ClassCapability {
+			cap++
+		}
+	}
+	frac := float64(cap) / float64(len(tr.Jobs))
+	// calibrated distribution puts ~3% of jobs above 8k nodes
+	if frac < 0.005 || frac > 0.10 {
+		t.Errorf("capability fraction = %.3f, want a rare but present tail", frac)
+	}
+}
+
+func TestRequestAtLeastRuntime(t *testing.T) {
+	tr := MustGenerate(smallCfg(13))
+	for _, j := range tr.Jobs {
+		if j.Request < j.Runtime {
+			t.Fatalf("job %d request %v < runtime %v", j.ID, j.Request, j.Runtime)
+		}
+		if j.Request > j.Runtime*3+1 {
+			t.Fatalf("job %d request inflation > 3x", j.ID)
+		}
+	}
+}
+
+func TestSizeDistNormalized(t *testing.T) {
+	sum := 0.0
+	for _, b := range sizeDist {
+		sum += b.prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("size distribution sums to %v", sum)
+	}
+}
+
+func TestNodesFromQuantileMonotone(t *testing.T) {
+	prev := 0
+	for u := 0.001; u < 1; u += 0.001 {
+		n := nodesFromQuantile(u)
+		if n < prev {
+			t.Fatalf("nodesFromQuantile not monotone at %v", u)
+		}
+		prev = n
+	}
+	if nodesFromQuantile(0.999999) != 49152 {
+		t.Error("top quantile should map to full machine")
+	}
+}
+
+func TestScaleTrace(t *testing.T) {
+	base := MustGenerate(smallCfg(17))
+	scaled, err := ScaleTrace(base, 1.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := scaled.NodeHours() / base.NodeHours()
+	if ratio < 1.45 || ratio > 1.56 {
+		t.Errorf("ScaleTrace(1.5) node-hour ratio = %.3f", ratio)
+	}
+	// sorted, unique IDs, within span
+	_, last := base.Span()
+	seen := map[int]bool{}
+	for i, j := range scaled.Jobs {
+		if seen[j.ID] {
+			t.Fatalf("duplicate job id %d", j.ID)
+		}
+		seen[j.ID] = true
+		if i > 0 && j.Submit < scaled.Jobs[i-1].Submit {
+			t.Fatal("scaled trace not sorted")
+		}
+		if j.Submit < 0 || j.Submit > last {
+			t.Fatalf("scaled submit %v outside [0,%v]", j.Submit, last)
+		}
+	}
+	// identity scale returns clone
+	same, err := ScaleTrace(base, 1, 0)
+	if err != nil || len(same.Jobs) != len(base.Jobs) {
+		t.Error("identity scale should clone")
+	}
+	if _, err := ScaleTrace(base, 0.5, 0); err == nil {
+		t.Error("scale < 1 should error")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(&job.Trace{}, 49152)
+	if s.Jobs != 0 || s.Utilization != 0 {
+		t.Error("empty trace summary should be zero")
+	}
+}
+
+func TestDiurnalWeeklyPositive(t *testing.T) {
+	for h := sim.Time(0); h < 7*sim.Day; h += sim.Hour {
+		if diurnal(h) <= 0 || weekly(h) <= 0 {
+			t.Fatalf("non-positive intensity at %v", h)
+		}
+	}
+}
+
+func TestQuickSortTimes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 15, 16, 100, 1000} {
+		ts := make([]sim.Time, n)
+		for i := range ts {
+			ts[i] = sim.Time((i * 7919) % 104729)
+		}
+		quickSortTimes(ts)
+		for i := 1; i < n; i++ {
+			if ts[i] < ts[i-1] {
+				t.Fatalf("n=%d not sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+func BenchmarkGenerateMonth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = MustGenerate(Config{Seed: int64(i), Days: 28})
+	}
+}

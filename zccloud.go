@@ -1,0 +1,289 @@
+// Package zccloud is a simulation toolkit for studying stranded-power
+// high-performance computing, reproducing "ZCCloud: Exploring Wasted
+// Green Power for High-Performance Computing" (Yang & Chien, IPPS 2016).
+//
+// The toolkit covers the paper's full pipeline:
+//
+//   - synthesize production-like HPC workloads calibrated to the ALCF
+//     Mira trace (GenerateWorkload);
+//   - simulate batch scheduling on a Mira-class system extended with an
+//     intermittent ZCCloud partition (Simulate), under periodic or
+//     trace-driven availability;
+//   - synthesize a MISO-like real-time power market — wind field, radial
+//     grid, merit-order dispatch with congestion — and stream its
+//     cleared-offer records (NewMarketDataset);
+//   - extract stranded-power intervals under the paper's LMP[x] and
+//     NetPrice[x] models and derive duty factors (NewSPAnalysis);
+//   - run every table and figure of the paper's evaluation
+//     (RunExperiment, Experiments).
+//
+// The sub-packages live under internal/; this package is the supported
+// surface. All randomness is seeded: identical inputs give identical
+// outputs.
+package zccloud
+
+import (
+	"zccloud/internal/availability"
+	"zccloud/internal/core"
+	"zccloud/internal/econ"
+	"zccloud/internal/experiments"
+	"zccloud/internal/forecast"
+	"zccloud/internal/job"
+	"zccloud/internal/miso"
+	"zccloud/internal/powergrid"
+	"zccloud/internal/sched"
+	"zccloud/internal/sim"
+	"zccloud/internal/stranded"
+	"zccloud/internal/swf"
+	"zccloud/internal/top500"
+	"zccloud/internal/workload"
+)
+
+// Time is simulated time in seconds since the simulation epoch.
+type Time = sim.Time
+
+// Time unit constants.
+const (
+	Second = sim.Second
+	Minute = sim.Minute
+	Hour   = sim.Hour
+	Day    = sim.Day
+)
+
+// Job is one batch job with its simulation outcome.
+type Job = job.Job
+
+// Trace is an ordered collection of jobs.
+type Trace = job.Trace
+
+// ReadTraceCSV reads a job trace written by Trace.WriteCSV.
+var ReadTraceCSV = job.ReadCSV
+
+// SWFOptions control Standard Workload Format parsing.
+type SWFOptions = swf.Options
+
+// SWFHeader carries the metadata directives of an SWF file.
+type SWFHeader = swf.Header
+
+// ParseSWF reads a Parallel Workloads Archive trace (SWF) into a job
+// trace, so real production logs can drive the simulator.
+var ParseSWF = swf.Parse
+
+// WriteSWF emits a trace in SWF form for other workload tools.
+var WriteSWF = swf.Write
+
+// WorkloadConfig controls synthetic workload generation (see Table I of
+// the paper for the calibration targets).
+type WorkloadConfig = workload.Config
+
+// Workload shapes.
+const (
+	Uniform = workload.Uniform
+	Burst   = workload.Burst
+)
+
+// GenerateWorkload synthesizes an ALCF-like job trace.
+func GenerateWorkload(cfg WorkloadConfig) (*Trace, error) { return workload.Generate(cfg) }
+
+// ScaleWorkload scales a trace's node-hours by factor >= 1 the way the
+// paper builds its NxWorkload variants.
+func ScaleWorkload(tr *Trace, factor float64, seed int64) (*Trace, error) {
+	return workload.ScaleTrace(tr, factor, seed)
+}
+
+// WorkloadStats summarizes a trace against the Table I columns.
+type WorkloadStats = workload.Stats
+
+// SummarizeWorkload computes WorkloadStats against a base system size.
+func SummarizeWorkload(tr *Trace, systemNodes int) WorkloadStats {
+	return workload.Summarize(tr, systemNodes)
+}
+
+// AvailabilityModel answers when a partition has power.
+type AvailabilityModel = availability.Model
+
+// Window is a half-open availability interval.
+type Window = availability.Window
+
+// AlwaysOn is a partition that never loses power.
+type AlwaysOn = availability.AlwaysOn
+
+// Periodic is up for a fixed window every cycle (Section IV's model).
+type Periodic = availability.Periodic
+
+// NewPeriodic builds a daily periodic model from a duty factor in (0,1].
+var NewPeriodic = availability.NewPeriodic
+
+// IntervalTrace is availability given by explicit windows, e.g. stranded
+// power intervals.
+type IntervalTrace = availability.IntervalTrace
+
+// NewIntervalTrace normalizes windows into a trace model.
+var NewIntervalTrace = availability.NewIntervalTrace
+
+// UnionAvailability returns the union of several models over a range —
+// the availability of a multi-site ZCCloud.
+var UnionAvailability = availability.Union
+
+// MeasureDutyFactor returns the fraction of [from, to) a model is up.
+var MeasureDutyFactor = availability.DutyFactor
+
+// SystemConfig describes a Mira-ZCCloud deployment.
+type SystemConfig = core.SystemConfig
+
+// RunConfig is one scheduling simulation.
+type RunConfig = core.RunConfig
+
+// Metrics is the simulation outcome the paper's figures read.
+type Metrics = core.Metrics
+
+// Simulate runs one Mira-ZCCloud scheduling simulation.
+func Simulate(cfg RunConfig) (*Metrics, error) { return core.Run(cfg) }
+
+// MarketConfig controls synthetic market-dataset generation (Table III).
+type MarketConfig = miso.Config
+
+// MarketScenario selects the grid and renewable mix.
+type MarketScenario = miso.Scenario
+
+// Market scenarios.
+const (
+	MISOScenario  = miso.ScenarioMISO  // wind-dominated Midwest (the paper)
+	CAISOScenario = miso.ScenarioCAISO // solar-dominated California (future work)
+)
+
+// GenKind distinguishes generator technologies.
+type GenKind = powergrid.GenType
+
+// Generator kinds.
+const (
+	WindKind  = powergrid.Wind
+	SolarKind = powergrid.Solar
+)
+
+// MarketRecord is one wind site's 5-minute cleared-offer row (Table IV).
+type MarketRecord = miso.Record
+
+// MarketDataset streams a synthetic MISO-like dataset.
+type MarketDataset = miso.Generator
+
+// NewMarketDataset builds the coupled wind–grid–market system.
+func NewMarketDataset(cfg MarketConfig) (*MarketDataset, error) { return miso.NewGenerator(cfg) }
+
+// WriteMarketCSV streams an entire dataset to a writer as CSV.
+var WriteMarketCSV = miso.WriteCSV
+
+// ReadMarketCSV streams records from a CSV, invoking fn per record.
+var ReadMarketCSV = miso.ReadCSV
+
+// SPModel is one stranded-power definition (Table V).
+type SPModel = stranded.Model
+
+// SP model kinds.
+const (
+	LMP      = stranded.LMP
+	NetPrice = stranded.NetPrice
+)
+
+// PaperSPModels are the four models the paper evaluates: LMP0, LMP5,
+// NetPrice0, NetPrice5.
+var PaperSPModels = stranded.PaperModels
+
+// SPInterval is one stranded-power interval.
+type SPInterval = stranded.Interval
+
+// SPSiteStats are per-site stranded power metrics (Section V).
+type SPSiteStats = stranded.SiteStats
+
+// SPAnalysis extracts stranded-power intervals for every site of a
+// dataset under one model.
+type SPAnalysis = stranded.Analysis
+
+// NewSPAnalysis creates per-site analyzers for nSites sites.
+func NewSPAnalysis(model SPModel, nSites int) *SPAnalysis { return stranded.NewAnalysis(model, nSites) }
+
+// NewSPAnalysisMin creates analyzers that additionally require minMW of
+// offered power for SP to count (needed for solar sites, whose prices can
+// stay negative after sundown).
+func NewSPAnalysisMin(model SPModel, nSites int, minMW float64) *SPAnalysis {
+	return stranded.NewAnalysisMin(model, nSites, minMW)
+}
+
+// SPWindows converts SP intervals to availability windows.
+var SPWindows = stranded.Windows
+
+// CumulativeDutyFactor returns top-N-site union duty factors (Figure 11).
+var CumulativeDutyFactor = stranded.CumulativeDutyFactor
+
+// CumulativeAvgSPMW returns top-N-site summed stranded MW (Figure 12).
+var CumulativeAvgSPMW = stranded.CumulativeAvgSPMW
+
+// Top500PowerMW returns the modeled power draw of the 2015 Top500 system
+// at a 1-based rank (Figure 12's comparison line).
+var Top500PowerMW = top500.PowerMW
+
+// Top500CumulativePowerMW returns the summed power of ranks 1..k.
+var Top500CumulativePowerMW = top500.CumulativePowerMW
+
+// WindowPredictor estimates availability-window ends for predictive
+// scheduling.
+type WindowPredictor = sched.WindowPredictor
+
+// FixedWindowPredictor assumes every window lasts a fixed duration.
+type FixedWindowPredictor = forecast.Fixed
+
+// HazardPredictor predicts window ends conditioned on window age from an
+// empirical duration sample — the fix for fixed-horizon predictors'
+// stale-window throttling on heavy-tailed stranded power.
+type HazardPredictor = forecast.Hazard
+
+// NewHazardPredictor builds a hazard predictor at the given optimism
+// quantile in (0,1).
+var NewHazardPredictor = forecast.NewHazard
+
+// EconParams are the cost-model inputs for stranded-power computing
+// economics (paper Section VIII future work).
+type EconParams = econ.Params
+
+// DefaultEconParams returns 2015-era new-hardware cost assumptions.
+var DefaultEconParams = econ.DefaultParams
+
+// RecycledEconParams returns the second-life-hardware scenario.
+var RecycledEconParams = econ.RecycledParams
+
+// Deployment kinds for the cost model.
+const (
+	TraditionalDeployment = econ.Traditional
+	ContainerDeployment   = econ.Container
+)
+
+// ExperimentOptions scales the experiment suite; the zero value is the
+// paper's configuration.
+type ExperimentOptions = experiments.Options
+
+// QuickOptions is a reduced preset for fast runs.
+var QuickOptions = experiments.Quick
+
+// Lab shares expensive artifacts across experiments.
+type Lab = experiments.Lab
+
+// NewLab creates a Lab.
+var NewLab = experiments.NewLab
+
+// ResultTable is one experiment's output.
+type ResultTable = experiments.Table
+
+// Experiment is one runnable paper artifact.
+type Experiment = experiments.Experiment
+
+// Experiments lists every paper table/figure plus the extensions.
+var Experiments = experiments.All
+
+// RunExperiment runs one experiment by id ("fig5", "table6", ...).
+func RunExperiment(id string, lab *Lab) (*ResultTable, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(lab)
+}
