@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race check bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	gofmt -w .

@@ -1,37 +1,78 @@
 // Command zccsim runs one Mira-ZCCloud scheduling simulation and prints
-// the metrics the paper reports.
+// the metrics the paper reports, followed by a telemetry summary.
 //
 // Examples:
 //
 //	zccsim -days 28                                # Mira only, 1xWorkload
 //	zccsim -days 28 -zc-factor 1 -zc-duty 0.5      # + 1xMira ZCCloud @50%
 //	zccsim -days 28 -zc-factor 2 -scale 1.5 -seed 7
+//	zccsim -days 7 -trace t.jsonl -metrics m.json  # with event trace
+//	zccsim -swf trace.swf                          # replay an SWF log
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"zccloud"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "zccsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("zccsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed     = flag.Int64("seed", 42, "random seed")
-		days     = flag.Float64("days", 28, "workload span in days")
-		scale    = flag.Float64("scale", 1, "workload scale (the paper's NxWorkload)")
-		burst    = flag.Bool("burst", false, "burst workload shape (2x node-hours during ZC uptime)")
-		nodes    = flag.Int("mira-nodes", 49152, "base system size in nodes")
-		zcFactor = flag.Float64("zc-factor", 0, "ZCCloud size as a multiple of Mira (0 = no ZCCloud)")
-		zcDuty   = flag.Float64("zc-duty", 0.5, "ZCCloud periodic duty factor in (0,1]")
-		zcPhase  = flag.Float64("zc-phase", 20, "daily hour the ZC window opens")
-		killMode = flag.Bool("kill-requeue", false, "non-oracle mode: kill and resubmit jobs at window end")
-		util     = flag.Float64("utilization", 0, "target base utilization (0 = Table I's 0.84)")
-		swfPath  = flag.String("trace", "", "replay an SWF trace file instead of generating a workload")
-		procsPer = flag.Int("procs-per-node", 16, "SWF processors per scheduler node (with -trace)")
+		seed     = fs.Int64("seed", 42, "random seed")
+		days     = fs.Float64("days", 28, "workload span in days")
+		scale    = fs.Float64("scale", 1, "workload scale (the paper's NxWorkload)")
+		burst    = fs.Bool("burst", false, "burst workload shape (2x node-hours during ZC uptime)")
+		nodes    = fs.Int("mira-nodes", 49152, "base system size in nodes")
+		zcFactor = fs.Float64("zc-factor", 0, "ZCCloud size as a multiple of Mira (0 = no ZCCloud)")
+		zcDuty   = fs.Float64("zc-duty", 0.5, "ZCCloud periodic duty factor in (0,1]")
+		zcPhase  = fs.Float64("zc-phase", 20, "daily hour the ZC window opens")
+		killMode = fs.Bool("kill-requeue", false, "non-oracle mode: kill and resubmit jobs at window end")
+		util     = fs.Float64("utilization", 0, "target base utilization (0 = Table I's 0.84)")
+		swfPath  = fs.String("swf", "", "replay an SWF trace file instead of generating a workload")
+		procsPer = fs.Int("procs-per-node", 16, "SWF processors per scheduler node (with -swf)")
+
+		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file")
+		metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
+		progress   = fs.Bool("progress", false, "report simulation progress and rate to stderr")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		version    = fs.Bool("version", false, "print build information and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *version {
+		fmt.Fprintln(stdout, "zccsim", zccloud.BuildInfo())
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var zc zccloud.AvailabilityModel
 	if *zcFactor > 0 {
@@ -46,7 +87,7 @@ func main() {
 	if *swfPath != "" {
 		f, err := os.Open(*swfPath)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		var header zccloud.SWFHeader
 		var skipped int
@@ -56,13 +97,13 @@ func main() {
 		})
 		f.Close()
 		if err != nil {
-			fatal("parsing %s: %v", *swfPath, err)
+			return fmt.Errorf("parsing %s: %v", *swfPath, err)
 		}
-		fmt.Printf("replaying %s: %d jobs (%d skipped)", *swfPath, len(tr.Jobs), skipped)
+		fmt.Fprintf(stdout, "replaying %s: %d jobs (%d skipped)", *swfPath, len(tr.Jobs), skipped)
 		if mn := header.MaxNodes(); mn > 0 {
-			fmt.Printf(", trace machine %d nodes", mn)
+			fmt.Fprintf(stdout, ", trace machine %d nodes", mn)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	} else {
 		wcfg := zccloud.WorkloadConfig{
 			Seed:              *seed,
@@ -73,7 +114,7 @@ func main() {
 		}
 		if *burst {
 			if zc == nil {
-				fatal("-burst requires -zc-factor > 0")
+				return fmt.Errorf("-burst requires -zc-factor > 0")
 			}
 			wcfg.Shape = zccloud.Burst
 			horizon := zccloud.Time(*days) * zccloud.Day
@@ -82,12 +123,27 @@ func main() {
 		var err error
 		tr, err = zccloud.GenerateWorkload(wcfg)
 		if err != nil {
-			fatal("generating workload: %v", err)
+			return fmt.Errorf("generating workload: %v", err)
 		}
 	}
 	st := zccloud.SummarizeWorkload(tr, *nodes)
-	fmt.Printf("workload: %d jobs over %.0f days, %.0f M node-hours (%.1f%% of Mira)\n",
+	fmt.Fprintf(stdout, "workload: %d jobs over %.0f days, %.0f M node-hours (%.1f%% of Mira)\n",
 		st.Jobs, st.Days, st.NodeHours/1e6, 100*st.Utilization)
+
+	obsOpt := zccloud.ObsOptions{Metrics: zccloud.NewMetricsRegistry()}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		sink := zccloud.NewJSONLTracer(f)
+		defer sink.Close()
+		obsOpt.Tracer = sink
+	}
+	if *progress {
+		obsOpt.Progress = zccloud.NewProgressReporter(stderr, 5*time.Second)
+		obsOpt.Progress.Phase("sim")
+	}
 
 	m, err := zccloud.Simulate(zccloud.RunConfig{
 		Trace: tr,
@@ -97,33 +153,69 @@ func main() {
 			ZCAvail:   zc,
 			NonOracle: *killMode,
 		},
+		Obs: obsOpt,
 	})
 	if err != nil {
-		fatal("simulating: %v", err)
+		return fmt.Errorf("simulating: %v", err)
 	}
 
-	fmt.Printf("\ncompleted %d jobs (%d unfinished, %d unrunnable); makespan %.1f days\n",
+	fmt.Fprintf(stdout, "\ncompleted %d jobs (%d unfinished, %d unrunnable); makespan %.1f days\n",
 		m.Completed, m.Unfinished, m.Unrunnable, m.MakespanDays)
-	fmt.Printf("avg wait %.2f h (p50 %.2f, p90 %.2f, max %.1f)\n",
+	fmt.Fprintf(stdout, "avg wait %.2f h (p50 %.2f, p90 %.2f, max %.1f)\n",
 		m.AvgWaitHrs, m.P50WaitHrs, m.P90WaitHrs, m.MaxWaitHrs)
-	fmt.Printf("capability jobs %.2f h, capacity jobs %.2f h\n",
+	fmt.Fprintf(stdout, "capability jobs %.2f h, capacity jobs %.2f h\n",
 		m.AvgWaitCapabilityHrs, m.AvgWaitCapacityHrs)
 	if *zcFactor > 0 {
-		fmt.Printf("on-time %.2f h (%d jobs), late %.2f h (%d jobs)\n",
+		fmt.Fprintf(stdout, "on-time %.2f h (%d jobs), late %.2f h (%d jobs)\n",
 			m.AvgWaitOnTimeHrs, m.OnTimeJobs, m.AvgWaitLateHrs, m.LateJobs)
-		fmt.Printf("ZCCloud carried %.1f%% of delivered node-hours\n", 100*m.ZCShareOfWork)
+		fmt.Fprintf(stdout, "ZCCloud carried %.1f%% of delivered node-hours\n", 100*m.ZCShareOfWork)
 	}
-	fmt.Printf("throughput %.1f jobs/day\n", m.ThroughputJobsPerDay)
+	fmt.Fprintf(stdout, "throughput %.1f jobs/day\n", m.ThroughputJobsPerDay)
 	for part, u := range m.UtilizationByPartition {
-		fmt.Printf("utilization[%s] = %.1f%%\n", part, 100*u)
+		fmt.Fprintf(stdout, "utilization[%s] = %.1f%%\n", part, 100*u)
 	}
-	fmt.Println("\nwait by job size:")
+	fmt.Fprintln(stdout, "\nwait by job size:")
 	for _, b := range m.AvgWaitBySize {
 		if b.Jobs == 0 {
 			continue
 		}
-		fmt.Printf("  %12s nodes: %6d jobs, %8.2f h\n", b.Label, b.Jobs, b.AvgWaitHrs)
+		fmt.Fprintf(stdout, "  %12s nodes: %6d jobs, %8.2f h\n", b.Label, b.Jobs, b.AvgWaitHrs)
 	}
+
+	snap := obsOpt.Metrics.Snapshot()
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, zccloud.MetricsSummaryTable(snap).Text())
+
+	if t, ok := obsOpt.Tracer.(*zccloud.JSONLTracer); ok {
+		if err := t.Flush(); err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func materialize(m zccloud.AvailabilityModel, horizon zccloud.Time) []zccloud.Window {
@@ -141,9 +233,4 @@ func materialize(m zccloud.AvailabilityModel, horizon zccloud.Time) []zccloud.Wi
 		t = w.End
 	}
 	return out
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "zccsim: "+format+"\n", args...)
-	os.Exit(1)
 }

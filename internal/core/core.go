@@ -18,6 +18,7 @@ import (
 	"zccloud/internal/availability"
 	"zccloud/internal/cluster"
 	"zccloud/internal/job"
+	"zccloud/internal/obs"
 	"zccloud/internal/sched"
 	"zccloud/internal/sim"
 )
@@ -110,6 +111,9 @@ type RunConfig struct {
 	// Deadline bounds the run; zero defaults to the trace span plus 90
 	// days of drain time.
 	Deadline sim.Time
+	// Obs carries the telemetry hooks (event tracer, metrics registry,
+	// progress reporter); the zero value disables all instrumentation.
+	Obs obs.Options
 }
 
 // SizeBin is one job-size bucket of Figure 5.
@@ -201,6 +205,9 @@ func Run(cfg RunConfig) (*Metrics, error) {
 		Predictor:          sys.Predictor,
 		CheckpointInterval: sys.CheckpointInterval,
 		CheckpointOverhead: sys.CheckpointOverhead,
+		Tracer:             cfg.Obs.Tracer,
+		Metrics:            cfg.Obs.Metrics,
+		Progress:           cfg.Obs.Progress,
 	}
 	if sys.ZCFactor > 0 {
 		scfg.Classify = sys.ZCAvail
@@ -217,6 +224,15 @@ func Run(cfg RunConfig) (*Metrics, error) {
 		NodeHoursByPartition: res.NodeHoursByPartition,
 	}
 
+	// Run-level metrics: completion counters and the wait-time
+	// distribution (all handles are nil-safe no-ops without a registry).
+	runScope := cfg.Obs.Metrics.Scope("run")
+	runScope.Counter("simulations").Inc()
+	runScope.Counter("jobs_completed").Add(int64(res.Completed))
+	runScope.Counter("jobs_unfinished").Add(int64(res.Unfinished))
+	runScope.Counter("jobs_unrunnable").Add(int64(res.Unrunnable))
+	waitHist := runScope.Histogram("wait_hours", 0, 168, 42)
+
 	waits := make([]float64, 0, res.Completed)
 	var bySize []accum
 	for range sizeBinBounds {
@@ -228,6 +244,7 @@ func Run(cfg RunConfig) (*Metrics, error) {
 			continue
 		}
 		w := j.Wait().Hours()
+		waitHist.Observe(w)
 		waits = append(waits, w)
 		bin := sizeBinIndex(j.Nodes)
 		bySize[bin].add(w)

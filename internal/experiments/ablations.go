@@ -33,7 +33,7 @@ func BackfillAblation(l *Lab) (*Table, error) {
 			}
 			cfg := sysFor(l, sys.factor, zc)
 			cfg.DisableBackfill = nb
-			m, err := runSys(tr, cfg)
+			m, err := l.runSys(tr, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -87,7 +87,7 @@ func Checkpoint(l *Lab) (*Table, error) {
 		}
 		sys := sysFor(l, 1, spAvail)
 		v.mutate(&sys)
-		m, err := runSys(tr, sys)
+		m, err := l.runSys(tr, sys)
 		if err != nil {
 			return nil, err
 		}
@@ -139,11 +139,11 @@ func BurstinessAblation(l *Lab) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := runSys(tr.Clone(), core.SystemConfig{MiraNodes: opt.MiraNodes})
+		base, err := l.runSys(tr.Clone(), core.SystemConfig{MiraNodes: opt.MiraNodes})
 		if err != nil {
 			return nil, err
 		}
-		mz, err := runSys(tr.Clone(), sysFor(l, 1, zc))
+		mz, err := l.runSys(tr.Clone(), sysFor(l, 1, zc))
 		if err != nil {
 			return nil, err
 		}

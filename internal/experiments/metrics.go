@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"zccloud/internal/obs"
+)
+
+// MetricsSummary renders a telemetry snapshot as a result table: the
+// scheduler's decision counters, the engine's dispatch accounting
+// (including the event-queue high-water mark), and the run-level
+// wait-time distribution. CLIs append it to their output so every run
+// reports how much work the simulator actually did.
+func MetricsSummary(snap obs.Snapshot) *Table {
+	t := &Table{
+		ID:      "metrics",
+		Title:   "Telemetry summary",
+		Columns: []string{"Metric", "Value"},
+	}
+	row := func(label string, v any) { t.AddRow(label, v) }
+	row("Simulations run", snap.Counter("run.simulations"))
+	row("Scheduler passes", snap.Counter("sched.passes"))
+	row("Jobs started", snap.Counter("sched.jobs_started"))
+	row("Jobs backfilled", snap.Counter("sched.jobs_backfilled"))
+	row("Jobs killed", snap.Counter("sched.jobs_killed"))
+	row("Jobs requeued", snap.Counter("sched.jobs_requeued"))
+	row("Jobs pinned to always-on", snap.Counter("sched.jobs_pinned"))
+	row("Jobs unrunnable", snap.Counter("sched.jobs_unrunnable"))
+	row("Peak wait-queue length", int64(snap.Gauge("sched.queue_peak")))
+	row("Events dispatched", snap.Counter("sim.events_dispatched"))
+	row("Peak event-queue length", int64(snap.Gauge("sim.max_queue_len")))
+	if h, ok := snap.Histograms["run.wait_hours"]; ok && h.Count > 0 {
+		row("Wait time mean (h)", h.Mean)
+		row("Wait time max (h)", h.Max)
+	}
+	if n := snap.Counter("run.jobs_unfinished"); n > 0 {
+		t.AddNote("%d jobs unfinished at a deadline across all simulations", n)
+	}
+	t.AddNote("full snapshot available via -metrics; counters accumulate across all simulations of the run")
+	return t
+}

@@ -33,14 +33,15 @@ func sysFor(l *Lab, zcFactor float64, avail availability.Model) core.SystemConfi
 	return sys
 }
 
-// runSys simulates a trace on a configured system.
-func runSys(tr *job.Trace, sys core.SystemConfig) (*core.Metrics, error) {
-	return core.Run(core.RunConfig{Trace: tr, System: sys})
+// runSys simulates a trace on a configured system, with the Lab's
+// telemetry hooks attached.
+func (l *Lab) runSys(tr *job.Trace, sys core.SystemConfig) (*core.Metrics, error) {
+	return core.Run(core.RunConfig{Trace: tr, System: sys, Obs: l.obs})
 }
 
 // runMZ simulates a trace on Mira + ZCCloud(factor, duty-model).
 func (l *Lab) runMZ(tr *job.Trace, zcFactor float64, avail availability.Model) (*core.Metrics, error) {
-	return runSys(tr, sysFor(l, zcFactor, avail))
+	return l.runSys(tr, sysFor(l, zcFactor, avail))
 }
 
 // Table1 reproduces Table I: the workload trace statistics.

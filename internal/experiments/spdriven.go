@@ -215,7 +215,7 @@ func KillRequeue(l *Lab) (*Table, error) {
 		}
 		sys := sysFor(l, 1, spAvail)
 		sys.NonOracle = !oracle
-		m, err := runSys(tr, sys)
+		m, err := l.runSys(tr, sys)
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +299,7 @@ func Prediction(l *Lab) (*Table, error) {
 		}
 		sys := sysFor(l, 1, spAvail)
 		v.mutate(&sys)
-		m, err := runSys(tr, sys)
+		m, err := l.runSys(tr, sys)
 		if err != nil {
 			return nil, err
 		}

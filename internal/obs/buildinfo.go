@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// BuildInfo returns a one-line description of the running binary: module
+// path, Go version, and (when built from a checkout) the VCS revision and
+// dirty flag. It backs the CLIs' -version flag.
+func BuildInfo() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "build info unavailable"
+	}
+	var b strings.Builder
+	path := bi.Main.Path
+	if path == "" {
+		path = "zccloud"
+	}
+	b.WriteString(path)
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		fmt.Fprintf(&b, " %s", v)
+	}
+	fmt.Fprintf(&b, " (%s", bi.GoVersion)
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, ", rev %s", rev)
+		if modified == "true" {
+			b.WriteString("+dirty")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}

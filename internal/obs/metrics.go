@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"zccloud/internal/stats"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe on a nil receiver (they do nothing and return zero), so code can
+// instrument unconditionally and pay nothing when metrics are disabled.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float metric with a set-if-greater variant for
+// high-water marks. Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores x.
+func (g *Gauge) Set(x float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(x))
+	}
+}
+
+// SetMax stores x if it exceeds the current value.
+func (g *Gauge) SetMax(x float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= x {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates a distribution: fixed uniform buckets plus online
+// moments, both built on internal/stats. Nil-safe like Counter.
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+	m  stats.Moments
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Add(x)
+	h.m.Add(x)
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.m.Count()
+}
+
+// Registry holds named metrics. Names are dot-separated paths
+// ("sched.jobs_started"); Scope prepends a path segment. The zero value
+// is not usable; call NewRegistry. A nil *Registry is a valid "disabled"
+// registry: scopes and metric lookups on it return nil handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with n uniform
+// buckets over [lo, hi) on first use. The shape arguments are ignored on
+// subsequent lookups.
+func (r *Registry) Histogram(name string, lo, hi float64, n int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{h: stats.NewHistogram(lo, hi, n)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Scope returns a view of the registry that prefixes every metric name
+// with name + ".".
+func (r *Registry) Scope(name string) Scope {
+	return Scope{r: r, prefix: name + "."}
+}
+
+// Scope is a named namespace within a Registry. The zero value (and any
+// scope of a nil registry) yields nil no-op metric handles.
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Counter returns the scoped counter.
+func (s Scope) Counter(name string) *Counter { return s.r.Counter(s.prefix + name) }
+
+// Gauge returns the scoped gauge.
+func (s Scope) Gauge(name string) *Gauge { return s.r.Gauge(s.prefix + name) }
+
+// Histogram returns the scoped histogram.
+func (s Scope) Histogram(name string, lo, hi float64, n int) *Histogram {
+	return s.r.Histogram(s.prefix+name, lo, hi, n)
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int64 `json:"buckets"`
+	Under  int64   `json:"under,omitempty"`
+	Over   int64   `json:"over,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Its
+// JSON encoding is deterministic (map keys sort).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns a snapshot counter by name (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a snapshot gauge by name (0 when absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Snapshot copies the current metric values. Nil-safe: a nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			h.mu.Lock()
+			hs := HistogramSnapshot{
+				Count:  h.m.Count(),
+				Mean:   h.m.Mean(),
+				StdDev: h.m.StdDev(),
+				Min:    h.m.Min(),
+				Max:    h.m.Max(),
+				Lo:     h.h.Lo,
+				Hi:     h.h.Hi,
+				Counts: append([]int64(nil), h.h.Counts...),
+				Under:  h.h.Under(),
+				Over:   h.h.Over(),
+			}
+			h.mu.Unlock()
+			s.Histograms[n] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Options bundles the telemetry hooks a simulation run accepts. The zero
+// value disables everything at near-zero cost.
+type Options struct {
+	// Tracer receives simulation events; nil means no tracing.
+	Tracer Tracer
+	// Metrics receives counters, gauges, and histograms; nil disables.
+	Metrics *Registry
+	// Progress receives throttled progress callbacks; nil disables.
+	Progress *Progress
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.jobs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.jobs") != c {
+		t.Error("Counter not memoized")
+	}
+
+	g := r.Gauge("a.peak")
+	g.Set(3)
+	g.SetMax(10)
+	g.SetMax(7) // lower; ignored
+	if got := g.Value(); got != 10 {
+		t.Errorf("gauge = %v, want 10", got)
+	}
+
+	h := r.Histogram("a.wait", 0, 10, 5)
+	for _, x := range []float64{1, 3, 3, 9, 11} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Errorf("hist count = %d, want 5", h.Count())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter should stay 0")
+	}
+	g := r.Gauge("x")
+	g.Set(1)
+	g.SetMax(2)
+	if g.Value() != 0 {
+		t.Error("nil gauge should stay 0")
+	}
+	h := r.Histogram("x", 0, 1, 1)
+	h.Observe(5)
+	if h.Count() != 0 {
+		t.Error("nil histogram should stay empty")
+	}
+	var sc Scope
+	sc.Counter("y").Inc()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Error("nil registry snapshot should be empty")
+	}
+}
+
+func TestScope(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Scope("sched")
+	sc.Counter("passes").Add(7)
+	if got := r.Counter("sched.passes").Value(); got != 7 {
+		t.Errorf("scoped counter = %d, want 7", got)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b.two").Add(2)
+		r.Counter("a.one").Add(1)
+		r.Gauge("g.peak").Set(3.5)
+		h := r.Histogram("h.wait", 0, 4, 2)
+		h.Observe(1)
+		h.Observe(3)
+		return r
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := build().Snapshot().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Errorf("snapshot JSON not deterministic:\n%s\nvs\n%s", buf1.String(), buf2.String())
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf1.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if round.Counter("a.one") != 1 || round.Counter("b.two") != 2 {
+		t.Errorf("round-trip counters = %+v", round.Counters)
+	}
+	if round.Gauge("g.peak") != 3.5 {
+		t.Errorf("round-trip gauge = %v", round.Gauge("g.peak"))
+	}
+	hs := round.Histograms["h.wait"]
+	if hs.Count != 2 || hs.Mean != 2 {
+		t.Errorf("round-trip histogram = %+v", hs)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("peak").SetMax(float64(i))
+				r.Histogram("h", 0, 1000, 10).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("peak").Value(); got != 999 {
+		t.Errorf("concurrent gauge = %v, want 999", got)
+	}
+	if got := r.Histogram("h", 0, 1000, 10).Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}

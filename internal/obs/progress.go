@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zccloud/internal/sim"
+)
+
+// progressCheckMask throttles how often Observe consults the wall clock:
+// only every (mask+1)-th call pays for time.Now.
+const progressCheckMask = 1023
+
+// Progress reports how far a long simulation has advanced: the current
+// phase, the percent of simulated time elapsed, and the simulation rate
+// (simulated days per wall-clock second). It is the only telemetry
+// component allowed to read the wall clock — it never feeds back into
+// the simulation, so determinism is preserved.
+//
+// All methods are nil-safe; a nil *Progress disables reporting.
+type Progress struct {
+	ticks atomic.Uint32 // cheap pre-filter before the wall-clock check
+
+	mu       sync.Mutex
+	w        io.Writer
+	interval time.Duration
+	phase    string
+	last     time.Time
+	lastSim  sim.Time
+	started  bool
+}
+
+// NewProgress returns a reporter writing to w at most once per interval
+// per phase. A non-positive interval reports on every (throttled) check —
+// useful in tests.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	return &Progress{w: w, interval: interval}
+}
+
+// Phase names the work that subsequent Observe calls belong to (e.g. an
+// experiment ID) and resets the rate baseline.
+func (p *Progress) Phase(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.phase = name
+	p.started = false
+	p.mu.Unlock()
+}
+
+// Observe records that simulated time has reached now out of total. It
+// is cheap enough to call once per simulation event: most calls return
+// after one atomic increment.
+func (p *Progress) Observe(now, total sim.Time) {
+	if p == nil {
+		return
+	}
+	if p.ticks.Add(1)&progressCheckMask != 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wall := time.Now()
+	if !p.started {
+		// First observation of a phase sets the baseline; nothing to
+		// report yet.
+		p.started = true
+		p.last = wall
+		p.lastSim = now
+		return
+	}
+	elapsed := wall.Sub(p.last)
+	if elapsed < p.interval || elapsed <= 0 {
+		return
+	}
+	rate := float64(now-p.lastSim) / float64(sim.Day) / elapsed.Seconds()
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(now) / float64(total)
+	}
+	name := p.phase
+	if name == "" {
+		name = "run"
+	}
+	fmt.Fprintf(p.w, "%s: %.1f%% simulated (t=%.1f d, %.1f sim-days/s)\n",
+		name, pct, float64(now)/float64(sim.Day), rate)
+	p.last = wall
+	p.lastSim = now
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"zccloud/internal/sim"
+)
+
+// drive pushes enough Observe calls to clear the tick pre-filter.
+func drive(p *Progress, now, total sim.Time) {
+	for i := 0; i <= progressCheckMask; i++ {
+		p.Observe(now, total)
+	}
+}
+
+func TestProgressReports(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, 0) // zero interval: report on every wall check
+	p.Phase("fig5")
+	drive(p, 0, 28*sim.Day) // baseline
+	time.Sleep(2 * time.Millisecond)
+	drive(p, 14*sim.Day, 28*sim.Day)
+	out := buf.String()
+	if !strings.Contains(out, "fig5") || !strings.Contains(out, "50.0%") {
+		t.Errorf("progress output = %q", out)
+	}
+}
+
+func TestProgressThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Hour)
+	p.Phase("x")
+	for i := 0; i < 100*(progressCheckMask+1); i++ {
+		p.Observe(sim.Time(i), 1e9)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("hour-interval reporter wrote %q within a test run", buf.String())
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Phase("x")
+	p.Observe(1, 2) // must not panic
+}
+
+func TestProgressPhaseResetsBaseline(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, 0)
+	p.Phase("a")
+	drive(p, 10*sim.Day, 20*sim.Day)
+	p.Phase("b")
+	drive(p, 0, 20*sim.Day) // baseline for phase b; no output yet
+	if s := buf.String(); strings.Contains(s, "b:") {
+		t.Errorf("phase b reported before a baseline existed: %q", s)
+	}
+	time.Sleep(2 * time.Millisecond)
+	drive(p, 5*sim.Day, 20*sim.Day)
+	if s := buf.String(); !strings.Contains(s, "b: 25.0%") {
+		t.Errorf("phase b output = %q", s)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	s := BuildInfo()
+	if s == "" || s == "build info unavailable" {
+		t.Skipf("no build info in this test binary: %q", s)
+	}
+	if !strings.Contains(s, "go1") {
+		t.Errorf("BuildInfo missing Go version: %q", s)
+	}
+}

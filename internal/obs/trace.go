@@ -1,0 +1,227 @@
+// Package obs is the simulator's telemetry layer: a zero-dependency
+// metrics registry (counters, gauges, histograms built on internal/stats),
+// a typed simulation event trace with pluggable sinks, a wall-clock
+// progress reporter for long runs, and build-info diagnostics.
+//
+// Instrumentation is deterministic — trace records carry simulated time
+// only, so two runs with the same seed emit byte-identical traces — and
+// near-free when disabled: the Nop tracer and nil metric handles cost a
+// few nanoseconds and zero allocations per call.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"zccloud/internal/sim"
+)
+
+// EventKind enumerates the scheduler and simulator decision points the
+// trace records.
+type EventKind uint8
+
+// Trace event kinds. The scheduler emits the job lifecycle (arrive,
+// enqueue, start/backfill-start, finish, kill, requeue), admission
+// decisions (pin, unrunnable), EASY-backfill reservations (reserve,
+// reserve-clear), and partition power transitions (window-up,
+// window-down).
+const (
+	EvArrive        EventKind = iota // job submitted; detail = requested walltime (s)
+	EvEnqueue                        // job entered the wait queue; detail = queue length after insert
+	EvStart                          // job started in queue order; detail = wait time (s)
+	EvBackfillStart                  // job jumped ahead via EASY backfill; detail = wait time (s)
+	EvFinish                         // job completed; detail = wait time (s)
+	EvKill                           // job killed by a partition power loss; detail = elapsed runtime (s)
+	EvRequeue                        // killed job resubmitted; detail = requeue count
+	EvPin                            // job can never fit the intermittent partition; pinned to always-on
+	EvUnrunnable                     // job fits no partition at all; dropped
+	EvReserve                        // EASY reservation placed for the blocked queue head; detail = reserved start time
+	EvReserveClear                   // reserved job started; reservation released
+	EvWindowUp                       // partition gained power; nodes = partition size
+	EvWindowDown                     // partition lost power; nodes = partition size
+)
+
+var kindNames = [...]string{
+	"arrive", "enqueue", "start", "backfill-start", "finish", "kill",
+	"requeue", "pin", "unrunnable", "reserve", "reserve-clear",
+	"window-up", "window-down",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindByName returns the EventKind with the given trace-record name.
+func KindByName(name string) (EventKind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return EventKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one simulation trace record. Time is simulated time — never
+// the wall clock — so traces are reproducible. Job is -1 for events not
+// tied to a job (window transitions); Partition is empty when no single
+// partition is involved. Detail is kind-specific (see the kind constants).
+type Event struct {
+	Time      sim.Time
+	Kind      EventKind
+	Job       int
+	Partition string
+	Nodes     int
+	Detail    float64
+}
+
+// Tracer consumes simulation events. Implementations must tolerate
+// events arriving in simulated-time order from a single goroutine; the
+// JSONL sink additionally accepts concurrent writers.
+type Tracer interface {
+	Trace(Event)
+}
+
+// Nop is the disabled tracer: Trace does nothing and never allocates.
+type Nop struct{}
+
+// Trace discards the event.
+func (Nop) Trace(Event) {}
+
+// Enabled reports whether t is a live (non-nil, non-Nop) tracer. Callers
+// can use it to skip work that exists only to feed the trace.
+func Enabled(t Tracer) bool {
+	if t == nil {
+		return false
+	}
+	_, nop := t.(Nop)
+	return !nop
+}
+
+// Mem is an in-memory tracer that records every event, for tests and
+// programmatic trace analysis.
+type Mem struct {
+	Events []Event
+}
+
+// Trace appends the event.
+func (m *Mem) Trace(e Event) { m.Events = append(m.Events, e) }
+
+// Filter returns the recorded events of one kind, in order.
+func (m *Mem) Filter(k EventKind) []Event {
+	var out []Event
+	for _, e := range m.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ForJob returns the recorded events for one job ID, in order — the
+// job's lifecycle as the scheduler saw it.
+func (m *Mem) ForJob(id int) []Event {
+	var out []Event
+	for _, e := range m.Events {
+		if e.Job == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// jsonlBufSize is the JSONL sink's flush threshold.
+const jsonlBufSize = 1 << 16
+
+// JSONL is a buffered tracer that writes one JSON object per line. The
+// encoding is hand-rolled (no reflection) and deterministic: identical
+// event sequences produce byte-identical output. It is safe for
+// concurrent writers; lines are never interleaved.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL returns a JSONL tracer writing to w. Call Flush (or Close)
+// before reading the destination.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, buf: make([]byte, 0, jsonlBufSize)}
+}
+
+// Trace buffers one event as a JSONL record.
+func (s *JSONL) Trace(e Event) {
+	s.mu.Lock()
+	s.buf = appendEvent(s.buf, e)
+	s.buf = append(s.buf, '\n')
+	if len(s.buf) >= jsonlBufSize-256 {
+		s.flushLocked()
+	}
+	s.mu.Unlock()
+}
+
+// Flush writes buffered records to the underlying writer and returns the
+// first write error encountered so far.
+func (s *JSONL) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	return s.err
+}
+
+// Close flushes and, if the underlying writer is an io.Closer, closes it.
+func (s *JSONL) Close() error {
+	if err := s.Flush(); err != nil {
+		if c, ok := s.w.(io.Closer); ok {
+			c.Close()
+		}
+		return err
+	}
+	if c, ok := s.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+func (s *JSONL) flushLocked() {
+	if len(s.buf) == 0 {
+		return
+	}
+	if _, err := s.w.Write(s.buf); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.buf = s.buf[:0]
+}
+
+// appendEvent encodes e as a compact JSON object. Zero-valued optional
+// fields (job < 0, empty partition, zero nodes/detail) are omitted.
+func appendEvent(b []byte, e Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, float64(e.Time), 'g', -1, 64)
+	b = append(b, `,"ev":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	if e.Job >= 0 {
+		b = append(b, `,"job":`...)
+		b = strconv.AppendInt(b, int64(e.Job), 10)
+	}
+	if e.Partition != "" {
+		b = append(b, `,"part":"`...)
+		b = append(b, e.Partition...) // partition names are plain identifiers
+		b = append(b, '"')
+	}
+	if e.Nodes != 0 {
+		b = append(b, `,"nodes":`...)
+		b = strconv.AppendInt(b, int64(e.Nodes), 10)
+	}
+	if e.Detail != 0 {
+		b = append(b, `,"detail":`...)
+		b = strconv.AppendFloat(b, e.Detail, 'g', -1, 64)
+	}
+	return append(b, '}')
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"zccloud/internal/sim"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := EvArrive; k <= EvWindowDown; k++ {
+		name := k.String()
+		if strings.HasPrefix(name, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := KindByName("nope"); ok {
+		t.Error("KindByName accepted unknown name")
+	}
+}
+
+func TestMemTracer(t *testing.T) {
+	m := &Mem{}
+	m.Trace(Event{Time: 1, Kind: EvArrive, Job: 7})
+	m.Trace(Event{Time: 2, Kind: EvStart, Job: 7, Partition: "mira"})
+	m.Trace(Event{Time: 2, Kind: EvWindowUp, Job: -1, Partition: "zc"})
+	if len(m.Events) != 3 {
+		t.Fatalf("recorded %d events", len(m.Events))
+	}
+	if got := m.Filter(EvStart); len(got) != 1 || got[0].Partition != "mira" {
+		t.Errorf("Filter(EvStart) = %+v", got)
+	}
+	if got := m.ForJob(7); len(got) != 2 {
+		t.Errorf("ForJob(7) = %+v", got)
+	}
+}
+
+// traceRecord mirrors the JSONL schema for decoding in tests.
+type traceRecord struct {
+	T      float64 `json:"t"`
+	Ev     string  `json:"ev"`
+	Job    *int    `json:"job"`
+	Part   string  `json:"part"`
+	Nodes  int     `json:"nodes"`
+	Detail float64 `json:"detail"`
+}
+
+func TestJSONLFormat(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Trace(Event{Time: 3600.5, Kind: EvStart, Job: 12, Partition: "mira", Nodes: 512, Detail: 7200})
+	s.Trace(Event{Time: 7200, Kind: EvWindowDown, Job: -1, Partition: "zc", Nodes: 1024})
+	s.Trace(Event{Time: 7200, Kind: EvEnqueue, Job: 0, Detail: 3})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var recs []traceRecord
+	for _, ln := range lines {
+		var r traceRecord
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		recs = append(recs, r)
+	}
+	if recs[0].T != 3600.5 || recs[0].Ev != "start" || *recs[0].Job != 12 ||
+		recs[0].Part != "mira" || recs[0].Nodes != 512 || recs[0].Detail != 7200 {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Job != nil {
+		t.Errorf("window event should omit job: %q", lines[1])
+	}
+	if recs[2].Job == nil || *recs[2].Job != 0 {
+		t.Errorf("job 0 must be encoded: %q", lines[2])
+	}
+}
+
+func TestJSONLDeterministic(t *testing.T) {
+	emit := func() []byte {
+		var buf bytes.Buffer
+		s := NewJSONL(&buf)
+		for i := 0; i < 1000; i++ {
+			s.Trace(Event{Time: sim.Time(i) * 17.25, Kind: EventKind(i % 13), Job: i, Nodes: i % 7, Detail: float64(i) / 3})
+		}
+		s.Flush()
+		return buf.Bytes()
+	}
+	if !bytes.Equal(emit(), emit()) {
+		t.Error("identical event sequences produced different JSONL bytes")
+	}
+}
+
+// TestJSONLConcurrentWriters exercises the buffered sink from many
+// goroutines under the race detector: every line must remain a complete,
+// parseable record.
+func TestJSONLConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 8, 500
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Trace(Event{Time: sim.Time(i), Kind: EvFinish, Job: w*perWriter + i, Partition: "mira"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var r traceRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("corrupt line %q: %v", sc.Text(), err)
+		}
+		n++
+	}
+	if n != writers*perWriter {
+		t.Errorf("got %d lines, want %d", n, writers*perWriter)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+func TestJSONLWriteError(t *testing.T) {
+	s := NewJSONL(&failWriter{})
+	s.Trace(Event{Time: 1, Kind: EvArrive, Job: 1})
+	if err := s.Flush(); err == nil {
+		t.Error("Flush should surface the write error")
+	}
+	if err := s.Close(); err == nil {
+		t.Error("Close should surface the sticky error")
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if Enabled(nil) || Enabled(Nop{}) {
+		t.Error("nil and Nop must report disabled")
+	}
+	if !Enabled(&Mem{}) || !Enabled(NewJSONL(&bytes.Buffer{})) {
+		t.Error("live tracers must report enabled")
+	}
+}
+
+// TestNopTracerZeroAlloc enforces the disabled-path contract in the
+// regular test suite, not just the benchmark.
+func TestNopTracerZeroAlloc(t *testing.T) {
+	var tr Tracer = Nop{}
+	ev := Event{Time: 42, Kind: EvStart, Job: 7, Partition: "mira", Nodes: 512, Detail: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Trace(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("Nop tracer allocates %v per call, want 0", allocs)
+	}
+}
+
+// BenchmarkNopTracer is the acceptance benchmark: tracing through a Nop
+// sink must report 0 allocs/op.
+func BenchmarkNopTracer(b *testing.B) {
+	var tr Tracer = Nop{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Trace(Event{Time: sim.Time(i), Kind: EvStart, Job: i, Partition: "mira", Nodes: 512, Detail: 1})
+	}
+}
+
+// BenchmarkJSONLTracer measures the enabled path (buffered, no fsync).
+func BenchmarkJSONLTracer(b *testing.B) {
+	s := NewJSONL(discard{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Trace(Event{Time: sim.Time(i), Kind: EvStart, Job: i, Partition: "mira", Nodes: 512, Detail: 1})
+	}
+	s.Flush()
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func ExampleRegistry() {
+	r := NewRegistry()
+	sc := r.Scope("sched")
+	sc.Counter("jobs_started").Add(3)
+	sc.Gauge("queue_peak").SetMax(17)
+	fmt.Println(r.Snapshot().Counter("sched.jobs_started"))
+	// Output: 3
+}

@@ -31,6 +31,7 @@ import (
 	"zccloud/internal/availability"
 	"zccloud/internal/cluster"
 	"zccloud/internal/job"
+	"zccloud/internal/obs"
 	"zccloud/internal/sim"
 )
 
@@ -100,6 +101,16 @@ type Config struct {
 	// is up at submission and the job's runtime fits in the remaining
 	// window.
 	Classify availability.Model
+	// Tracer receives one typed event per scheduler decision (arrivals,
+	// starts, kills, reservations, window transitions). Nil disables
+	// tracing at near-zero cost.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the run's counters under the
+	// "sched" and "sim" scopes when Run returns.
+	Metrics *obs.Registry
+	// Progress, when non-nil, receives throttled progress callbacks from
+	// the event loop.
+	Progress *obs.Progress
 }
 
 // WindowPredictor estimates when the availability window that began at
@@ -126,6 +137,20 @@ type Result struct {
 	NodeHoursByPartition map[string]float64
 	// Passes counts scheduling passes (for performance reporting).
 	Passes int
+	// Started counts job launches, including restarts after a kill;
+	// Backfilled is the subset that jumped the queue via EASY backfill.
+	Started    int
+	Backfilled int
+	// Killed and Requeued count window-end kills and the resulting
+	// resubmissions (non-oracle mode only).
+	Killed   int
+	Requeued int
+	// Pinned counts jobs whose walltime can never fit an intermittent
+	// partition's longest window — they only ever run on always-on
+	// partitions.
+	Pinned int
+	// PeakQueueLen is the wait queue's high-water mark.
+	PeakQueueLen int
 }
 
 type runningJob struct {
@@ -138,6 +163,8 @@ type runningJob struct {
 type Scheduler struct {
 	cfg      Config
 	eng      *sim.Engine
+	tracer   obs.Tracer
+	tracing  bool       // tracer is live (non-Nop); guards trace-only work
 	queue    []*job.Job // FCFS order: (Submit, ID)
 	running  map[int]*runningJob
 	total    int
@@ -150,6 +177,16 @@ type Scheduler struct {
 	passSet  bool
 	lastEnd  sim.Time
 	scores   []float64 // scratch for WFP sorting
+
+	// Telemetry accounting (mirrored into Result and cfg.Metrics).
+	started    int
+	backfilled int
+	killed     int
+	requeued   int
+	pinned     int
+	peakQueue  int
+	resJob     int      // job holding the EASY reservation; -1 when none
+	resTime    sim.Time // its reserved start time
 }
 
 // New creates a Scheduler. Machine and Engine are required.
@@ -160,11 +197,17 @@ func New(cfg Config) *Scheduler {
 	if cfg.Predictor == nil && cfg.PredictedWindow > 0 {
 		cfg.Predictor = fixedPredictor(cfg.PredictedWindow)
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.Nop{}
+	}
 	return &Scheduler{
 		cfg:     cfg,
 		eng:     cfg.Engine,
+		tracer:  cfg.Tracer,
+		tracing: obs.Enabled(cfg.Tracer),
 		running: make(map[int]*runningJob),
 		nodeHrs: make(map[string]float64),
+		resJob:  -1,
 	}
 }
 
@@ -196,6 +239,7 @@ func (s *Scheduler) Run(deadline sim.Time) Result {
 			break
 		}
 		s.eng.Step()
+		s.cfg.Progress.Observe(t, deadline)
 	}
 	res := Result{
 		Completed:            s.done,
@@ -204,8 +248,39 @@ func (s *Scheduler) Run(deadline sim.Time) Result {
 		Makespan:             s.lastEnd,
 		NodeHoursByPartition: s.nodeHrs,
 		Passes:               s.passes,
+		Started:              s.started,
+		Backfilled:           s.backfilled,
+		Killed:               s.killed,
+		Requeued:             s.requeued,
+		Pinned:               s.pinned,
+		PeakQueueLen:         s.peakQueue,
 	}
+	s.publishMetrics()
 	return res
+}
+
+// publishMetrics folds the run's accounting into the configured registry.
+// Counters accumulate across runs sharing one registry; gauges keep the
+// maximum, so a suite-wide snapshot reports true high-water marks.
+func (s *Scheduler) publishMetrics() {
+	r := s.cfg.Metrics
+	if r == nil {
+		return
+	}
+	sc := r.Scope("sched")
+	sc.Counter("jobs_started").Add(int64(s.started))
+	sc.Counter("jobs_backfilled").Add(int64(s.backfilled))
+	sc.Counter("jobs_killed").Add(int64(s.killed))
+	sc.Counter("jobs_requeued").Add(int64(s.requeued))
+	sc.Counter("jobs_pinned").Add(int64(s.pinned))
+	sc.Counter("jobs_unrunnable").Add(int64(s.unrun))
+	sc.Counter("jobs_completed").Add(int64(s.done))
+	sc.Counter("passes").Add(int64(s.passes))
+	sc.Gauge("queue_peak").SetMax(float64(s.peakQueue))
+	st := s.eng.Stats()
+	se := r.Scope("sim")
+	se.Counter("events_dispatched").Add(int64(st.Steps))
+	se.Gauge("max_queue_len").SetMax(float64(st.MaxQueueLen))
 }
 
 // scheduleAvailabilityEvents enqueues window-start (and, for kill/requeue
@@ -218,9 +293,19 @@ func (s *Scheduler) scheduleAvailabilityEvents(deadline sim.Time) {
 		p := p
 		for _, w := range availability.Materialize(p.Avail, 0, deadline) {
 			w := w
-			s.eng.Schedule(w.Start, sim.PrioRelease, func(now sim.Time) { s.requestPass(now) })
+			s.eng.Schedule(w.Start, sim.PrioRelease, func(now sim.Time) {
+				s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowUp, Job: -1, Partition: p.Name, Nodes: p.Nodes, Detail: float64(w.End)})
+				s.requestPass(now)
+			})
 			if !s.cfg.Oracle {
 				s.eng.Schedule(w.End, sim.PrioWithdraw, func(now sim.Time) { s.windowEnd(p, now) })
+			} else if s.tracing {
+				// Oracle mode needs no window-end handling (nothing is ever
+				// killed), but the trace still records the transition so a
+				// replay sees the full availability signal.
+				s.eng.Schedule(w.End, sim.PrioWithdraw, func(now sim.Time) {
+					s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowDown, Job: -1, Partition: p.Name, Nodes: p.Nodes})
+				})
 			}
 		}
 	}
@@ -230,12 +315,36 @@ func (s *Scheduler) arrive(j *job.Job, now sim.Time) {
 	if s.cfg.Classify != nil {
 		j.Timeliness = classify(j, s.cfg.Classify, now)
 	}
+	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvArrive, Job: j.ID, Nodes: j.Nodes, Detail: float64(j.Request)})
 	if !s.fitsAnywhere(j) {
 		s.unrun++
+		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvUnrunnable, Job: j.ID, Nodes: j.Nodes})
 		return
+	}
+	if s.pinnedToAlwaysOn(j) {
+		s.pinned++
+		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvPin, Job: j.ID, Nodes: j.Nodes, Detail: float64(j.Request)})
 	}
 	s.enqueue(j)
 	s.requestPass(now)
+}
+
+// pinnedToAlwaysOn reports whether j is node-feasible on some intermittent
+// partition but barred from all of them by the window-length rule — i.e.
+// the job will only ever run on always-on resources (the paper's
+// "long-running jobs ... are only assigned to Mira resources").
+func (s *Scheduler) pinnedToAlwaysOn(j *job.Job) bool {
+	pinned := false
+	for _, p := range s.cfg.Machine.Partitions {
+		if s.alwaysOn(p) || j.Nodes > p.Nodes {
+			continue
+		}
+		if s.eligible(j, p) {
+			return false
+		}
+		pinned = true
+	}
+	return pinned
 }
 
 // classify tags a job OnTime if the intermittent model is up at submission
@@ -279,12 +388,16 @@ func (s *Scheduler) enqueue(j *job.Job) {
 	n := len(s.queue)
 	if n == 0 || less(s.queue[n-1], j) {
 		s.queue = append(s.queue, j)
-		return
+	} else {
+		i := sort.Search(n, func(i int) bool { return !less(s.queue[i], j) })
+		s.queue = append(s.queue, nil)
+		copy(s.queue[i+1:], s.queue[i:])
+		s.queue[i] = j
 	}
-	i := sort.Search(n, func(i int) bool { return !less(s.queue[i], j) })
-	s.queue = append(s.queue, nil)
-	copy(s.queue[i+1:], s.queue[i:])
-	s.queue[i] = j
+	if len(s.queue) > s.peakQueue {
+		s.peakQueue = len(s.queue)
+	}
+	s.tracer.Trace(obs.Event{Time: s.eng.Now(), Kind: obs.EvEnqueue, Job: j.ID, Nodes: j.Nodes, Detail: float64(len(s.queue))})
 }
 
 func less(a, b *job.Job) bool {
@@ -323,7 +436,7 @@ func (s *Scheduler) pass(now sim.Time) {
 		if p == nil {
 			break
 		}
-		s.start(j, p, now)
+		s.start(j, p, now, false)
 		s.queue = s.queue[1:]
 	}
 	if len(s.queue) == 0 || s.cfg.DisableBackfill {
@@ -337,6 +450,11 @@ func (s *Scheduler) pass(now sim.Time) {
 		// Head can never start (should not happen for eligible jobs);
 		// leave it queued — a later event may change the machine.
 		return
+	}
+	if s.resJob != head.ID || s.resTime != resTime {
+		s.resJob, s.resTime = head.ID, resTime
+		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvReserve, Job: head.ID,
+			Partition: resPart.Name, Nodes: head.Nodes, Detail: float64(resTime)})
 	}
 	extra := s.extraNodesAt(resPart, resTime, head)
 
@@ -354,7 +472,7 @@ func (s *Scheduler) pass(now sim.Time) {
 			i++
 			continue
 		}
-		s.start(j, p, now)
+		s.start(j, p, now, true)
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
 		if p == resPart {
 			// The backfilled job changed the reserved partition's free
@@ -507,14 +625,27 @@ func (s *Scheduler) backfillStart(j *job.Job, now sim.Time, resPart *cluster.Par
 	return best
 }
 
-// start launches j on p at now and schedules its completion.
-func (s *Scheduler) start(j *job.Job, p *cluster.Partition, now sim.Time) {
+// start launches j on p at now and schedules its completion. backfill
+// marks launches that jumped the queue via EASY backfill.
+func (s *Scheduler) start(j *job.Job, p *cluster.Partition, now sim.Time, backfill bool) {
 	if err := p.Allocate(j.Nodes); err != nil {
 		panic(fmt.Sprintf("sched: start failed: %v", err))
 	}
 	j.Started = true
 	j.Start = now
 	j.Partition = p.Name
+	s.started++
+	kind := obs.EvStart
+	if backfill {
+		s.backfilled++
+		kind = obs.EvBackfillStart
+	}
+	s.tracer.Trace(obs.Event{Time: now, Kind: kind, Job: j.ID, Partition: p.Name,
+		Nodes: j.Nodes, Detail: float64(now - j.Submit)})
+	if j.ID == s.resJob {
+		s.resJob = -1
+		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvReserveClear, Job: j.ID, Partition: p.Name})
+	}
 	end := now + s.attemptRuntime(j)
 	rj := &runningJob{j: j, p: p}
 	rj.end = s.eng.Schedule(end, sim.PrioRelease, func(t sim.Time) { s.finish(rj, t) })
@@ -530,6 +661,8 @@ func (s *Scheduler) finish(rj *runningJob, now sim.Time) {
 	j.End = now
 	s.done++
 	s.nodeHrs[rj.p.Name] += float64(j.Nodes) * (now - j.Start).Hours()
+	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvFinish, Job: j.ID, Partition: rj.p.Name,
+		Nodes: j.Nodes, Detail: float64(j.Wait())})
 	if now > s.lastEnd {
 		s.lastEnd = now
 	}
@@ -539,6 +672,7 @@ func (s *Scheduler) finish(rj *runningJob, now sim.Time) {
 // windowEnd (kill/requeue mode only) kills jobs running on a partition
 // whose power just went away and resubmits them.
 func (s *Scheduler) windowEnd(p *cluster.Partition, now sim.Time) {
+	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowDown, Job: -1, Partition: p.Name, Nodes: p.Nodes})
 	var killed []*runningJob
 	for _, rj := range s.running {
 		if rj.p == p {
@@ -555,6 +689,9 @@ func (s *Scheduler) windowEnd(p *cluster.Partition, now sim.Time) {
 		// consume power) whether or not the work survives.
 		s.nodeHrs[p.Name] += float64(rj.j.Nodes) * (now - rj.j.Start).Hours()
 		j := rj.j
+		s.killed++
+		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvKill, Job: j.ID, Partition: p.Name,
+			Nodes: j.Nodes, Detail: float64(now - j.Start)})
 		if iv := s.cfg.CheckpointInterval; iv > 0 {
 			// Work up to the last completed checkpoint survives.
 			work := sim.Duration(float64(now-j.Start) / s.stretch())
@@ -567,6 +704,9 @@ func (s *Scheduler) windowEnd(p *cluster.Partition, now sim.Time) {
 		j.Started = false
 		j.Partition = ""
 		j.Requeues++
+		s.requeued++
+		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvRequeue, Job: j.ID,
+			Nodes: j.Nodes, Detail: float64(j.Requeues)})
 		s.enqueue(j)
 	}
 	if len(killed) > 0 {

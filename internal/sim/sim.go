@@ -75,6 +75,20 @@ func (e *Engine) MaxQueueLen() int { return e.maxLen }
 // Pending returns the number of events waiting to run.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Stats is a point-in-time snapshot of the engine's accounting, consumed
+// by the telemetry layer.
+type Stats struct {
+	Now         Time   // current virtual time
+	Steps       uint64 // events dispatched so far
+	Pending     int    // events still queued
+	MaxQueueLen int    // high-water mark of the pending queue
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Now: e.now, Steps: e.steps, Pending: len(e.queue), MaxQueueLen: e.maxLen}
+}
+
 // Schedule queues fn to run at time at with the given priority. It panics
 // if at precedes the current time: an event in the past indicates a logic
 // error in the caller, not a recoverable condition. It returns a handle

@@ -201,3 +201,19 @@ func TestHours(t *testing.T) {
 		t.Error("Hours conversion wrong")
 	}
 }
+
+func TestEngineStats(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), PrioSchedule, func(Time) {})
+	}
+	st := e.Stats()
+	if st.Pending != 5 || st.MaxQueueLen != 5 || st.Steps != 0 {
+		t.Errorf("pre-run stats = %+v", st)
+	}
+	e.Run()
+	st = e.Stats()
+	if st.Steps != 5 || st.Pending != 0 || st.Now != 4 || st.MaxQueueLen != 5 {
+		t.Errorf("post-run stats = %+v", st)
+	}
+}

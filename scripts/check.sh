@@ -1,0 +1,33 @@
+#!/bin/sh
+# Repo health check: formatting, vet, build, tests (with race detector),
+# and the zero-allocation guarantee for disabled instrumentation.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== nop-tracer zero-alloc benchmark"
+out=$(go test ./internal/obs -run '^$' -bench BenchmarkNopTracer -benchmem -benchtime 100x)
+echo "$out"
+allocs=$(echo "$out" | awk '/BenchmarkNopTracer/ {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ "$allocs" != "0" ]; then
+	echo "BenchmarkNopTracer allocates ($allocs allocs/op, want 0)" >&2
+	exit 1
+fi
+
+echo "== ok"

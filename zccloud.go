@@ -30,6 +30,7 @@ import (
 	"zccloud/internal/forecast"
 	"zccloud/internal/job"
 	"zccloud/internal/miso"
+	"zccloud/internal/obs"
 	"zccloud/internal/powergrid"
 	"zccloud/internal/sched"
 	"zccloud/internal/sim"
@@ -287,3 +288,80 @@ func RunExperiment(id string, lab *Lab) (*ResultTable, error) {
 	}
 	return e.Run(lab)
 }
+
+// Telemetry (internal/obs): every simulation accepts an ObsOptions with a
+// Tracer (typed scheduler-decision events), a MetricsRegistry (counters,
+// gauges, histograms), and a ProgressReporter — all optional and near-free
+// when absent. Trace records carry simulated time only, so same-seed runs
+// emit byte-identical traces.
+
+// ObsOptions bundles the telemetry hooks of a simulation run.
+type ObsOptions = obs.Options
+
+// Tracer consumes simulation trace events.
+type Tracer = obs.Tracer
+
+// TraceEvent is one simulation trace record.
+type TraceEvent = obs.Event
+
+// TraceEventKind enumerates the traced decision points.
+type TraceEventKind = obs.EventKind
+
+// Trace event kinds (see internal/obs for detail semantics).
+const (
+	EvArrive        = obs.EvArrive
+	EvEnqueue       = obs.EvEnqueue
+	EvStart         = obs.EvStart
+	EvBackfillStart = obs.EvBackfillStart
+	EvFinish        = obs.EvFinish
+	EvKill          = obs.EvKill
+	EvRequeue       = obs.EvRequeue
+	EvPin           = obs.EvPin
+	EvUnrunnable    = obs.EvUnrunnable
+	EvReserve       = obs.EvReserve
+	EvReserveClear  = obs.EvReserveClear
+	EvWindowUp      = obs.EvWindowUp
+	EvWindowDown    = obs.EvWindowDown
+)
+
+// TraceEventKindByName resolves a trace-record "ev" name to its kind.
+var TraceEventKindByName = obs.KindByName
+
+// NopTracer is the disabled tracer; its calls never allocate.
+type NopTracer = obs.Nop
+
+// MemTracer records events in memory for programmatic analysis.
+type MemTracer = obs.Mem
+
+// JSONLTracer streams events as JSON lines, buffered and race-safe.
+type JSONLTracer = obs.JSONL
+
+// NewJSONLTracer returns a JSONL tracer writing to w.
+var NewJSONLTracer = obs.NewJSONL
+
+// MetricsRegistry holds named counters, gauges, and histograms.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+var NewMetricsRegistry = obs.NewRegistry
+
+// MetricsSnapshot is a point-in-time copy of a registry's metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// ProgressReporter reports simulation progress and rate to a writer.
+type ProgressReporter = obs.Progress
+
+// NewProgressReporter returns a reporter writing at most once per
+// interval.
+var NewProgressReporter = obs.NewProgress
+
+// MetricsSummaryTable renders a snapshot as a result table (the CLIs'
+// telemetry summary).
+var MetricsSummaryTable = experiments.MetricsSummary
+
+// BuildInfo describes the running binary (module, Go version, VCS
+// revision); it backs the CLIs' -version flag.
+var BuildInfo = obs.BuildInfo
+
+// EngineStats is the discrete-event engine's accounting snapshot.
+type EngineStats = sim.Stats
