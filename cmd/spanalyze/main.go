@@ -69,11 +69,11 @@ func main() {
 	} else {
 		f, err := os.Open(*input)
 		if err != nil {
-			fatal("%v", err)
+			fatal("opening market CSV: %v", err)
 		}
 		defer f.Close()
 		maxIv := int64(-1)
-		err = zccloud.ReadMarketCSV(f, func(r zccloud.MarketRecord) error {
+		err = zccloud.ReadMarketCSVFile(*input, f, func(r zccloud.MarketRecord) error {
 			if int(r.Site) >= *sites {
 				return fmt.Errorf("record site %d >= -sites %d", r.Site, *sites)
 			}
@@ -86,7 +86,7 @@ func main() {
 			return nil
 		})
 		if err != nil {
-			fatal("reading %s: %v", *input, err)
+			fatal("%v", err)
 		}
 		observed = maxIv + 1
 	}

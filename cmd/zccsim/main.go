@@ -8,6 +8,7 @@
 //	zccsim -days 28 -zc-factor 2 -scale 1.5 -seed 7
 //	zccsim -days 7 -trace t.jsonl -metrics m.json  # with event trace
 //	zccsim -swf trace.swf                          # replay an SWF log
+//	zccsim -days 7 -zc-factor 1 -kill-requeue -mtbf 24 -brownout 0.2
 package main
 
 import (
@@ -46,6 +47,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		swfPath  = fs.String("swf", "", "replay an SWF trace file instead of generating a workload")
 		procsPer = fs.Int("procs-per-node", 16, "SWF processors per scheduler node (with -swf)")
 
+		mtbf        = fs.Float64("mtbf", 0, "mean time between node failures in hours (0 = no failures)")
+		faultSeed   = fs.Int64("fault-seed", 0, "fault injector seed (0 = derive from -seed)")
+		brownout    = fs.Float64("brownout", 0, "per-window brownout probability in [0,1]")
+		forecastErr = fs.Float64("forecast-err", 0, "window forecast-error standard deviation in hours")
+		retryLimit  = fs.Int("retry-limit", 0, "kill/requeue retries before a job is abandoned (0 = unlimited)")
+
 		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file")
 		metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
 		progress   = fs.Bool("progress", false, "report simulation progress and rate to stderr")
@@ -65,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			return err
+			return fmt.Errorf("creating CPU profile: %w", err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
@@ -87,23 +94,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *swfPath != "" {
 		f, err := os.Open(*swfPath)
 		if err != nil {
-			return err
+			return fmt.Errorf("opening SWF trace: %w", err)
 		}
 		var header zccloud.SWFHeader
-		var skipped int
+		var skipped zccloud.SWFSkipReport
 		tr, header, skipped, err = zccloud.ParseSWF(f, zccloud.SWFOptions{
 			ProcsPerNode: *procsPer,
 			SkipFailed:   true,
+			File:         *swfPath,
 		})
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("parsing %s: %v", *swfPath, err)
+			return err
 		}
-		fmt.Fprintf(stdout, "replaying %s: %d jobs (%d skipped)", *swfPath, len(tr.Jobs), skipped)
+		fmt.Fprintf(stdout, "replaying %s: %d jobs (%d skipped)", *swfPath, len(tr.Jobs), skipped.Count)
 		if mn := header.MaxNodes(); mn > 0 {
 			fmt.Fprintf(stdout, ", trace machine %d nodes", mn)
 		}
 		fmt.Fprintln(stdout)
+		for _, s := range skipped.Samples {
+			fmt.Fprintf(stdout, "  skipped %s\n", s)
+		}
+		if more := skipped.Count - len(skipped.Samples); more > 0 && len(skipped.Samples) > 0 {
+			fmt.Fprintf(stdout, "  ... and %d more\n", more)
+		}
 	} else {
 		wcfg := zccloud.WorkloadConfig{
 			Seed:              *seed,
@@ -134,7 +148,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			return err
+			return fmt.Errorf("creating trace output: %w", err)
 		}
 		sink := zccloud.NewJSONLTracer(f)
 		defer sink.Close()
@@ -145,6 +159,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		obsOpt.Progress.Phase("sim")
 	}
 
+	// Fault injection: any fault flag arms the injector. Failures target
+	// the ZC partition when one exists, the base system otherwise.
+	var fc *zccloud.FaultConfig
+	if *mtbf > 0 || *brownout > 0 || *forecastErr > 0 || *retryLimit > 0 {
+		fc = &zccloud.FaultConfig{
+			Seed:          *faultSeed,
+			ForecastErrSD: zccloud.Time(*forecastErr) * zccloud.Hour,
+			BrownoutProb:  *brownout,
+			RetryLimit:    *retryLimit,
+		}
+		if fc.Seed == 0 {
+			fc.Seed = *seed + 1
+		}
+		if *mtbf > 0 {
+			part := zccloud.MiraPartitionName
+			if *zcFactor > 0 {
+				part = zccloud.ZCPartitionName
+			}
+			per := *nodes / 64
+			if per < 1 {
+				per = 1
+			}
+			fc.Nodes = map[string]zccloud.NodeFailureConfig{
+				part: {MTBF: zccloud.Time(*mtbf) * zccloud.Hour, NodesPerFailure: per},
+			}
+		}
+	}
+
 	m, err := zccloud.Simulate(zccloud.RunConfig{
 		Trace: tr,
 		System: zccloud.SystemConfig{
@@ -152,6 +194,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			ZCFactor:  *zcFactor,
 			ZCAvail:   zc,
 			NonOracle: *killMode,
+			Faults:    fc,
 		},
 		Obs: obsOpt,
 	})
@@ -174,6 +217,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	for part, u := range m.UtilizationByPartition {
 		fmt.Fprintf(stdout, "utilization[%s] = %.1f%%\n", part, 100*u)
 	}
+	if fc != nil {
+		fmt.Fprintf(stdout, "faults: %d node failures, %d brownouts, %d kills, %d abandoned\n",
+			m.NodeFailures, m.Brownouts, m.Killed, m.Abandoned)
+	}
 	fmt.Fprintln(stdout, "\nwait by job size:")
 	for _, b := range m.AvgWaitBySize {
 		if b.Jobs == 0 {
@@ -194,7 +241,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
-			return err
+			return fmt.Errorf("creating metrics output: %w", err)
 		}
 		if err := snap.WriteJSON(f); err != nil {
 			f.Close()
@@ -207,7 +254,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			return err
+			return fmt.Errorf("creating heap profile: %w", err)
 		}
 		defer f.Close()
 		runtime.GC()

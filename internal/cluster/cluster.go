@@ -23,8 +23,9 @@ type Partition struct {
 	Nodes int
 	Avail availability.Model
 
-	free int
-	busy int // jobs currently running, for sanity checks
+	free    int
+	busy    int // jobs currently running, for sanity checks
+	offline int // nodes out of service (failed or browned out)
 }
 
 // NewPartition creates a partition with all nodes free.
@@ -42,7 +43,7 @@ func NewPartition(name string, nodes int, avail availability.Model) *Partition {
 func (p *Partition) Free() int { return p.free }
 
 // InUse returns allocated nodes.
-func (p *Partition) InUse() int { return p.Nodes - p.free }
+func (p *Partition) InUse() int { return p.Nodes - p.free - p.offline }
 
 // Running returns the number of allocations outstanding.
 func (p *Partition) Running() int { return p.busy }
@@ -64,7 +65,7 @@ func (p *Partition) Allocate(n int) error {
 // Release returns n nodes to the free pool. Releasing more than allocated
 // panics: it means the scheduler double-freed, which must not be masked.
 func (p *Partition) Release(n int) {
-	if n <= 0 || p.free+n > p.Nodes || p.busy == 0 {
+	if n <= 0 || p.free+p.offline+n > p.Nodes || p.busy == 0 {
 		panic(fmt.Sprintf("cluster: bad release of %d nodes on %q (free %d/%d, busy %d)",
 			n, p.Name, p.free, p.Nodes, p.busy))
 	}
@@ -72,10 +73,40 @@ func (p *Partition) Release(n int) {
 	p.busy--
 }
 
+// Offline returns the number of nodes currently out of service.
+func (p *Partition) Offline() int { return p.offline }
+
+// TakeOffline moves n nodes from the free pool out of service (node
+// failure or brownout). It returns an error if fewer than n nodes are
+// free; the caller must first kill jobs to release capacity.
+func (p *Partition) TakeOffline(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("cluster: take %d nodes offline on %q", n, p.Name)
+	}
+	if n > p.free {
+		return fmt.Errorf("cluster: %q has %d free nodes, cannot take %d offline", p.Name, p.free, n)
+	}
+	p.free -= n
+	p.offline += n
+	return nil
+}
+
+// BringOnline returns n out-of-service nodes to the free pool.
+// Repairing more than is offline panics: it means the fault layer
+// double-repaired, which must not be masked.
+func (p *Partition) BringOnline(n int) {
+	if n <= 0 || n > p.offline {
+		panic(fmt.Sprintf("cluster: bad repair of %d nodes on %q (offline %d)", n, p.Name, p.offline))
+	}
+	p.offline -= n
+	p.free += n
+}
+
 // ResetAllocations frees all nodes (between simulation runs).
 func (p *Partition) ResetAllocations() {
 	p.free = p.Nodes
 	p.busy = 0
+	p.offline = 0
 }
 
 // Machine is the set of partitions visible to one scheduler.

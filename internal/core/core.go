@@ -17,6 +17,7 @@ import (
 
 	"zccloud/internal/availability"
 	"zccloud/internal/cluster"
+	"zccloud/internal/faults"
 	"zccloud/internal/job"
 	"zccloud/internal/obs"
 	"zccloud/internal/sched"
@@ -63,6 +64,10 @@ type SystemConfig struct {
 	CheckpointInterval sim.Duration
 	// CheckpointOverhead is the wall-clock stall per checkpoint taken.
 	CheckpointOverhead sim.Duration
+	// Faults, when non-nil, configures fault injection (node failures,
+	// forecast error, brownouts) and the recovery policy. A config with
+	// no active dimension leaves the run identical to a fault-free one.
+	Faults *faults.Config
 }
 
 func (c SystemConfig) withDefaults() SystemConfig {
@@ -82,6 +87,11 @@ func (c SystemConfig) Validate() error {
 		return fmt.Errorf("core: zc factor %v < 0", c.ZCFactor)
 	case c.ZCFactor > 0 && c.ZCAvail == nil:
 		return fmt.Errorf("core: ZCFactor %v without an availability model", c.ZCFactor)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 	}
 	return nil
 }
@@ -132,6 +142,11 @@ type Metrics struct {
 	Completed  int
 	Unfinished int
 	Unrunnable int
+	// Fault-layer outcomes (zero without fault injection).
+	Abandoned    int
+	Killed       int
+	NodeFailures int
+	Brownouts    int
 
 	// WorkloadCompleted is false when the system lacked the node-hour
 	// capacity to finish the trace by the deadline (the paper's "X").
@@ -212,14 +227,33 @@ func Run(cfg RunConfig) (*Metrics, error) {
 	if sys.ZCFactor > 0 {
 		scfg.Classify = sys.ZCAvail
 	}
-	s := sched.New(scfg)
-	s.LoadTrace(cfg.Trace)
-	res := s.Run(deadline)
+	if sys.Faults != nil {
+		inj, err := faults.New(*sys.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		scfg.Faults = inj
+	}
+	s, err := sched.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.LoadTrace(cfg.Trace); err != nil {
+		return nil, err
+	}
+	res, err := s.Run(deadline)
+	if err != nil {
+		return nil, err
+	}
 
 	m := &Metrics{
 		Completed:            res.Completed,
 		Unfinished:           res.Unfinished,
 		Unrunnable:           res.Unrunnable,
+		Abandoned:            res.Abandoned,
+		Killed:               res.Killed,
+		NodeFailures:         res.NodeFailures,
+		Brownouts:            res.Brownouts,
 		WorkloadCompleted:    res.Unfinished == 0,
 		NodeHoursByPartition: res.NodeHoursByPartition,
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -261,6 +262,42 @@ func TestCAISOQuick(t *testing.T) {
 	}
 	if len(tb.Rows) != 8 { // 4 models × {solar, wind}
 		t.Fatalf("caiso rows = %d, want 8", len(tb.Rows))
+	}
+}
+
+func TestResilienceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seven simulations")
+	}
+	opt := Quick(1)
+	opt.FaultMTBFHours = 6 // single-MTBF sweep keeps the test at 7 sims
+	opt.RetryLimit = 4
+	tb, err := Resilience(NewLab(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// baseline + 4 checkpoint intervals + 2 policy rows
+	if len(tb.Rows) != 7 {
+		t.Fatalf("resilience rows = %d, want 7", len(tb.Rows))
+	}
+	kills := 0
+	for _, r := range tb.Rows[1:] {
+		n, err := strconv.Atoi(r[5])
+		if err != nil {
+			t.Fatalf("killed cell %q: %v", r[5], err)
+		}
+		kills += n
+	}
+	if kills == 0 {
+		t.Error("fault rows injected no kills")
+	}
+	// Determinism: same options, fresh lab, identical table.
+	again, err := Resilience(NewLab(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Markdown() != again.Markdown() {
+		t.Error("resilience experiment is not deterministic")
 	}
 }
 

@@ -39,6 +39,7 @@ var All = []Experiment{
 	{"economics", "Cost per node-hour (future work)", "extension", Economics},
 	{"checkpoint", "Checkpoint/restart on stranded power (future work)", "extension", Checkpoint},
 	{"caiso", "Solar-dominated ISO scenario (future work)", "extension", CAISO},
+	{"resilience", "Fault injection: MTBF × checkpoint × recovery policy (robustness)", "extension", Resilience},
 }
 
 // ByID returns the experiment with the given id.

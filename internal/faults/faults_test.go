@@ -1,0 +1,265 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"zccloud/internal/availability"
+	"zccloud/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{ForecastErrSD: -1},
+		{BrownoutProb: 1.5},
+		{BrownoutCapacity: 1},
+		{RetryLimit: -1},
+		{Backoff: -sim.Hour},
+		{Policy: RequeuePolicy(7)},
+		{Nodes: map[string]NodeFailures{"zc": {MTBF: -sim.Hour}}},
+		{Nodes: map[string]NodeFailures{"zc": {MTBF: sim.Hour, WeibullShape: -2}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: want error, got nil", i)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New(config %d): want error, got nil", i)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config: %v", err)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if (Config{Nodes: map[string]NodeFailures{"zc": {}}}).Enabled() {
+		t.Error("zero-MTBF entry reports enabled")
+	}
+	for _, c := range []Config{
+		{Nodes: map[string]NodeFailures{"zc": {MTBF: sim.Hour}}},
+		{ForecastErrSD: sim.Hour},
+		{BrownoutProb: 0.5},
+		{RetryLimit: 3},
+		{Backoff: sim.Minute},
+		{Policy: RequeueBack},
+	} {
+		if !c.Enabled() {
+			t.Errorf("config %+v reports disabled", c)
+		}
+	}
+}
+
+func TestOutagesDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Nodes: map[string]NodeFailures{
+		"zc": {MTBF: 6 * sim.Hour, NodesPerFailure: 3},
+	}}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 28 * sim.Day
+	oa := a.Outages("zc", horizon)
+	ob := b.Outages("zc", horizon)
+	if len(oa) == 0 {
+		t.Fatal("no outages generated")
+	}
+	if !reflect.DeepEqual(oa, ob) {
+		t.Error("same-seed outage schedules differ")
+	}
+	// Querying other schedules first must not shift the draws.
+	c, _ := New(cfg)
+	c.Outages("mira", horizon)
+	c.Fates("zc", 100, []availability.Window{{Start: 0, End: sim.Hour}})
+	if !reflect.DeepEqual(oa, c.Outages("zc", horizon)) {
+		t.Error("outage schedule depends on query order")
+	}
+	for i, o := range oa {
+		if o.At < 0 || o.At >= horizon {
+			t.Errorf("outage %d at %v outside horizon", i, o.At)
+		}
+		if o.Nodes != 3 {
+			t.Errorf("outage %d nodes = %d, want 3", i, o.Nodes)
+		}
+		if i > 0 && o.At < oa[i-1].At {
+			t.Errorf("outage %d out of order", i)
+		}
+	}
+}
+
+func TestOutagesMeanRate(t *testing.T) {
+	mtbf := 6 * sim.Hour
+	in, err := New(Config{Seed: 1, Nodes: map[string]NodeFailures{"zc": {MTBF: mtbf}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 365 * sim.Day
+	outs := in.Outages("zc", horizon)
+	want := float64(horizon) / float64(mtbf)
+	got := float64(len(outs))
+	if got < 0.8*want || got > 1.2*want {
+		t.Errorf("outage count %v, want ≈ %v", got, want)
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	// Weibull draws with shape 0.7 must still average to the MTBF.
+	mtbf := 12 * sim.Hour
+	in, err := New(Config{Seed: 3, Nodes: map[string]NodeFailures{
+		"zc": {MTBF: mtbf, WeibullShape: 0.7},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 2000 * sim.Day
+	outs := in.Outages("zc", horizon)
+	want := float64(horizon) / float64(mtbf)
+	got := float64(len(outs))
+	if got < 0.85*want || got > 1.15*want {
+		t.Errorf("Weibull outage count %v, want ≈ %v", got, want)
+	}
+}
+
+func TestDisabledPartitions(t *testing.T) {
+	in, err := New(Config{Seed: 1, Nodes: map[string]NodeFailures{"zc": {MTBF: sim.Hour}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs := in.Outages("mira", sim.Day); outs != nil {
+		t.Errorf("unconfigured partition has %d outages", len(outs))
+	}
+}
+
+func TestFatesCleanWithoutPerturbation(t *testing.T) {
+	in, err := New(Config{Seed: 1, RetryLimit: 2}) // recovery-only config
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []availability.Window{{Start: 0, End: sim.Hour}, {Start: 2 * sim.Hour, End: 3 * sim.Hour}}
+	for i, f := range in.Fates("zc", 100, ws) {
+		if f.ActualEnd != ws[i].End {
+			t.Errorf("window %d actual end %v, want believed %v", i, f.ActualEnd, ws[i].End)
+		}
+		if f.Brownout() {
+			t.Errorf("window %d browned out with prob 0", i)
+		}
+	}
+}
+
+func TestFatesForecastError(t *testing.T) {
+	in, err := New(Config{Seed: 5, ForecastErrSD: 30 * sim.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws []availability.Window
+	for d := sim.Time(0); d < 100*sim.Day; d += sim.Day {
+		ws = append(ws, availability.Window{Start: d, End: d + 12*sim.Hour})
+	}
+	fates := in.Fates("zc", 100, ws)
+	early, late := 0, 0
+	for i, f := range fates {
+		w := ws[i]
+		if f.ActualEnd <= w.Start {
+			t.Fatalf("window %d vanished: actual end %v <= start %v", i, f.ActualEnd, w.Start)
+		}
+		if i+1 < len(ws) && f.ActualEnd >= ws[i+1].Start {
+			t.Fatalf("window %d swallows successor", i)
+		}
+		switch {
+		case f.ActualEnd < w.End:
+			early++
+		case f.ActualEnd > w.End:
+			late++
+		}
+	}
+	if early == 0 || late == 0 {
+		t.Errorf("forecast error one-sided: %d early, %d late", early, late)
+	}
+	// Deterministic.
+	again := in.Fates("zc", 100, ws)
+	if !reflect.DeepEqual(fates, again) {
+		t.Error("fates are not deterministic")
+	}
+}
+
+func TestFatesBrownout(t *testing.T) {
+	in, err := New(Config{Seed: 9, BrownoutProb: 0.5, BrownoutCapacity: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws []availability.Window
+	for d := sim.Time(0); d < 200*sim.Day; d += sim.Day {
+		ws = append(ws, availability.Window{Start: d, End: d + 6*sim.Hour})
+	}
+	browned := 0
+	for _, f := range in.Fates("zc", 100, ws) {
+		if f.Brownout() {
+			browned++
+			if f.SurvivingNodes != 25 {
+				t.Fatalf("surviving nodes = %d, want 25", f.SurvivingNodes)
+			}
+		}
+	}
+	frac := float64(browned) / float64(len(ws))
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("brownout fraction %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestRetryDelayAndAbandon(t *testing.T) {
+	in, err := New(Config{Backoff: sim.Minute, RetryLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kills, want := range map[int]sim.Duration{
+		1: sim.Minute, 2: 2 * sim.Minute, 3: 4 * sim.Minute, 4: 8 * sim.Minute,
+	} {
+		if got := in.RetryDelay(kills); got != want {
+			t.Errorf("RetryDelay(%d) = %v, want %v", kills, got, want)
+		}
+	}
+	if d := in.RetryDelay(100); d != sim.Minute*sim.Duration(int64(1)<<20) {
+		t.Errorf("uncapped backoff: %v", d)
+	}
+	if in.Abandon(3) {
+		t.Error("abandoned within budget")
+	}
+	if !in.Abandon(4) {
+		t.Error("not abandoned past budget")
+	}
+	unlimited, _ := New(Config{})
+	if unlimited.Abandon(1000) {
+		t.Error("abandoned with unlimited retries")
+	}
+}
+
+func TestYoungDaly(t *testing.T) {
+	got := YoungDaly(2*sim.Minute, 6*sim.Hour)
+	want := sim.Duration(math.Sqrt(2 * float64(2*sim.Minute) * float64(6*sim.Hour)))
+	if got != want {
+		t.Errorf("YoungDaly = %v, want %v", got, want)
+	}
+	if YoungDaly(0, sim.Hour) != 0 || YoungDaly(sim.Minute, 0) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestMeanOutageNodesDown(t *testing.T) {
+	outs := []Outage{
+		{At: 0, Repair: 100, Nodes: 2},
+		{At: 500, Repair: 1000, Nodes: 1}, // truncated at horizon
+	}
+	got := MeanOutageNodesDown(outs, 1000)
+	want := (2*100.0 + 1*500.0) / 1000.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean nodes down = %v, want %v", got, want)
+	}
+}

@@ -70,11 +70,15 @@ type Job struct {
 	Nodes   int          // nodes requested
 
 	// Simulation outcome, filled by the scheduler.
-	Start      sim.Time
-	End        sim.Time
-	Partition  string // partition the job ran on ("" if never started)
-	Started    bool
-	Completed  bool
+	Start     sim.Time
+	End       sim.Time
+	Partition string // partition the job ran on ("" if never started)
+	Started   bool
+	Completed bool
+	// Abandoned marks a job that exhausted its retry budget after
+	// repeated kills (fault-injection runs only); terminal like
+	// Completed, but without useful output.
+	Abandoned  bool
 	Requeues   int // times killed by a resource outage and resubmitted
 	Timeliness Timeliness
 	// Progress is checkpointed work (in runtime seconds) carried across
@@ -118,6 +122,7 @@ func (j *Job) Reset() {
 	j.Start, j.End = 0, 0
 	j.Partition = ""
 	j.Started, j.Completed = false, false
+	j.Abandoned = false
 	j.Requeues = 0
 	j.Timeliness = TimelinessUnknown
 	j.Progress = 0

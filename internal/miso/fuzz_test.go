@@ -1,0 +1,39 @@
+package miso
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadCSV checks the record-stream reader never panics on arbitrary
+// input and reports malformed data as *ParseError values that locate
+// the file and line.
+func FuzzReadCSV(f *testing.F) {
+	header := "interval,site,lmp,delivered_mw,economic_max_mw\n"
+	f.Add([]byte(header))
+	f.Add([]byte(header + "0,0,10.000,1.000,2.000\n"))
+	f.Add([]byte(header + "0,0,10.000,1.000,2.000\n1,1,-3.5,0.000,4.125\n"))
+	f.Add([]byte(header + "0,0,x,1,2\n"))
+	f.Add([]byte(header + "0,0,1\n"))
+	f.Add([]byte("bogus header\n"))
+	f.Add([]byte(""))
+	f.Add([]byte(header + "9223372036854775808,0,1,1,1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := ReadCSVFile("fuzz.csv", bytes.NewReader(data), func(r Record) error {
+			if int64(r.Site) < 0 && r.Site != int32(int64(r.Site)) {
+				t.Fatalf("site overflow: %d", r.Site)
+			}
+			return nil
+		})
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("unstructured error %v", err)
+			}
+			if pe.File != "fuzz.csv" || pe.Line < 1 {
+				t.Fatalf("ParseError locates %s:%d", pe.File, pe.Line)
+			}
+		}
+	})
+}

@@ -422,16 +422,38 @@ func WriteCSV(g *Generator, w io.Writer) (int64, error) {
 	return rows, bw.Flush()
 }
 
+// ParseError locates a malformed line in a record-stream CSV.
+type ParseError struct {
+	File string // input name, if the caller provided one
+	Line int    // 1-based line number (line 1 is the header)
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("miso: line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("miso: %s:%d: %v", e.File, e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // ReadCSV streams records from r, invoking fn per record. It stops early
-// if fn returns an error.
+// if fn returns an error. Malformed input yields a *ParseError.
 func ReadCSV(r io.Reader, fn func(Record) error) error {
+	return ReadCSVFile("", r, fn)
+}
+
+// ReadCSVFile is ReadCSV with an input name carried into errors.
+func ReadCSVFile(name string, r io.Reader, fn func(Record) error) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	line, err := br.ReadString('\n')
 	if err != nil {
-		return fmt.Errorf("miso: reading header: %w", err)
+		return &ParseError{File: name, Line: 1, Err: fmt.Errorf("reading header: %v", err)}
 	}
 	if strings.TrimSpace(line) != strings.Join(csvHeader, ",") {
-		return fmt.Errorf("miso: unexpected header %q", strings.TrimSpace(line))
+		return &ParseError{File: name, Line: 1,
+			Err: fmt.Errorf("unexpected header %q", strings.TrimSpace(line))}
 	}
 	for lineNo := 2; ; lineNo++ {
 		line, err = br.ReadString('\n')
@@ -439,11 +461,11 @@ func ReadCSV(r io.Reader, fn func(Record) error) error {
 			return nil
 		}
 		if err != nil && err != io.EOF {
-			return fmt.Errorf("miso: line %d: %w", lineNo, err)
+			return &ParseError{File: name, Line: lineNo, Err: err}
 		}
 		rec, perr := parseRecord(strings.TrimSpace(line))
 		if perr != nil {
-			return fmt.Errorf("miso: line %d: %w", lineNo, perr)
+			return &ParseError{File: name, Line: lineNo, Err: perr}
 		}
 		if ferr := fn(rec); ferr != nil {
 			return ferr

@@ -25,8 +25,8 @@ type EventKind uint8
 // Trace event kinds. The scheduler emits the job lifecycle (arrive,
 // enqueue, start/backfill-start, finish, kill, requeue), admission
 // decisions (pin, unrunnable), EASY-backfill reservations (reserve,
-// reserve-clear), and partition power transitions (window-up,
-// window-down).
+// reserve-clear), partition power transitions (window-up, window-down),
+// and fault-layer events (node-fail, node-repair, brownout, abandon).
 const (
 	EvArrive        EventKind = iota // job submitted; detail = requested walltime (s)
 	EvEnqueue                        // job entered the wait queue; detail = queue length after insert
@@ -41,12 +41,17 @@ const (
 	EvReserveClear                   // reserved job started; reservation released
 	EvWindowUp                       // partition gained power; nodes = partition size
 	EvWindowDown                     // partition lost power; nodes = partition size
+	EvNodeFail                       // nodes failed out of service; nodes = count, detail = repair duration (s)
+	EvNodeRepair                     // failed nodes repaired; nodes = count
+	EvBrownout                       // window ended in brownout; nodes = surviving nodes, detail = surviving fraction
+	EvAbandon                        // job exhausted its retry budget; terminal; detail = kill count
 )
 
 var kindNames = [...]string{
 	"arrive", "enqueue", "start", "backfill-start", "finish", "kill",
 	"requeue", "pin", "unrunnable", "reserve", "reserve-clear",
-	"window-up", "window-down",
+	"window-up", "window-down", "node-fail", "node-repair", "brownout",
+	"abandon",
 }
 
 func (k EventKind) String() string {

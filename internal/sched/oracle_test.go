@@ -104,11 +104,11 @@ func TestSchedulerAgainstReference(t *testing.T) {
 
 		m := cluster.NewMachine(cluster.NewPartition("mira", totalNodes, availability.AlwaysOn{}))
 		eng := sim.New()
-		s := New(Config{Machine: m, Engine: eng, Oracle: true, DisableBackfill: true})
+		s := mustNew(t, Config{Machine: m, Engine: eng, Oracle: true, DisableBackfill: true})
 		for _, j := range jobs {
 			s.Submit(j)
 		}
-		res := s.Run(1e6)
+		res := mustRun(t, s, 1e6)
 		if res.Completed != n {
 			return false
 		}

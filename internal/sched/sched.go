@@ -30,6 +30,7 @@ import (
 
 	"zccloud/internal/availability"
 	"zccloud/internal/cluster"
+	"zccloud/internal/faults"
 	"zccloud/internal/job"
 	"zccloud/internal/obs"
 	"zccloud/internal/sim"
@@ -101,6 +102,14 @@ type Config struct {
 	// is up at submission and the job's runtime fits in the remaining
 	// window.
 	Classify availability.Model
+	// Faults, when non-nil, injects stochastic node failures, availability
+	// forecast error, and brownouts (see internal/faults), and activates
+	// the recovery policy (requeue order, bounded retries with backoff).
+	// The scheduler's admission logic keeps believing the clean
+	// availability model; only the injected reality diverges. Nil (or an
+	// injector with no active dimension) leaves every scheduling decision
+	// byte-identical to a fault-free run.
+	Faults *faults.Injector
 	// Tracer receives one typed event per scheduler decision (arrivals,
 	// starts, kills, reservations, window transitions). Nil disables
 	// tracing at near-zero cost.
@@ -145,6 +154,13 @@ type Result struct {
 	// resubmissions (non-oracle mode only).
 	Killed   int
 	Requeued int
+	// Abandoned counts jobs that exhausted their retry budget after
+	// repeated kills (fault-injection runs only); terminal, not Unfinished.
+	Abandoned int
+	// NodeFailures and Brownouts count injected fault events (zero
+	// without a fault injector).
+	NodeFailures int
+	Brownouts    int
 	// Pinned counts jobs whose walltime can never fit an intermittent
 	// partition's longest window — they only ever run on always-on
 	// partitions.
@@ -177,6 +193,15 @@ type Scheduler struct {
 	passSet  bool
 	lastEnd  sim.Time
 	scores   []float64 // scratch for WFP sorting
+	err      error     // first fatal scheduling error; stops Run
+
+	// Fault-layer state (nil maps when cfg.Faults is nil).
+	failOffline   map[string]int   // nodes down from injected failures, per partition
+	windowOffline map[string]int   // nodes down from a window end under the fate path
+	queueAt       map[int]sim.Time // requeue-to-back: effective queue time override
+	abandoned     int
+	nodeFailures  int
+	brownouts     int
 
 	// Telemetry accounting (mirrored into Result and cfg.Metrics).
 	started    int
@@ -189,10 +214,14 @@ type Scheduler struct {
 	resTime    sim.Time // its reserved start time
 }
 
-// New creates a Scheduler. Machine and Engine are required.
-func New(cfg Config) *Scheduler {
-	if cfg.Machine == nil || cfg.Engine == nil {
-		panic("sched: Config requires Machine and Engine")
+// New creates a Scheduler. Machine and Engine are required; a nil or
+// misconfigured Config is reported as an error, never a panic.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("sched: Config requires a Machine")
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("sched: Config requires an Engine")
 	}
 	if cfg.Predictor == nil && cfg.PredictedWindow > 0 {
 		cfg.Predictor = fixedPredictor(cfg.PredictedWindow)
@@ -200,7 +229,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.Nop{}
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		cfg:     cfg,
 		eng:     cfg.Engine,
 		tracer:  cfg.Tracer,
@@ -209,31 +238,43 @@ func New(cfg Config) *Scheduler {
 		nodeHrs: make(map[string]float64),
 		resJob:  -1,
 	}
+	if cfg.Faults != nil {
+		s.failOffline = make(map[string]int)
+		s.windowOffline = make(map[string]int)
+	}
+	return s, nil
 }
 
 // LoadTrace schedules arrival events for every job in the trace.
-func (s *Scheduler) LoadTrace(tr *job.Trace) {
+func (s *Scheduler) LoadTrace(tr *job.Trace) error {
 	for _, j := range tr.Jobs {
-		s.Submit(j)
+		if err := s.Submit(j); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// Submit schedules the arrival of one job.
-func (s *Scheduler) Submit(j *job.Job) {
+// Submit schedules the arrival of one job. Invalid jobs are rejected
+// with an error and leave the scheduler unchanged.
+func (s *Scheduler) Submit(j *job.Job) error {
 	if err := job.Validate(j); err != nil {
-		panic(fmt.Sprintf("sched: %v", err))
+		return fmt.Errorf("sched: %w", err)
 	}
 	s.total++
 	s.eng.Schedule(j.Submit, sim.PrioArrival, func(now sim.Time) { s.arrive(j, now) })
+	return nil
 }
 
 // Run executes the simulation until all jobs finish or deadline passes,
 // and returns the result. Deadline bounds runs whose workload exceeds
-// capacity (the paper's "X" configurations).
-func (s *Scheduler) Run(deadline sim.Time) Result {
+// capacity (the paper's "X" configurations). A non-nil error means the
+// scheduler hit an internal inconsistency (e.g. an allocation failure)
+// and the Result is not meaningful.
+func (s *Scheduler) Run(deadline sim.Time) (Result, error) {
 	s.deadline = deadline
 	s.scheduleAvailabilityEvents(deadline)
-	for {
+	for s.err == nil {
 		t, ok := s.eng.NextTime()
 		if !ok || t > deadline {
 			break
@@ -241,9 +282,12 @@ func (s *Scheduler) Run(deadline sim.Time) Result {
 		s.eng.Step()
 		s.cfg.Progress.Observe(t, deadline)
 	}
+	if s.err != nil {
+		return Result{}, s.err
+	}
 	res := Result{
 		Completed:            s.done,
-		Unfinished:           s.total - s.done - s.unrun,
+		Unfinished:           s.total - s.done - s.unrun - s.abandoned,
 		Unrunnable:           s.unrun,
 		Makespan:             s.lastEnd,
 		NodeHoursByPartition: s.nodeHrs,
@@ -252,11 +296,14 @@ func (s *Scheduler) Run(deadline sim.Time) Result {
 		Backfilled:           s.backfilled,
 		Killed:               s.killed,
 		Requeued:             s.requeued,
+		Abandoned:            s.abandoned,
+		NodeFailures:         s.nodeFailures,
+		Brownouts:            s.brownouts,
 		Pinned:               s.pinned,
 		PeakQueueLen:         s.peakQueue,
 	}
 	s.publishMetrics()
-	return res
+	return res, nil
 }
 
 // publishMetrics folds the run's accounting into the configured registry.
@@ -277,6 +324,13 @@ func (s *Scheduler) publishMetrics() {
 	sc.Counter("jobs_completed").Add(int64(s.done))
 	sc.Counter("passes").Add(int64(s.passes))
 	sc.Gauge("queue_peak").SetMax(float64(s.peakQueue))
+	if s.cfg.Faults != nil {
+		// Registered only on faulted runs so fault-free snapshots stay
+		// identical to the pre-fault-layer output.
+		sc.Counter("jobs_abandoned").Add(int64(s.abandoned))
+		sc.Counter("node_failures").Add(int64(s.nodeFailures))
+		sc.Counter("brownouts").Add(int64(s.brownouts))
+	}
 	st := s.eng.Stats()
 	se := r.Scope("sim")
 	se.Counter("events_dispatched").Add(int64(st.Steps))
@@ -284,30 +338,65 @@ func (s *Scheduler) publishMetrics() {
 }
 
 // scheduleAvailabilityEvents enqueues window-start (and, for kill/requeue
-// mode, window-end) events for intermittent partitions up to the deadline.
+// mode, window-end) events for intermittent partitions up to the deadline,
+// plus injected node-failure events on every partition when a fault
+// injector is configured.
 func (s *Scheduler) scheduleAvailabilityEvents(deadline sim.Time) {
 	for _, p := range s.cfg.Machine.Partitions {
-		if _, ok := p.Avail.(availability.AlwaysOn); ok {
-			continue
-		}
 		p := p
-		for _, w := range availability.Materialize(p.Avail, 0, deadline) {
-			w := w
-			s.eng.Schedule(w.Start, sim.PrioRelease, func(now sim.Time) {
-				s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowUp, Job: -1, Partition: p.Name, Nodes: p.Nodes, Detail: float64(w.End)})
-				s.requestPass(now)
-			})
-			if !s.cfg.Oracle {
-				s.eng.Schedule(w.End, sim.PrioWithdraw, func(now sim.Time) { s.windowEnd(p, now) })
-			} else if s.tracing {
-				// Oracle mode needs no window-end handling (nothing is ever
-				// killed), but the trace still records the transition so a
-				// replay sees the full availability signal.
-				s.eng.Schedule(w.End, sim.PrioWithdraw, func(now sim.Time) {
-					s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowDown, Job: -1, Partition: p.Name, Nodes: p.Nodes})
-				})
-			}
+		if _, ok := p.Avail.(availability.AlwaysOn); !ok {
+			s.scheduleWindowEvents(p, deadline)
 		}
+		s.scheduleOutageEvents(p, deadline)
+	}
+}
+
+// scheduleWindowEvents enqueues the power transitions of one intermittent
+// partition. With a window-perturbing fault injector, each believed window
+// is replaced by its fate: the actual end may come early or late, and may
+// be a brownout that leaves part of the partition powered.
+func (s *Scheduler) scheduleWindowEvents(p *cluster.Partition, deadline sim.Time) {
+	ws := availability.Materialize(p.Avail, 0, deadline)
+	if inj := s.cfg.Faults; inj != nil && inj.Config().PerturbsWindows() {
+		for _, f := range inj.Fates(p.Name, p.Nodes, ws) {
+			f := f
+			s.eng.Schedule(f.Believed.Start, sim.PrioRelease, func(now sim.Time) {
+				s.windowRestore(p, f.Believed.End, now)
+			})
+			s.eng.Schedule(f.ActualEnd, sim.PrioWithdraw, func(now sim.Time) {
+				s.windowFateEnd(p, f, now)
+			})
+		}
+		return
+	}
+	for _, w := range ws {
+		w := w
+		s.eng.Schedule(w.Start, sim.PrioRelease, func(now sim.Time) {
+			s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowUp, Job: -1, Partition: p.Name, Nodes: p.Nodes, Detail: float64(w.End)})
+			s.requestPass(now)
+		})
+		if !s.cfg.Oracle {
+			s.eng.Schedule(w.End, sim.PrioWithdraw, func(now sim.Time) { s.windowEnd(p, now) })
+		} else if s.tracing {
+			// Oracle mode needs no window-end handling (nothing is ever
+			// killed), but the trace still records the transition so a
+			// replay sees the full availability signal.
+			s.eng.Schedule(w.End, sim.PrioWithdraw, func(now sim.Time) {
+				s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowDown, Job: -1, Partition: p.Name, Nodes: p.Nodes})
+			})
+		}
+	}
+}
+
+// scheduleOutageEvents enqueues injected node-failure events for p.
+func (s *Scheduler) scheduleOutageEvents(p *cluster.Partition, deadline sim.Time) {
+	inj := s.cfg.Faults
+	if inj == nil {
+		return
+	}
+	for _, o := range inj.Outages(p.Name, deadline) {
+		o := o
+		s.eng.Schedule(o.At, sim.PrioWithdraw, func(now sim.Time) { s.nodeFail(p, o, now) })
 	}
 }
 
@@ -382,14 +471,14 @@ func (s *Scheduler) eligible(j *job.Job, p *cluster.Partition) bool {
 	return true
 }
 
-// enqueue inserts a job keeping FCFS (Submit, ID) order. Arrivals come in
-// time order so this is O(1) amortized; requeues binary-search.
+// enqueue inserts a job keeping FCFS (queue time, ID) order. Arrivals
+// come in time order so this is O(1) amortized; requeues binary-search.
 func (s *Scheduler) enqueue(j *job.Job) {
 	n := len(s.queue)
-	if n == 0 || less(s.queue[n-1], j) {
+	if n == 0 || s.queueLess(s.queue[n-1], j) {
 		s.queue = append(s.queue, j)
 	} else {
-		i := sort.Search(n, func(i int) bool { return !less(s.queue[i], j) })
+		i := sort.Search(n, func(i int) bool { return !s.queueLess(s.queue[i], j) })
 		s.queue = append(s.queue, nil)
 		copy(s.queue[i+1:], s.queue[i:])
 		s.queue[i] = j
@@ -403,6 +492,27 @@ func (s *Scheduler) enqueue(j *job.Job) {
 func less(a, b *job.Job) bool {
 	if a.Submit != b.Submit {
 		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+// queueTime is the time a job queues at: its submission, unless the
+// requeue-to-back policy pushed it behind jobs submitted before its kill.
+func (s *Scheduler) queueTime(j *job.Job) sim.Time {
+	if len(s.queueAt) > 0 {
+		if t, ok := s.queueAt[j.ID]; ok {
+			return t
+		}
+	}
+	return j.Submit
+}
+
+// queueLess is the queue's total order. With an empty queueAt map it is
+// exactly less(), preserving fault-free behavior.
+func (s *Scheduler) queueLess(a, b *job.Job) bool {
+	at, bt := s.queueTime(a), s.queueTime(b)
+	if at != bt {
+		return at < bt
 	}
 	return a.ID < b.ID
 }
@@ -436,7 +546,9 @@ func (s *Scheduler) pass(now sim.Time) {
 		if p == nil {
 			break
 		}
-		s.start(j, p, now, false)
+		if !s.start(j, p, now, false) {
+			return
+		}
 		s.queue = s.queue[1:]
 	}
 	if len(s.queue) == 0 || s.cfg.DisableBackfill {
@@ -472,7 +584,9 @@ func (s *Scheduler) pass(now sim.Time) {
 			i++
 			continue
 		}
-		s.start(j, p, now, true)
+		if !s.start(j, p, now, true) {
+			return
+		}
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
 		if p == resPart {
 			// The backfilled job changed the reserved partition's free
@@ -626,10 +740,16 @@ func (s *Scheduler) backfillStart(j *job.Job, now sim.Time, resPart *cluster.Par
 }
 
 // start launches j on p at now and schedules its completion. backfill
-// marks launches that jumped the queue via EASY backfill.
-func (s *Scheduler) start(j *job.Job, p *cluster.Partition, now sim.Time, backfill bool) {
+// marks launches that jumped the queue via EASY backfill. A false return
+// means the allocation failed — a scheduler invariant broke — and the
+// error is latched into s.err for Run to surface.
+func (s *Scheduler) start(j *job.Job, p *cluster.Partition, now sim.Time, backfill bool) bool {
 	if err := p.Allocate(j.Nodes); err != nil {
-		panic(fmt.Sprintf("sched: start failed: %v", err))
+		s.err = fmt.Errorf("sched: start job %d: %w", j.ID, err)
+		return false
+	}
+	if len(s.queueAt) > 0 {
+		delete(s.queueAt, j.ID)
 	}
 	j.Started = true
 	j.Start = now
@@ -650,6 +770,7 @@ func (s *Scheduler) start(j *job.Job, p *cluster.Partition, now sim.Time, backfi
 	rj := &runningJob{j: j, p: p}
 	rj.end = s.eng.Schedule(end, sim.PrioRelease, func(t sim.Time) { s.finish(rj, t) })
 	s.running[j.ID] = rj
+	return true
 }
 
 // finish completes a running job, releasing its nodes.
@@ -682,35 +803,188 @@ func (s *Scheduler) windowEnd(p *cluster.Partition, now sim.Time) {
 	// Deterministic order: by job ID.
 	sort.Slice(killed, func(i, k int) bool { return killed[i].j.ID < killed[k].j.ID })
 	for _, rj := range killed {
-		s.eng.Cancel(rj.end)
-		rj.p.Release(rj.j.Nodes)
-		delete(s.running, rj.j.ID)
-		// Account the attempt's node-hours to the partition (it did
-		// consume power) whether or not the work survives.
-		s.nodeHrs[p.Name] += float64(rj.j.Nodes) * (now - rj.j.Start).Hours()
-		j := rj.j
-		s.killed++
-		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvKill, Job: j.ID, Partition: p.Name,
-			Nodes: j.Nodes, Detail: float64(now - j.Start)})
-		if iv := s.cfg.CheckpointInterval; iv > 0 {
-			// Work up to the last completed checkpoint survives.
-			work := sim.Duration(float64(now-j.Start) / s.stretch())
-			saved := sim.Duration(int64(work/iv)) * iv
-			j.Progress += saved
-			if j.Progress > j.Runtime {
-				j.Progress = j.Runtime
-			}
-		}
-		j.Started = false
-		j.Partition = ""
-		j.Requeues++
-		s.requeued++
-		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvRequeue, Job: j.ID,
-			Nodes: j.Nodes, Detail: float64(j.Requeues)})
-		s.enqueue(j)
+		s.kill(rj, now)
 	}
 	if len(killed) > 0 {
 		s.requestPass(now)
+	}
+}
+
+// kill terminates one running job's attempt and applies the recovery
+// policy: checkpoint credit, then requeue (front or back, possibly after
+// a backoff delay) or abandonment once the retry budget is spent.
+func (s *Scheduler) kill(rj *runningJob, now sim.Time) {
+	j := rj.j
+	s.eng.Cancel(rj.end)
+	rj.p.Release(j.Nodes)
+	delete(s.running, j.ID)
+	// Account the attempt's node-hours to the partition (it did consume
+	// power) whether or not the work survives.
+	s.nodeHrs[rj.p.Name] += float64(j.Nodes) * (now - j.Start).Hours()
+	s.killed++
+	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvKill, Job: j.ID, Partition: rj.p.Name,
+		Nodes: j.Nodes, Detail: float64(now - j.Start)})
+	if iv := s.cfg.CheckpointInterval; iv > 0 {
+		// Work up to the last completed checkpoint survives.
+		work := sim.Duration(float64(now-j.Start) / s.stretch())
+		saved := sim.Duration(int64(work/iv)) * iv
+		j.Progress += saved
+		if j.Progress > j.Runtime {
+			j.Progress = j.Runtime
+		}
+	}
+	j.Started = false
+	j.Partition = ""
+	j.Requeues++
+	inj := s.cfg.Faults
+	if inj != nil && inj.Abandon(j.Requeues) {
+		j.Abandoned = true
+		s.abandoned++
+		if len(s.queueAt) > 0 {
+			delete(s.queueAt, j.ID)
+		}
+		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvAbandon, Job: j.ID,
+			Nodes: j.Nodes, Detail: float64(j.Requeues)})
+		return
+	}
+	s.requeued++
+	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvRequeue, Job: j.ID,
+		Nodes: j.Nodes, Detail: float64(j.Requeues)})
+	var delay sim.Duration
+	if inj != nil {
+		delay = inj.RetryDelay(j.Requeues)
+		if inj.Config().Policy == faults.RequeueBack {
+			if s.queueAt == nil {
+				s.queueAt = make(map[int]sim.Time)
+			}
+			s.queueAt[j.ID] = now + delay
+		}
+	}
+	if delay > 0 {
+		// Backoff: the job re-enters the queue only after the delay.
+		s.eng.Schedule(now+delay, sim.PrioArrival, func(t sim.Time) {
+			s.enqueue(j)
+			s.requestPass(t)
+		})
+		return
+	}
+	s.enqueue(j)
+}
+
+// nodeFail handles one injected node-failure event: nodes leave service
+// (killing the fewest jobs needed to free them) until their repair.
+func (s *Scheduler) nodeFail(p *cluster.Partition, o faults.Outage, now sim.Time) {
+	n := o.Nodes
+	if maxDown := p.Nodes - s.failOffline[p.Name]; n > maxDown {
+		n = maxDown // the excess nodes are already down
+	}
+	if n <= 0 {
+		return
+	}
+	s.failOffline[p.Name] += n
+	s.nodeFailures++
+	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvNodeFail, Job: -1, Partition: p.Name,
+		Nodes: n, Detail: float64(o.Repair)})
+	s.applyCapacity(p, now)
+	s.eng.Schedule(now+o.Repair, sim.PrioRelease, func(t sim.Time) { s.nodeRepair(p, n, t) })
+	s.requestPass(now)
+}
+
+// nodeRepair returns repaired nodes to service.
+func (s *Scheduler) nodeRepair(p *cluster.Partition, n int, now sim.Time) {
+	s.failOffline[p.Name] -= n
+	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvNodeRepair, Job: -1, Partition: p.Name, Nodes: n})
+	s.applyCapacity(p, now)
+	s.requestPass(now)
+}
+
+// windowRestore starts a believed window under the fate path: any nodes
+// the previous window end took down come back, and the scheduler sees the
+// same window-up signal it would without faults.
+func (s *Scheduler) windowRestore(p *cluster.Partition, believedEnd sim.Time, now sim.Time) {
+	if s.windowOffline[p.Name] != 0 {
+		s.windowOffline[p.Name] = 0
+		s.applyCapacity(p, now)
+	}
+	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowUp, Job: -1, Partition: p.Name, Nodes: p.Nodes, Detail: float64(believedEnd)})
+	s.requestPass(now)
+}
+
+// windowFateEnd ends a window at its perturbed actual end. A brownout
+// leaves f.SurvivingNodes powered — the scheduler sheds only enough jobs
+// to fit them; a full outage takes the whole partition down.
+func (s *Scheduler) windowFateEnd(p *cluster.Partition, f faults.WindowFate, now sim.Time) {
+	surviving := f.SurvivingNodes
+	if surviving >= p.Nodes {
+		surviving = p.Nodes - 1
+	}
+	if surviving < 0 {
+		surviving = 0
+	}
+	if f.Brownout() {
+		s.brownouts++
+		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvBrownout, Job: -1, Partition: p.Name,
+			Nodes: surviving, Detail: float64(surviving) / float64(p.Nodes)})
+	} else {
+		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowDown, Job: -1, Partition: p.Name, Nodes: p.Nodes})
+	}
+	s.windowOffline[p.Name] = p.Nodes - surviving
+	s.applyCapacity(p, now)
+	s.requestPass(now)
+}
+
+// applyCapacity reconciles the partition's offline pool with the fault
+// layer's bookkeeping (failed nodes + window-down nodes), killing the
+// fewest jobs necessary when the free pool cannot cover the shrink.
+func (s *Scheduler) applyCapacity(p *cluster.Partition, now sim.Time) {
+	want := s.failOffline[p.Name] + s.windowOffline[p.Name]
+	if want > p.Nodes {
+		want = p.Nodes
+	}
+	cur := p.Offline()
+	switch {
+	case want > cur:
+		need := want - cur
+		if p.Free() < need {
+			s.killFewest(p, need-p.Free(), now)
+		}
+		if need > p.Free() {
+			need = p.Free() // kills are job-quantized; never over-claim
+		}
+		if need > 0 {
+			if err := p.TakeOffline(need); err != nil && s.err == nil {
+				s.err = fmt.Errorf("sched: fault capacity on %q: %w", p.Name, err)
+			}
+		}
+	case want < cur:
+		p.BringOnline(cur - want)
+	}
+}
+
+// killFewest kills jobs on p until at least deficit nodes are released,
+// preferring the largest jobs (fewest victims); ties break by job ID for
+// determinism.
+func (s *Scheduler) killFewest(p *cluster.Partition, deficit int, now sim.Time) {
+	var victims []*runningJob
+	for _, rj := range s.running {
+		if rj.p == p {
+			victims = append(victims, rj)
+		}
+	}
+	sort.Slice(victims, func(i, k int) bool {
+		a, b := victims[i].j, victims[k].j
+		if a.Nodes != b.Nodes {
+			return a.Nodes > b.Nodes
+		}
+		return a.ID < b.ID
+	})
+	freed := 0
+	for _, rj := range victims {
+		if freed >= deficit {
+			break
+		}
+		freed += rj.j.Nodes
+		s.kill(rj, now)
 	}
 }
 

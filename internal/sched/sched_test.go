@@ -24,11 +24,40 @@ func runJobs(t *testing.T, m *cluster.Machine, jobs []*job.Job, oracle bool, dea
 		t.Helper()
 	}
 	eng := sim.New()
-	s := New(Config{Machine: m, Engine: eng, Oracle: oracle})
-	for _, j := range jobs {
-		s.Submit(j)
+	s, err := New(Config{Machine: m, Engine: eng, Oracle: oracle})
+	if err != nil {
+		panic(err)
 	}
-	return s.Run(deadline)
+	for _, j := range jobs {
+		if err := s.Submit(j); err != nil {
+			panic(err)
+		}
+	}
+	res, err := s.Run(deadline)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// mustNew builds a scheduler, failing the test on config errors.
+func mustNew(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mustRun drives a run to completion, failing the test on scheduler errors.
+func mustRun(t *testing.T, s *Scheduler, deadline sim.Time) Result {
+	t.Helper()
+	res, err := s.Run(deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestSingleJobImmediateStart(t *testing.T) {
@@ -196,10 +225,10 @@ func TestPredictiveAdmission(t *testing.T) {
 	long := mkJob(1, 0, 400, 4)
 	short := mkJob(2, 0, 200, 4)
 	eng := sim.New()
-	s := New(Config{Machine: m, Engine: eng, Oracle: false, PredictedWindow: 300})
+	s := mustNew(t, Config{Machine: m, Engine: eng, Oracle: false, PredictedWindow: 300})
 	s.Submit(long)
 	s.Submit(short)
-	res := s.Run(10000)
+	res := mustRun(t, s, 10000)
 	if !short.Completed {
 		t.Error("short job should complete under predictive admission")
 	}
@@ -222,9 +251,9 @@ func TestPredictiveStillKilledOnShortWindow(t *testing.T) {
 	m := cluster.NewMachine(cluster.NewPartition("zc", 8, zcAvail))
 	j := mkJob(1, 0, 600, 4)
 	eng := sim.New()
-	s := New(Config{Machine: m, Engine: eng, Oracle: false, PredictedWindow: 800})
+	s := mustNew(t, Config{Machine: m, Engine: eng, Oracle: false, PredictedWindow: 800})
 	s.Submit(j)
-	res := s.Run(5000)
+	res := mustRun(t, s, 5000)
 	if j.Completed {
 		t.Error("job cannot complete in any window")
 	}
@@ -241,9 +270,9 @@ func TestPredictiveIgnoresAlwaysOn(t *testing.T) {
 	m := cluster.NewMachine(cluster.NewPartition("mira", 8, nil))
 	j := mkJob(1, 0, 5000, 8)
 	eng := sim.New()
-	s := New(Config{Machine: m, Engine: eng, Oracle: false, PredictedWindow: 100})
+	s := mustNew(t, Config{Machine: m, Engine: eng, Oracle: false, PredictedWindow: 100})
 	s.Submit(j)
-	s.Run(1e6)
+	mustRun(t, s, 1e6)
 	if !j.Completed {
 		t.Error("always-on partition must accept jobs regardless of prediction")
 	}
@@ -257,14 +286,14 @@ func TestCheckpointRestart(t *testing.T) {
 	m := cluster.NewMachine(cluster.NewPartition("zc", 8, zcAvail))
 	j := mkJob(1, 0, 900, 4)
 	eng := sim.New()
-	s := New(Config{
+	s := mustNew(t, Config{
 		Machine:            m,
 		Engine:             eng,
 		Oracle:             false,
 		CheckpointInterval: 100,
 	})
 	s.Submit(j)
-	res := s.Run(20000)
+	res := mustRun(t, s, 20000)
 	if res.Completed != 1 {
 		t.Fatalf("completed = %d (requeues %d, progress %v)", res.Completed, j.Requeues, j.Progress)
 	}
@@ -283,7 +312,7 @@ func TestCheckpointOverheadStretch(t *testing.T) {
 	m := cluster.NewMachine(cluster.NewPartition("zc", 8, availability.Periodic{Period: 1000, Uptime: 900}))
 	j := mkJob(1, 0, 200, 4)
 	eng := sim.New()
-	s := New(Config{
+	s := mustNew(t, Config{
 		Machine:            m,
 		Engine:             eng,
 		Oracle:             false,
@@ -291,7 +320,7 @@ func TestCheckpointOverheadStretch(t *testing.T) {
 		CheckpointOverhead: 10,
 	})
 	s.Submit(j)
-	s.Run(10000)
+	mustRun(t, s, 10000)
 	if !j.Completed {
 		t.Fatal("job did not complete")
 	}
@@ -310,11 +339,11 @@ func TestCheckpointProgressBounded(t *testing.T) {
 		jobs = append(jobs, mkJob(i+1, sim.Time(r.Intn(2000)), sim.Time(50+r.Intn(400)), 1+r.Intn(8)))
 	}
 	eng := sim.New()
-	s := New(Config{Machine: m, Engine: eng, Oracle: false, CheckpointInterval: 25})
+	s := mustNew(t, Config{Machine: m, Engine: eng, Oracle: false, CheckpointInterval: 25})
 	for _, j := range jobs {
 		s.Submit(j)
 	}
-	res := s.Run(1e6)
+	res := mustRun(t, s, 1e6)
 	for _, j := range jobs {
 		if j.Progress > j.Runtime {
 			t.Fatalf("job %d progress %v > runtime %v", j.ID, j.Progress, j.Runtime)
@@ -372,14 +401,14 @@ func TestClassification(t *testing.T) {
 	zcAvail := availability.Periodic{Period: 1000, Uptime: 500}
 	eng := sim.New()
 	m := cluster.NewMachine(cluster.NewPartition("zc", 8, zcAvail))
-	s := New(Config{Machine: m, Engine: eng, Oracle: true, Classify: zcAvail})
+	s := mustNew(t, Config{Machine: m, Engine: eng, Oracle: true, Classify: zcAvail})
 	onTime := mkJob(1, 100, 300, 1) // up at 100, 100+300 <= 500
 	late1 := mkJob(2, 300, 300, 1)  // up at 300 but 300+300 > 500
 	late2 := mkJob(3, 600, 100, 1)  // down at 600
 	for _, j := range []*job.Job{onTime, late1, late2} {
 		s.Submit(j)
 	}
-	s.Run(1e6)
+	mustRun(t, s, 1e6)
 	if onTime.Timeliness != job.OnTime {
 		t.Errorf("job 1 = %v, want on-time", onTime.Timeliness)
 	}
@@ -400,11 +429,11 @@ func TestDeterminism(t *testing.T) {
 			jobs = append(jobs, mkJob(i+1, sim.Time(r.Intn(10000)), sim.Time(1+r.Intn(900)), 1+r.Intn(32)))
 		}
 		eng := sim.New()
-		s := New(Config{Machine: m, Engine: eng, Oracle: true})
+		s := mustNew(t, Config{Machine: m, Engine: eng, Oracle: true})
 		for _, j := range jobs {
 			s.Submit(j)
 		}
-		s.Run(1e8)
+		mustRun(t, s, 1e8)
 		starts := make([]sim.Time, len(jobs))
 		for i, j := range jobs {
 			starts[i] = j.Start
@@ -505,28 +534,38 @@ func TestBackfillDepthLimit(t *testing.T) {
 	c := mkJob(3, 2, 200, 1) // depth-1 candidate; would delay B → skipped
 	d := mkJob(4, 3, 50, 1)  // would backfill, but beyond depth
 	eng := sim.New()
-	s := New(Config{Machine: singleMachine(8), Engine: eng, Oracle: true, BackfillDepth: 1})
+	s := mustNew(t, Config{Machine: singleMachine(8), Engine: eng, Oracle: true, BackfillDepth: 1})
 	for _, j := range []*job.Job{a, b, c, d} {
 		s.Submit(j)
 	}
-	s.Run(1e6)
+	mustRun(t, s, 1e6)
 	if d.Start < 100 {
 		t.Errorf("depth-limited backfill still started d at %v", d.Start)
 	}
 }
 
-func TestNewPanicsWithoutMachine(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	New(Config{})
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New(Config{}) should report the missing machine")
+	}
+	if _, err := New(Config{Machine: singleMachine(8)}); err == nil {
+		t.Error("New without an engine should error")
+	}
+}
+
+func TestSubmitRejectsInvalidJob(t *testing.T) {
+	s := mustNew(t, Config{Machine: singleMachine(8), Engine: sim.New(), Oracle: true})
+	if err := s.Submit(&job.Job{ID: 1, Nodes: 0, Runtime: 10, Request: 10}); err == nil {
+		t.Error("Submit should reject a zero-node job")
+	}
+	if s.QueueLen() != 0 {
+		t.Error("rejected job must not count")
+	}
 }
 
 func TestQueueAccessors(t *testing.T) {
 	eng := sim.New()
-	s := New(Config{Machine: singleMachine(8), Engine: eng, Oracle: true})
+	s := mustNew(t, Config{Machine: singleMachine(8), Engine: eng, Oracle: true})
 	if s.QueueLen() != 0 || s.RunningCount() != 0 {
 		t.Error("fresh scheduler should be empty")
 	}

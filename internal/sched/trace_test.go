@@ -16,11 +16,11 @@ func traceRun(t *testing.T, m *cluster.Machine, jobs []*job.Job, oracle bool) (*
 	mem := &obs.Mem{}
 	reg := obs.NewRegistry()
 	eng := sim.New()
-	s := New(Config{Machine: m, Engine: eng, Oracle: oracle, Tracer: mem, Metrics: reg})
+	s := mustNew(t, Config{Machine: m, Engine: eng, Oracle: oracle, Tracer: mem, Metrics: reg})
 	for _, j := range jobs {
 		s.Submit(j)
 	}
-	return mem, reg, s.Run(1e6)
+	return mem, reg, mustRun(t, s, 1e6)
 }
 
 func kinds(evs []obs.Event) []obs.EventKind {

@@ -1,0 +1,50 @@
+package swf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"zccloud/internal/job"
+)
+
+// FuzzParse checks Parse never panics and upholds its contract on
+// arbitrary input: errors are structured *ParseError values, skip
+// samples stay capped, and every accepted job is valid and sorted.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte("; MaxNodes: 49152\n"))
+	f.Add([]byte("1 0 -1 10 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n"))
+	f.Add([]byte("1 2 3\n"))
+	f.Add([]byte("x 0 -1 10 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n"))
+	f.Add([]byte("1 0 -1 0 1 -1 -1 1 10 -1 0 0 0 0 0 0 0 0\n"))
+	f.Add([]byte(";\n\n 2 5 -1 1e3 16 -1 -1 32 1e4 -1 1 0 0 0 0 0 0 0\n"))
+	f.Add([]byte("1 1e400 -1 10 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, _, rep, err := Parse(bytes.NewReader(data), Options{
+			ProcsPerNode: 16, SkipFailed: true, File: "fuzz.swf",
+		})
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("unstructured error %v", err)
+			}
+			if pe.File != "fuzz.swf" || pe.Line < 1 {
+				t.Fatalf("ParseError locates %s:%d", pe.File, pe.Line)
+			}
+			return
+		}
+		if len(rep.Samples) > MaxSkipSamples || len(rep.Samples) > rep.Count {
+			t.Fatalf("skip report inconsistent: %d samples, %d skipped",
+				len(rep.Samples), rep.Count)
+		}
+		for i, j := range tr.Jobs {
+			if verr := job.Validate(j); verr != nil {
+				t.Fatalf("accepted invalid job %+v: %v", j, verr)
+			}
+			if i > 0 && tr.Jobs[i-1].Submit > j.Submit {
+				t.Fatal("trace not sorted by submit time")
+			}
+		}
+	})
+}

@@ -40,6 +40,44 @@ type Options struct {
 	// (completed); many archive logs include cancelled jobs with zero
 	// runtime.
 	SkipFailed bool
+	// File names the input in errors and skip samples (optional).
+	File string
+}
+
+// ParseError locates a malformed SWF line.
+type ParseError struct {
+	File string // input name, if the caller provided one
+	Line int    // 1-based line number
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("swf: line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("swf: %s:%d: %v", e.File, e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// MaxSkipSamples caps the example lines a SkipReport retains.
+const MaxSkipSamples = 5
+
+// SkipReport summarizes well-formed data lines Parse dropped — cancelled
+// or failed submissions, non-positive runtimes, and jobs that fail
+// validation. Samples holds the first few with line numbers and reasons
+// so callers can surface why a replay is smaller than the file.
+type SkipReport struct {
+	Count   int
+	Samples []string
+}
+
+func (r *SkipReport) add(line int, format string, args ...interface{}) {
+	r.Count++
+	if len(r.Samples) < MaxSkipSamples {
+		r.Samples = append(r.Samples,
+			fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
 }
 
 // Header carries the ";"-prefixed metadata directives found in archive
@@ -60,14 +98,19 @@ func (h Header) MaxNodes() int {
 
 // Parse reads an SWF stream into a job trace. Jobs with non-positive
 // runtime or processor counts are skipped (archive convention for
-// cancelled submissions); the count of skipped lines is returned.
-func Parse(r io.Reader, opt Options) (*job.Trace, Header, int, error) {
+// cancelled submissions); the skip report says how many and why.
+// Malformed lines yield a *ParseError carrying the file and line.
+func Parse(r io.Reader, opt Options) (*job.Trace, Header, SkipReport, error) {
 	if opt.ProcsPerNode <= 0 {
 		opt.ProcsPerNode = 1
 	}
+	fail := func(line int, format string, args ...interface{}) (*job.Trace, Header, SkipReport, error) {
+		return nil, nil, SkipReport{},
+			&ParseError{File: opt.File, Line: line, Err: fmt.Errorf(format, args...)}
+	}
 	header := Header{}
 	tr := &job.Trace{}
-	skipped := 0
+	var skipped SkipReport
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
@@ -85,23 +128,23 @@ func Parse(r io.Reader, opt Options) (*job.Trace, Header, int, error) {
 		}
 		f := strings.Fields(line)
 		if len(f) < 9 {
-			return nil, nil, 0, fmt.Errorf("swf: line %d: %d fields, want >= 9", lineNo, len(f))
+			return fail(lineNo, "%d fields, want >= 9", len(f))
 		}
 		id, err := strconv.Atoi(f[0])
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("swf: line %d job id: %w", lineNo, err)
+			return fail(lineNo, "job id: %v", err)
 		}
 		submit, err := strconv.ParseFloat(f[1], 64)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("swf: line %d submit: %w", lineNo, err)
+			return fail(lineNo, "submit: %v", err)
 		}
 		runtime, err := strconv.ParseFloat(f[3], 64)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("swf: line %d runtime: %w", lineNo, err)
+			return fail(lineNo, "runtime: %v", err)
 		}
 		allocProcs, err := strconv.Atoi(f[4])
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("swf: line %d processors: %w", lineNo, err)
+			return fail(lineNo, "processors: %v", err)
 		}
 		reqProcs := allocProcs
 		if v, err := strconv.Atoi(f[7]); err == nil && v > 0 {
@@ -113,12 +156,13 @@ func Parse(r io.Reader, opt Options) (*job.Trace, Header, int, error) {
 		}
 		if opt.SkipFailed && len(f) >= 11 {
 			if status, err := strconv.Atoi(f[10]); err == nil && status >= 0 && status != 1 {
-				skipped++
+				skipped.add(lineNo, "job %d status %d (not completed)", id, status)
 				continue
 			}
 		}
 		if runtime <= 0 || reqProcs <= 0 || submit < 0 {
-			skipped++
+			skipped.add(lineNo, "job %d runtime %g s, %d procs, submit %g s (cancelled-submission convention)",
+				id, runtime, reqProcs, submit)
 			continue
 		}
 		nodes := (reqProcs + opt.ProcsPerNode - 1) / opt.ProcsPerNode
@@ -133,7 +177,7 @@ func Parse(r io.Reader, opt Options) (*job.Trace, Header, int, error) {
 			Nodes:   nodes,
 		}
 		if err := job.Validate(j); err != nil {
-			skipped++
+			skipped.add(lineNo, "job %d invalid: %v", id, err)
 			continue
 		}
 		tr.Jobs = append(tr.Jobs, j)
@@ -142,7 +186,7 @@ func Parse(r io.Reader, opt Options) (*job.Trace, Header, int, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, 0, fmt.Errorf("swf: %w", err)
+		return nil, nil, SkipReport{}, &ParseError{File: opt.File, Line: lineNo + 1, Err: err}
 	}
 	tr.SortBySubmit()
 	return tr, header, skipped, nil

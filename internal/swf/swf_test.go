@@ -2,6 +2,8 @@ package swf
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -29,8 +31,11 @@ func TestParseBasic(t *testing.T) {
 		t.Errorf("MaxNodes = %d", h.MaxNodes())
 	}
 	// job 3 has runtime 0 → skipped
-	if skipped != 1 {
-		t.Errorf("skipped = %d, want 1", skipped)
+	if skipped.Count != 1 {
+		t.Errorf("skipped = %d, want 1", skipped.Count)
+	}
+	if len(skipped.Samples) != 1 || !strings.Contains(skipped.Samples[0], "line 8") {
+		t.Errorf("skip samples = %v, want one naming line 8", skipped.Samples)
 	}
 	if len(tr.Jobs) != 4 {
 		t.Fatalf("jobs = %d, want 4", len(tr.Jobs))
@@ -55,8 +60,8 @@ func TestParseSkipFailed(t *testing.T) {
 		t.Fatal(err)
 	}
 	// job 3 (runtime 0) and job 5 (status 5) skipped
-	if skipped != 2 {
-		t.Errorf("skipped = %d, want 2", skipped)
+	if skipped.Count != 2 {
+		t.Errorf("skipped = %d, want 2", skipped.Count)
 	}
 	if len(tr.Jobs) != 3 {
 		t.Errorf("jobs = %d, want 3", len(tr.Jobs))
@@ -82,9 +87,39 @@ func TestParseErrors(t *testing.T) {
 		"1 0 -1 10 x -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n", // bad procs
 	}
 	for i, in := range cases {
-		if _, _, _, err := Parse(strings.NewReader(in), Options{}); err == nil {
+		_, _, _, err := Parse(strings.NewReader(in), Options{File: "bad.swf"})
+		if err == nil {
 			t.Errorf("case %d should fail", i)
+			continue
 		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("case %d: error %v is not a *ParseError", i, err)
+			continue
+		}
+		if pe.File != "bad.swf" || pe.Line != 1 {
+			t.Errorf("case %d: ParseError locates %s:%d, want bad.swf:1", i, pe.File, pe.Line)
+		}
+		if !strings.Contains(err.Error(), "bad.swf:1") {
+			t.Errorf("case %d: error %q does not name file and line", i, err)
+		}
+	}
+}
+
+func TestSkipSamplesCapped(t *testing.T) {
+	var in strings.Builder
+	for i := 1; i <= 2*MaxSkipSamples; i++ {
+		fmt.Fprintf(&in, "%d 0 -1 0 1 -1 -1 1 10 -1 1 0 0 0 0 0 0 0\n", i)
+	}
+	_, _, skipped, err := Parse(strings.NewReader(in.String()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped.Count != 2*MaxSkipSamples {
+		t.Errorf("skipped = %d, want %d", skipped.Count, 2*MaxSkipSamples)
+	}
+	if len(skipped.Samples) != MaxSkipSamples {
+		t.Errorf("samples = %d, want capped at %d", len(skipped.Samples), MaxSkipSamples)
 	}
 }
 
@@ -114,8 +149,8 @@ func TestRoundTripThroughSWF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 0 {
-		t.Errorf("skipped = %d on round trip", skipped)
+	if skipped.Count != 0 {
+		t.Errorf("skipped = %d on round trip: %v", skipped.Count, skipped.Samples)
 	}
 	if len(back.Jobs) != len(src.Jobs) {
 		t.Fatalf("jobs = %d, want %d", len(back.Jobs), len(src.Jobs))

@@ -21,6 +21,31 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== fuzz seed corpora"
+go test ./internal/swf ./internal/miso -run '^Fuzz' -count=1
+
+echo "== fuzz smoke (5s each)"
+go test ./internal/swf -fuzz FuzzParse -fuzztime 5s
+go test ./internal/miso -fuzz FuzzReadCSV -fuzztime 5s
+
+echo "== same-seed faulted-run determinism"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/zccsim" ./cmd/zccsim
+for i in 1 2; do
+	"$tmpdir/zccsim" -days 7 -mira-nodes 2048 -zc-factor 1 -zc-duty 0.5 \
+		-kill-requeue -mtbf 12 -brownout 0.25 -forecast-err 0.5 -retry-limit 4 \
+		-seed 7 -trace "$tmpdir/t$i.jsonl" >"$tmpdir/out$i.txt"
+done
+if ! cmp -s "$tmpdir/t1.jsonl" "$tmpdir/t2.jsonl"; then
+	echo "faulted event traces differ between same-seed runs" >&2
+	exit 1
+fi
+if ! cmp -s "$tmpdir/out1.txt" "$tmpdir/out2.txt"; then
+	echo "faulted CLI output differs between same-seed runs" >&2
+	exit 1
+fi
+
 echo "== nop-tracer zero-alloc benchmark"
 out=$(go test ./internal/obs -run '^$' -bench BenchmarkNopTracer -benchmem -benchtime 100x)
 echo "$out"

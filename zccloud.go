@@ -27,6 +27,7 @@ import (
 	"zccloud/internal/core"
 	"zccloud/internal/econ"
 	"zccloud/internal/experiments"
+	"zccloud/internal/faults"
 	"zccloud/internal/forecast"
 	"zccloud/internal/job"
 	"zccloud/internal/miso"
@@ -65,6 +66,13 @@ type SWFOptions = swf.Options
 
 // SWFHeader carries the metadata directives of an SWF file.
 type SWFHeader = swf.Header
+
+// SWFParseError locates a malformed SWF line (file, line number).
+type SWFParseError = swf.ParseError
+
+// SWFSkipReport counts data lines ParseSWF dropped and keeps the first
+// few with reasons.
+type SWFSkipReport = swf.SkipReport
 
 // ParseSWF reads a Parallel Workloads Archive trace (SWF) into a job
 // trace, so real production logs can drive the simulator.
@@ -129,8 +137,42 @@ var UnionAvailability = availability.Union
 // MeasureDutyFactor returns the fraction of [from, to) a model is up.
 var MeasureDutyFactor = availability.DutyFactor
 
+// Partition names used by Simulate's machines.
+const (
+	MiraPartitionName = core.MiraPartition
+	ZCPartitionName   = core.ZCPartition
+)
+
 // SystemConfig describes a Mira-ZCCloud deployment.
 type SystemConfig = core.SystemConfig
+
+// FaultConfig configures fault injection: stochastic node failures,
+// availability forecast error, brownouts, and the recovery policy
+// (requeue order, bounded retries with backoff). Attach one to
+// SystemConfig.Faults; a config with no active dimension leaves the run
+// identical to a fault-free one.
+type FaultConfig = faults.Config
+
+// NodeFailureConfig is one partition's failure process: MTBF (exponential
+// draws, or Weibull when a shape is set), mean repair time, and nodes
+// taken down per failure.
+type NodeFailureConfig = faults.NodeFailures
+
+// Requeue policies for killed jobs.
+const (
+	RequeueFront = faults.RequeueFront
+	RequeueBack  = faults.RequeueBack
+)
+
+// FaultInjector holds validated fault schedules; same seed, same faults.
+type FaultInjector = faults.Injector
+
+// NewFaultInjector validates a FaultConfig and builds an injector.
+var NewFaultInjector = faults.New
+
+// YoungDalyInterval returns the Young/Daly optimal checkpoint interval
+// √(2·δ·MTBF) for checkpoint overhead δ.
+var YoungDalyInterval = faults.YoungDaly
 
 // RunConfig is one scheduling simulation.
 type RunConfig = core.RunConfig
@@ -176,6 +218,13 @@ var WriteMarketCSV = miso.WriteCSV
 
 // ReadMarketCSV streams records from a CSV, invoking fn per record.
 var ReadMarketCSV = miso.ReadCSV
+
+// ReadMarketCSVFile is ReadMarketCSV with an input name carried into
+// errors.
+var ReadMarketCSVFile = miso.ReadCSVFile
+
+// MarketParseError locates a malformed market-CSV line.
+type MarketParseError = miso.ParseError
 
 // SPModel is one stranded-power definition (Table V).
 type SPModel = stranded.Model
@@ -322,6 +371,10 @@ const (
 	EvReserveClear  = obs.EvReserveClear
 	EvWindowUp      = obs.EvWindowUp
 	EvWindowDown    = obs.EvWindowDown
+	EvNodeFail      = obs.EvNodeFail
+	EvNodeRepair    = obs.EvNodeRepair
+	EvBrownout      = obs.EvBrownout
+	EvAbandon       = obs.EvAbandon
 )
 
 // TraceEventKindByName resolves a trace-record "ev" name to its kind.
