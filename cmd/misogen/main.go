@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"zccloud"
@@ -37,14 +38,18 @@ func main() {
 		fatal("%v", err)
 	}
 
-	w := os.Stdout
+	// The CSV lands atomically: an interrupted run leaves no truncated
+	// dataset behind.
+	var w io.Writer = os.Stdout
+	var af *zccloud.AtomicFile
 	if *out != "-" {
-		f, err := os.Create(*out)
+		var err error
+		af, err = zccloud.CreateAtomic(*out)
 		if err != nil {
 			fatal("%v", err)
 		}
-		defer f.Close()
-		w = f
+		defer af.Abort() // no-op once committed
+		w = af
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	rows, err := zccloud.WriteMarketCSV(gen, bw)
@@ -53,6 +58,11 @@ func main() {
 	}
 	if err := bw.Flush(); err != nil {
 		fatal("flushing: %v", err)
+	}
+	if af != nil {
+		if err := af.Commit(); err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	s := gen.Summary()

@@ -9,16 +9,28 @@
 //	zccexp -markdown -o EXPERIMENTS.md # paper-scale, writes markdown
 //	zccexp -quick -trace t.jsonl -metrics m.json   # event trace + metrics
 //	zccexp -quick -progress            # progress lines on stderr
+//	zccexp -quick -run-dir run/        # journaled, crash-safe sweep
+//	zccexp -quick -resume run/         # ...picks up where it stopped
+//
+// With -run-dir, every experiment ("cell") runs under a panic guard and
+// optional watchdog (-cell-timeout), and its outcome is journaled to the
+// run directory as soon as it settles. SIGINT/SIGTERM stops the sweep at
+// a safe point, flushes the completed tables, and exits nonzero with a
+// resume hint; -resume skips completed cells and re-runs only failures.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"zccloud"
@@ -53,6 +65,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		brownout   = fs.Float64("brownout", -1, "resilience: per-window brownout probability (-1 = preset)")
 		retryLimit = fs.Int("retry-limit", 0, "resilience: kill/requeue retries before abandonment (0 = unlimited)")
 
+		runDir      = fs.String("run-dir", "", "journal each cell to this directory (crash-safe, resumable sweep)")
+		resumeDir   = fs.String("resume", "", "resume the sweep in this run directory (skips completed cells)")
+		check       = fs.Bool("check", false, "validate scheduler invariants after every event")
+		cellTimeout = fs.Duration("cell-timeout", 0, "per-experiment watchdog budget, e.g. 10m (0 = none)")
+		stopAfter   = fs.Int("interrupt-after", 0, "stop the sweep after N executed cells (deterministic interruption, for testing)")
+
 		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file")
 		metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
 		progress   = fs.Bool("progress", false, "report experiment progress and rate to stderr")
@@ -73,6 +91,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
+	if *runDir != "" && *resumeDir != "" && *runDir != *resumeDir {
+		return fmt.Errorf("-run-dir and -resume name different directories")
+	}
+	dir, doResume := *runDir, false
+	if *resumeDir != "" {
+		dir, doResume = *resumeDir, true
+	}
+	if *stopAfter > 0 && dir == "" {
+		return fmt.Errorf("-interrupt-after needs a journaled sweep (-run-dir)")
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -85,6 +113,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+
+	// SIGINT/SIGTERM stop the run cooperatively at the next safe point:
+	// between cells, or mid-simulation at an event boundary.
+	var sig atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sigc:
+			sig.Store(true)
+			fmt.Fprintln(stderr, "zccexp: interrupt received; stopping at the next safe point")
+		case <-done:
+		}
+	}()
 
 	opt := zccloud.ExperimentOptions{Seed: *seed}
 	if *quick {
@@ -114,24 +159,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *retryLimit > 0 {
 		opt.RetryLimit = *retryLimit
 	}
-	lab := zccloud.NewLab(opt)
 
 	// Telemetry: a registry always backs the summary table; the tracer
 	// and progress reporter are opt-in.
-	obsOpt := zccloud.ObsOptions{Metrics: zccloud.NewMetricsRegistry()}
+	obsOpt := zccloud.ObsOptions{Metrics: zccloud.NewMetricsRegistry(), Check: *check}
+	var traceFile *zccloud.AtomicFile
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		af, err := zccloud.CreateAtomic(*traceOut)
 		if err != nil {
 			return fmt.Errorf("creating trace output: %w", err)
 		}
-		sink := zccloud.NewJSONLTracer(f)
-		defer sink.Close()
-		obsOpt.Tracer = sink
+		defer af.Abort() // no-op once committed
+		traceFile = af
+		obsOpt.Tracer = zccloud.NewJSONLTracer(af)
+	}
+	commitTrace := func() error {
+		if traceFile == nil {
+			return nil
+		}
+		if err := obsOpt.Tracer.(*zccloud.JSONLTracer).Flush(); err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		t := traceFile
+		traceFile = nil
+		return t.Commit()
 	}
 	if *progress {
 		obsOpt.Progress = zccloud.NewProgressReporter(stderr, 5*time.Second)
 	}
-	lab.SetObs(obsOpt)
 
 	selected := zccloud.Experiments
 	if *ids != "" {
@@ -146,13 +201,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	w := io.Writer(stdout)
+	var outFile *zccloud.AtomicFile
 	if *out != "-" {
-		f, err := os.Create(*out)
+		af, err := zccloud.CreateAtomic(*out)
 		if err != nil {
 			return fmt.Errorf("creating output file: %w", err)
 		}
-		defer f.Close()
-		w = f
+		defer af.Abort() // no-op once committed
+		w = af
+		outFile = af
+	}
+	commitOut := func() error {
+		if outFile == nil {
+			return nil
+		}
+		o := outFile
+		outFile = nil
+		return o.Commit()
 	}
 
 	if *markdown {
@@ -168,49 +233,114 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintln(w, tb.Text())
 		}
 	}
+	// finish renders the telemetry summary and lands every output file
+	// atomically; called on complete and interrupted runs alike, so an
+	// interrupted sweep still flushes its completed tables.
+	finish := func() error {
+		render(zccloud.MetricsSummaryTable(obsOpt.Metrics.Snapshot()))
+		if err := commitTrace(); err != nil {
+			return err
+		}
+		if *metricsOut != "" {
+			f, err := zccloud.CreateAtomic(*metricsOut)
+			if err != nil {
+				return fmt.Errorf("creating metrics output: %w", err)
+			}
+			if err := obsOpt.Metrics.Snapshot().WriteJSON(f); err != nil {
+				f.Abort()
+				return err
+			}
+			if err := f.Commit(); err != nil {
+				return err
+			}
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				return fmt.Errorf("creating heap profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return commitOut()
+	}
+
+	if dir != "" {
+		return runSweep(dir, doResume, opt, obsOpt, selected, *cellTimeout, *stopAfter,
+			&sig, render, finish, stderr)
+	}
+
+	// Direct mode: run cells in-process with no journal.
+	obsOpt.Interrupt = sig.Load
+	lab := zccloud.NewLab(opt)
+	lab.SetObs(obsOpt)
 	for _, e := range selected {
 		start := time.Now()
 		obsOpt.Progress.Phase(e.ID)
 		tb, err := e.Run(lab)
 		if err != nil {
+			if errors.Is(err, zccloud.ErrRunInterrupted) {
+				if ferr := finish(); ferr != nil {
+					return ferr
+				}
+				return fmt.Errorf("interrupted during %s; completed tables flushed (use -run-dir for resumable sweeps)", e.ID)
+			}
 			return fmt.Errorf("%s: %v", e.ID, err)
 		}
 		render(tb)
 		fmt.Fprintf(stderr, "%-12s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return finish()
+}
 
-	// Telemetry summary: how much scheduling work the run performed.
-	snap := obsOpt.Metrics.Snapshot()
-	render(zccloud.MetricsSummaryTable(snap))
+// runSweep drives the journaled, resumable sweep mode.
+func runSweep(dir string, doResume bool, opt zccloud.ExperimentOptions,
+	obsOpt zccloud.ObsOptions, selected []zccloud.Experiment,
+	cellTimeout time.Duration, stopAfter int, sig *atomic.Bool,
+	render func(*zccloud.ResultTable), finish func() error, stderr io.Writer) error {
 
-	if t, ok := obsOpt.Tracer.(*zccloud.JSONLTracer); ok {
-		if err := t.Flush(); err != nil {
-			return fmt.Errorf("writing trace: %v", err)
-		}
+	var executed atomic.Int64
+	res, err := zccloud.RunSweep(zccloud.SweepConfig{
+		Dir:         dir,
+		Options:     opt,
+		Obs:         obsOpt,
+		Experiments: selected,
+		Resume:      doResume,
+		CellTimeout: cellTimeout,
+		Interrupt: func() bool {
+			return sig.Load() || (stopAfter > 0 && executed.Load() >= int64(stopAfter))
+		},
+		OnCell: func(rec zccloud.SweepCellRecord, skipped bool) {
+			if skipped {
+				fmt.Fprintf(stderr, "%-12s skipped (completed in a previous run)\n", rec.ID)
+				return
+			}
+			executed.Add(1)
+			fmt.Fprintf(stderr, "%-12s %s in %v\n", rec.ID, rec.Status,
+				(time.Duration(rec.ElapsedMS) * time.Millisecond).Round(time.Millisecond))
+		},
+	})
+	interrupted := errors.Is(err, zccloud.ErrSweepInterrupted)
+	if err != nil && !interrupted {
+		return err
 	}
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			return fmt.Errorf("creating metrics output: %w", err)
-		}
-		if err := snap.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
+	for _, tb := range res.Tables {
+		render(tb)
 	}
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			return fmt.Errorf("creating heap profile: %w", err)
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return err
-		}
+	if ferr := finish(); ferr != nil {
+		return ferr
+	}
+	if interrupted {
+		fmt.Fprintf(stderr, "zccexp: sweep interrupted; %d completed table(s) flushed\n", len(res.Tables))
+		fmt.Fprintf(stderr, "zccexp: resume with the same flags plus -resume %s\n", dir)
+		return fmt.Errorf("interrupted")
+	}
+	if len(res.Failed) > 0 {
+		return fmt.Errorf("%d cell(s) failed (%s); inspect %s/cells.jsonl and re-run with -resume %s",
+			len(res.Failed), strings.Join(res.Failed, ", "), dir, dir)
 	}
 	return nil
 }

@@ -9,15 +9,27 @@
 //	zccsim -days 7 -trace t.jsonl -metrics m.json  # with event trace
 //	zccsim -swf trace.swf                          # replay an SWF log
 //	zccsim -days 7 -zc-factor 1 -kill-requeue -mtbf 24 -brownout 0.2
+//	zccsim -days 28 -snapshot s.json -snapshot-at 7   # pause at day 7
+//	zccsim -days 28 -restore s.json                   # ...and finish later
+//
+// A run is crash-safe: SIGINT/SIGTERM pauses it at the next event
+// boundary and, when -snapshot is set, writes a checksummed snapshot that
+// -restore resumes byte-identically. -check validates scheduler
+// invariants after every event.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"zccloud"
@@ -53,6 +65,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		forecastErr = fs.Float64("forecast-err", 0, "window forecast-error standard deviation in hours")
 		retryLimit  = fs.Int("retry-limit", 0, "kill/requeue retries before a job is abandoned (0 = unlimited)")
 
+		check   = fs.Bool("check", false, "validate scheduler invariants after every event")
+		snapOut = fs.String("snapshot", "", "write a resume snapshot to this file when the run pauses")
+		snapAt  = fs.Float64("snapshot-at", 0, "deterministically pause at this simulated day (requires -snapshot)")
+		restore = fs.String("restore", "", "resume from a snapshot file (pass the original run's flags)")
+
 		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file")
 		metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
 		progress   = fs.Bool("progress", false, "report simulation progress and rate to stderr")
@@ -68,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "zccsim", zccloud.BuildInfo())
 		return nil
 	}
+	if *snapAt > 0 && *snapOut == "" {
+		return fmt.Errorf("-snapshot-at needs -snapshot to name the snapshot file")
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -81,6 +101,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
+	// SIGINT/SIGTERM pause the simulation cooperatively: the flag is
+	// polled between events, so the run always stops in a snapshottable
+	// state.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sigc:
+			interrupted.Store(true)
+			fmt.Fprintln(stderr, "zccsim: interrupt received; pausing at the next event boundary")
+		case <-done:
+		}
+	}()
+
 	var zc zccloud.AvailabilityModel
 	if *zcFactor > 0 {
 		if *zcDuty >= 1 {
@@ -90,69 +128,91 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// A restored run takes its jobs from the snapshot; only a fresh run
+	// needs a workload.
 	var tr *zccloud.Trace
-	if *swfPath != "" {
-		f, err := os.Open(*swfPath)
-		if err != nil {
-			return fmt.Errorf("opening SWF trace: %w", err)
-		}
-		var header zccloud.SWFHeader
-		var skipped zccloud.SWFSkipReport
-		tr, header, skipped, err = zccloud.ParseSWF(f, zccloud.SWFOptions{
-			ProcsPerNode: *procsPer,
-			SkipFailed:   true,
-			File:         *swfPath,
-		})
-		f.Close()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "replaying %s: %d jobs (%d skipped)", *swfPath, len(tr.Jobs), skipped.Count)
-		if mn := header.MaxNodes(); mn > 0 {
-			fmt.Fprintf(stdout, ", trace machine %d nodes", mn)
-		}
-		fmt.Fprintln(stdout)
-		for _, s := range skipped.Samples {
-			fmt.Fprintf(stdout, "  skipped %s\n", s)
-		}
-		if more := skipped.Count - len(skipped.Samples); more > 0 && len(skipped.Samples) > 0 {
-			fmt.Fprintf(stdout, "  ... and %d more\n", more)
-		}
-	} else {
-		wcfg := zccloud.WorkloadConfig{
-			Seed:              *seed,
-			Days:              *days,
-			SystemNodes:       *nodes,
-			TargetUtilization: *util,
-			Scale:             *scale,
-		}
-		if *burst {
-			if zc == nil {
-				return fmt.Errorf("-burst requires -zc-factor > 0")
+	if *restore == "" {
+		if *swfPath != "" {
+			f, err := os.Open(*swfPath)
+			if err != nil {
+				return fmt.Errorf("opening SWF trace: %w", err)
 			}
-			wcfg.Shape = zccloud.Burst
-			horizon := zccloud.Time(*days) * zccloud.Day
-			wcfg.UptimeWindows = materialize(zc, horizon)
+			var header zccloud.SWFHeader
+			var skipped zccloud.SWFSkipReport
+			tr, header, skipped, err = zccloud.ParseSWF(f, zccloud.SWFOptions{
+				ProcsPerNode: *procsPer,
+				SkipFailed:   true,
+				File:         *swfPath,
+			})
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "replaying %s: %d jobs (%d skipped)", *swfPath, len(tr.Jobs), skipped.Count)
+			if mn := header.MaxNodes(); mn > 0 {
+				fmt.Fprintf(stdout, ", trace machine %d nodes", mn)
+			}
+			fmt.Fprintln(stdout)
+			for _, s := range skipped.Samples {
+				fmt.Fprintf(stdout, "  skipped %s\n", s)
+			}
+			if more := skipped.Count - len(skipped.Samples); more > 0 && len(skipped.Samples) > 0 {
+				fmt.Fprintf(stdout, "  ... and %d more\n", more)
+			}
+		} else {
+			wcfg := zccloud.WorkloadConfig{
+				Seed:              *seed,
+				Days:              *days,
+				SystemNodes:       *nodes,
+				TargetUtilization: *util,
+				Scale:             *scale,
+			}
+			if *burst {
+				if zc == nil {
+					return fmt.Errorf("-burst requires -zc-factor > 0")
+				}
+				wcfg.Shape = zccloud.Burst
+				horizon := zccloud.Time(*days) * zccloud.Day
+				wcfg.UptimeWindows = materialize(zc, horizon)
+			}
+			var err error
+			tr, err = zccloud.GenerateWorkload(wcfg)
+			if err != nil {
+				return fmt.Errorf("generating workload: %v", err)
+			}
 		}
-		var err error
-		tr, err = zccloud.GenerateWorkload(wcfg)
-		if err != nil {
-			return fmt.Errorf("generating workload: %v", err)
-		}
+		st := zccloud.SummarizeWorkload(tr, *nodes)
+		fmt.Fprintf(stdout, "workload: %d jobs over %.0f days, %.0f M node-hours (%.1f%% of Mira)\n",
+			st.Jobs, st.Days, st.NodeHours/1e6, 100*st.Utilization)
 	}
-	st := zccloud.SummarizeWorkload(tr, *nodes)
-	fmt.Fprintf(stdout, "workload: %d jobs over %.0f days, %.0f M node-hours (%.1f%% of Mira)\n",
-		st.Jobs, st.Days, st.NodeHours/1e6, 100*st.Utilization)
 
-	obsOpt := zccloud.ObsOptions{Metrics: zccloud.NewMetricsRegistry()}
+	obsOpt := zccloud.ObsOptions{
+		Metrics:   zccloud.NewMetricsRegistry(),
+		Interrupt: interrupted.Load,
+		Check:     *check,
+	}
+	var traceFile *zccloud.AtomicFile
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		af, err := zccloud.CreateAtomic(*traceOut)
 		if err != nil {
 			return fmt.Errorf("creating trace output: %w", err)
 		}
-		sink := zccloud.NewJSONLTracer(f)
-		defer sink.Close()
-		obsOpt.Tracer = sink
+		defer af.Abort() // no-op once committed
+		traceFile = af
+		obsOpt.Tracer = zccloud.NewJSONLTracer(af)
+	}
+	// commitTrace lands the event trace atomically; called on success and
+	// on a deliberate pause, so a partial trace is still a usable prefix.
+	commitTrace := func() error {
+		if traceFile == nil {
+			return nil
+		}
+		if err := obsOpt.Tracer.(*zccloud.JSONLTracer).Flush(); err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		t := traceFile
+		traceFile = nil
+		return t.Commit()
 	}
 	if *progress {
 		obsOpt.Progress = zccloud.NewProgressReporter(stderr, 5*time.Second)
@@ -187,7 +247,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	m, err := zccloud.Simulate(zccloud.RunConfig{
+	runCfg := zccloud.RunConfig{
 		Trace: tr,
 		System: zccloud.SystemConfig{
 			MiraNodes: *nodes,
@@ -196,10 +256,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 			NonOracle: *killMode,
 			Faults:    fc,
 		},
-		Obs: obsOpt,
-	})
+		Obs:    obsOpt,
+		StopAt: zccloud.Time(*snapAt) * zccloud.Day,
+	}
+
+	var m *zccloud.Metrics
+	var err error
+	if *restore != "" {
+		snap, lerr := zccloud.LoadSnapshot(*restore)
+		if lerr != nil {
+			return lerr
+		}
+		fmt.Fprintf(stdout, "restored %s: resuming %d jobs to deadline %.1f days\n",
+			*restore, len(snap.Jobs), float64(snap.Deadline)/float64(zccloud.Day))
+		m, err = zccloud.ResumeSimulation(runCfg, snap)
+	} else {
+		m, err = zccloud.Simulate(runCfg)
+	}
 	if err != nil {
-		return fmt.Errorf("simulating: %v", err)
+		var intr *zccloud.InterruptedRun
+		if !errors.As(err, &intr) {
+			return fmt.Errorf("simulating: %v", err)
+		}
+		if *snapOut == "" {
+			return fmt.Errorf("run interrupted with no -snapshot path; simulation state was lost")
+		}
+		if serr := zccloud.SaveSnapshot(*snapOut, intr.Snapshot); serr != nil {
+			return serr
+		}
+		if terr := commitTrace(); terr != nil {
+			return terr
+		}
+		fmt.Fprintf(stderr, "zccsim: run paused; snapshot written to %s\n", *snapOut)
+		fmt.Fprintf(stderr, "zccsim: resume with the same flags plus -restore %s\n", *snapOut)
+		if *snapAt > 0 && !interrupted.Load() {
+			return nil // a deliberate -snapshot-at pause is a success
+		}
+		return fmt.Errorf("interrupted")
 	}
 
 	fmt.Fprintf(stdout, "\ncompleted %d jobs (%d unfinished, %d unrunnable); makespan %.1f days\n",
@@ -214,8 +307,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "ZCCloud carried %.1f%% of delivered node-hours\n", 100*m.ZCShareOfWork)
 	}
 	fmt.Fprintf(stdout, "throughput %.1f jobs/day\n", m.ThroughputJobsPerDay)
-	for part, u := range m.UtilizationByPartition {
-		fmt.Fprintf(stdout, "utilization[%s] = %.1f%%\n", part, 100*u)
+	parts := make([]string, 0, len(m.UtilizationByPartition))
+	for part := range m.UtilizationByPartition {
+		parts = append(parts, part)
+	}
+	sort.Strings(parts)
+	for _, part := range parts {
+		fmt.Fprintf(stdout, "utilization[%s] = %.1f%%\n", part, 100*m.UtilizationByPartition[part])
 	}
 	if fc != nil {
 		fmt.Fprintf(stdout, "faults: %d node failures, %d brownouts, %d kills, %d abandoned\n",
@@ -233,21 +331,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout)
 	fmt.Fprintln(stdout, zccloud.MetricsSummaryTable(snap).Text())
 
-	if t, ok := obsOpt.Tracer.(*zccloud.JSONLTracer); ok {
-		if err := t.Flush(); err != nil {
-			return fmt.Errorf("writing trace: %v", err)
-		}
+	if err := commitTrace(); err != nil {
+		return err
 	}
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+		f, err := zccloud.CreateAtomic(*metricsOut)
 		if err != nil {
 			return fmt.Errorf("creating metrics output: %w", err)
 		}
 		if err := snap.WriteJSON(f); err != nil {
-			f.Close()
+			f.Abort()
 			return err
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			return err
 		}
 	}

@@ -102,6 +102,24 @@ func (p *Partition) BringOnline(n int) {
 	p.free += n
 }
 
+// RestoreState re-applies snapshotted allocation accounting: free nodes,
+// outstanding allocations (running jobs), and offline nodes. In-use
+// nodes are implied (Nodes − free − offline). It rejects accounting that
+// cannot describe this partition.
+func (p *Partition) RestoreState(free, running, offline int) error {
+	if free < 0 || running < 0 || offline < 0 || free+offline > p.Nodes {
+		return fmt.Errorf("cluster: restore %q with free=%d running=%d offline=%d of %d nodes",
+			p.Name, free, running, offline, p.Nodes)
+	}
+	inUse := p.Nodes - free - offline
+	if (inUse == 0) != (running == 0) {
+		return fmt.Errorf("cluster: restore %q with %d nodes in use but %d running jobs",
+			p.Name, inUse, running)
+	}
+	p.free, p.busy, p.offline = free, running, offline
+	return nil
+}
+
 // ResetAllocations frees all nodes (between simulation runs).
 func (p *Partition) ResetAllocations() {
 	p.free = p.Nodes

@@ -121,10 +121,30 @@ type RunConfig struct {
 	// Deadline bounds the run; zero defaults to the trace span plus 90
 	// days of drain time.
 	Deadline sim.Time
-	// Obs carries the telemetry hooks (event tracer, metrics registry,
-	// progress reporter); the zero value disables all instrumentation.
+	// Obs carries the telemetry and run-control hooks (event tracer,
+	// metrics registry, progress reporter, cooperative interrupt,
+	// invariant checking); the zero value disables all of them.
 	Obs obs.Options
+	// StopAt, when positive, interrupts the run before any event later
+	// than this simulated time — the deterministic snapshot point behind
+	// zccsim's -snapshot-at.
+	StopAt sim.Time
 }
+
+// Interrupted is returned by Run and Resume when the run was paused by
+// Obs.Interrupt or StopAt. It carries the scheduler snapshot taken at
+// the pause point; persist it (internal/persist) and pass it to Resume
+// to continue the run byte-identically.
+type Interrupted struct {
+	Snapshot *sched.Snapshot
+}
+
+func (e *Interrupted) Error() string {
+	return "core: run interrupted; snapshot captured"
+}
+
+// Unwrap lets errors.Is(err, sched.ErrInterrupted) recognize the pause.
+func (e *Interrupted) Unwrap() error { return sched.ErrInterrupted }
 
 // SizeBin is one job-size bucket of Figure 5.
 type SizeBin struct {
@@ -183,35 +203,21 @@ type Metrics struct {
 	MakespanDays float64
 }
 
-// Run simulates one configuration and extracts metrics.
-func Run(cfg RunConfig) (*Metrics, error) {
-	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
-		return nil, fmt.Errorf("core: empty trace")
-	}
-	sys := cfg.System.withDefaults()
-	if err := sys.Validate(); err != nil {
-		return nil, err
-	}
+// buildSched assembles the scheduler configuration shared by Run and
+// Resume: machine, fresh engine, policy, fault injector, and the
+// telemetry/control hooks.
+func buildSched(cfg RunConfig, sys SystemConfig) (sched.Config, *cluster.Machine, error) {
 	machine, err := BuildMachine(sys)
 	if err != nil {
-		return nil, err
+		return sched.Config{}, nil, err
 	}
-	cfg.Trace.Reset()
-
-	first, last := cfg.Trace.Span()
-	deadline := cfg.Deadline
-	if deadline == 0 {
-		deadline = last + 90*sim.Day
-	}
-
-	eng := sim.New()
 	policy := sched.WFP
 	if sys.FCFS {
 		policy = sched.FCFS
 	}
 	scfg := sched.Config{
 		Machine:            machine,
-		Engine:             eng,
+		Engine:             sim.New(),
 		Policy:             policy,
 		Oracle:             !sys.NonOracle,
 		BackfillDepth:      sys.BackfillDepth,
@@ -223,6 +229,9 @@ func Run(cfg RunConfig) (*Metrics, error) {
 		Tracer:             cfg.Obs.Tracer,
 		Metrics:            cfg.Obs.Metrics,
 		Progress:           cfg.Obs.Progress,
+		Check:              cfg.Obs.Check,
+		Interrupt:          cfg.Obs.Interrupt,
+		StopAt:             cfg.StopAt,
 	}
 	if sys.ZCFactor > 0 {
 		scfg.Classify = sys.ZCAvail
@@ -230,9 +239,53 @@ func Run(cfg RunConfig) (*Metrics, error) {
 	if sys.Faults != nil {
 		inj, err := faults.New(*sys.Faults)
 		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+			return sched.Config{}, nil, fmt.Errorf("core: %w", err)
 		}
 		scfg.Faults = inj
+	}
+	return scfg, machine, nil
+}
+
+// finishRun drives the scheduler to the deadline and turns the outcome
+// into Metrics, converting an interruption into an *Interrupted error
+// carrying the snapshot.
+func finishRun(s *sched.Scheduler, deadline sim.Time, machine *cluster.Machine,
+	jobs []*job.Job, obsOpts obs.Options) (*Metrics, error) {
+	res, err := s.Run(deadline)
+	if err == sched.ErrInterrupted {
+		snap, serr := s.Snapshot()
+		if serr != nil {
+			return nil, serr
+		}
+		return nil, &Interrupted{Snapshot: snap}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return collectMetrics(res, machine, jobs, obsOpts), nil
+}
+
+// Run simulates one configuration and extracts metrics. When the run is
+// paused (Obs.Interrupt or StopAt) the error is an *Interrupted carrying
+// a snapshot for Resume.
+func Run(cfg RunConfig) (*Metrics, error) {
+	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	sys := cfg.System.withDefaults()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	scfg, machine, err := buildSched(cfg, sys)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Trace.Reset()
+
+	_, last := cfg.Trace.Span()
+	deadline := cfg.Deadline
+	if deadline == 0 {
+		deadline = last + 90*sim.Day
 	}
 	s, err := sched.New(scfg)
 	if err != nil {
@@ -241,9 +294,43 @@ func Run(cfg RunConfig) (*Metrics, error) {
 	if err := s.LoadTrace(cfg.Trace); err != nil {
 		return nil, err
 	}
-	res, err := s.Run(deadline)
+	return finishRun(s, deadline, machine, cfg.Trace.Jobs, cfg.Obs)
+}
+
+// Resume continues a run from a snapshot taken by an interrupted Run
+// (or Resume). cfg must describe the same system the snapshot came from
+// — sched.Restore verifies the configuration fingerprint — but
+// cfg.Trace is ignored: the snapshot carries the full job state, and
+// the returned Metrics are computed from it. The continued run is
+// byte-identical to one that was never interrupted.
+func Resume(cfg RunConfig, snap *sched.Snapshot) (*Metrics, error) {
+	sys := cfg.System.withDefaults()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	scfg, machine, err := buildSched(cfg, sys)
 	if err != nil {
 		return nil, err
+	}
+	s, err := sched.Restore(scfg, snap)
+	if err != nil {
+		return nil, err
+	}
+	return finishRun(s, snap.Deadline, machine, s.Jobs(), cfg.Obs)
+}
+
+// collectMetrics extracts everything the paper's figures read off one
+// completed run. jobs is the authoritative job set: the original trace
+// for a straight run, the scheduler's restored copies for a resumed one.
+func collectMetrics(res sched.Result, machine *cluster.Machine, jobs []*job.Job, obsOpts obs.Options) *Metrics {
+	var first, last sim.Time
+	for i, j := range jobs {
+		if i == 0 || j.Submit < first {
+			first = j.Submit
+		}
+		if j.Submit > last {
+			last = j.Submit
+		}
 	}
 
 	m := &Metrics{
@@ -260,7 +347,7 @@ func Run(cfg RunConfig) (*Metrics, error) {
 
 	// Run-level metrics: completion counters and the wait-time
 	// distribution (all handles are nil-safe no-ops without a registry).
-	runScope := cfg.Obs.Metrics.Scope("run")
+	runScope := obsOpts.Metrics.Scope("run")
 	runScope.Counter("simulations").Inc()
 	runScope.Counter("jobs_completed").Add(int64(res.Completed))
 	runScope.Counter("jobs_unfinished").Add(int64(res.Unfinished))
@@ -273,7 +360,7 @@ func Run(cfg RunConfig) (*Metrics, error) {
 		bySize = append(bySize, accum{})
 	}
 	var capab, capac, onTime, late accum
-	for _, j := range cfg.Trace.Jobs {
+	for _, j := range jobs {
 		if !j.Completed {
 			continue
 		}
@@ -350,7 +437,7 @@ func Run(cfg RunConfig) (*Metrics, error) {
 	if totalNH > 0 {
 		m.ZCShareOfWork = res.NodeHoursByPartition[ZCPartition] / totalNH
 	}
-	return m, nil
+	return m
 }
 
 // sizeBinIndex maps a node count to its Figure 5 bin.

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"zccloud/internal/availability"
+	"zccloud/internal/faults"
+	"zccloud/internal/persist"
+	"zccloud/internal/sched"
+	"zccloud/internal/sim"
+)
+
+// resumeConfig is a faulted, kill/requeue-mode system — the hardest
+// state to carry across a snapshot.
+func resumeConfig(t *testing.T) RunConfig {
+	t.Helper()
+	return RunConfig{
+		Trace: smallTrace(t, 11, 1),
+		System: SystemConfig{
+			ZCFactor:           1,
+			ZCAvail:            availability.NewPeriodic(0.5, 20*sim.Hour),
+			NonOracle:          true,
+			CheckpointInterval: 2 * sim.Hour,
+			Faults: &faults.Config{
+				Seed:          21,
+				ForecastErrSD: sim.Hour,
+				BrownoutProb:  0.3,
+				RetryLimit:    4,
+				Backoff:       10 * sim.Minute,
+			},
+		},
+	}
+}
+
+// TestRunResumeMatchesUninterrupted: interrupt a core run mid-flight,
+// push the snapshot through the persist envelope (file on disk), resume
+// in a fresh world, and require metrics identical to an uninterrupted
+// run.
+func TestRunResumeMatchesUninterrupted(t *testing.T) {
+	want, err := Run(resumeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := resumeConfig(t)
+	cfg.StopAt = 2 * sim.Day
+	_, err = Run(cfg)
+	var intr *Interrupted
+	if !errors.As(err, &intr) {
+		t.Fatalf("err = %v, want *Interrupted", err)
+	}
+	if !errors.Is(err, sched.ErrInterrupted) {
+		t.Error("Interrupted does not unwrap to sched.ErrInterrupted")
+	}
+
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := persist.SaveJSON(path, "zccloud-snapshot", sched.SnapshotVersion, intr.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	var snap sched.Snapshot
+	if err := persist.LoadJSON(path, "zccloud-snapshot", sched.SnapshotVersion, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg = resumeConfig(t)
+	got, err := Resume(cfg, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resumed metrics diverge:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestResumeRejectsDifferentSystem: resuming under a changed system
+// (oracle mode flipped back on) must fail loudly.
+func TestResumeRejectsDifferentSystem(t *testing.T) {
+	cfg := resumeConfig(t)
+	cfg.StopAt = 2 * sim.Day
+	_, err := Run(cfg)
+	var intr *Interrupted
+	if !errors.As(err, &intr) {
+		t.Fatalf("err = %v, want *Interrupted", err)
+	}
+	other := resumeConfig(t)
+	other.System.NonOracle = false
+	if _, err := Resume(other, intr.Snapshot); err == nil {
+		t.Fatal("Resume accepted a different system configuration")
+	}
+}
+
+// TestResumeCanBeInterruptedAgain: chained pause points through the
+// core API still converge to the uninterrupted metrics.
+func TestResumeCanBeInterruptedAgain(t *testing.T) {
+	want, err := Run(resumeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := resumeConfig(t)
+	cfg.StopAt = sim.Day
+	_, err = Run(cfg)
+	var intr *Interrupted
+	if !errors.As(err, &intr) {
+		t.Fatalf("first pause: err = %v", err)
+	}
+	cfg = resumeConfig(t)
+	cfg.StopAt = 3 * sim.Day
+	_, err = Resume(cfg, intr.Snapshot)
+	if !errors.As(err, &intr) {
+		t.Fatalf("second pause: err = %v", err)
+	}
+	cfg = resumeConfig(t)
+	got, err := Resume(cfg, intr.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("twice-resumed metrics diverge from uninterrupted run")
+	}
+}

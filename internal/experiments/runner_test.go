@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zccloud/internal/obs"
+	"zccloud/internal/sched"
+)
+
+// fakeExp builds a trivial experiment cell for runner tests.
+func fakeExp(id string, run func(*Lab) (*Table, error)) Experiment {
+	return Experiment{ID: id, Title: id, Kind: "test", Run: run}
+}
+
+func okExp(id string) Experiment {
+	return fakeExp(id, func(*Lab) (*Table, error) {
+		t := &Table{ID: id, Title: id, Columns: []string{"v"}}
+		t.AddRow(42)
+		return t, nil
+	})
+}
+
+func TestSweepJournalAndResume(t *testing.T) {
+	dir := t.TempDir()
+	var failing atomic.Bool
+	failing.Store(true)
+	exps := []Experiment{
+		okExp("a"),
+		fakeExp("b", func(*Lab) (*Table, error) {
+			if failing.Load() {
+				return nil, errors.New("transient backend hiccup")
+			}
+			tb := &Table{ID: "b", Title: "b", Columns: []string{"v"}}
+			tb.AddRow(1)
+			return tb, nil
+		}),
+		okExp("c"),
+	}
+	cfg := SweepConfig{Dir: dir, Options: Quick(1), Experiments: exps}
+
+	res, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ran != 3 || res.Skipped != 0 {
+		t.Fatalf("ran %d skipped %d, want 3/0", res.Ran, res.Skipped)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != "b" {
+		t.Fatalf("failed = %v, want [b]", res.Failed)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(res.Tables))
+	}
+
+	// Resume with the failure cleared: only b re-runs.
+	failing.Store(false)
+	cfg.Resume = true
+	res, err = RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ran != 1 || res.Skipped != 2 {
+		t.Fatalf("resume ran %d skipped %d, want 1/2", res.Ran, res.Skipped)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("resume failed = %v", res.Failed)
+	}
+	if len(res.Tables) != 3 || res.Tables[1].ID != "b" {
+		t.Fatalf("resume tables wrong: %d", len(res.Tables))
+	}
+
+	// SweepStatus sees the latest record per cell.
+	recs, err := SweepStatus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("status records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Status != CellOK {
+			t.Errorf("cell %s status %s after resume", r.ID, r.Status)
+		}
+	}
+}
+
+func TestSweepPanicGuard(t *testing.T) {
+	tr := &obs.Mem{}
+	reg := obs.NewRegistry()
+	exps := []Experiment{
+		fakeExp("boom", func(*Lab) (*Table, error) { panic("cell exploded") }),
+		okExp("after"),
+	}
+	res, err := RunSweep(SweepConfig{
+		Dir: t.TempDir(), Options: Quick(1), Experiments: exps,
+		Obs: obs.Options{Tracer: tr, Metrics: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Records["boom"]
+	if rec.Status != CellPanic {
+		t.Fatalf("status = %s, want panic", rec.Status)
+	}
+	if !strings.Contains(rec.Error, "cell exploded") || rec.Stack == "" {
+		t.Errorf("panic record missing message or stack: %+v", rec.Error)
+	}
+	if res.Records["after"].Status != CellOK {
+		t.Error("sweep did not continue past the panicking cell")
+	}
+	if len(tr.Filter(obs.EvCellPanic)) != 1 {
+		t.Error("no cell-panic trace event")
+	}
+	if got := reg.Scope("sweep").Counter("cell_panics").Value(); got != 1 {
+		t.Errorf("cell_panics = %d", got)
+	}
+}
+
+func TestSweepWatchdogTimeout(t *testing.T) {
+	// A cooperative cell: it spins until the interrupt flag fires, then
+	// stops the way an interrupted simulation does.
+	coop := fakeExp("slow", func(l *Lab) (*Table, error) {
+		for !l.Obs().Interrupt() {
+			time.Sleep(time.Millisecond)
+		}
+		return nil, fmt.Errorf("stopped mid-sweep: %w", sched.ErrInterrupted)
+	})
+	res, err := RunSweep(SweepConfig{
+		Dir: t.TempDir(), Options: Quick(1),
+		Experiments: []Experiment{coop, okExp("next")},
+		CellTimeout: 20 * time.Millisecond,
+		Grace:       5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Records["slow"]
+	if rec.Status != CellTimeout {
+		t.Fatalf("status = %s, want timeout", rec.Status)
+	}
+	if res.Records["next"].Status != CellOK {
+		t.Error("sweep did not continue past the timed-out cell")
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != "slow" {
+		t.Errorf("failed = %v", res.Failed)
+	}
+}
+
+func TestSweepWedgedCellAborts(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	defer close(release)
+	wedged := fakeExp("stuck", func(*Lab) (*Table, error) {
+		<-release // ignores the cooperative stop entirely
+		return nil, errors.New("never")
+	})
+	res, err := RunSweep(SweepConfig{
+		Dir: dir, Options: Quick(1),
+		Experiments: []Experiment{wedged, okExp("unreached")},
+		CellTimeout: 10 * time.Millisecond,
+		Grace:       20 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("err = %v, want wedged", err)
+	}
+	if res.Records["stuck"].Status != CellWedged {
+		t.Fatalf("status = %s, want wedged", res.Records["stuck"].Status)
+	}
+	if _, ok := res.Records["unreached"]; ok {
+		t.Error("sweep continued past a wedged cell")
+	}
+	// The journal must survive for a resume.
+	recs, err := SweepStatus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Status != CellWedged {
+		t.Fatalf("journal after wedge: %+v", recs)
+	}
+}
+
+func TestSweepExternalInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	var stop atomic.Bool
+	first := fakeExp("first", func(*Lab) (*Table, error) {
+		stop.Store(true) // signal arrives while the first cell runs
+		tb := &Table{ID: "first", Title: "first", Columns: []string{"v"}}
+		tb.AddRow(1)
+		return tb, nil
+	})
+	cfg := SweepConfig{
+		Dir: dir, Options: Quick(1),
+		Experiments: []Experiment{first, okExp("second")},
+		Interrupt:   stop.Load,
+	}
+	res, err := RunSweep(cfg)
+	if !errors.Is(err, ErrSweepInterrupted) {
+		t.Fatalf("err = %v, want ErrSweepInterrupted", err)
+	}
+	if res.Ran != 1 || res.Records["first"].Status != CellOK {
+		t.Fatalf("first cell not journaled before stop: %+v", res)
+	}
+
+	cfg.Interrupt = nil
+	cfg.Resume = true
+	res, err = RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 1 || res.Ran != 1 || len(res.Failed) != 0 {
+		t.Fatalf("resume after interrupt: %+v", res)
+	}
+}
+
+func TestSweepMidCellInterruptNotJournaled(t *testing.T) {
+	dir := t.TempDir()
+	var stop atomic.Bool
+	// The cell observes the external interrupt through the lab's obs
+	// hook (as a simulation would) and stops without finishing.
+	coop := fakeExp("mid", func(l *Lab) (*Table, error) {
+		stop.Store(true)
+		if !l.Obs().Interrupt() {
+			return nil, errors.New("interrupt not visible inside the cell")
+		}
+		return nil, fmt.Errorf("paused: %w", sched.ErrInterrupted)
+	})
+	cfg := SweepConfig{
+		Dir: dir, Options: Quick(1),
+		Experiments: []Experiment{coop},
+		Interrupt:   stop.Load,
+	}
+	_, err := RunSweep(cfg)
+	if !errors.Is(err, ErrSweepInterrupted) {
+		t.Fatalf("err = %v, want ErrSweepInterrupted", err)
+	}
+	// Not the cell's fault: no record, so a resume re-runs it.
+	recs, err := SweepStatus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("interrupted cell was journaled: %+v", recs)
+	}
+}
+
+func TestSweepResumeRejectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := SweepConfig{Dir: dir, Options: Quick(1), Experiments: []Experiment{okExp("a")}}
+	if _, err := RunSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different options.
+	bad := cfg
+	bad.Resume = true
+	bad.Options = Quick(2)
+	if _, err := RunSweep(bad); err == nil || !strings.Contains(err.Error(), "resume refused") {
+		t.Fatalf("changed options: err = %v", err)
+	}
+
+	// Different experiment set.
+	bad = cfg
+	bad.Resume = true
+	bad.Experiments = []Experiment{okExp("a"), okExp("b")}
+	if _, err := RunSweep(bad); err == nil || !strings.Contains(err.Error(), "resume refused") {
+		t.Fatalf("changed experiment set: err = %v", err)
+	}
+
+	// Resuming a directory that was never started.
+	bad = cfg
+	bad.Resume = true
+	bad.Dir = t.TempDir()
+	if _, err := RunSweep(bad); err == nil || !strings.Contains(err.Error(), "resume refused") {
+		t.Fatalf("missing manifest: err = %v", err)
+	}
+
+	// A fresh (non-resume) run must not clobber an existing sweep.
+	if _, err := RunSweep(cfg); err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("fresh run over existing sweep: err = %v", err)
+	}
+
+	// The matching configuration still resumes cleanly.
+	good := cfg
+	good.Resume = true
+	res, err := RunSweep(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 1 {
+		t.Fatalf("clean resume skipped %d", res.Skipped)
+	}
+}
+
+// TestSweepAllExperimentsTiny drives every registered experiment at a
+// tiny scale through the resumable runner: each cell must finish under
+// the panic guard with a usable table and no invariant violations.
+func TestSweepAllExperimentsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole experiment registry")
+	}
+	reg := obs.NewRegistry()
+	opt := Options{
+		Seed: 1, WorkloadDays: 10, MarketDays: 20, WindSites: 24,
+		BrownoutProb: 0.25, FaultMTBFHours: 6, RetryLimit: 4,
+	}
+	res, err := RunSweep(SweepConfig{
+		Dir:     t.TempDir(),
+		Options: opt,
+		Obs:     obs.Options{Metrics: reg, Check: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		for _, id := range res.Failed {
+			rec := res.Records[id]
+			t.Errorf("cell %s: %s: %s", id, rec.Status, rec.Error)
+		}
+		t.FailNow()
+	}
+	if res.Ran != len(All) {
+		t.Errorf("ran %d cells, want %d", res.Ran, len(All))
+	}
+	for _, e := range All {
+		rec := res.Records[e.ID]
+		if rec.Table == nil {
+			t.Errorf("cell %s: no table", e.ID)
+			continue
+		}
+		// Prediction legitimately yields no rows when the tiny market
+		// window has no SP intervals; everything else must have rows.
+		if len(rec.Table.Rows) == 0 && e.ID != "prediction" {
+			t.Errorf("cell %s: empty table", e.ID)
+		}
+	}
+	if v := reg.Snapshot().Counter("sched.invariant_violations"); v != 0 {
+		t.Errorf("invariant violations during sweep: %d", v)
+	}
+}

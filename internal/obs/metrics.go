@@ -272,8 +272,8 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// Options bundles the telemetry hooks a simulation run accepts. The zero
-// value disables everything at near-zero cost.
+// Options bundles the telemetry and run-control hooks a simulation run
+// accepts. The zero value disables everything at near-zero cost.
 type Options struct {
 	// Tracer receives simulation events; nil means no tracing.
 	Tracer Tracer
@@ -281,4 +281,11 @@ type Options struct {
 	Metrics *Registry
 	// Progress receives throttled progress callbacks; nil disables.
 	Progress *Progress
+	// Interrupt, when non-nil, is polled between simulation events: once
+	// it reports true, the run stops at the next event boundary in a
+	// snapshottable state (signal handlers and watchdogs set this).
+	Interrupt func() bool
+	// Check enables the scheduler's per-event invariant checker; a
+	// violation stops the run with a descriptive error.
+	Check bool
 }

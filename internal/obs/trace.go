@@ -45,13 +45,22 @@ const (
 	EvNodeRepair                     // failed nodes repaired; nodes = count
 	EvBrownout                       // window ended in brownout; nodes = surviving nodes, detail = surviving fraction
 	EvAbandon                        // job exhausted its retry budget; terminal; detail = kill count
+
+	// Durability events (crash-safe runs). Not part of the simulated
+	// workload: they mark where a run was checkpointed, resumed, found
+	// inconsistent, or lost a sweep cell to a panic.
+	EvCheckpointSave     // scheduler state snapshotted; detail = pending event count
+	EvCheckpointRestore  // run resumed from a snapshot; detail = pending event count
+	EvInvariantViolation // invariant checker found corrupted scheduler state
+	EvCellPanic          // a sweep cell panicked under the experiment runner's guard
 )
 
 var kindNames = [...]string{
 	"arrive", "enqueue", "start", "backfill-start", "finish", "kill",
 	"requeue", "pin", "unrunnable", "reserve", "reserve-clear",
 	"window-up", "window-down", "node-fail", "node-repair", "brownout",
-	"abandon",
+	"abandon", "checkpoint-save", "checkpoint-restore",
+	"invariant-violation", "cell-panic",
 }
 
 func (k EventKind) String() string {

@@ -24,6 +24,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -120,6 +121,21 @@ type Config struct {
 	// Progress, when non-nil, receives throttled progress callbacks from
 	// the event loop.
 	Progress *obs.Progress
+	// Check enables the scheduler invariant checker after every
+	// dispatched event: capacity conservation, queue/running exclusivity,
+	// monotone event times, and job-state conservation. A violation stops
+	// the run with an *InvariantViolation error.
+	Check bool
+	// Interrupt, when non-nil, is polled between events; once it reports
+	// true, Run stops at the next event boundary and returns
+	// ErrInterrupted. The scheduler is then in a consistent state and can
+	// be snapshotted.
+	Interrupt func() bool
+	// StopAt, when positive, interrupts the run before dispatching any
+	// event later than this simulated time — a deterministic interruption
+	// point for snapshot tests and the CLIs' -snapshot-at flag. Run
+	// returns ErrInterrupted exactly as for Interrupt.
+	StopAt sim.Time
 }
 
 // WindowPredictor estimates when the availability window that began at
@@ -177,23 +193,29 @@ type runningJob struct {
 
 // Scheduler is the event-driven batch scheduler.
 type Scheduler struct {
-	cfg      Config
-	eng      *sim.Engine
-	tracer   obs.Tracer
-	tracing  bool       // tracer is live (non-Nop); guards trace-only work
-	queue    []*job.Job // FCFS order: (Submit, ID)
-	running  map[int]*runningJob
-	total    int
-	done     int
-	unrun    int
-	nodeHrs  map[string]float64
-	passes   int
-	deadline sim.Time
-	passAt   sim.Time // coalesce multiple pass requests at one instant
-	passSet  bool
-	lastEnd  sim.Time
-	scores   []float64 // scratch for WFP sorting
-	err      error     // first fatal scheduling error; stops Run
+	cfg            Config
+	eng            *sim.Engine
+	tracer         obs.Tracer
+	tracing        bool       // tracer is live (non-Nop); guards trace-only work
+	queue          []*job.Job // FCFS order: (Submit, ID)
+	running        map[int]*runningJob
+	jobs           map[int]*job.Job // every submitted job by ID
+	total          int
+	arrived        int // jobs whose arrival event has fired
+	backoff        int // killed jobs waiting out a retry delay (neither queued nor running)
+	done           int
+	unrun          int
+	nodeHrs        map[string]float64
+	passes         int
+	deadline       sim.Time
+	passAt         sim.Time // coalesce multiple pass requests at one instant
+	passSet        bool
+	lastEnd        sim.Time
+	scores         []float64 // scratch for WFP sorting
+	err            error     // first fatal scheduling error; stops Run
+	restored       bool      // built by Restore: pending events already scheduled
+	availScheduled bool      // availability/fault events materialized (Run is re-entrant)
+	checked        sim.Time  // last event time seen by the invariant checker
 
 	// Fault-layer state (nil maps when cfg.Faults is nil).
 	failOffline   map[string]int   // nodes down from injected failures, per partition
@@ -235,6 +257,7 @@ func New(cfg Config) (*Scheduler, error) {
 		tracer:  cfg.Tracer,
 		tracing: obs.Enabled(cfg.Tracer),
 		running: make(map[int]*runningJob),
+		jobs:    make(map[int]*job.Job),
 		nodeHrs: make(map[string]float64),
 		resJob:  -1,
 	}
@@ -255,31 +278,78 @@ func (s *Scheduler) LoadTrace(tr *job.Trace) error {
 	return nil
 }
 
-// Submit schedules the arrival of one job. Invalid jobs are rejected
-// with an error and leave the scheduler unchanged.
+// Submit schedules the arrival of one job. Invalid jobs (including
+// duplicate IDs) are rejected with an error and leave the scheduler
+// unchanged.
 func (s *Scheduler) Submit(j *job.Job) error {
 	if err := job.Validate(j); err != nil {
 		return fmt.Errorf("sched: %w", err)
 	}
+	if _, dup := s.jobs[j.ID]; dup {
+		return fmt.Errorf("sched: duplicate job ID %d", j.ID)
+	}
+	s.jobs[j.ID] = j
 	s.total++
-	s.eng.Schedule(j.Submit, sim.PrioArrival, func(now sim.Time) { s.arrive(j, now) })
+	s.schedule(pendingEvent{Kind: evArrival, At: j.Submit, Prio: sim.PrioArrival, Job: j.ID})
 	return nil
 }
+
+// ErrInterrupted is returned by Run when Config.Interrupt reports true
+// or the StopAt boundary is reached. The scheduler is then paused at a
+// consistent event boundary: call Snapshot to persist it, and Restore
+// (in a fresh process) to continue the run byte-identically.
+var ErrInterrupted = errors.New("sched: run interrupted")
 
 // Run executes the simulation until all jobs finish or deadline passes,
 // and returns the result. Deadline bounds runs whose workload exceeds
 // capacity (the paper's "X" configurations). A non-nil error means the
-// scheduler hit an internal inconsistency (e.g. an allocation failure)
-// and the Result is not meaningful.
+// scheduler hit an internal inconsistency (e.g. an allocation failure
+// or, under Config.Check, an invariant violation) and the Result is not
+// meaningful — except ErrInterrupted, which leaves the scheduler
+// consistent and snapshottable.
 func (s *Scheduler) Run(deadline sim.Time) (Result, error) {
+	if s.restored {
+		// A restored run already materialized its availability events up
+		// to the snapshot's deadline; a different one would silently
+		// change the world mid-run.
+		if deadline != s.deadline {
+			return Result{}, fmt.Errorf("sched: restored run has deadline %v, Run called with %v",
+				s.deadline, deadline)
+		}
+	} else if !s.availScheduled {
+		// Materialize availability and fault events exactly once: Run may
+		// be re-entered after ErrInterrupted to continue in-process.
+		s.scheduleAvailabilityEvents(deadline)
+		s.availScheduled = true
+	} else if deadline != s.deadline {
+		return Result{}, fmt.Errorf("sched: continued run has deadline %v, Run called with %v",
+			s.deadline, deadline)
+	}
 	s.deadline = deadline
-	s.scheduleAvailabilityEvents(deadline)
 	for s.err == nil {
 		t, ok := s.eng.NextTime()
 		if !ok || t > deadline {
 			break
 		}
+		if s.cfg.StopAt > 0 && t > s.cfg.StopAt {
+			return Result{}, ErrInterrupted
+		}
+		if s.cfg.Interrupt != nil && s.cfg.Interrupt() {
+			return Result{}, ErrInterrupted
+		}
 		s.eng.Step()
+		if err := s.eng.Err(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("sched: %w", err)
+		}
+		if s.cfg.Check && s.err == nil {
+			if err := s.CheckInvariants(); err != nil {
+				s.tracer.Trace(obs.Event{Time: s.eng.Now(), Kind: obs.EvInvariantViolation, Job: -1})
+				if r := s.cfg.Metrics; r != nil {
+					r.Scope("sched").Counter("invariant_violations").Inc()
+				}
+				s.err = err
+			}
+		}
 		s.cfg.Progress.Observe(t, deadline)
 	}
 	if s.err != nil {
@@ -359,31 +429,23 @@ func (s *Scheduler) scheduleWindowEvents(p *cluster.Partition, deadline sim.Time
 	ws := availability.Materialize(p.Avail, 0, deadline)
 	if inj := s.cfg.Faults; inj != nil && inj.Config().PerturbsWindows() {
 		for _, f := range inj.Fates(p.Name, p.Nodes, ws) {
-			f := f
-			s.eng.Schedule(f.Believed.Start, sim.PrioRelease, func(now sim.Time) {
-				s.windowRestore(p, f.Believed.End, now)
-			})
-			s.eng.Schedule(f.ActualEnd, sim.PrioWithdraw, func(now sim.Time) {
-				s.windowFateEnd(p, f, now)
-			})
+			s.schedule(pendingEvent{Kind: evFateStart, At: f.Believed.Start, Prio: sim.PrioRelease,
+				Part: p.Name, End: f.Believed.End})
+			s.schedule(pendingEvent{Kind: evFateEnd, At: f.ActualEnd, Prio: sim.PrioWithdraw,
+				Part: p.Name, Fate: &f})
 		}
 		return
 	}
 	for _, w := range ws {
-		w := w
-		s.eng.Schedule(w.Start, sim.PrioRelease, func(now sim.Time) {
-			s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowUp, Job: -1, Partition: p.Name, Nodes: p.Nodes, Detail: float64(w.End)})
-			s.requestPass(now)
-		})
+		s.schedule(pendingEvent{Kind: evWindowUp, At: w.Start, Prio: sim.PrioRelease,
+			Part: p.Name, End: w.End})
 		if !s.cfg.Oracle {
-			s.eng.Schedule(w.End, sim.PrioWithdraw, func(now sim.Time) { s.windowEnd(p, now) })
+			s.schedule(pendingEvent{Kind: evWindowEnd, At: w.End, Prio: sim.PrioWithdraw, Part: p.Name})
 		} else if s.tracing {
 			// Oracle mode needs no window-end handling (nothing is ever
 			// killed), but the trace still records the transition so a
 			// replay sees the full availability signal.
-			s.eng.Schedule(w.End, sim.PrioWithdraw, func(now sim.Time) {
-				s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowDown, Job: -1, Partition: p.Name, Nodes: p.Nodes})
-			})
+			s.schedule(pendingEvent{Kind: evWindowDownMark, At: w.End, Prio: sim.PrioWithdraw, Part: p.Name})
 		}
 	}
 }
@@ -395,12 +457,13 @@ func (s *Scheduler) scheduleOutageEvents(p *cluster.Partition, deadline sim.Time
 		return
 	}
 	for _, o := range inj.Outages(p.Name, deadline) {
-		o := o
-		s.eng.Schedule(o.At, sim.PrioWithdraw, func(now sim.Time) { s.nodeFail(p, o, now) })
+		s.schedule(pendingEvent{Kind: evOutage, At: o.At, Prio: sim.PrioWithdraw,
+			Part: p.Name, Outage: &o})
 	}
 }
 
 func (s *Scheduler) arrive(j *job.Job, now sim.Time) {
+	s.arrived++
 	if s.cfg.Classify != nil {
 		j.Timeliness = classify(j, s.cfg.Classify, now)
 	}
@@ -525,10 +588,7 @@ func (s *Scheduler) requestPass(now sim.Time) {
 	}
 	s.passSet = true
 	s.passAt = now
-	s.eng.Schedule(now, sim.PrioSchedule, func(t sim.Time) {
-		s.passSet = false
-		s.pass(t)
-	})
+	s.schedule(pendingEvent{Kind: evPass, At: now, Prio: sim.PrioSchedule})
 }
 
 // pass is one scheduling cycle: start jobs in queue order, reserve for
@@ -768,7 +828,7 @@ func (s *Scheduler) start(j *job.Job, p *cluster.Partition, now sim.Time, backfi
 	}
 	end := now + s.attemptRuntime(j)
 	rj := &runningJob{j: j, p: p}
-	rj.end = s.eng.Schedule(end, sim.PrioRelease, func(t sim.Time) { s.finish(rj, t) })
+	rj.end = s.schedule(pendingEvent{Kind: evFinish, At: end, Prio: sim.PrioRelease, Job: j.ID})
 	s.running[j.ID] = rj
 	return true
 }
@@ -862,10 +922,8 @@ func (s *Scheduler) kill(rj *runningJob, now sim.Time) {
 	}
 	if delay > 0 {
 		// Backoff: the job re-enters the queue only after the delay.
-		s.eng.Schedule(now+delay, sim.PrioArrival, func(t sim.Time) {
-			s.enqueue(j)
-			s.requestPass(t)
-		})
+		s.backoff++
+		s.schedule(pendingEvent{Kind: evRequeue, At: now + delay, Prio: sim.PrioArrival, Job: j.ID})
 		return
 	}
 	s.enqueue(j)
@@ -886,7 +944,8 @@ func (s *Scheduler) nodeFail(p *cluster.Partition, o faults.Outage, now sim.Time
 	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvNodeFail, Job: -1, Partition: p.Name,
 		Nodes: n, Detail: float64(o.Repair)})
 	s.applyCapacity(p, now)
-	s.eng.Schedule(now+o.Repair, sim.PrioRelease, func(t sim.Time) { s.nodeRepair(p, n, t) })
+	s.schedule(pendingEvent{Kind: evRepair, At: now + o.Repair, Prio: sim.PrioRelease,
+		Part: p.Name, Nodes: n})
 	s.requestPass(now)
 }
 
@@ -1108,6 +1167,20 @@ func (s *Scheduler) extraNodesAt(p *cluster.Partition, resTime sim.Time, reserve
 		extra = 0
 	}
 	return extra
+}
+
+// Jobs returns every submitted job, ascending by ID, with whatever
+// outcome state the run has produced so far. Restored runs own their
+// job copies (deserialized from the snapshot), so callers that need
+// outcomes after a resumed run read them here rather than from the
+// original trace.
+func (s *Scheduler) Jobs() []*job.Job {
+	out := make([]*job.Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
 }
 
 // QueueLen returns the current queue length (for tests and monitoring).

@@ -10,6 +10,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Time is simulated time in seconds since the simulation epoch.
@@ -41,15 +42,31 @@ const (
 
 // Event is a callback scheduled at a virtual time.
 type Event struct {
-	at   Time
-	prio int
-	seq  uint64
-	fn   func(now Time)
-	idx  int // heap index; -1 when popped or cancelled
+	at      Time
+	prio    int
+	seq     uint64
+	fn      func(now Time)
+	payload any
+	idx     int // heap index; -1 when popped or cancelled
 }
 
 // At returns the scheduled time of the event.
 func (e *Event) At() Time { return e.at }
+
+// Prio returns the event's priority.
+func (e *Event) Prio() int { return e.prio }
+
+// Tag attaches a serializable descriptor to the event, enabling snapshot
+// and restore: a tagged pending queue can be enumerated, persisted, and
+// rebuilt by re-scheduling each descriptor. Returns the event for
+// chaining.
+func (e *Event) Tag(payload any) *Event {
+	e.payload = payload
+	return e
+}
+
+// Payload returns the descriptor attached with Tag, or nil.
+func (e *Event) Payload() any { return e.payload }
 
 // Engine is a discrete-event simulator. The zero value is invalid; use New.
 type Engine struct {
@@ -58,6 +75,7 @@ type Engine struct {
 	queue  eventHeap
 	steps  uint64
 	maxLen int
+	err    error // first scheduling fault (event in the past); latched
 }
 
 // New returns an engine with the clock at 0.
@@ -65,6 +83,12 @@ func New() *Engine { return &Engine{} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Err returns the first scheduling fault the engine latched (an event
+// scheduled before the current time), or nil. Once latched, Step and Run
+// dispatch nothing further; callers that drive the engine directly should
+// check Err when their loop ends.
+func (e *Engine) Err() error { return e.err }
 
 // Steps returns how many events have been dispatched.
 func (e *Engine) Steps() uint64 { return e.steps }
@@ -89,13 +113,17 @@ func (e *Engine) Stats() Stats {
 	return Stats{Now: e.now, Steps: e.steps, Pending: len(e.queue), MaxQueueLen: e.maxLen}
 }
 
-// Schedule queues fn to run at time at with the given priority. It panics
-// if at precedes the current time: an event in the past indicates a logic
-// error in the caller, not a recoverable condition. It returns a handle
-// that can cancel the event.
+// Schedule queues fn to run at time at with the given priority and
+// returns a handle that can cancel the event. An event in the past is a
+// logic error in the caller: the engine refuses it, latches the fault
+// (see Err), stops dispatching, and returns an inert, already-cancelled
+// handle — it never fires.
 func (e *Engine) Schedule(at Time, prio int, fn func(now Time)) *Event {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+		if e.err == nil {
+			e.err = fmt.Errorf("sim: scheduling event at %v before now %v", at, e.now)
+		}
+		return &Event{at: at, prio: prio, idx: -1}
 	}
 	ev := &Event{at: at, prio: prio, seq: e.seq, fn: fn}
 	e.seq++
@@ -131,9 +159,10 @@ func (e *Engine) NextTime() (Time, bool) {
 	return e.queue[0].at, true
 }
 
-// Step dispatches the next event. It returns false when the queue is empty.
+// Step dispatches the next event. It returns false when the queue is
+// empty or a scheduling fault has been latched (see Err).
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.queue) == 0 || e.err != nil {
 		return false
 	}
 	ev := heap.Pop(&e.queue).(*Event)
@@ -160,6 +189,55 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// State is the engine's serializable accounting, captured by snapshots
+// and re-applied by RestoreState. Pending events are not part of it —
+// they carry callbacks and must be re-scheduled from their Tag payloads
+// by the layer that owns them.
+type State struct {
+	Now         Time   `json:"now"`
+	Steps       uint64 `json:"steps"`
+	MaxQueueLen int    `json:"max_queue_len"`
+}
+
+// CaptureState snapshots the clock and counters.
+func (e *Engine) CaptureState() State {
+	return State{Now: e.now, Steps: e.steps, MaxQueueLen: e.maxLen}
+}
+
+// RestoreState re-applies a captured clock and counters to a fresh
+// engine. It refuses to overwrite an engine that has already dispatched
+// or queued events: restore must rebuild the world from empty.
+func (e *Engine) RestoreState(st State) error {
+	if e.steps != 0 || len(e.queue) != 0 || e.seq != 0 {
+		return fmt.Errorf("sim: restore into a non-fresh engine (%d steps, %d pending)", e.steps, len(e.queue))
+	}
+	e.now = st.Now
+	e.steps = st.Steps
+	e.maxLen = st.MaxQueueLen
+	return nil
+}
+
+// PendingInOrder returns the pending events in dispatch order — (time,
+// priority, insertion sequence) — without disturbing the queue. Layers
+// that tagged their events with serializable descriptors use this to
+// persist the queue; re-scheduling the descriptors in this exact order
+// on a fresh engine reproduces the same tie-breaking forever after.
+func (e *Engine) PendingInOrder() []*Event {
+	out := make([]*Event, len(e.queue))
+	copy(out, e.queue)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		return a.seq < b.seq
+	})
+	return out
 }
 
 // eventHeap orders by (time, priority, sequence).

@@ -55,16 +55,29 @@ func TestAfter(t *testing.T) {
 	e.Run()
 }
 
-func TestSchedulePastPanics(t *testing.T) {
+func TestSchedulePastLatchesError(t *testing.T) {
 	e := New()
 	e.Schedule(10, PrioSchedule, func(Time) {})
 	e.Run()
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic scheduling in the past")
-		}
-	}()
-	e.Schedule(5, PrioSchedule, func(Time) {})
+	if err := e.Err(); err != nil {
+		t.Fatalf("unexpected engine error: %v", err)
+	}
+	fired := false
+	ev := e.Schedule(5, PrioSchedule, func(Time) { fired = true })
+	if e.Err() == nil {
+		t.Fatal("expected a latched error scheduling in the past")
+	}
+	if e.Cancel(ev) {
+		t.Error("inert event should not be cancellable")
+	}
+	e.Schedule(20, PrioSchedule, func(Time) { fired = true })
+	e.Run()
+	if fired {
+		t.Error("no event should fire after a scheduling fault is latched")
+	}
+	if e.Step() {
+		t.Error("Step should report done once the fault is latched")
+	}
 }
 
 func TestCancel(t *testing.T) {

@@ -254,15 +254,6 @@ func geometric(r *rand.Rand, mean float64) int {
 	return n
 }
 
-// MustGenerate is Generate for known-good configs; it panics on error.
-func MustGenerate(cfg Config) *job.Trace {
-	tr, err := Generate(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return tr
-}
-
 // sampleJob draws one correlated (runtime hours, nodes) pair via a
 // Gaussian copula: a shared latent normal couples the node-size quantile
 // and the runtime quantile.

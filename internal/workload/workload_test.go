@@ -14,6 +14,16 @@ func smallCfg(seed int64) Config {
 	return Config{Seed: seed, Days: 28}
 }
 
+// MustGenerate is Generate for known-good configs; it panics on error.
+// Test-only: production code paths always propagate Generate errors.
+func MustGenerate(cfg Config) *job.Trace {
+	tr, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
 func TestValidate(t *testing.T) {
 	bad := []Config{
 		{Days: -1},

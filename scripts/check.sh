@@ -46,6 +46,45 @@ if ! cmp -s "$tmpdir/out1.txt" "$tmpdir/out2.txt"; then
 	exit 1
 fi
 
+echo "== snapshot pause-and-restore determinism"
+"$tmpdir/zccsim" -days 7 -mira-nodes 2048 -zc-factor 1 -zc-duty 0.5 \
+	-kill-requeue -mtbf 12 -brownout 0.25 -forecast-err 0.5 -retry-limit 4 \
+	-seed 7 -check -snapshot "$tmpdir/s.json" -snapshot-at 3 >/dev/null
+"$tmpdir/zccsim" -days 7 -mira-nodes 2048 -zc-factor 1 -zc-duty 0.5 \
+	-kill-requeue -mtbf 12 -brownout 0.25 -forecast-err 0.5 -retry-limit 4 \
+	-seed 7 -check -restore "$tmpdir/s.json" >"$tmpdir/restored.txt"
+# drop the first line (workload summary vs restore banner); metrics must match
+tail -n +2 "$tmpdir/out1.txt" >"$tmpdir/full.body"
+tail -n +2 "$tmpdir/restored.txt" >"$tmpdir/restored.body"
+if ! cmp -s "$tmpdir/full.body" "$tmpdir/restored.body"; then
+	echo "restored run metrics differ from the uninterrupted run" >&2
+	exit 1
+fi
+
+echo "== sweep interrupt-and-resume smoke test"
+go build -o "$tmpdir/zccexp" ./cmd/zccexp
+expflags="-quick -days 6 -market-days 10 -sites 12 -seed 5 -check -ids table1,fig5,table3 -markdown"
+"$tmpdir/zccexp" $expflags -o "$tmpdir/uninterrupted.md" >/dev/null 2>&1
+# interrupt the journaled sweep after 1 cell, then resume it
+if "$tmpdir/zccexp" $expflags -o "$tmpdir/partial.md" \
+	-run-dir "$tmpdir/sweep" -interrupt-after 1 >/dev/null 2>&1; then
+	echo "interrupted sweep should exit nonzero" >&2
+	exit 1
+fi
+"$tmpdir/zccexp" $expflags -o "$tmpdir/resumed.md" -resume "$tmpdir/sweep" >/dev/null 2>&1
+# experiment tables must match; the telemetry summary counts per-process work
+sed '/Telemetry summary/,$d' "$tmpdir/uninterrupted.md" >"$tmpdir/u.tables"
+sed '/Telemetry summary/,$d' "$tmpdir/resumed.md" >"$tmpdir/r.tables"
+if ! cmp -s "$tmpdir/u.tables" "$tmpdir/r.tables"; then
+	echo "resumed sweep tables differ from the uninterrupted sweep" >&2
+	exit 1
+fi
+# resuming under different flags must be refused
+if "$tmpdir/zccexp" $expflags -seed 6 -resume "$tmpdir/sweep" >/dev/null 2>&1; then
+	echo "resume with a different flag set was not refused" >&2
+	exit 1
+fi
+
 echo "== nop-tracer zero-alloc benchmark"
 out=$(go test ./internal/obs -run '^$' -bench BenchmarkNopTracer -benchmem -benchtime 100x)
 echo "$out"

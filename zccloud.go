@@ -32,6 +32,7 @@ import (
 	"zccloud/internal/job"
 	"zccloud/internal/miso"
 	"zccloud/internal/obs"
+	"zccloud/internal/persist"
 	"zccloud/internal/powergrid"
 	"zccloud/internal/sched"
 	"zccloud/internal/sim"
@@ -182,6 +183,101 @@ type Metrics = core.Metrics
 
 // Simulate runs one Mira-ZCCloud scheduling simulation.
 func Simulate(cfg RunConfig) (*Metrics, error) { return core.Run(cfg) }
+
+// Crash safety: a run stopped by RunConfig.StopAt or ObsOptions.Interrupt
+// returns an *InterruptedRun error carrying a RunSnapshot; ResumeSimulation
+// continues it — under the same system configuration — to results
+// byte-identical with an uninterrupted run.
+
+// RunSnapshot is a versioned, checksummed capture of a paused simulation:
+// engine clock and counters, queue, running set, partition pools, fault
+// state, and every pending event in deterministic order.
+type RunSnapshot = sched.Snapshot
+
+// SnapshotVersion is the current RunSnapshot layout version; restore
+// refuses snapshots written by any other version.
+const SnapshotVersion = sched.SnapshotVersion
+
+// InterruptedRun reports a simulation stopped at a safe boundary; it
+// unwraps to ErrRunInterrupted and carries the snapshot to resume from.
+type InterruptedRun = core.Interrupted
+
+// ErrRunInterrupted is the sentinel under every interrupted-run error.
+var ErrRunInterrupted = sched.ErrInterrupted
+
+// ResumeSimulation continues a simulation from a snapshot. The config
+// must describe the same system that produced the snapshot (its workload
+// trace is ignored — jobs live in the snapshot); a mismatch is refused.
+func ResumeSimulation(cfg RunConfig, snap *RunSnapshot) (*Metrics, error) {
+	return core.Resume(cfg, snap)
+}
+
+// snapshotFileKind tags RunSnapshot files written by SaveSnapshot.
+const snapshotFileKind = "zccloud-snapshot"
+
+// SaveSnapshot writes a RunSnapshot to path atomically, wrapped in a
+// checksummed, versioned envelope.
+func SaveSnapshot(path string, snap *RunSnapshot) error {
+	return persist.SaveJSON(path, snapshotFileKind, SnapshotVersion, snap)
+}
+
+// LoadSnapshot reads a RunSnapshot written by SaveSnapshot, verifying
+// kind, version, and checksum.
+func LoadSnapshot(path string) (*RunSnapshot, error) {
+	snap := new(RunSnapshot)
+	if err := persist.LoadJSON(path, snapshotFileKind, SnapshotVersion, snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// InvariantViolation is a detected scheduler-state inconsistency; the
+// invariant checker (ObsOptions.Check) returns one as the run error.
+type InvariantViolation = sched.InvariantViolation
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, fsync, and rename, so readers never observe a torn file.
+var WriteFileAtomic = persist.WriteFileAtomic
+
+// AtomicFile is an open file that reaches its destination only on
+// Commit; Abort (or a crash) leaves any previous content intact.
+type AtomicFile = persist.File
+
+// CreateAtomic opens an AtomicFile that will atomically replace path.
+var CreateAtomic = persist.CreateAtomic
+
+// Resumable experiment sweeps: RunSweep journals one record per
+// experiment cell under a panic guard and watchdog, and resumes a run
+// directory by skipping completed cells.
+
+// SweepConfig configures a resumable experiment sweep.
+type SweepConfig = experiments.SweepConfig
+
+// SweepResult summarizes a sweep invocation.
+type SweepResult = experiments.SweepResult
+
+// SweepCellRecord is one journaled cell outcome.
+type SweepCellRecord = experiments.CellRecord
+
+// Sweep cell statuses.
+const (
+	SweepCellOK      = experiments.CellOK
+	SweepCellError   = experiments.CellError
+	SweepCellPanic   = experiments.CellPanic
+	SweepCellTimeout = experiments.CellTimeout
+	SweepCellWedged  = experiments.CellWedged
+)
+
+// RunSweep runs experiments into a journaled run directory.
+var RunSweep = experiments.RunSweep
+
+// SweepStatus summarizes a run directory's journal without running
+// anything.
+var SweepStatus = experiments.SweepStatus
+
+// ErrSweepInterrupted reports a sweep stopped by its Interrupt hook; the
+// run directory stays resumable.
+var ErrSweepInterrupted = experiments.ErrSweepInterrupted
 
 // MarketConfig controls synthetic market-dataset generation (Table III).
 type MarketConfig = miso.Config
@@ -375,6 +471,13 @@ const (
 	EvNodeRepair    = obs.EvNodeRepair
 	EvBrownout      = obs.EvBrownout
 	EvAbandon       = obs.EvAbandon
+
+	// Durability events: checkpoints, resumes, invariant violations, and
+	// sweep-cell panics.
+	EvCheckpointSave     = obs.EvCheckpointSave
+	EvCheckpointRestore  = obs.EvCheckpointRestore
+	EvInvariantViolation = obs.EvInvariantViolation
+	EvCellPanic          = obs.EvCellPanic
 )
 
 // TraceEventKindByName resolves a trace-record "ev" name to its kind.
