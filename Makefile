@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check bench fmt
+.PHONY: build test race check bench bench-all fmt
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,13 @@ race:
 check:
 	sh scripts/check.sh
 
+# bench records the perf baseline (BENCH_PR4.json): the end-to-end
+# events/sec anchor plus the hot-path micro-benches. bench-all runs the
+# complete per-experiment suite without recording anything.
 bench:
+	$(GO) run ./cmd/zccbench -o BENCH_PR4.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem
 
 fmt:

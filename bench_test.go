@@ -169,6 +169,35 @@ func BenchmarkScaleWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkEndToEndEventsPerSec is the perf-baseline anchor: a complete
+// month-long Mira + 1xZCCloud simulation, reported as dispatched engine
+// events per wall-clock second (the simulator's natural throughput
+// unit). cmd/zccbench records it in BENCH_PR4.json so regressions show
+// up as a ratio against a committed baseline.
+func BenchmarkEndToEndEventsPerSec(b *testing.B) {
+	tr, err := GenerateWorkload(WorkloadConfig{Seed: 1, Days: 28})
+	if err != nil {
+		b.Fatal(err)
+	}
+	zc := NewPeriodic(0.5, 20*Hour)
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := NewMetricsRegistry()
+		if _, err := Simulate(RunConfig{
+			Trace:  tr.Clone(),
+			System: SystemConfig{ZCFactor: 1, ZCAvail: zc},
+			Obs:    ObsOptions{Metrics: reg},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		events += int64(reg.Snapshot().Counter("sim.events_dispatched"))
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
+
 // Example-style smoke test making sure the benches' shared lab matches
 // the command-line path.
 func TestBenchLabSmoke(t *testing.T) {

@@ -1,0 +1,181 @@
+// Command zccbench runs the repository's benchmark suite and records a
+// machine-readable performance baseline. It shells out to `go test
+// -bench`, parses the standard benchmark output, and atomically writes a
+// JSON file (default BENCH_PR4.json) with ns/op, allocations, and custom
+// metrics such as the end-to-end events/sec throughput anchor — so a
+// later run on the same machine can be diffed against the committed
+// baseline.
+//
+// Examples:
+//
+//	zccbench                                  # default subset -> BENCH_PR4.json
+//	zccbench -bench . -pkg ./...              # everything (slow)
+//	zccbench -o /tmp/b.json -count 3
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"flag"
+
+	"zccloud"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "zccbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// defaultBench is the baseline subset: the end-to-end throughput anchor,
+// the full-month scheduler run, the workload generator, and the tracer
+// micro-benches (including the zero-alloc Nop check). Fast enough for CI
+// while still covering every layer a perf regression could hide in.
+const defaultBench = "EndToEndEventsPerSec|SchedulerMonth|WorkloadGeneration|NopTracer|JSONLTracer"
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the file layout of BENCH_PR4.json.
+type Baseline struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Bench     string        `json:"bench_pattern"`
+	Packages  []string      `json:"packages"`
+	Count     int           `json:"count"`
+	Results   []BenchResult `json:"results"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("zccbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out     = fs.String("o", "BENCH_PR4.json", "baseline output file")
+		pattern = fs.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+		pkgs    = fs.String("pkg", "zccloud,zccloud/internal/obs", "comma-separated packages to benchmark")
+		count   = fs.Int("count", 1, "benchmark repetitions (go test -count)")
+		goTool  = fs.String("go", "go", "go tool to invoke")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	pkgList := strings.Split(*pkgs, ",")
+	cmdArgs := []string{"test", "-run", "^$", "-bench", *pattern, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	cmdArgs = append(cmdArgs, pkgList...)
+	fmt.Fprintf(stderr, "zccbench: %s %s\n", *goTool, strings.Join(cmdArgs, " "))
+
+	cmd := exec.Command(*goTool, cmdArgs...)
+	cmd.Stderr = stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting go test: %w", err)
+	}
+
+	var results []BenchResult
+	sc := bufio.NewScanner(pipe)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(stderr, line) // mirror the live benchmark output
+		if r, ok := ParseBenchLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	scanErr := sc.Err()
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("go test -bench failed: %w", err)
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", *pattern)
+	}
+
+	b := Baseline{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Bench:     *pattern,
+		Packages:  pkgList,
+		Count:     *count,
+		Results:   results,
+	}
+	f, err := zccloud.CreateAtomic(*out)
+	if err != nil {
+		return fmt.Errorf("creating baseline file: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Abort()
+		return err
+	}
+	if err := f.Commit(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d result(s)\n", *out, len(results))
+	return nil
+}
+
+// ParseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo-8   	     100	  11905 ns/op	 1632 B/op	 12 allocs/op	 420000 events/sec
+//
+// The first value pair is always ns/op; any further pairs land in
+// Metrics keyed by their unit. Non-benchmark lines return ok=false.
+func ParseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	r := BenchResult{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := ParseBenchLine("BenchmarkEndToEndEventsPerSec-8   \t       2\t  25333770 ns/op\t    467606 events/sec")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Name != "BenchmarkEndToEndEventsPerSec-8" || r.Iterations != 2 {
+		t.Errorf("bad name/iterations: %+v", r)
+	}
+	if r.NsPerOp != 25333770 {
+		t.Errorf("bad ns/op: %v", r.NsPerOp)
+	}
+	if r.Metrics["events/sec"] != 467606 {
+		t.Errorf("bad events/sec: %v", r.Metrics)
+	}
+
+	r, ok = ParseBenchLine("BenchmarkNopTracer \t1000000000\t 0.25 ns/op\t 0 B/op\t 0 allocs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.NsPerOp != 0.25 || r.Metrics["B/op"] != 0 || r.Metrics["allocs/op"] != 0 {
+		t.Errorf("bad benchmem parse: %+v", r)
+	}
+
+	for _, bad := range []string{
+		"",
+		"PASS",
+		"ok  \tzccloud\t0.087s",
+		"goos: linux",
+		"Benchmark only three fields",
+		"--- BENCH: BenchmarkFoo",
+	} {
+		if _, ok := ParseBenchLine(bad); ok {
+			t.Errorf("%q should not parse as a result", bad)
+		}
+	}
+}

@@ -71,7 +71,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cellTimeout = fs.Duration("cell-timeout", 0, "per-experiment watchdog budget, e.g. 10m (0 = none)")
 		stopAfter   = fs.Int("interrupt-after", 0, "stop the sweep after N executed cells (deterministic interruption, for testing)")
 
-		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file")
+		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file (a .gz suffix gzips it)")
+		httpAddr   = fs.String("http", "", "serve live /status, /metrics, and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+		spans      = fs.Bool("spans", false, "time run phases (wall clock) and render a span summary")
 		metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
 		progress   = fs.Bool("progress", false, "report experiment progress and rate to stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -163,26 +165,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Telemetry: a registry always backs the summary table; the tracer
 	// and progress reporter are opt-in.
 	obsOpt := zccloud.ObsOptions{Metrics: zccloud.NewMetricsRegistry(), Check: *check}
-	var traceFile *zccloud.AtomicFile
+	if *spans || *httpAddr != "" {
+		obsOpt.Timings = zccloud.NewSpanTimings()
+	}
+	if *httpAddr != "" {
+		obsOpt.Status = zccloud.NewRunStatus()
+		obsOpt.Status.SetPhase("setup")
+		intro, err := zccloud.StartIntrospection(*httpAddr, obsOpt.Metrics, obsOpt.Status, obsOpt.Timings)
+		if err != nil {
+			return fmt.Errorf("starting introspection server: %w", err)
+		}
+		defer intro.Close()
+		fmt.Fprintf(stderr, "zccexp: introspection server on http://%s\n", intro.Addr())
+	}
+	var traceFile *zccloud.TraceFile
 	if *traceOut != "" {
-		af, err := zccloud.CreateAtomic(*traceOut)
+		tf, err := zccloud.CreateTraceFile(*traceOut)
 		if err != nil {
 			return fmt.Errorf("creating trace output: %w", err)
 		}
-		defer af.Abort() // no-op once committed
-		traceFile = af
-		obsOpt.Tracer = zccloud.NewJSONLTracer(af)
+		defer tf.Abort() // no-op once committed
+		traceFile = tf
+		obsOpt.Tracer = tf
 	}
 	commitTrace := func() error {
 		if traceFile == nil {
 			return nil
 		}
-		if err := obsOpt.Tracer.(*zccloud.JSONLTracer).Flush(); err != nil {
-			return fmt.Errorf("writing trace: %v", err)
-		}
 		t := traceFile
 		traceFile = nil
-		return t.Commit()
+		if err := t.Commit(); err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		return nil
 	}
 	if *progress {
 		obsOpt.Progress = zccloud.NewProgressReporter(stderr, 5*time.Second)
@@ -237,7 +252,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// atomically; called on complete and interrupted runs alike, so an
 	// interrupted sweep still flushes its completed tables.
 	finish := func() error {
+		obsOpt.Status.SetPhase("done")
 		render(zccloud.MetricsSummaryTable(obsOpt.Metrics.Snapshot()))
+		if *spans {
+			render(zccloud.SpanSummaryTable(obsOpt.Timings.Snapshot()))
+		}
 		if err := commitTrace(); err != nil {
 			return err
 		}
@@ -273,25 +292,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 			&sig, render, finish, stderr)
 	}
 
-	// Direct mode: run cells in-process with no journal.
+	// Direct mode: run cells in-process with no journal. The live status
+	// board (when -http is set) still tracks per-experiment state.
 	obsOpt.Interrupt = sig.Load
 	lab := zccloud.NewLab(opt)
 	lab.SetObs(obsOpt)
+	expIDs := make([]string, len(selected))
+	for i, e := range selected {
+		expIDs[i] = e.ID
+	}
+	obsOpt.Status.InitSweep("", expIDs)
+	obsOpt.Progress.StartSteps(len(selected))
 	for _, e := range selected {
 		start := time.Now()
 		obsOpt.Progress.Phase(e.ID)
+		obsOpt.Status.SetPhase(e.ID)
+		obsOpt.Status.SetCell(e.ID, "running", false, 0)
 		tb, err := e.Run(lab)
+		elapsed := time.Since(start)
 		if err != nil {
 			if errors.Is(err, zccloud.ErrRunInterrupted) {
+				obsOpt.Status.SetCell(e.ID, "interrupted", false, elapsed)
 				if ferr := finish(); ferr != nil {
 					return ferr
 				}
 				return fmt.Errorf("interrupted during %s; completed tables flushed (use -run-dir for resumable sweeps)", e.ID)
 			}
+			obsOpt.Status.SetCell(e.ID, "error", false, elapsed)
 			return fmt.Errorf("%s: %v", e.ID, err)
 		}
+		obsOpt.Status.SetCell(e.ID, "ok", false, elapsed)
+		obsOpt.Progress.StepDone(e.ID, elapsed, false)
 		render(tb)
-		fmt.Fprintf(stderr, "%-12s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "%-12s done in %v\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 	return finish()
 }

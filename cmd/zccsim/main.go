@@ -70,7 +70,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		snapAt  = fs.Float64("snapshot-at", 0, "deterministically pause at this simulated day (requires -snapshot)")
 		restore = fs.String("restore", "", "resume from a snapshot file (pass the original run's flags)")
 
-		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file")
+		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file (a .gz suffix gzips it)")
+		httpAddr   = fs.String("http", "", "serve live /status, /metrics, and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+		httpLinger = fs.Duration("http-linger", 0, "keep the -http server up this long after the run completes (Ctrl-C ends it early)")
+		spans      = fs.Bool("spans", false, "time run phases (wall clock) and print a span summary")
 		metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
 		progress   = fs.Bool("progress", false, "report simulation progress and rate to stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -191,15 +194,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Interrupt: interrupted.Load,
 		Check:     *check,
 	}
-	var traceFile *zccloud.AtomicFile
+	if *spans || *httpAddr != "" {
+		obsOpt.Timings = zccloud.NewSpanTimings()
+	}
+	var intro *zccloud.Introspection
+	if *httpAddr != "" {
+		obsOpt.Status = zccloud.NewRunStatus()
+		obsOpt.Status.SetPhase("setup")
+		in, err := zccloud.StartIntrospection(*httpAddr, obsOpt.Metrics, obsOpt.Status, obsOpt.Timings)
+		if err != nil {
+			return fmt.Errorf("starting introspection server: %w", err)
+		}
+		intro = in
+		defer intro.Close()
+		fmt.Fprintf(stderr, "zccsim: introspection server on http://%s\n", intro.Addr())
+	}
+	var traceFile *zccloud.TraceFile
 	if *traceOut != "" {
-		af, err := zccloud.CreateAtomic(*traceOut)
+		tf, err := zccloud.CreateTraceFile(*traceOut)
 		if err != nil {
 			return fmt.Errorf("creating trace output: %w", err)
 		}
-		defer af.Abort() // no-op once committed
-		traceFile = af
-		obsOpt.Tracer = zccloud.NewJSONLTracer(af)
+		defer tf.Abort() // no-op once committed
+		traceFile = tf
+		obsOpt.Tracer = tf
 	}
 	// commitTrace lands the event trace atomically; called on success and
 	// on a deliberate pause, so a partial trace is still a usable prefix.
@@ -207,12 +225,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if traceFile == nil {
 			return nil
 		}
-		if err := obsOpt.Tracer.(*zccloud.JSONLTracer).Flush(); err != nil {
-			return fmt.Errorf("writing trace: %v", err)
-		}
 		t := traceFile
 		traceFile = nil
-		return t.Commit()
+		if err := t.Commit(); err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		return nil
 	}
 	if *progress {
 		obsOpt.Progress = zccloud.NewProgressReporter(stderr, 5*time.Second)
@@ -327,9 +345,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "  %12s nodes: %6d jobs, %8.2f h\n", b.Label, b.Jobs, b.AvgWaitHrs)
 	}
 
+	obsOpt.Status.SetPhase("done")
 	snap := obsOpt.Metrics.Snapshot()
 	fmt.Fprintln(stdout)
 	fmt.Fprintln(stdout, zccloud.MetricsSummaryTable(snap).Text())
+	if *spans {
+		fmt.Fprintln(stdout, zccloud.SpanSummaryTable(obsOpt.Timings.Snapshot()).Text())
+	}
 
 	if err := commitTrace(); err != nil {
 		return err
@@ -356,6 +378,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return err
+		}
+	}
+	// Hold the introspection server open so a scraper (or a human with a
+	// browser) can still read the finished run's /status and /metrics.
+	if intro != nil && *httpLinger > 0 {
+		fmt.Fprintf(stderr, "zccsim: run complete; serving introspection for up to %s more (Ctrl-C to stop)\n", *httpLinger)
+		deadline := time.Now().Add(*httpLinger)
+		for time.Now().Before(deadline) && !interrupted.Load() {
+			time.Sleep(50 * time.Millisecond)
 		}
 	}
 	return nil

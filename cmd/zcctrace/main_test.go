@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runCmd(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func checkGolden(t *testing.T, got, goldenPath string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+func TestSummaryGolden(t *testing.T) {
+	out, _, err := runCmd(t, "summary", "testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, out, "testdata/summary.golden")
+}
+
+func TestSeriesGolden(t *testing.T) {
+	out, _, err := runCmd(t, "series", "-step", "6h", "testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, out, "testdata/series.golden")
+}
+
+func TestWaitsGolden(t *testing.T) {
+	out, _, err := runCmd(t, "waits", "testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, out, "testdata/waits.golden")
+}
+
+func TestHistAndTimelineRun(t *testing.T) {
+	out, _, err := runCmd(t, "hist", "testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "arrive") || !strings.Contains(out, "window-up") {
+		t.Errorf("hist output missing expected kinds:\n%s", out)
+	}
+	out, _, err = runCmd(t, "timeline", "-job", "2", "testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"arrive", "enqueue", "start", "finish"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if _, _, err := runCmd(t, "timeline", "-job", "99", "testdata/small.jsonl"); err == nil {
+		t.Error("timeline of an absent job should fail")
+	}
+}
+
+// TestGzipTransparent verifies every reader decompresses gzipped traces
+// by content sniffing: same analysis output modulo the path in titles.
+func TestGzipTransparent(t *testing.T) {
+	raw, err := os.ReadFile("testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzPath := filepath.Join(t.TempDir(), "small.jsonl.gz")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gzPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, _, err := runCmd(t, "summary", "testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipped, _, err := runCmd(t, "summary", gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain = strings.ReplaceAll(plain, "testdata/small.jsonl", "TRACE")
+	zipped = strings.ReplaceAll(zipped, gzPath, "TRACE")
+	if plain != zipped {
+		t.Errorf("gzip summary differs from plain:\n--- plain ---\n%s\n--- gzip ---\n%s", plain, zipped)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	out, _, err := runCmd(t, "diff", "testdata/small.jsonl", "testdata/small.jsonl")
+	if err != nil {
+		t.Fatalf("identical traces should not diverge: %v", err)
+	}
+	if !strings.Contains(out, "traces identical: 16 events") {
+		t.Errorf("unexpected diff output: %q", out)
+	}
+}
+
+// TestDiffPerturbed flips one field mid-trace and checks diff names the
+// exact first divergent event.
+func TestDiffPerturbed(t *testing.T) {
+	raw, err := os.ReadFile("testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	// Perturb line 8 (index 7): the backfill-start wait changes 100 -> 250.
+	perturbed := strings.Replace(lines[7], `"detail":100`, `"detail":250`, 1)
+	if perturbed == lines[7] {
+		t.Fatalf("perturbation did not apply to %q", lines[7])
+	}
+	lines[7] = perturbed
+	bPath := filepath.Join(t.TempDir(), "perturbed.jsonl")
+	if err := os.WriteFile(bPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, _, err := runCmd(t, "diff", "testdata/small.jsonl", bPath)
+	if err == nil {
+		t.Fatal("diff of perturbed trace should report divergence via a non-nil error")
+	}
+	if !strings.Contains(out, "diverge at event 7") {
+		t.Errorf("diff should name event 7 as the first divergence:\n%s", out)
+	}
+	if !strings.Contains(out, "detail=100") || !strings.Contains(out, "detail=250") {
+		t.Errorf("diff should show both versions of the event:\n%s", out)
+	}
+}
+
+// TestDiffTruncated checks the shorter-trace case: divergence at the
+// missing tail, reported as end-of-trace.
+func TestDiffTruncated(t *testing.T) {
+	raw, err := os.ReadFile("testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	bPath := filepath.Join(t.TempDir(), "short.jsonl")
+	if err := os.WriteFile(bPath, []byte(strings.Join(lines[:len(lines)-2], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCmd(t, "diff", "testdata/small.jsonl", bPath)
+	if err == nil {
+		t.Fatal("truncated trace should diverge")
+	}
+	if !strings.Contains(out, "<end of trace>") {
+		t.Errorf("diff should mark the shorter trace's end:\n%s", out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if _, _, err := runCmd(t, "bogus"); err == nil {
+		t.Error("unknown command should fail")
+	}
+	if _, _, err := runCmd(t); err == nil {
+		t.Error("no command should fail")
+	}
+}

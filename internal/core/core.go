@@ -229,6 +229,7 @@ func buildSched(cfg RunConfig, sys SystemConfig) (sched.Config, *cluster.Machine
 		Tracer:             cfg.Obs.Tracer,
 		Metrics:            cfg.Obs.Metrics,
 		Progress:           cfg.Obs.Progress,
+		Status:             cfg.Obs.Status,
 		Check:              cfg.Obs.Check,
 		Interrupt:          cfg.Obs.Interrupt,
 		StopAt:             cfg.StopAt,
@@ -251,7 +252,10 @@ func buildSched(cfg RunConfig, sys SystemConfig) (sched.Config, *cluster.Machine
 // carrying the snapshot.
 func finishRun(s *sched.Scheduler, deadline sim.Time, machine *cluster.Machine,
 	jobs []*job.Job, obsOpts obs.Options) (*Metrics, error) {
+	obsOpts.Status.SetPhase("simulate")
+	span := obsOpts.Timings.Start("run.simulate")
 	res, err := s.Run(deadline)
+	span.Stop()
 	if err == sched.ErrInterrupted {
 		snap, serr := s.Snapshot()
 		if serr != nil {
@@ -262,6 +266,8 @@ func finishRun(s *sched.Scheduler, deadline sim.Time, machine *cluster.Machine,
 	if err != nil {
 		return nil, err
 	}
+	span = obsOpts.Timings.Start("run.collect")
+	defer span.Stop()
 	return collectMetrics(res, machine, jobs, obsOpts), nil
 }
 
@@ -276,8 +282,10 @@ func Run(cfg RunConfig) (*Metrics, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
+	span := cfg.Obs.Timings.Start("run.setup")
 	scfg, machine, err := buildSched(cfg, sys)
 	if err != nil {
+		span.Stop()
 		return nil, err
 	}
 	cfg.Trace.Reset()
@@ -289,11 +297,14 @@ func Run(cfg RunConfig) (*Metrics, error) {
 	}
 	s, err := sched.New(scfg)
 	if err != nil {
+		span.Stop()
 		return nil, err
 	}
 	if err := s.LoadTrace(cfg.Trace); err != nil {
+		span.Stop()
 		return nil, err
 	}
+	span.Stop()
 	return finishRun(s, deadline, machine, cfg.Trace.Jobs, cfg.Obs)
 }
 
@@ -308,14 +319,18 @@ func Resume(cfg RunConfig, snap *sched.Snapshot) (*Metrics, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
+	span := cfg.Obs.Timings.Start("run.setup")
 	scfg, machine, err := buildSched(cfg, sys)
 	if err != nil {
+		span.Stop()
 		return nil, err
 	}
 	s, err := sched.Restore(scfg, snap)
 	if err != nil {
+		span.Stop()
 		return nil, err
 	}
+	span.Stop()
 	return finishRun(s, snap.Deadline, machine, s.Jobs(), cfg.Obs)
 }
 

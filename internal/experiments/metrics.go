@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"zccloud/internal/obs"
 )
 
@@ -36,4 +38,32 @@ func MetricsSummary(snap obs.Snapshot) *Table {
 	}
 	t.AddNote("full snapshot available via -metrics; counters accumulate across all simulations of the run")
 	return t
+}
+
+// SpanSummary renders wall-clock span timings as a result table. It is
+// a separate table from MetricsSummary — spans read the wall clock, so
+// they are rendered only when span timing was explicitly enabled,
+// keeping default output byte-identical across same-seed runs.
+func SpanSummary(spans []obs.SpanSnapshot) *Table {
+	t := &Table{
+		ID:      "spans",
+		Title:   "Phase timings (wall clock)",
+		Columns: []string{"Span", "Count", "Total", "Max"},
+	}
+	for _, s := range spans {
+		t.AddRow(s.Name, s.Count, fmtMS(s.TotalMS), fmtMS(s.MaxMS))
+	}
+	t.AddNote("wall-clock timings; they never affect simulation results")
+	return t
+}
+
+func fmtMS(ms float64) string {
+	switch {
+	case ms >= 60_000:
+		return fmt.Sprintf("%.1fm", ms/60_000)
+	case ms >= 1000:
+		return fmt.Sprintf("%.2fs", ms/1000)
+	default:
+		return fmt.Sprintf("%.1fms", ms)
+	}
 }

@@ -49,6 +49,9 @@ type CellRecord struct {
 	Error     string `json:"error,omitempty"`
 	Stack     string `json:"stack,omitempty"`
 	Table     *Table `json:"table,omitempty"`
+	// SpanMS breaks ElapsedMS down by run phase (wall-clock milliseconds
+	// per span name), recorded when the sweep runs with span timing.
+	SpanMS map[string]float64 `json:"span_ms,omitempty"`
 }
 
 // sweepManifest pins a run directory to the configuration that created
@@ -203,6 +206,17 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	labObs.Interrupt = r.interrupted
 	lab.SetObs(labObs)
 
+	// Declare every cell to the live-status board and the step-wise
+	// progress reporter; cells satisfied from a prior journal will count
+	// as done immediately, so a resumed sweep's percent never restarts
+	// from zero.
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	cfg.Obs.Status.InitSweep(fp, ids)
+	cfg.Obs.Progress.StartSteps(len(exps))
+
 	res := &SweepResult{Records: prior}
 	for _, e := range exps {
 		if cfg.Interrupt != nil && cfg.Interrupt() {
@@ -211,11 +225,15 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		if rec, ok := prior[e.ID]; ok && rec.Status == CellOK {
 			res.Skipped++
 			res.Tables = append(res.Tables, rec.Table)
+			cfg.Obs.Status.SetCell(e.ID, rec.Status, true, time.Duration(rec.ElapsedMS)*time.Millisecond)
+			cfg.Obs.Progress.StepDone(e.ID, 0, true)
 			if cfg.OnCell != nil {
 				cfg.OnCell(rec, true)
 			}
 			continue
 		}
+		cfg.Obs.Status.SetCell(e.ID, "running", false, 0)
+		cfg.Obs.Status.SetPhase(e.ID)
 		rec, fatal := r.runCell(lab, e)
 		if fatal == nil || errors.Is(fatal, errCellWedged) {
 			// A wedged cell is journaled before the sweep aborts, so a
@@ -225,6 +243,9 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 				return res, err
 			}
 			res.Ran++
+			elapsed := time.Duration(rec.ElapsedMS) * time.Millisecond
+			cfg.Obs.Status.SetCell(e.ID, rec.Status, false, elapsed)
+			cfg.Obs.Progress.StepDone(e.ID, elapsed, false)
 			if cfg.OnCell != nil {
 				cfg.OnCell(rec, false)
 			}
@@ -285,6 +306,21 @@ type cellOutcome struct {
 func (r *sweepRunner) runCell(lab *Lab, e Experiment) (CellRecord, error) {
 	r.watchdog.Store(false)
 	start := time.Now()
+
+	// With span timing on, give the cell its own accumulator so the
+	// journal records a per-cell phase breakdown; fold it back into the
+	// sweep-wide totals once the cell settles. The swap happens strictly
+	// before the cell goroutine starts and the restore strictly after it
+	// finishes, so the Lab is never accessed concurrently.
+	baseObs := lab.Obs()
+	var cellTm *obs.Timings
+	if baseObs.Timings != nil {
+		cellTm = obs.NewTimings()
+		cellObs := baseObs
+		cellObs.Timings = cellTm
+		lab.SetObs(cellObs)
+	}
+
 	done := make(chan cellOutcome, 1)
 	go func() {
 		var out cellOutcome
@@ -329,6 +365,17 @@ func (r *sweepRunner) runCell(lab *Lab, e Experiment) (CellRecord, error) {
 	}
 
 	rec := CellRecord{ID: e.ID, ElapsedMS: time.Since(start).Milliseconds()}
+	if cellTm != nil {
+		lab.SetObs(baseObs)
+		spans := cellTm.Snapshot()
+		baseObs.Timings.Merge(spans)
+		if len(spans) > 0 {
+			rec.SpanMS = make(map[string]float64, len(spans))
+			for _, s := range spans {
+				rec.SpanMS[s.Name] = s.TotalMS
+			}
+		}
+	}
 	switch {
 	case out.panicked:
 		rec.Status = CellPanic

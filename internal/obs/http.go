@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format. Metric names get a "zccloud_" prefix and dots
+// become underscores ("sched.jobs_started" → "zccloud_sched_jobs_started");
+// histograms render as cumulative-bucket Prometheus histograms. Output
+// is deterministic: names are sorted.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		n := promName(name)
+		p("# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		n := promName(name)
+		p("# TYPE %s gauge\n%s %s\n", n, n, promFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		n := promName(name)
+		p("# TYPE %s histogram\n", n)
+		cum := h.Under
+		width := (h.Hi - h.Lo) / float64(len(h.Counts))
+		for i, c := range h.Counts {
+			cum += c
+			le := h.Lo + float64(i+1)*width
+			p("%s_bucket{le=\"%s\"} %d\n", n, promFloat(le), cum)
+		}
+		p("%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		p("%s_sum %s\n", n, promFloat(h.Mean*float64(h.Count)))
+		p("%s_count %d\n", n, h.Count)
+	}
+	return err
+}
+
+// WritePrometheusSpans renders span timings as a pair of counters per
+// span name, labeled by span.
+func WritePrometheusSpans(w io.Writer, spans []SpanSnapshot) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# TYPE zccloud_span_seconds_total counter\n")
+	for _, s := range spans {
+		p("zccloud_span_seconds_total{span=%q} %s\n", s.Name, promFloat(s.TotalMS/1000))
+	}
+	p("# TYPE zccloud_span_count counter\n")
+	for _, s := range spans {
+		p("zccloud_span_count{span=%q} %d\n", s.Name, s.Count)
+	}
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func promName(name string) string {
+	b := []byte("zccloud_" + name)
+	for i := len("zccloud_"); i < len(b); i++ {
+		c := b[i]
+		valid := c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			('0' <= c && c <= '9')
+		if !valid {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Introspection is a live HTTP server exposing a running simulation:
+// /metrics (Prometheus text), /status (JSON run state), and the standard
+// /debug/pprof/* profiling endpoints. It only reads the telemetry layer
+// — registry snapshots, the status board, span timings — so serving
+// never perturbs the simulation.
+type Introspection struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartIntrospection binds addr (e.g. "127.0.0.1:0") and serves in a
+// background goroutine. Any of reg, status, and timings may be nil; the
+// corresponding endpoint sections are simply empty.
+func StartIntrospection(addr string, reg *Registry, status *Status, timings *Timings) (*Introspection, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg.Snapshot())
+		WritePrometheusSpans(w, timings.Snapshot())
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		snap := status.Snapshot()
+		snap.Build = BuildInfo()
+		snap.Spans = timings.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>zccloud introspection</h1><ul>
+<li><a href="/status">/status</a> — live run state (JSON)</li>
+<li><a href="/metrics">/metrics</a> — Prometheus metrics</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiling</li>
+</ul></body></html>`)
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: introspection listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return &Introspection{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:43125").
+func (i *Introspection) Addr() string { return i.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (i *Introspection) Close() error { return i.srv.Close() }

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sched.jobs_started").Add(7)
+	reg.Gauge("sim.max_queue_len").Set(3.5)
+	h := reg.Histogram("run.wait_hours", 0, 10, 5)
+	h.Observe(1)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE zccloud_sched_jobs_started counter\nzccloud_sched_jobs_started 7\n",
+		"# TYPE zccloud_sim_max_queue_len gauge\nzccloud_sim_max_queue_len 3.5\n",
+		"# TYPE zccloud_run_wait_hours histogram\n",
+		"zccloud_run_wait_hours_bucket{le=\"+Inf\"} 2\n",
+		"zccloud_run_wait_hours_count 2\n",
+		"zccloud_run_wait_hours_sum 10\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusSpans(t *testing.T) {
+	tm := NewTimings()
+	tm.Merge([]SpanSnapshot{{Name: "run.simulate", Count: 3, TotalMS: 2500}})
+	var b strings.Builder
+	if err := WritePrometheusSpans(&b, tm.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `zccloud_span_seconds_total{span="run.simulate"} 2.5`) {
+		t.Errorf("span seconds missing:\n%s", out)
+	}
+	if !strings.Contains(out, `zccloud_span_count{span="run.simulate"} 3`) {
+		t.Errorf("span count missing:\n%s", out)
+	}
+	// No spans → no output at all (avoids dangling TYPE headers).
+	var empty strings.Builder
+	if err := WritePrometheusSpans(&empty, nil); err != nil || empty.Len() != 0 {
+		t.Errorf("empty spans wrote %q, err %v", empty.String(), err)
+	}
+}
+
+func getBody(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestIntrospectionServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sched.passes").Add(11)
+	status := NewStatus()
+	status.SetPhase("simulate")
+	status.SetSim(SimStatus{ClockDays: 3.5, QueueLen: 4})
+	status.InitSweep("deadbeef", []string{"fig5"})
+	status.SetCell("fig5", "running", false, 0)
+	tm := NewTimings()
+	tm.Start("run.simulate").Stop()
+
+	in, err := StartIntrospection("127.0.0.1:0", reg, status, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	base := "http://" + in.Addr()
+
+	code, body, hdr := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(body, "zccloud_sched_passes 11") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, `zccloud_span_count{span="run.simulate"} 1`) {
+		t.Errorf("/metrics missing span:\n%s", body)
+	}
+
+	code, body, hdr = getBody(t, base+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/status content-type %q", ct)
+	}
+	var snap StatusSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/status is not JSON: %v\n%s", err, body)
+	}
+	if snap.Phase != "simulate" || snap.Sim == nil || snap.Sim.ClockDays != 3.5 {
+		t.Errorf("status payload: %+v", snap)
+	}
+	if snap.Sweep == nil || snap.Sweep.Total != 1 || snap.Sweep.Cells[0].State != "running" {
+		t.Errorf("sweep payload: %+v", snap.Sweep)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "run.simulate" {
+		t.Errorf("span payload: %+v", snap.Spans)
+	}
+	if snap.Build == "" {
+		t.Error("status should carry build info")
+	}
+
+	if code, _, _ := getBody(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	if code, body, _ := getBody(t, base+"/"); code != http.StatusOK || !strings.Contains(body, "/status") {
+		t.Errorf("index page status %d:\n%s", code, body)
+	}
+	if code, _, _ := getBody(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+// TestIntrospectionNilBackends: every backend may be nil; handlers must
+// still answer.
+func TestIntrospectionNilBackends(t *testing.T) {
+	in, err := StartIntrospection("127.0.0.1:0", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	base := "http://" + in.Addr()
+	if code, _, _ := getBody(t, base+"/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics with nil registry: status %d", code)
+	}
+	code, body, _ := getBody(t, base+"/status")
+	if code != http.StatusOK {
+		t.Errorf("/status with nil board: status %d", code)
+	}
+	var snap StatusSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Errorf("nil-backend /status not JSON: %v", err)
+	}
+}
+
+// TestIntrospectionConcurrentScrape scrapes while the "simulation"
+// publishes; meaningful under -race.
+func TestIntrospectionConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	status := NewStatus()
+	tm := NewTimings()
+	in, err := StartIntrospection("127.0.0.1:0", reg, status, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	base := "http://" + in.Addr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the publisher: what the scheduler loop does
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.Counter("sim.events_dispatched").Add(1)
+			status.SetSim(SimStatus{EventsDispatched: uint64(i)})
+			tm.Start("run.simulate").Stop()
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if code, _, _ := getBody(t, base+"/metrics"); code != http.StatusOK {
+			t.Errorf("scrape %d: /metrics status %d", i, code)
+		}
+		if code, _, _ := getBody(t, base+"/status"); code != http.StatusOK {
+			t.Errorf("scrape %d: /status status %d", i, code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestIntrospectionBadAddr(t *testing.T) {
+	if _, err := StartIntrospection("256.0.0.1:99999", nil, nil, nil); err == nil {
+		t.Error("bad address should fail to listen")
+	}
+}
+
+func TestIntrospectionCloseUnbinds(t *testing.T) {
+	in, err := StartIntrospection("127.0.0.1:0", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := in.Addr()
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The port must be free again (retry briefly: close is asynchronous
+	// on some platforms).
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		in2, err := StartIntrospection(addr, nil, nil, nil)
+		if err == nil {
+			in2.Close()
+			return
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("port %s still bound after Close: %v", addr, lastErr)
+}

@@ -285,6 +285,12 @@ type Options struct {
 	// it reports true, the run stops at the next event boundary in a
 	// snapshottable state (signal handlers and watchdogs set this).
 	Interrupt func() bool
+	// Timings accumulates wall-clock span timers for run phases and
+	// experiment cells; nil disables span timing.
+	Timings *Timings
+	// Status, when non-nil, receives throttled live run-state samples
+	// for the introspection server's /status endpoint.
+	Status *Status
 	// Check enables the scheduler's per-event invariant checker; a
 	// violation stops the run with a descriptive error.
 	Check bool

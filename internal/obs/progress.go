@@ -31,6 +31,14 @@ type Progress struct {
 	last     time.Time
 	lastSim  sim.Time
 	started  bool
+
+	// Step-wise progress (experiment sweeps): cells done out of total,
+	// with ETA paced by executed cells only — cells satisfied from a
+	// previous run's journal count as done but don't skew the pace.
+	stepsTotal int
+	stepsDone  int
+	execCells  int
+	execWall   time.Duration
 }
 
 // NewProgress returns a reporter writing to w at most once per interval
@@ -50,6 +58,47 @@ func (p *Progress) Phase(name string) {
 	p.phase = name
 	p.started = false
 	p.mu.Unlock()
+}
+
+// StartSteps declares a step-wise phase of total cells (an experiment
+// sweep); subsequent StepDone calls report against it.
+func (p *Progress) StartSteps(total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.stepsTotal = total
+	p.stepsDone = 0
+	p.execCells = 0
+	p.execWall = 0
+	p.mu.Unlock()
+}
+
+// StepDone records one settled cell. Skipped cells (satisfied from a
+// previous run's journal on resume) count toward done — so a resumed
+// sweep's percent doesn't restart from zero — but only executed cells
+// feed the pace estimate.
+func (p *Progress) StepDone(name string, wall time.Duration, skipped bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepsDone++
+	if !skipped {
+		p.execCells++
+		p.execWall += wall
+	}
+	if p.stepsTotal <= 0 {
+		return
+	}
+	pct := 100 * float64(p.stepsDone) / float64(p.stepsTotal)
+	fmt.Fprintf(p.w, "%s: %d/%d cells done (%.0f%%)", name, p.stepsDone, p.stepsTotal, pct)
+	if remaining := p.stepsTotal - p.stepsDone; remaining > 0 && p.execCells > 0 {
+		eta := time.Duration(float64(p.execWall) / float64(p.execCells) * float64(remaining))
+		fmt.Fprintf(p.w, ", ~%s remaining", eta.Round(time.Second))
+	}
+	fmt.Fprintln(p.w)
 }
 
 // Observe records that simulated time has reached now out of total. It

@@ -45,6 +45,50 @@ func TestProgressNilSafe(t *testing.T) {
 	var p *Progress
 	p.Phase("x")
 	p.Observe(1, 2) // must not panic
+	p.StartSteps(5)
+	p.StepDone("a", time.Second, false)
+}
+
+// TestProgressStepsResumed is the regression test for resumed sweeps:
+// cells satisfied from a previous run's journal count toward done, so a
+// -resume run's percent doesn't restart from zero — but only executed
+// cells feed the ETA pace.
+func TestProgressStepsResumed(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, 0)
+	p.StartSteps(4)
+	p.StepDone("fig5", 0, true) // resumed from journal
+	p.StepDone("fig6", 0, true)
+	p.StepDone("fig7", 10*time.Second, false) // executed
+
+	out := buf.String()
+	for _, want := range []string{
+		"fig5: 1/4 cells done (25%)",
+		"fig6: 2/4 cells done (50%)",
+		"fig7: 3/4 cells done (75%)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// ETA comes from the one executed cell (10s) x 1 remaining — the two
+	// instantly-skipped cells must not drag it toward zero.
+	if !strings.Contains(out, "fig7: 3/4 cells done (75%), ~10s remaining") {
+		t.Errorf("ETA should be paced by executed cells only:\n%s", out)
+	}
+	// Skipped-only steps have no pace yet, so no ETA is printed.
+	if strings.Contains(strings.Split(out, "\n")[0], "remaining") {
+		t.Errorf("no ETA expected before any cell executed:\n%s", out)
+	}
+}
+
+func TestProgressStepsWithoutTotal(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, 0)
+	p.StepDone("a", time.Second, false) // no StartSteps: silent, no panic
+	if buf.Len() != 0 {
+		t.Errorf("StepDone without StartSteps wrote %q", buf.String())
+	}
 }
 
 func TestProgressPhaseResetsBaseline(t *testing.T) {

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timings accumulates span-style wall-clock phase timers: Start opens a
+// named span, Stop closes it, and totals aggregate across repeated spans
+// of the same name. Durations come from the monotonic clock and never
+// feed back into the simulation, so determinism is preserved — like
+// Progress, Timings only observes.
+//
+// All methods are nil-safe: a nil *Timings records nothing and Start on
+// it returns a nil *Span whose Stop is a no-op, so call sites can
+// instrument unconditionally.
+type Timings struct {
+	mu    sync.Mutex
+	spans map[string]*spanTotal
+}
+
+type spanTotal struct {
+	count   int64
+	total   time.Duration
+	max     time.Duration
+	running int // spans started but not yet stopped
+}
+
+// NewTimings returns an empty span accumulator.
+func NewTimings() *Timings {
+	return &Timings{spans: make(map[string]*spanTotal)}
+}
+
+// Span is one open phase timer; Stop folds its duration into the parent
+// Timings. A nil *Span (from a nil Timings) is a valid no-op.
+type Span struct {
+	t     *Timings
+	name  string
+	start time.Time
+}
+
+// Start opens a span. The returned Span must be stopped exactly once;
+// stopping twice counts the span twice.
+func (t *Timings) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	st := t.spans[name]
+	if st == nil {
+		st = &spanTotal{}
+		t.spans[name] = st
+	}
+	st.running++
+	t.mu.Unlock()
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Stop closes the span and returns its duration (0 on a nil span).
+func (s *Span) Stop() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.t.mu.Lock()
+	st := s.t.spans[s.name]
+	st.count++
+	st.total += d
+	if d > st.max {
+		st.max = d
+	}
+	if st.running > 0 {
+		st.running--
+	}
+	s.t.mu.Unlock()
+	return d
+}
+
+// SpanSnapshot is the aggregated state of one span name.
+type SpanSnapshot struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	// Running counts spans currently open (started, not stopped) — in a
+	// live /status scrape this marks the phase in flight.
+	Running int `json:"running,omitempty"`
+}
+
+// Snapshot returns the per-name aggregates sorted by name. Nil-safe.
+func (t *Timings) Snapshot() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanSnapshot, 0, len(t.spans))
+	for name, st := range t.spans {
+		out = append(out, SpanSnapshot{
+			Name:    name,
+			Count:   st.count,
+			TotalMS: float64(st.total) / float64(time.Millisecond),
+			MaxMS:   float64(st.max) / float64(time.Millisecond),
+			Running: st.running,
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Merge folds another accumulator's snapshot into t — the experiment
+// runner uses it to roll per-cell spans up into the sweep-wide totals.
+// Open spans are not merged. Nil-safe on both sides.
+func (t *Timings) Merge(spans []SpanSnapshot) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for _, s := range spans {
+		st := t.spans[s.Name]
+		if st == nil {
+			st = &spanTotal{}
+			t.spans[s.Name] = st
+		}
+		st.count += s.Count
+		st.total += time.Duration(s.TotalMS * float64(time.Millisecond))
+		if m := time.Duration(s.MaxMS * float64(time.Millisecond)); m > st.max {
+			st.max = m
+		}
+	}
+	t.mu.Unlock()
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanAccumulates(t *testing.T) {
+	tm := NewTimings()
+	sp := tm.Start("phase")
+	time.Sleep(time.Millisecond)
+	if d := sp.Stop(); d <= 0 {
+		t.Errorf("span duration should be positive, got %v", d)
+	}
+	tm.Start("phase").Stop()
+	tm.Start("other").Stop()
+
+	snap := tm.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 span names, got %d: %+v", len(snap), snap)
+	}
+	// Snapshot is sorted by name.
+	if snap[0].Name != "other" || snap[1].Name != "phase" {
+		t.Errorf("snapshot not sorted: %+v", snap)
+	}
+	ph := snap[1]
+	if ph.Count != 2 {
+		t.Errorf("phase count = %d, want 2", ph.Count)
+	}
+	if ph.TotalMS <= 0 || ph.MaxMS <= 0 || ph.MaxMS > ph.TotalMS {
+		t.Errorf("implausible totals: %+v", ph)
+	}
+	if ph.Running != 0 {
+		t.Errorf("no spans open, running = %d", ph.Running)
+	}
+}
+
+func TestSpanRunningCount(t *testing.T) {
+	tm := NewTimings()
+	sp := tm.Start("open")
+	if r := tm.Snapshot()[0].Running; r != 1 {
+		t.Errorf("running = %d, want 1 while span is open", r)
+	}
+	sp.Stop()
+	if r := tm.Snapshot()[0].Running; r != 0 {
+		t.Errorf("running = %d, want 0 after stop", r)
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var tm *Timings
+	sp := tm.Start("anything") // must not panic
+	if sp != nil {
+		t.Error("nil Timings should hand out nil spans")
+	}
+	if d := sp.Stop(); d != 0 {
+		t.Errorf("nil span Stop = %v, want 0", d)
+	}
+	if got := tm.Snapshot(); got != nil {
+		t.Errorf("nil Timings snapshot = %v, want nil", got)
+	}
+	tm.Merge([]SpanSnapshot{{Name: "x", Count: 1}}) // must not panic
+}
+
+func TestSpanMerge(t *testing.T) {
+	total := NewTimings()
+	total.Start("run.setup").Stop()
+
+	cell := NewTimings()
+	cell.Start("run.simulate").Stop()
+	cell.Start("run.setup").Stop()
+	total.Merge(cell.Snapshot())
+
+	snap := total.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 merged names, got %+v", snap)
+	}
+	if snap[0].Name != "run.setup" || snap[0].Count != 2 {
+		t.Errorf("merge should fold counts: %+v", snap[0])
+	}
+	if snap[1].Name != "run.simulate" || snap[1].Count != 1 {
+		t.Errorf("merge should add new names: %+v", snap[1])
+	}
+}
+
+// TestSpanConcurrent exercises Start/Stop/Snapshot from many goroutines;
+// meaningful under -race.
+func TestSpanConcurrent(t *testing.T) {
+	tm := NewTimings()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tm.Start("hot").Stop()
+				_ = tm.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := tm.Snapshot()[0].Count; n != 8*200 {
+		t.Errorf("count = %d, want %d", n, 8*200)
+	}
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// statusCheckMask throttles how often the simulation loop publishes a
+// live status sample: only every (mask+1)-th SimDue call returns true.
+const statusCheckMask = 1023
+
+// PartitionStatus is one partition's live occupancy.
+type PartitionStatus struct {
+	Name    string `json:"name"`
+	Nodes   int    `json:"nodes"`
+	Busy    int    `json:"busy"`
+	Offline int    `json:"offline,omitempty"`
+	// Utilization is busy over currently-serviceable nodes.
+	Utilization float64 `json:"utilization"`
+}
+
+// SimStatus is a live sample of one running simulation, published by the
+// scheduler's event loop and served on /status. All times are simulated;
+// only EventsPerSec mixes in the wall clock (computed at publish time).
+type SimStatus struct {
+	ClockDays        float64           `json:"clock_days"`
+	DeadlineDays     float64           `json:"deadline_days,omitempty"`
+	Percent          float64           `json:"percent,omitempty"`
+	QueueLen         int               `json:"queue_len"`
+	RunningJobs      int               `json:"running_jobs"`
+	CompletedJobs    int               `json:"completed_jobs"`
+	TotalJobs        int               `json:"total_jobs"`
+	EventsDispatched uint64            `json:"events_dispatched"`
+	EventsPending    int               `json:"events_pending"`
+	EventsPerSec     float64           `json:"events_per_sec,omitempty"`
+	Partitions       []PartitionStatus `json:"partitions,omitempty"`
+}
+
+// CellStatus is one sweep cell's live state.
+type CellStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // "pending", "running", or a journal status
+	// Skipped marks a cell satisfied from a previous run's journal.
+	Skipped   bool  `json:"skipped,omitempty"`
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+}
+
+// SweepStatus is the live state of an experiment sweep.
+type SweepStatus struct {
+	// Fingerprint pins the sweep to its manifest (empty in direct mode).
+	Fingerprint string       `json:"fingerprint,omitempty"`
+	Done        int          `json:"done"`
+	Total       int          `json:"total"`
+	Cells       []CellStatus `json:"cells"`
+}
+
+// StatusSnapshot is everything /status serves: build identity, process
+// uptime, the current phase, the latest simulation sample, sweep state,
+// and span timings.
+type StatusSnapshot struct {
+	Build     string         `json:"build"`
+	UptimeSec float64        `json:"uptime_sec"`
+	Phase     string         `json:"phase,omitempty"`
+	Sim       *SimStatus     `json:"sim,omitempty"`
+	Sweep     *SweepStatus   `json:"sweep,omitempty"`
+	Spans     []SpanSnapshot `json:"spans,omitempty"`
+}
+
+// Status is a live run-state board: the simulation loop and the sweep
+// runner publish into it, and the introspection server reads it. It is
+// the bridge between the single-threaded simulation and concurrent HTTP
+// handlers; every method is mutex-protected and nil-safe, and nothing
+// read from it ever feeds back into the simulation.
+type Status struct {
+	ticks atomic.Uint32 // cheap pre-filter before SetSim's wall-clock work
+
+	mu      sync.Mutex
+	started time.Time
+	phase   string
+	sim     *SimStatus
+	sweep   *SweepStatus
+	cellIdx map[string]int
+
+	// Event-rate anchor: EventsPerSec is the dispatch rate since the
+	// last anchor sample at least rateWindow ago.
+	anchorWall  time.Time
+	anchorSteps uint64
+	rate        float64
+}
+
+// rateWindow is the minimum wall-clock span the event rate averages over.
+const rateWindow = time.Second
+
+// NewStatus returns an empty status board.
+func NewStatus() *Status {
+	return &Status{started: time.Now()}
+}
+
+// SimDue reports whether the simulation loop should publish a sample
+// now. It costs one atomic increment on most calls, so the loop can
+// consult it per event. Always false on a nil Status.
+func (s *Status) SimDue() bool {
+	if s == nil {
+		return false
+	}
+	return s.ticks.Add(1)&statusCheckMask == 1
+}
+
+// SetPhase names the work in flight (an experiment ID, "simulate", ...).
+func (s *Status) SetPhase(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.phase = name
+	s.mu.Unlock()
+}
+
+// SetSim publishes a simulation sample and computes its event rate from
+// the wall-clock anchor.
+func (s *Status) SetSim(st SimStatus) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.anchorWall.IsZero() || st.EventsDispatched < s.anchorSteps {
+		// First sample, or a fresh engine reset the step counter.
+		s.anchorWall, s.anchorSteps, s.rate = now, st.EventsDispatched, 0
+	} else if d := now.Sub(s.anchorWall); d >= rateWindow {
+		s.rate = float64(st.EventsDispatched-s.anchorSteps) / d.Seconds()
+		s.anchorWall, s.anchorSteps = now, st.EventsDispatched
+	}
+	st.EventsPerSec = s.rate
+	s.sim = &st
+	s.mu.Unlock()
+}
+
+// InitSweep declares the sweep's cells (all pending) and its manifest
+// fingerprint, replacing any previous sweep state.
+func (s *Status) InitSweep(fingerprint string, ids []string) {
+	if s == nil {
+		return
+	}
+	cells := make([]CellStatus, len(ids))
+	idx := make(map[string]int, len(ids))
+	for i, id := range ids {
+		cells[i] = CellStatus{ID: id, State: "pending"}
+		idx[id] = i
+	}
+	s.mu.Lock()
+	s.sweep = &SweepStatus{Fingerprint: fingerprint, Total: len(ids), Cells: cells}
+	s.cellIdx = idx
+	s.mu.Unlock()
+}
+
+// SetCell updates one cell's state. Terminal states ("ok", "error", ...)
+// count toward Done; "running" and "pending" do not. Unknown IDs are
+// appended, so direct-mode runs need no InitSweep.
+func (s *Status) SetCell(id, state string, skipped bool, elapsed time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sweep == nil {
+		s.sweep = &SweepStatus{}
+		s.cellIdx = make(map[string]int)
+	}
+	i, ok := s.cellIdx[id]
+	if !ok {
+		i = len(s.sweep.Cells)
+		s.sweep.Cells = append(s.sweep.Cells, CellStatus{ID: id})
+		s.cellIdx[id] = i
+		s.sweep.Total++
+	}
+	c := &s.sweep.Cells[i]
+	wasDone := cellDone(c.State)
+	c.State = state
+	c.Skipped = skipped
+	c.ElapsedMS = elapsed.Milliseconds()
+	if done := cellDone(state); done != wasDone {
+		if done {
+			s.sweep.Done++
+		} else {
+			s.sweep.Done--
+		}
+	}
+}
+
+func cellDone(state string) bool {
+	return state != "" && state != "pending" && state != "running"
+}
+
+// Snapshot copies the board for serving. Span timings are attached by
+// the caller (the introspection server holds the Timings). Nil-safe.
+func (s *Status) Snapshot() StatusSnapshot {
+	var out StatusSnapshot
+	if s == nil {
+		return out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out.UptimeSec = time.Since(s.started).Seconds()
+	out.Phase = s.phase
+	if s.sim != nil {
+		sim := *s.sim
+		sim.Partitions = append([]PartitionStatus(nil), s.sim.Partitions...)
+		out.Sim = &sim
+	}
+	if s.sweep != nil {
+		sw := *s.sweep
+		sw.Cells = append([]CellStatus(nil), s.sweep.Cells...)
+		out.Sweep = &sw
+	}
+	return out
+}

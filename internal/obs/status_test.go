@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStatusNilSafe(t *testing.T) {
+	var s *Status
+	if s.SimDue() {
+		t.Error("nil Status should never be due")
+	}
+	s.SetPhase("x")
+	s.SetSim(SimStatus{})
+	s.InitSweep("fp", []string{"a"})
+	s.SetCell("a", "ok", false, time.Second)
+	if snap := s.Snapshot(); snap.Sim != nil || snap.Sweep != nil {
+		t.Errorf("nil Status snapshot should be empty: %+v", snap)
+	}
+}
+
+func TestStatusSimDueThrottles(t *testing.T) {
+	s := NewStatus()
+	if !s.SimDue() {
+		t.Fatal("first SimDue must fire so /status is populated early")
+	}
+	for i := 0; i < statusCheckMask; i++ {
+		if s.SimDue() {
+			t.Fatalf("SimDue fired again after only %d calls", i+1)
+		}
+	}
+	if !s.SimDue() {
+		t.Error("SimDue should fire every mask+1 calls")
+	}
+}
+
+func TestStatusSweepDoneCounting(t *testing.T) {
+	s := NewStatus()
+	s.InitSweep("abc123", []string{"fig5", "fig6", "fig7"})
+
+	snap := s.Snapshot()
+	if snap.Sweep.Total != 3 || snap.Sweep.Done != 0 {
+		t.Fatalf("fresh sweep: %+v", snap.Sweep)
+	}
+	if snap.Sweep.Fingerprint != "abc123" {
+		t.Errorf("fingerprint lost: %+v", snap.Sweep)
+	}
+
+	s.SetCell("fig5", "running", false, 0)
+	if got := s.Snapshot().Sweep.Done; got != 0 {
+		t.Errorf("running is not done; Done = %d", got)
+	}
+	s.SetCell("fig5", "ok", false, 2*time.Second)
+	s.SetCell("fig6", "ok", true, 0) // resumed: satisfied from journal
+	snap = s.Snapshot()
+	if snap.Sweep.Done != 2 {
+		t.Errorf("Done = %d, want 2 (skipped cells count)", snap.Sweep.Done)
+	}
+	var fig5, fig6 CellStatus
+	for _, c := range snap.Sweep.Cells {
+		switch c.ID {
+		case "fig5":
+			fig5 = c
+		case "fig6":
+			fig6 = c
+		}
+	}
+	if fig5.State != "ok" || fig5.ElapsedMS != 2000 || fig5.Skipped {
+		t.Errorf("fig5 = %+v", fig5)
+	}
+	if !fig6.Skipped {
+		t.Errorf("fig6 should be marked skipped: %+v", fig6)
+	}
+
+	// Re-running a done cell (resume of a failed cell) takes it out of
+	// Done until it settles again.
+	s.SetCell("fig5", "running", false, 0)
+	if got := s.Snapshot().Sweep.Done; got != 1 {
+		t.Errorf("Done = %d after fig5 restarted, want 1", got)
+	}
+}
+
+func TestStatusSetCellUnknownID(t *testing.T) {
+	s := NewStatus()
+	// No InitSweep: direct mode appends cells as they appear.
+	s.SetCell("table1", "ok", false, time.Millisecond)
+	sw := s.Snapshot().Sweep
+	if sw == nil || sw.Total != 1 || sw.Done != 1 || sw.Cells[0].ID != "table1" {
+		t.Errorf("unknown ID should be appended: %+v", sw)
+	}
+}
+
+func TestStatusSnapshotIsolated(t *testing.T) {
+	s := NewStatus()
+	s.InitSweep("", []string{"a"})
+	s.SetSim(SimStatus{QueueLen: 7, Partitions: []PartitionStatus{{Name: "mira"}}})
+	snap := s.Snapshot()
+	snap.Sim.Partitions[0].Name = "mutated"
+	snap.Sweep.Cells[0].State = "mutated"
+	fresh := s.Snapshot()
+	if fresh.Sim.Partitions[0].Name != "mira" || fresh.Sweep.Cells[0].State != "pending" {
+		t.Error("Snapshot must deep-copy slices")
+	}
+}
+
+func TestStatusEventRate(t *testing.T) {
+	s := NewStatus()
+	s.SetSim(SimStatus{EventsDispatched: 1000})
+	if got := s.Snapshot().Sim.EventsPerSec; got != 0 {
+		t.Errorf("first sample sets the anchor only; rate = %v", got)
+	}
+	// A backward step count (fresh engine) must reset, not go negative.
+	s.SetSim(SimStatus{EventsDispatched: 10})
+	if got := s.Snapshot().Sim.EventsPerSec; got != 0 {
+		t.Errorf("reset sample should zero the rate, got %v", got)
+	}
+}
+
+// TestStatusConcurrent hammers the board from publisher and scraper
+// goroutines; meaningful under -race.
+func TestStatusConcurrent(t *testing.T) {
+	s := NewStatus()
+	s.InitSweep("fp", []string{"a", "b"})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s.SetSim(SimStatus{EventsDispatched: uint64(i), QueueLen: i})
+			s.SimDue()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s.SetCell("a", "running", false, 0)
+			s.SetCell("a", "ok", false, time.Millisecond)
+			s.SetPhase("a")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			_ = s.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := s.Snapshot().Sweep.Done; got != 1 {
+		t.Errorf("Done = %d, want 1", got)
+	}
+}

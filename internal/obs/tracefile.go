@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"zccloud/internal/persist"
+	"zccloud/internal/sim"
+)
+
+// TraceFile is a JSONL trace sink bound to an atomically-written file.
+// A path ending in ".gz" is transparently gzip-compressed; either way
+// the file reaches its destination only on Commit, so a crashed run
+// never leaves a torn trace. The embedded JSONL makes it a Tracer.
+type TraceFile struct {
+	*JSONL
+	af *persist.File
+	gz *gzip.Writer
+}
+
+// CreateTraceFile starts an atomic trace write to path.
+func CreateTraceFile(path string) (*TraceFile, error) {
+	af, err := persist.CreateAtomic(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &TraceFile{af: af}
+	var w io.Writer = af
+	if strings.HasSuffix(path, ".gz") {
+		t.gz = gzip.NewWriter(af)
+		w = t.gz
+	}
+	t.JSONL = NewJSONL(w)
+	return t, nil
+}
+
+// Commit flushes buffered records, finishes the gzip stream, and lands
+// the file atomically. On any error the destination is left untouched.
+func (t *TraceFile) Commit() error {
+	if err := t.JSONL.Flush(); err != nil {
+		t.af.Abort()
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	if t.gz != nil {
+		if err := t.gz.Close(); err != nil {
+			t.af.Abort()
+			return fmt.Errorf("obs: compressing trace: %w", err)
+		}
+	}
+	return t.af.Commit()
+}
+
+// Abort discards the trace; a no-op after Commit.
+func (t *TraceFile) Abort() { t.af.Abort() }
+
+// OpenTraceReader wraps r, transparently decompressing gzip input (the
+// stream is sniffed for the gzip magic bytes, so it works regardless of
+// file name). The returned closer must be closed by the caller; it
+// closes r too when r is an io.Closer.
+func OpenTraceReader(r io.Reader) (io.ReadCloser, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("obs: reading gzip trace: %w", err)
+		}
+		return &traceReader{Reader: gz, gz: gz, src: r}, nil
+	}
+	return &traceReader{Reader: br, src: r}, nil
+}
+
+type traceReader struct {
+	io.Reader
+	gz  *gzip.Reader
+	src io.Reader
+}
+
+func (t *traceReader) Close() error {
+	var err error
+	if t.gz != nil {
+		err = t.gz.Close()
+	}
+	if c, ok := t.src.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// traceLine mirrors appendEvent's encoding for decoding.
+type traceLine struct {
+	T      float64 `json:"t"`
+	Ev     string  `json:"ev"`
+	Job    *int    `json:"job"`
+	Part   string  `json:"part"`
+	Nodes  int     `json:"nodes"`
+	Detail float64 `json:"detail"`
+}
+
+// TraceScanner streams Events out of a JSONL trace. Lines longer than
+// the scanner default are accepted up to 1 MiB.
+type TraceScanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTraceScanner reads JSONL trace records from r (already
+// decompressed; see OpenTraceReader).
+func NewTraceScanner(r io.Reader) *TraceScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &TraceScanner{sc: sc}
+}
+
+// Next returns the next event. ok is false at a clean end of input;
+// a malformed record or unknown event kind is an error naming the line.
+func (t *TraceScanner) Next() (e Event, ok bool, err error) {
+	for t.sc.Scan() {
+		t.line++
+		line := t.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec traceLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return Event{}, false, fmt.Errorf("obs: trace line %d: %w", t.line, err)
+		}
+		kind, known := KindByName(rec.Ev)
+		if !known {
+			return Event{}, false, fmt.Errorf("obs: trace line %d: unknown event kind %q", t.line, rec.Ev)
+		}
+		e = Event{
+			Time:      sim.Time(rec.T),
+			Kind:      kind,
+			Job:       -1,
+			Partition: rec.Part,
+			Nodes:     rec.Nodes,
+			Detail:    rec.Detail,
+		}
+		if rec.Job != nil {
+			e.Job = *rec.Job
+		}
+		return e, true, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return Event{}, false, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return Event{}, false, nil
+}
+
+// Line returns the line number of the last event returned by Next.
+func (t *TraceScanner) Line() int { return t.line }
+
+// ReadTrace streams every event of a (possibly gzipped) trace through fn.
+func ReadTrace(r io.Reader, fn func(Event) error) error {
+	rc, err := OpenTraceReader(r)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	sc := NewTraceScanner(rc)
+	for {
+		e, ok, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}

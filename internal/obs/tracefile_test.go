@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var tracefileEvents = []Event{
+	{Time: 0, Kind: EvWindowUp, Job: -1, Partition: "zc", Nodes: 1024, Detail: 43200},
+	{Time: 100, Kind: EvArrive, Job: 0, Nodes: 512, Detail: 3600},
+	{Time: 100, Kind: EvEnqueue, Job: 0, Nodes: 512, Detail: 1},
+	{Time: 200, Kind: EvStart, Job: 0, Partition: "zc", Nodes: 512, Detail: 100},
+	{Time: 3800, Kind: EvFinish, Job: 0, Partition: "zc", Nodes: 512, Detail: 100},
+}
+
+func writeTraceFile(t *testing.T, path string) {
+	t.Helper()
+	tf, err := CreateTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tracefileEvents {
+		tf.Trace(e)
+	}
+	if err := tf.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readBack(t *testing.T, path string) []Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := OpenTraceReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sc := NewTraceScanner(r)
+	var got []Event
+	for {
+		e, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return got
+		}
+		got = append(got, e)
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	for _, name := range []string{"t.jsonl", "t.jsonl.gz"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), name)
+			writeTraceFile(t, path)
+
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gzipped := bytes.HasPrefix(raw, []byte{0x1f, 0x8b})
+			if wantGz := strings.HasSuffix(name, ".gz"); gzipped != wantGz {
+				t.Errorf("gzipped = %v, want %v", gzipped, wantGz)
+			}
+
+			got := readBack(t, path)
+			if len(got) != len(tracefileEvents) {
+				t.Fatalf("read %d events, want %d", len(got), len(tracefileEvents))
+			}
+			for i, e := range got {
+				if e != tracefileEvents[i] {
+					t.Errorf("event %d: got %+v, want %+v", i, e, tracefileEvents[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTraceFileGzipSmaller sanity-checks that the .gz path actually
+// compresses: a few hundred repetitive events should shrink well below
+// the plain encoding.
+func TestTraceFileGzipSmaller(t *testing.T) {
+	dir := t.TempDir()
+	plain, gz := filepath.Join(dir, "a.jsonl"), filepath.Join(dir, "a.jsonl.gz")
+	for _, path := range []string{plain, gz} {
+		tf, err := CreateTraceFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			tf.Trace(Event{Time: 100, Kind: EvArrive, Job: i, Nodes: 512, Detail: 3600})
+		}
+		if err := tf.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps, _ := os.Stat(plain)
+	gs, _ := os.Stat(gz)
+	if gs.Size() >= ps.Size() {
+		t.Errorf("gzip trace (%d B) not smaller than plain (%d B)", gs.Size(), ps.Size())
+	}
+}
+
+func TestTraceFileAbort(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl.gz")
+	tf, err := CreateTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf.Trace(tracefileEvents[0])
+	tf.Abort()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("aborted trace should not exist: %v", err)
+	}
+}
+
+func TestOpenTraceReaderPlainPassthrough(t *testing.T) {
+	// A non-gzip stream shorter than the 2-byte magic must still work.
+	if err := ReadTrace(strings.NewReader("\n"), func(Event) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceScannerErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":     "{\"t\":0,\"ev\":\"arrive\"}\nnot json\n",
+		"unknown kind": "{\"t\":0,\"ev\":\"warp-drive\"}\n",
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := ReadTrace(strings.NewReader(input), func(Event) error { return nil })
+			if err == nil {
+				t.Error("malformed trace should error")
+			}
+		})
+	}
+}
+
+// TestGzipRoundTripViaStdlib cross-checks the writer against a plain
+// stdlib gzip reader, proving the file is ordinary gzip, not a private
+// framing.
+func TestGzipRoundTripViaStdlib(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl.gz")
+	writeTraceFile(t, path)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zr.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(zr); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(tracefileEvents) {
+		t.Errorf("decompressed %d lines, want %d", lines, len(tracefileEvents))
+	}
+}

@@ -121,6 +121,11 @@ type Config struct {
 	// Progress, when non-nil, receives throttled progress callbacks from
 	// the event loop.
 	Progress *obs.Progress
+	// Status, when non-nil, receives throttled live run-state samples
+	// (sim clock, queue depth, per-partition occupancy, event rate) from
+	// the event loop — the data behind the introspection server's
+	// /status endpoint. Nil costs nothing.
+	Status *obs.Status
 	// Check enables the scheduler invariant checker after every
 	// dispatched event: capacity conservation, queue/running exclusivity,
 	// monotone event times, and job-state conservation. A violation stops
@@ -351,9 +356,15 @@ func (s *Scheduler) Run(deadline sim.Time) (Result, error) {
 			}
 		}
 		s.cfg.Progress.Observe(t, deadline)
+		if s.cfg.Status.SimDue() {
+			s.publishStatus()
+		}
 	}
 	if s.err != nil {
 		return Result{}, s.err
+	}
+	if s.cfg.Status != nil {
+		s.publishStatus() // final sample: the run's end state
 	}
 	res := Result{
 		Completed:            s.done,
@@ -374,6 +385,47 @@ func (s *Scheduler) Run(deadline sim.Time) (Result, error) {
 	}
 	s.publishMetrics()
 	return res, nil
+}
+
+// publishStatus samples the scheduler's live state into cfg.Status for
+// the introspection server. It runs on the simulation goroutine (the
+// board is mutex-protected for concurrent HTTP readers) and only reads
+// state, so runs with and without a status board stay byte-identical.
+func (s *Scheduler) publishStatus() {
+	es := s.eng.Stats()
+	st := obs.SimStatus{
+		ClockDays:        float64(es.Now) / float64(sim.Day),
+		DeadlineDays:     float64(s.deadline) / float64(sim.Day),
+		QueueLen:         len(s.queue),
+		RunningJobs:      len(s.running),
+		CompletedJobs:    s.done,
+		TotalJobs:        s.total,
+		EventsDispatched: es.Steps,
+		EventsPending:    es.Pending,
+	}
+	if s.deadline > 0 {
+		st.Percent = 100 * float64(es.Now) / float64(s.deadline)
+	}
+	for _, p := range s.cfg.Machine.Partitions {
+		ps := obs.PartitionStatus{
+			Name: p.Name, Nodes: p.Nodes, Busy: p.InUse(), Offline: p.Offline(),
+		}
+		if avail := p.Nodes - ps.Offline; avail > 0 {
+			ps.Utilization = float64(ps.Busy) / float64(avail)
+		}
+		st.Partitions = append(st.Partitions, ps)
+	}
+	s.cfg.Status.SetSim(st)
+	// Mirror a few live gauges into the registry so a /metrics scrape
+	// mid-run shows movement (the full counters fold in when Run ends).
+	if r := s.cfg.Metrics; r != nil {
+		live := r.Scope("live")
+		live.Gauge("sim_days").Set(st.ClockDays)
+		live.Gauge("queue_len").Set(float64(st.QueueLen))
+		live.Gauge("running_jobs").Set(float64(st.RunningJobs))
+		live.Gauge("jobs_completed").Set(float64(st.CompletedJobs))
+		live.Gauge("events_dispatched").Set(float64(st.EventsDispatched))
+	}
 }
 
 // publishMetrics folds the run's accounting into the configured registry.

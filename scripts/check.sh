@@ -85,6 +85,57 @@ if "$tmpdir/zccexp" $expflags -seed 6 -resume "$tmpdir/sweep" >/dev/null 2>&1; t
 	exit 1
 fi
 
+echo "== live introspection endpoint smoke test"
+# Start a run with -http on an ephemeral port (lingering after the run
+# so the scrape can't race a fast finish), scrape /metrics and /status,
+# and check both are well-formed.
+"$tmpdir/zccsim" -days 28 -mira-nodes 2048 -zc-factor 1 -zc-duty 0.5 \
+	-seed 7 -http 127.0.0.1:0 -http-linger 60s \
+	>"$tmpdir/http.out" 2>"$tmpdir/http.err" &
+simpid=$!
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's#.*introspection server on http://##p' "$tmpdir/http.err" | head -n 1)
+	[ -n "$addr" ] && break
+	if ! kill -0 "$simpid" 2>/dev/null; then break; fi
+	sleep 0.05
+done
+if [ -z "$addr" ]; then
+	echo "zccsim -http never reported a bound address" >&2
+	cat "$tmpdir/http.err" >&2
+	exit 1
+fi
+curl -fsS "http://$addr/metrics" >"$tmpdir/metrics.prom"
+curl -fsS "http://$addr/status" >"$tmpdir/status.json"
+# Let the simulation finish (a TERM mid-run would pause it), then end the
+# linger early.
+for _ in $(seq 1 600); do
+	grep -q "run complete" "$tmpdir/http.err" && break
+	kill -0 "$simpid" 2>/dev/null || break
+	sleep 0.05
+done
+kill -TERM "$simpid" 2>/dev/null || true
+wait "$simpid"
+if ! grep -q '^# TYPE zccloud_' "$tmpdir/metrics.prom"; then
+	echo "/metrics is not Prometheus text exposition:" >&2
+	head "$tmpdir/metrics.prom" >&2
+	exit 1
+fi
+if ! grep -q '"clock_days"' "$tmpdir/status.json"; then
+	echo "/status has no live simulation sample:" >&2
+	cat "$tmpdir/status.json" >&2
+	exit 1
+fi
+# The -http run's stdout must match the default run's byte-for-byte:
+# introspection must never perturb the simulation.
+"$tmpdir/zccsim" -days 28 -mira-nodes 2048 -zc-factor 1 -zc-duty 0.5 \
+	-seed 7 >"$tmpdir/nohttp.out"
+if ! cmp -s "$tmpdir/http.out" "$tmpdir/nohttp.out"; then
+	echo "-http changed simulation output" >&2
+	diff "$tmpdir/nohttp.out" "$tmpdir/http.out" >&2 || true
+	exit 1
+fi
+
 echo "== nop-tracer zero-alloc benchmark"
 out=$(go test ./internal/obs -run '^$' -bench BenchmarkNopTracer -benchmem -benchtime 100x)
 echo "$out"

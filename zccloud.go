@@ -39,6 +39,7 @@ import (
 	"zccloud/internal/stranded"
 	"zccloud/internal/swf"
 	"zccloud/internal/top500"
+	"zccloud/internal/traceview"
 	"zccloud/internal/workload"
 )
 
@@ -521,3 +522,110 @@ var BuildInfo = obs.BuildInfo
 
 // EngineStats is the discrete-event engine's accounting snapshot.
 type EngineStats = sim.Stats
+
+// Run introspection: span-style wall-clock phase timers, a live status
+// board, and an HTTP server exposing /metrics (Prometheus text),
+// /status (JSON), and /debug/pprof — all observation-only, so runs with
+// and without introspection stay byte-identical.
+
+// SpanTimings accumulates named wall-clock phase timers; nil disables.
+type SpanTimings = obs.Timings
+
+// NewSpanTimings returns an empty span accumulator.
+var NewSpanTimings = obs.NewTimings
+
+// SpanSnapshot is one span name's aggregated timing.
+type SpanSnapshot = obs.SpanSnapshot
+
+// RunStatus is a live run-state board: the simulation loop and sweep
+// runner publish into it; the introspection server serves it.
+type RunStatus = obs.Status
+
+// NewRunStatus returns an empty status board.
+var NewRunStatus = obs.NewStatus
+
+// SimStatus is one live simulation sample (/status "sim" section).
+type SimStatus = obs.SimStatus
+
+// PartitionStatus is one partition's live occupancy.
+type PartitionStatus = obs.PartitionStatus
+
+// StatusSnapshot is the full /status document.
+type StatusSnapshot = obs.StatusSnapshot
+
+// SweepLiveStatus is the live sweep section of /status.
+type SweepLiveStatus = obs.SweepStatus
+
+// CellLiveStatus is one sweep cell's live state.
+type CellLiveStatus = obs.CellStatus
+
+// Introspection is the live HTTP server.
+type Introspection = obs.Introspection
+
+// StartIntrospection serves /metrics, /status, and /debug/pprof on addr.
+var StartIntrospection = obs.StartIntrospection
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format.
+var WritePrometheus = obs.WritePrometheus
+
+// SpanSummaryTable renders span timings as a result table.
+var SpanSummaryTable = experiments.SpanSummary
+
+// TraceFile is an atomically-written JSONL trace sink; a ".gz" path is
+// transparently compressed.
+type TraceFile = obs.TraceFile
+
+// CreateTraceFile starts an atomic trace write.
+var CreateTraceFile = obs.CreateTraceFile
+
+// OpenTraceReader wraps a trace stream, transparently decompressing
+// gzip input.
+var OpenTraceReader = obs.OpenTraceReader
+
+// TraceScanner streams TraceEvents out of a JSONL trace.
+type TraceScanner = obs.TraceScanner
+
+// NewTraceScanner reads trace records from an uncompressed stream.
+var NewTraceScanner = obs.NewTraceScanner
+
+// ReadTraceEvents streams every event of a (possibly gzipped) JSONL
+// trace through a callback.
+var ReadTraceEvents = obs.ReadTrace
+
+// Trace analysis (cmd/zcctrace): post-process JSONL traces into the
+// paper's time-resolved views.
+
+// TraceSummary is a whole-trace digest.
+type TraceSummary = traceview.Summary
+
+// SummarizeTrace digests a trace stream.
+var SummarizeTrace = traceview.Summarize
+
+// TraceSeries is a queue/utilization time series sampled from a trace.
+type TraceSeries = traceview.Series
+
+// TraceSeriesPoint is one sample of a TraceSeries.
+type TraceSeriesPoint = traceview.SeriesPoint
+
+// BuildTraceSeries samples a trace's reconstructed state every step.
+var BuildTraceSeries = traceview.BuildSeries
+
+// TraceWaits is the wait-time breakdown by size bin and on-time class.
+type TraceWaits = traceview.Waits
+
+// TraceWaitBin is one cut of the breakdown.
+type TraceWaitBin = traceview.WaitBin
+
+// BuildTraceWaits derives wait-time cuts from a trace.
+var BuildTraceWaits = traceview.BuildWaits
+
+// TraceJobTimeline returns every event of one job, in trace order.
+var TraceJobTimeline = traceview.JobTimeline
+
+// TraceDiffResult locates the first difference between two traces.
+type TraceDiffResult = traceview.DiffResult
+
+// DiffTraces compares two traces event-for-event and reports the first
+// divergence.
+var DiffTraces = traceview.Diff
