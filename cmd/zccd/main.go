@@ -1,0 +1,138 @@
+// Command zccd is the long-running zccloud simulation service: submit
+// simulation or experiment specs over HTTP, poll their status, cancel
+// them, and scrape service metrics.
+//
+//	zccd -addr 127.0.0.1:8421 -workers 4 -queue 32 -data /var/lib/zccd
+//
+//	curl -XPOST localhost:8421/v1/runs -d '{"days": 7, "zc_factor": 1}'
+//	curl localhost:8421/v1/runs/r-000001
+//	curl -XDELETE localhost:8421/v1/runs/r-000001
+//
+// Admission is bounded: a full queue sheds with 429 + Retry-After
+// rather than buffering without limit. SIGINT/SIGTERM drains the
+// service gracefully — admission stops (503), queued runs are
+// cancelled, in-flight runs get -drain-grace to finish before being
+// parked as resumable checkpoints under -data (zccsim -restore picks
+// them up), and the HTTP server shuts down with a deadline. A clean
+// drain exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zccloud/internal/obs"
+	"zccloud/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "zccd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable daemon body. ready (optional) receives the bound
+// address once the API is listening; stop (optional) triggers the same
+// path as SIGTERM.
+func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("zccd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8421", "HTTP listen address")
+		workers     = fs.Int("workers", 2, "concurrent run executors")
+		queue       = fs.Int("queue", 16, "admission queue depth; beyond it submissions are shed with 429")
+		runTimeout  = fs.Duration("run-deadline", 10*time.Minute, "per-run wall-clock deadline (specs may tighten it)")
+		drainGrace  = fs.Duration("drain-grace", 10*time.Second, "how long in-flight runs may keep running after a shutdown signal before being checkpointed")
+		httpTimeout = fs.Duration("http-shutdown", 5*time.Second, "deadline for the HTTP server to finish in-flight requests on shutdown")
+		dataDir     = fs.String("data", "", "directory for the run journal and drain checkpoints (empty = no persistence)")
+		quiet       = fs.Bool("quiet", false, "suppress operational log lines")
+		version     = fs.Bool("version", false, "print build information and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stderr, "zccd", obs.BuildInfo())
+		return nil
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stderr, "zccd: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		RunTimeout: *runTimeout,
+		DataDir:    *dataDir,
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logf("serving on http://%s (%d workers, queue %d)", ln.Addr(), *workers, *queue)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case sig := <-sigc:
+		logf("%s received; draining", sig)
+	case <-func() <-chan struct{} {
+		if stop != nil {
+			return stop
+		}
+		return make(chan struct{}) // never fires
+	}():
+		logf("stop requested; draining")
+	case err := <-serveErr:
+		return fmt.Errorf("http server: %w", err)
+	}
+
+	// Drain order matters: runs first — the API stays up so clients can
+	// watch their runs settle — then the HTTP server.
+	graceCtx, cancelGrace := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancelGrace()
+	drainErr := srv.Drain(graceCtx)
+
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), *httpTimeout)
+	defer cancelShut()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		httpSrv.Close()
+		if drainErr == nil {
+			drainErr = fmt.Errorf("http shutdown: %w", err)
+		}
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	logf("drained; exiting")
+	return nil
+}

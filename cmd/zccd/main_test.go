@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon body on an ephemeral port and returns its
+// base URL, a stop trigger, and the exit-error channel.
+func startDaemon(t *testing.T, extra ...string) (string, chan struct{}, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, extra...)
+	go func() { errc <- run(args, io.Discard, ready, stop) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, stop, errc
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil, nil
+}
+
+func TestDaemonServesAndDrainsCleanly(t *testing.T) {
+	url, stop, errc := startDaemon(t, "-workers", "2")
+
+	resp, err := http.Post(url+"/v1/runs", "application/json",
+		strings.NewReader(`{"days": 2, "mira_nodes": 4096}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var info struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(url + "/v1/runs/" + info.ID)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		json.Unmarshal(b, &info)
+		if info.State == "done" {
+			break
+		}
+		if info.State == "failed" || info.State == "cancelled" {
+			t.Fatalf("run ended %s: %s", info.State, b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run stuck in %s", info.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Trigger the SIGTERM path; the daemon must exit nil within the
+	// drain + shutdown budget.
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("drained daemon exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after stop")
+	}
+}
+
+func TestDaemonCheckpointsInFlightRunOnStop(t *testing.T) {
+	dir := t.TempDir()
+	url, stop, errc := startDaemon(t,
+		"-workers", "1", "-data", dir, "-drain-grace", "50ms")
+
+	resp, err := http.Post(url+"/v1/runs", "application/json",
+		strings.NewReader(`{"days": 365, "mira_nodes": 4096, "scale": 2}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var info struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatal(err)
+	}
+	// Let it get going, then stop mid-run.
+	deadline := time.Now().Add(10 * time.Second)
+	for info.State == "queued" && time.Now().Before(deadline) {
+		r, err := http.Get(url + "/v1/runs/" + info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		json.Unmarshal(b, &info)
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit")
+	}
+
+	// The journal exists, and if the run was still in flight at stop, a
+	// checkpoint snapshot was parked next to it.
+	if _, err := os.Stat(filepath.Join(dir, "runs.jsonl")); err != nil {
+		t.Fatalf("run journal missing: %v", err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*.snapshot.json"))
+	data, _ := os.ReadFile(filepath.Join(dir, "runs.jsonl"))
+	switch {
+	case strings.Contains(string(data), `"checkpointed"`):
+		if len(snaps) == 0 {
+			t.Fatal("journal says checkpointed but no snapshot file on disk")
+		}
+	case strings.Contains(string(data), `"done"`):
+		// finished before the drain — nothing to park
+	default:
+		t.Fatalf("run neither done nor checkpointed; journal:\n%s", data)
+	}
+}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -175,7 +176,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("starting introspection server: %w", err)
 		}
-		defer intro.Close()
+		// Graceful shutdown: let in-flight scrapes finish (bounded),
+		// then close.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := intro.Shutdown(ctx); err != nil {
+				fmt.Fprintf(stderr, "zccexp: introspection shutdown: %v\n", err)
+			}
+		}()
 		fmt.Fprintf(stderr, "zccexp: introspection server on http://%s\n", intro.Addr())
 	}
 	var traceFile *zccloud.TraceFile

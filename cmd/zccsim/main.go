@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -64,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		brownout    = fs.Float64("brownout", 0, "per-window brownout probability in [0,1]")
 		forecastErr = fs.Float64("forecast-err", 0, "window forecast-error standard deviation in hours")
 		retryLimit  = fs.Int("retry-limit", 0, "kill/requeue retries before a job is abandoned (0 = unlimited)")
+		backoff     = fs.Float64("backoff", 0, "base retry backoff in hours after a kill; doubles per retry (0 = requeue immediately)")
+		backoffJit  = fs.Bool("backoff-jitter", false, "full-jitter retry backoff: delay is a seeded uniform draw from (0, base*2^k]")
 
 		check   = fs.Bool("check", false, "validate scheduler invariants after every event")
 		snapOut = fs.String("snapshot", "", "write a resume snapshot to this file when the run pauses")
@@ -206,7 +209,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("starting introspection server: %w", err)
 		}
 		intro = in
-		defer intro.Close()
+		// Graceful shutdown: let in-flight scrapes finish (bounded),
+		// then close. Ctrl-C during -http-linger lands here too.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := intro.Shutdown(ctx); err != nil {
+				fmt.Fprintf(stderr, "zccsim: introspection shutdown: %v\n", err)
+			}
+		}()
 		fmt.Fprintf(stderr, "zccsim: introspection server on http://%s\n", intro.Addr())
 	}
 	var traceFile *zccloud.TraceFile
@@ -240,12 +251,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Fault injection: any fault flag arms the injector. Failures target
 	// the ZC partition when one exists, the base system otherwise.
 	var fc *zccloud.FaultConfig
-	if *mtbf > 0 || *brownout > 0 || *forecastErr > 0 || *retryLimit > 0 {
+	if *mtbf > 0 || *brownout > 0 || *forecastErr > 0 || *retryLimit > 0 || *backoff > 0 {
 		fc = &zccloud.FaultConfig{
 			Seed:          *faultSeed,
 			ForecastErrSD: zccloud.Time(*forecastErr) * zccloud.Hour,
 			BrownoutProb:  *brownout,
 			RetryLimit:    *retryLimit,
+			Backoff:       zccloud.Time(*backoff) * zccloud.Hour,
+			BackoffJitter: *backoffJit,
 		}
 		if fc.Seed == 0 {
 			fc.Seed = *seed + 1
@@ -336,6 +349,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if fc != nil {
 		fmt.Fprintf(stdout, "faults: %d node failures, %d brownouts, %d kills, %d abandoned\n",
 			m.NodeFailures, m.Brownouts, m.Killed, m.Abandoned)
+		if m.BackingOff > 0 {
+			fmt.Fprintf(stdout, "retry starvation: %d jobs still backing off at the horizon\n",
+				m.BackingOff)
+		}
 	}
 	fmt.Fprintln(stdout, "\nwait by job size:")
 	for _, b := range m.AvgWaitBySize {

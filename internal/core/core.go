@@ -11,6 +11,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -167,6 +169,10 @@ type Metrics struct {
 	Killed       int
 	NodeFailures int
 	Brownouts    int
+	// BackingOff counts jobs still waiting out a retry backoff when the
+	// run hit its deadline: starved by the backoff schedule, neither
+	// queued nor running, and included in Unfinished.
+	BackingOff int
 
 	// WorkloadCompleted is false when the system lacked the node-hour
 	// capacity to finish the trace by the deadline (the paper's "X").
@@ -248,15 +254,15 @@ func buildSched(cfg RunConfig, sys SystemConfig) (sched.Config, *cluster.Machine
 }
 
 // finishRun drives the scheduler to the deadline and turns the outcome
-// into Metrics, converting an interruption into an *Interrupted error
-// carrying the snapshot.
-func finishRun(s *sched.Scheduler, deadline sim.Time, machine *cluster.Machine,
-	jobs []*job.Job, obsOpts obs.Options) (*Metrics, error) {
+// into Metrics, converting an interruption (Obs.Interrupt, StopAt, or
+// ctx cancellation) into an *Interrupted error carrying the snapshot.
+func finishRun(ctx context.Context, s *sched.Scheduler, deadline sim.Time,
+	machine *cluster.Machine, jobs []*job.Job, obsOpts obs.Options) (*Metrics, error) {
 	obsOpts.Status.SetPhase("simulate")
 	span := obsOpts.Timings.Start("run.simulate")
-	res, err := s.Run(deadline)
+	res, err := s.RunContext(ctx, deadline)
 	span.Stop()
-	if err == sched.ErrInterrupted {
+	if errors.Is(err, sched.ErrInterrupted) {
 		snap, serr := s.Snapshot()
 		if serr != nil {
 			return nil, serr
@@ -275,6 +281,14 @@ func finishRun(s *sched.Scheduler, deadline sim.Time, machine *cluster.Machine,
 // paused (Obs.Interrupt or StopAt) the error is an *Interrupted carrying
 // a snapshot for Resume.
 func Run(cfg RunConfig) (*Metrics, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: cancelling ctx pauses the
+// simulation at the next event-stride boundary exactly as Obs.Interrupt
+// does, returning an *Interrupted that carries a resume snapshot. An
+// uncancellable context costs the hot loop nothing.
+func RunContext(ctx context.Context, cfg RunConfig) (*Metrics, error) {
 	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
 		return nil, fmt.Errorf("core: empty trace")
 	}
@@ -305,7 +319,7 @@ func Run(cfg RunConfig) (*Metrics, error) {
 		return nil, err
 	}
 	span.Stop()
-	return finishRun(s, deadline, machine, cfg.Trace.Jobs, cfg.Obs)
+	return finishRun(ctx, s, deadline, machine, cfg.Trace.Jobs, cfg.Obs)
 }
 
 // Resume continues a run from a snapshot taken by an interrupted Run
@@ -315,6 +329,12 @@ func Run(cfg RunConfig) (*Metrics, error) {
 // the returned Metrics are computed from it. The continued run is
 // byte-identical to one that was never interrupted.
 func Resume(cfg RunConfig, snap *sched.Snapshot) (*Metrics, error) {
+	return ResumeContext(context.Background(), cfg, snap)
+}
+
+// ResumeContext is Resume under a context; a resumed run can itself be
+// cancelled and re-snapshotted any number of times.
+func ResumeContext(ctx context.Context, cfg RunConfig, snap *sched.Snapshot) (*Metrics, error) {
 	sys := cfg.System.withDefaults()
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -331,7 +351,7 @@ func Resume(cfg RunConfig, snap *sched.Snapshot) (*Metrics, error) {
 		return nil, err
 	}
 	span.Stop()
-	return finishRun(s, snap.Deadline, machine, s.Jobs(), cfg.Obs)
+	return finishRun(ctx, s, snap.Deadline, machine, s.Jobs(), cfg.Obs)
 }
 
 // collectMetrics extracts everything the paper's figures read off one
@@ -353,6 +373,7 @@ func collectMetrics(res sched.Result, machine *cluster.Machine, jobs []*job.Job,
 		Unfinished:           res.Unfinished,
 		Unrunnable:           res.Unrunnable,
 		Abandoned:            res.Abandoned,
+		BackingOff:           res.BackingOff,
 		Killed:               res.Killed,
 		NodeFailures:         res.NodeFailures,
 		Brownouts:            res.Brownouts,

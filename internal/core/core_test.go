@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"zccloud/internal/availability"
 	"zccloud/internal/job"
+	"zccloud/internal/obs"
 	"zccloud/internal/sim"
 	"zccloud/internal/workload"
 )
@@ -222,5 +226,59 @@ func TestNonOracleRuns(t *testing.T) {
 	}
 	if m.Completed == 0 {
 		t.Error("non-oracle run completed nothing")
+	}
+}
+
+// ctxCancelTracer cancels a context after n traced events: deterministic
+// mid-run cancellation driven by the simulation itself.
+type ctxCancelTracer struct {
+	after  int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *ctxCancelTracer) Trace(obs.Event) {
+	c.seen++
+	if c.seen == c.after {
+		c.cancel()
+	}
+}
+
+// TestRunContextCancelAndResume: a context-cancelled run returns
+// *Interrupted with a usable snapshot, and resuming it yields the same
+// metrics as a run that was never cancelled.
+func TestRunContextCancelAndResume(t *testing.T) {
+	tr := smallTrace(t, 3, 1)
+	want, err := Run(RunConfig{Trace: tr.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = RunContext(ctx, RunConfig{
+		Trace: tr.Clone(),
+		Obs:   obs.Options{Tracer: &ctxCancelTracer{after: 500, cancel: cancel}},
+	})
+	var intr *Interrupted
+	if !errors.As(err, &intr) {
+		t.Fatalf("cancelled run err = %v, want *Interrupted", err)
+	}
+	if intr.Snapshot == nil {
+		t.Fatal("interrupted run carried no snapshot")
+	}
+	got, err := Resume(RunConfig{Trace: tr.Clone()}, intr.Snapshot)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed metrics differ:\n got %+v\nwant %+v", got, want)
+	}
+
+	// A context dead before the run starts interrupts before any event.
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	if _, err := RunContext(dead, RunConfig{Trace: tr.Clone()}); !errors.As(err, &intr) {
+		t.Fatalf("dead-context run err = %v, want *Interrupted", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -94,6 +95,12 @@ type SweepConfig struct {
 	// between cells immediately, mid-cell at the simulation's next event
 	// boundary. RunSweep then returns ErrSweepInterrupted.
 	Interrupt func() bool
+	// Context, when non-nil, cancels the sweep exactly as Interrupt does:
+	// between cells immediately, mid-cell at the simulation's next event
+	// boundary (the cancellation is polled by the cell's hot loop through
+	// the same cooperative hook). RunSweep returns ErrSweepInterrupted and
+	// the journal stays resumable.
+	Context context.Context
 	// OnCell, when non-nil, is called after each cell settles: executed
 	// cells right after their record is journaled, and cells satisfied
 	// from a previous journal with skipped=true. Useful for progress
@@ -222,6 +229,9 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		if cfg.Interrupt != nil && cfg.Interrupt() {
 			return res, ErrSweepInterrupted
 		}
+		if cfg.Context != nil && cfg.Context.Err() != nil {
+			return res, ErrSweepInterrupted
+		}
 		if rec, ok := prior[e.ID]; ok && rec.Status == CellOK {
 			res.Skipped++
 			res.Tables = append(res.Tables, rec.Table)
@@ -278,13 +288,17 @@ type sweepRunner struct {
 }
 
 // interrupted is the interrupt hook installed on the Lab: it fires for
-// the cell watchdog, the sweep-level Interrupt, and any caller-supplied
-// obs interrupt, in that order of likelihood.
+// the cell watchdog, the sweep-level Interrupt, sweep Context
+// cancellation, and any caller-supplied obs interrupt, in that order of
+// likelihood.
 func (r *sweepRunner) interrupted() bool {
 	if r.watchdog.Load() {
 		return true
 	}
 	if r.cfg.Interrupt != nil && r.cfg.Interrupt() {
+		return true
+	}
+	if r.cfg.Context != nil && r.cfg.Context.Err() != nil {
 		return true
 	}
 	return r.cfg.Obs.Interrupt != nil && r.cfg.Obs.Interrupt()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -340,5 +341,58 @@ func TestSweepAllExperimentsTiny(t *testing.T) {
 	}
 	if v := reg.Snapshot().Counter("sched.invariant_violations"); v != 0 {
 		t.Errorf("invariant violations during sweep: %d", v)
+	}
+}
+
+// TestSweepContextCancelBetweenCells: SweepConfig.Context is the
+// context-shaped twin of Interrupt — a cancellation landing while one
+// cell runs stops the sweep at the next cell boundary, journaling the
+// finished cell so a resume skips it.
+func TestSweepContextCancelBetweenCells(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	first := fakeExp("first", func(*Lab) (*Table, error) {
+		cancel() // cancellation arrives while the first cell runs
+		tb := &Table{ID: "first", Title: "first", Columns: []string{"v"}}
+		tb.AddRow(1)
+		return tb, nil
+	})
+	cfg := SweepConfig{
+		Dir: dir, Options: Quick(1),
+		Experiments: []Experiment{first, okExp("second")},
+		Context:     ctx,
+	}
+	res, err := RunSweep(cfg)
+	if !errors.Is(err, ErrSweepInterrupted) {
+		t.Fatalf("err = %v, want ErrSweepInterrupted", err)
+	}
+	if res.Ran != 1 || res.Records["first"].Status != CellOK {
+		t.Fatalf("first cell not journaled before stop: %+v", res)
+	}
+
+	cfg.Context = nil
+	cfg.Resume = true
+	res, err = RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 1 || res.Ran != 1 || len(res.Failed) != 0 {
+		t.Fatalf("resume after context cancel: %+v", res)
+	}
+
+	// A context dead before the sweep starts runs nothing.
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	res, err = RunSweep(SweepConfig{
+		Dir: t.TempDir(), Options: Quick(1),
+		Experiments: []Experiment{okExp("only")},
+		Context:     dead,
+	})
+	if !errors.Is(err, ErrSweepInterrupted) {
+		t.Fatalf("dead-context sweep err = %v", err)
+	}
+	if res.Ran != 0 {
+		t.Fatalf("dead-context sweep ran %d cells, want 0", res.Ran)
 	}
 }

@@ -121,6 +121,14 @@ type Config struct {
 	// before re-entering the queue: the k-th kill delays requeue by
 	// Backoff × 2^(k−1). Zero requeues immediately.
 	Backoff sim.Duration
+	// BackoffJitter selects full-jitter backoff: the k-th kill delays
+	// requeue by a uniform draw from (0, Backoff × 2^(k−1)] instead of
+	// the deterministic maximum, decorrelating the retry storms that
+	// follow a window end. Each delay is a pure function of (Seed, job,
+	// kill count) — drawn from its own RNG stream — so same-seed runs
+	// stay byte-identical and snapshot/resume replays the same delays.
+	// False (the default) keeps the exact pre-jitter schedule.
+	BackoffJitter bool
 }
 
 func (c Config) withDefaults() Config {
@@ -207,6 +215,7 @@ const (
 	saltOutages  = 0x6f757467 // "outg"
 	saltWindows  = 0x77696e64 // "wind"
 	saltBrownout = 0x62726f77 // "brow"
+	saltRetry    = 0x72747279 // "rtry"
 )
 
 // stream returns a seeded RNG for one (partition, purpose) pair.
@@ -321,8 +330,9 @@ func (in *Injector) Fates(part string, nodes int, ws []availability.Window) []Wi
 	return fates
 }
 
-// RetryDelay returns the backoff before the k-th requeue of a job
-// (k = 1 for the first kill). Zero when backoff is disabled.
+// RetryDelay returns the deterministic (no-jitter) backoff before the
+// k-th requeue of a job (k = 1 for the first kill). Zero when backoff is
+// disabled.
 func (in *Injector) RetryDelay(kills int) sim.Duration {
 	if in.cfg.Backoff <= 0 || kills <= 0 {
 		return 0
@@ -332,6 +342,26 @@ func (in *Injector) RetryDelay(kills int) sim.Duration {
 		exp = 20
 	}
 	return in.cfg.Backoff * sim.Duration(int64(1)<<exp)
+}
+
+// RetryDelayFor returns the backoff before the k-th requeue of one job.
+// Without BackoffJitter it is exactly RetryDelay(kills), preserving the
+// pre-jitter schedule byte-for-byte. With BackoffJitter it applies full
+// jitter — uniform in (0, RetryDelay(kills)] — drawn from an RNG stream
+// derived from (Seed, jobID, kills), so the delay is a pure function of
+// the run configuration: same-seed runs agree, kill order never shifts
+// the draws, and a resumed snapshot replays identical delays.
+func (in *Injector) RetryDelayFor(jobID, kills int) sim.Duration {
+	max := in.RetryDelay(kills)
+	if max <= 0 || !in.cfg.BackoffJitter {
+		return max
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", jobID, kills)
+	rng := rand.New(rand.NewSource(in.cfg.Seed ^ saltRetry ^ int64(h.Sum64())))
+	// (0, max]: a zero delay would skip the backoff event entirely and
+	// change the event schedule's shape, not just its timing.
+	return max * sim.Duration(1-rng.Float64())
 }
 
 // Abandon reports whether a job that has now been killed `kills` times

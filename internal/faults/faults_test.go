@@ -241,6 +241,77 @@ func TestRetryDelayAndAbandon(t *testing.T) {
 	}
 }
 
+// TestRetryDelayForNoJitterIdentical: with BackoffJitter off (the
+// default), RetryDelayFor must be exactly the pre-jitter schedule for
+// every (job, kills) pair — the old code path, byte for byte.
+func TestRetryDelayForNoJitterIdentical(t *testing.T) {
+	in, err := New(Config{Seed: 9, Backoff: sim.Minute, RetryLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job := 0; job < 50; job++ {
+		for kills := 0; kills <= 6; kills++ {
+			if got, want := in.RetryDelayFor(job, kills), in.RetryDelay(kills); got != want {
+				t.Fatalf("RetryDelayFor(%d, %d) = %v, want RetryDelay = %v",
+					job, kills, got, want)
+			}
+		}
+	}
+}
+
+func TestRetryDelayForJitter(t *testing.T) {
+	cfg := Config{Seed: 9, Backoff: sim.Minute, BackoffJitter: true}
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounds: every draw is in (0, RetryDelay(kills)] — zero would erase
+	// the backoff event and change the schedule's shape.
+	for job := 0; job < 200; job++ {
+		for kills := 1; kills <= 5; kills++ {
+			d := in.RetryDelayFor(job, kills)
+			if max := in.RetryDelay(kills); d <= 0 || d > max {
+				t.Fatalf("RetryDelayFor(%d, %d) = %v outside (0, %v]", job, kills, d, max)
+			}
+		}
+	}
+	// Determinism: a fresh injector with the same config replays the same
+	// delays in any query order.
+	in2, _ := New(cfg)
+	for job := 199; job >= 0; job-- {
+		for kills := 5; kills >= 1; kills-- {
+			if in.RetryDelayFor(job, kills) != in2.RetryDelayFor(job, kills) {
+				t.Fatalf("jittered delay not reproducible for job %d kill %d", job, kills)
+			}
+		}
+	}
+	// Decorrelation: different jobs (and different kill counts) must not
+	// collapse onto one delay, or the retry storm survives the jitter.
+	seen := map[sim.Duration]bool{}
+	for job := 0; job < 100; job++ {
+		seen[in.RetryDelayFor(job, 1)] = true
+	}
+	if len(seen) < 90 {
+		t.Errorf("only %d distinct delays across 100 jobs; jitter too coarse", len(seen))
+	}
+	// A different seed draws a different schedule.
+	other, _ := New(Config{Seed: 10, Backoff: sim.Minute, BackoffJitter: true})
+	same := 0
+	for job := 0; job < 100; job++ {
+		if in.RetryDelayFor(job, 1) == other.RetryDelayFor(job, 1) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("%d/100 delays identical across seeds", same)
+	}
+	// Jitter without a base backoff stays zero.
+	nobase, _ := New(Config{Seed: 9, BackoffJitter: true})
+	if d := nobase.RetryDelayFor(3, 2); d != 0 {
+		t.Errorf("jitter with no base backoff = %v, want 0", d)
+	}
+}
+
 func TestYoungDaly(t *testing.T) {
 	got := YoungDaly(2*sim.Minute, 6*sim.Hour)
 	want := sim.Duration(math.Sqrt(2 * float64(2*sim.Minute) * float64(6*sim.Hour)))

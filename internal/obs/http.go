@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -156,5 +157,18 @@ func StartIntrospection(addr string, reg *Registry, status *Status, timings *Tim
 // Addr returns the bound address ("127.0.0.1:43125").
 func (i *Introspection) Addr() string { return i.ln.Addr().String() }
 
-// Close stops the server immediately.
+// Close stops the server immediately, dropping in-flight requests.
 func (i *Introspection) Close() error { return i.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes at once (no
+// new scrapes), in-flight requests get until the context's deadline to
+// finish, and whatever remains is then dropped. It always leaves the
+// server fully stopped; the error only reports whether requests were
+// cut off (context.DeadlineExceeded) rather than completed.
+func (i *Introspection) Shutdown(ctx context.Context) error {
+	if err := i.srv.Shutdown(ctx); err != nil {
+		i.srv.Close()
+		return err
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -206,6 +207,38 @@ func TestIntrospectionBadAddr(t *testing.T) {
 	if _, err := StartIntrospection("256.0.0.1:99999", nil, nil, nil); err == nil {
 		t.Error("bad address should fail to listen")
 	}
+}
+
+// TestIntrospectionShutdownUnbinds: the graceful path must release the
+// port just like Close, and further scrapes must be refused.
+func TestIntrospectionShutdownUnbinds(t *testing.T) {
+	in, err := StartIntrospection("127.0.0.1:0", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := in.Addr()
+	if code, _, _ := getBody(t, "http://"+addr+"/metrics"); code != http.StatusOK {
+		t.Fatalf("pre-shutdown scrape status %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := in.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("scrape succeeded after Shutdown")
+	}
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		in2, err := StartIntrospection(addr, nil, nil, nil)
+		if err == nil {
+			in2.Close()
+			return
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("port %s still bound after Shutdown: %v", addr, lastErr)
 }
 
 func TestIntrospectionCloseUnbinds(t *testing.T) {

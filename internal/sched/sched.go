@@ -24,6 +24,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -178,6 +179,12 @@ type Result struct {
 	// Abandoned counts jobs that exhausted their retry budget after
 	// repeated kills (fault-injection runs only); terminal, not Unfinished.
 	Abandoned int
+	// BackingOff counts jobs still waiting out a retry backoff delay when
+	// the run hit its deadline — neither queued nor running, and counted
+	// in Unfinished. Nonzero means the backoff schedule starved jobs past
+	// the horizon; the summary surfaces it instead of silently dropping
+	// them.
+	BackingOff int
 	// NodeFailures and Brownouts count injected fault events (zero
 	// without a fault injector).
 	NodeFailures int
@@ -305,6 +312,12 @@ func (s *Scheduler) Submit(j *job.Job) error {
 // (in a fresh process) to continue the run byte-identically.
 var ErrInterrupted = errors.New("sched: run interrupted")
 
+// cancelStride is how many events RunContext dispatches between context
+// polls. A context poll is a channel select; doing one per event would
+// slow the hot loop measurably, so cancellation latency is bounded by
+// one stride of events (microseconds of wall clock) instead.
+const cancelStride = sim.DefaultCancelStride
+
 // Run executes the simulation until all jobs finish or deadline passes,
 // and returns the result. Deadline bounds runs whose workload exceeds
 // capacity (the paper's "X" configurations). A non-nil error means the
@@ -313,6 +326,17 @@ var ErrInterrupted = errors.New("sched: run interrupted")
 // meaningful — except ErrInterrupted, which leaves the scheduler
 // consistent and snapshottable.
 func (s *Scheduler) Run(deadline sim.Time) (Result, error) {
+	return s.RunContext(context.Background(), deadline)
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is cancelled
+// the run stops at an event boundary within one cancelStride of events
+// and returns ErrInterrupted, exactly as Config.Interrupt does — the
+// scheduler is left consistent and snapshottable, and a Resume from that
+// snapshot continues byte-identically. A context that can never be
+// cancelled (ctx.Done() == nil, e.g. context.Background()) is never
+// polled, so Run's hot loop pays nothing for the plumbing.
+func (s *Scheduler) RunContext(ctx context.Context, deadline sim.Time) (Result, error) {
 	if s.restored {
 		// A restored run already materialized its availability events up
 		// to the snapshot's deadline; a different one would silently
@@ -331,7 +355,20 @@ func (s *Scheduler) Run(deadline sim.Time) (Result, error) {
 			s.deadline, deadline)
 	}
 	s.deadline = deadline
+	done := ctx.Done()
+	untilPoll := 0 // poll ctx immediately, then every cancelStride events
 	for s.err == nil {
+		if done != nil {
+			if untilPoll == 0 {
+				select {
+				case <-done:
+					return Result{}, ErrInterrupted
+				default:
+				}
+				untilPoll = cancelStride
+			}
+			untilPoll--
+		}
 		t, ok := s.eng.NextTime()
 		if !ok || t > deadline {
 			break
@@ -378,6 +415,7 @@ func (s *Scheduler) Run(deadline sim.Time) (Result, error) {
 		Killed:               s.killed,
 		Requeued:             s.requeued,
 		Abandoned:            s.abandoned,
+		BackingOff:           s.backoff,
 		NodeFailures:         s.nodeFailures,
 		Brownouts:            s.brownouts,
 		Pinned:               s.pinned,
@@ -452,6 +490,10 @@ func (s *Scheduler) publishMetrics() {
 		sc.Counter("jobs_abandoned").Add(int64(s.abandoned))
 		sc.Counter("node_failures").Add(int64(s.nodeFailures))
 		sc.Counter("brownouts").Add(int64(s.brownouts))
+		// Jobs still waiting out a retry backoff when the run ended: they
+		// are neither queued nor running, so without this line they would
+		// vanish into Unfinished with no trace of why.
+		sc.Gauge("jobs_backing_off_at_end").SetMax(float64(s.backoff))
 	}
 	st := s.eng.Stats()
 	se := r.Scope("sim")
@@ -964,7 +1006,7 @@ func (s *Scheduler) kill(rj *runningJob, now sim.Time) {
 		Nodes: j.Nodes, Detail: float64(j.Requeues)})
 	var delay sim.Duration
 	if inj != nil {
-		delay = inj.RetryDelay(j.Requeues)
+		delay = inj.RetryDelayFor(j.ID, j.Requeues)
 		if inj.Config().Policy == faults.RequeueBack {
 			if s.queueAt == nil {
 				s.queueAt = make(map[int]sim.Time)

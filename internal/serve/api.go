@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"zccloud/internal/obs"
+)
+
+// maxSpecBytes bounds a submitted spec body; anything larger is
+// malformed by definition.
+const maxSpecBytes = 1 << 20
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/runs       submit a Spec        → 202 RunInfo
+//	GET    /v1/runs       list runs            → 200 [RunInfo]
+//	GET    /v1/runs/{id}  one run's status     → 200 RunInfo
+//	DELETE /v1/runs/{id}  cancel a run         → 202 RunInfo
+//	GET    /healthz       liveness             → 200, or 503 draining
+//	GET    /metrics       Prometheus text
+//
+// Submit maps admission outcomes to statuses: malformed or invalid
+// specs → 400, queue full → 429 with Retry-After, draining → 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed spec: " + err.Error()})
+		return
+	}
+	info, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// The queue holds whole simulations; a slot opening is a matter
+		// of seconds, not milliseconds.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, info)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: ErrNotFound.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, apiError{Error: ErrNotFound.Error()})
+	case errors.Is(err, ErrTerminal):
+		writeJSON(w, http.StatusConflict, info)
+	default:
+		writeJSON(w, http.StatusAccepted, info)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "time": time.Now().UTC().Format(time.RFC3339)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.scope.Gauge("journal_dropped_records").SetMax(float64(s.JournalDropped()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, s.reg.Snapshot())
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by guarded operations while the breaker is
+// cooling down after repeated failures.
+var ErrBreakerOpen = errors.New("serve: circuit breaker open")
+
+// Breaker is a consecutive-failure circuit breaker for a flaky
+// dependency (the run journal's disk, say). After threshold consecutive
+// failures it opens: Allow reports false and callers should fail fast
+// instead of piling retries onto a sick dependency. After the cooldown
+// it half-opens — the next caller is let through as a probe; a success
+// closes the breaker, another failure re-opens it for a full cooldown.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	fails     int
+	openUntil time.Time
+	trips     int64
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures (default 5) for cooldown (default 5s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may proceed: true while closed, false
+// while open, and true again once the cooldown has elapsed (half-open,
+// admitting a probe).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.now().Before(b.openUntil)
+}
+
+// Record feeds a call's outcome back: nil closes the breaker and resets
+// the failure count; an error counts toward (or re-arms) the trip.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.fails = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		b.trips++
+	}
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// RetryPolicy retries an operation with full-jitter exponential
+// backoff: before try k the caller sleeps uniform(0, min(Base·2^(k-1),
+// Max)]. Full jitter desynchronizes competing retriers, so a shared
+// dependency that hiccups is not hammered by a synchronized thundering
+// herd the moment it recovers.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (default 3).
+	Attempts int
+	// Base caps the first backoff draw (default 10ms).
+	Base time.Duration
+	// Max caps every backoff draw (default 1s).
+	Max time.Duration
+	// Sleep and Rand are injection points for tests; nil means
+	// time.Sleep and the global math/rand source.
+	Sleep func(time.Duration)
+	Rand  func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	return p
+}
+
+// Do runs fn until it succeeds or the attempts are exhausted, sleeping
+// a jittered backoff between tries. It returns fn's last error.
+func (p RetryPolicy) Do(fn func() error) error {
+	p = p.withDefaults()
+	var err error
+	for i := 0; i < p.Attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if i == p.Attempts-1 {
+			break
+		}
+		ceil := p.Base << uint(i)
+		if ceil > p.Max || ceil <= 0 {
+			ceil = p.Max
+		}
+		p.Sleep(time.Duration(p.Rand() * float64(ceil)))
+	}
+	return err
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// journalRecord is one runs.jsonl line: a run's state transition with
+// wall-clock timestamp. The journal is an audit trail — replaying it
+// yields each run's final state (last line wins), which is how the soak
+// harness verifies every accepted run reached a terminal state across a
+// daemon restart.
+type journalRecord struct {
+	Time       time.Time `json:"time"`
+	Run        string    `json:"run"`
+	Name       string    `json:"name,omitempty"`
+	State      State     `json:"state"`
+	Error      string    `json:"error,omitempty"`
+	Checkpoint string    `json:"checkpoint,omitempty"`
+}
+
+// appender is the journal's write surface; *persist.Journal satisfies
+// it, and tests substitute flaky fakes to exercise the breaker.
+type appender interface {
+	Append(rec any) error
+}
+
+// journalSink writes journal records through a retry policy and a
+// circuit breaker, so a transiently sick disk neither loses every
+// record nor stalls the run workers behind unbounded retries. Appends
+// are best-effort: after the retries are exhausted (or while the
+// breaker is open) the record is counted as dropped and the server
+// carries on — the journal is an audit trail, not the source of truth
+// for in-memory state.
+type journalSink struct {
+	mu      sync.Mutex
+	app     appender
+	br      *Breaker
+	retry   RetryPolicy
+	dropped int64
+}
+
+func newJournalSink(app appender) *journalSink {
+	return &journalSink{
+		app:   app,
+		br:    NewBreaker(3, 2*time.Second),
+		retry: RetryPolicy{Attempts: 3, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond},
+	}
+}
+
+// append writes one record, retrying transient failures with jittered
+// backoff; it returns the final error for accounting but callers treat
+// it as advisory.
+func (s *journalSink) append(rec journalRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.app == nil {
+		return nil
+	}
+	if !s.br.Allow() {
+		s.dropped++
+		return ErrBreakerOpen
+	}
+	err := s.retry.Do(func() error { return s.app.Append(rec) })
+	s.br.Record(err)
+	if err != nil {
+		s.dropped++
+	}
+	return err
+}
+
+// droppedCount returns how many records were lost to sink failures.
+func (s *journalSink) droppedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

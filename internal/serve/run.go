@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"zccloud/internal/core"
+	"zccloud/internal/experiments"
+)
+
+// State is a run's position in its lifecycle. Transitions only move
+// forward: queued → running → one of the terminal states, or queued →
+// cancelled directly (a queued run cancelled before a worker picks it
+// up never runs at all).
+type State string
+
+// Run states. Every accepted run ends in exactly one terminal state —
+// the soak harness asserts this survives panics, cancels, and drains.
+const (
+	StateQueued       State = "queued"
+	StateRunning      State = "running"
+	StateDone         State = "done"         // finished; Metrics or Table populated
+	StateFailed       State = "failed"       // error, panic, or deadline
+	StateCancelled    State = "cancelled"    // client cancel, or shed at drain
+	StateCheckpointed State = "checkpointed" // drained mid-run; snapshot on disk
+)
+
+// Terminal reports whether a run in this state will never change again.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateCheckpointed:
+		return true
+	}
+	return false
+}
+
+// RunInfo is the externally visible view of a run, returned by the API.
+type RunInfo struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Checkpoint is the snapshot file a drained run was parked in;
+	// resume it with `zccsim -restore` under the same configuration.
+	Checkpoint string     `json:"checkpoint,omitempty"`
+	Submitted  time.Time  `json:"submitted"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+
+	// Exactly one of these is set on a done run: Metrics for a
+	// simulation spec, Table for an experiment spec.
+	Metrics *core.Metrics      `json:"metrics,omitempty"`
+	Table   *experiments.Table `json:"table,omitempty"`
+}
+
+// run is the server-side record behind a RunInfo.
+type run struct {
+	id   string
+	spec Spec
+
+	mu         sync.Mutex
+	state      State
+	err        string
+	checkpoint string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	metrics    *core.Metrics
+	table      *experiments.Table
+	// cancel interrupts the run's context with a cause that tells the
+	// worker whether to checkpoint (drain) or discard (client cancel);
+	// nil until the run starts.
+	cancel context.CancelCauseFunc
+}
+
+// info snapshots the run for the API.
+func (r *run) info() RunInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ri := RunInfo{
+		ID:         r.id,
+		Name:       r.spec.Name,
+		State:      r.state,
+		Error:      r.err,
+		Checkpoint: r.checkpoint,
+		Submitted:  r.submitted,
+		Metrics:    r.metrics,
+		Table:      r.table,
+	}
+	if !r.started.IsZero() {
+		t := r.started
+		ri.Started = &t
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		ri.Finished = &t
+	}
+	return ri
+}
+
+// start transitions queued → running and installs the cancel hook. It
+// reports false when the run was already cancelled while queued — the
+// worker must then skip it without executing anything.
+func (r *run) start(now time.Time, cancel context.CancelCauseFunc) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateQueued {
+		return false
+	}
+	r.state = StateRunning
+	r.started = now
+	r.cancel = cancel
+	return true
+}
+
+// interrupt cancels a running run with the given cause; a no-op in any
+// other state. It reports whether a cancellation was delivered.
+func (r *run) interrupt(cause error) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateRunning || r.cancel == nil {
+		return false
+	}
+	r.cancel(cause)
+	return true
+}
+
+// state reads need the lock too; tiny helper.
+func (r *run) currentState() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}

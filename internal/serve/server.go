@@ -1,0 +1,507 @@
+// Package serve implements the zccd simulation service: an HTTP API
+// over a bounded admission queue and a fixed worker pool that executes
+// simulation and experiment specs (internal/core, internal/experiments)
+// with per-run deadlines, panic isolation, cancellation, and a graceful
+// drain that checkpoints in-flight simulations through the
+// snapshot/restore path.
+//
+// Design rules, in order:
+//
+//   - Admission is load-shed, never queued unboundedly: a full queue
+//     rejects immediately (HTTP 429 + Retry-After) so the caller — not
+//     this process's memory — holds the backlog.
+//   - Every accepted run reaches exactly one terminal state (done,
+//     failed, cancelled, checkpointed), no matter what: a panicking run
+//     is journaled as failed and its worker survives; a drained run is
+//     parked as a resumable snapshot.
+//   - The run journal is an audit trail behind a circuit breaker, not a
+//     lock on progress: a sick disk drops journal lines (counted), it
+//     does not stall simulations.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zccloud/internal/core"
+	"zccloud/internal/experiments"
+	"zccloud/internal/obs"
+	"zccloud/internal/persist"
+	"zccloud/internal/sched"
+)
+
+// Admission and lookup errors; the HTTP layer maps these to statuses.
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrDraining  = errors.New("serve: server is draining")
+	ErrNotFound  = errors.New("serve: no such run")
+	ErrTerminal  = errors.New("serve: run already in a terminal state")
+)
+
+// Cancellation causes: the worker reads the context cause to decide
+// whether an interrupted run is discarded, failed, or checkpointed.
+var (
+	errCancelled       = errors.New("cancelled by client")
+	errDrainCheckpoint = errors.New("server draining")
+	errRunDeadline     = errors.New("run deadline exceeded")
+)
+
+// snapshotFileKind matches the envelope kind zccsim writes, so a
+// checkpoint parked by a draining zccd resumes with `zccsim -restore`.
+const snapshotFileKind = "zccloud-snapshot"
+
+// drainHardWait bounds the post-interrupt wait for workers during
+// drain. Interrupted schedulers stop within one event stride and a
+// snapshot save is milliseconds, so hitting this means a worker wedged.
+const drainHardWait = 30 * time.Second
+
+// Config sizes the server. The zero value is usable: 2 workers, a
+// 16-deep queue, 10-minute run deadline, no persistence.
+type Config struct {
+	// Workers is the number of concurrent run executors.
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// shed with ErrQueueFull.
+	QueueDepth int
+	// RunTimeout is the default per-run wall-clock deadline; a spec's
+	// timeout_seconds may tighten but never exceed it. Zero means ten
+	// minutes; negative means no deadline.
+	RunTimeout time.Duration
+	// DataDir, when set, holds the runs.jsonl journal and drain
+	// checkpoints. Empty disables persistence (checkpoint-less drain
+	// cancels in-flight runs instead).
+	DataDir string
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+	// Metrics receives server metrics under the "serve" scope; nil
+	// creates a private registry (see Registry).
+	Metrics *obs.Registry
+}
+
+// Server owns the queue, the worker pool, and the run table.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	scope obs.Scope
+
+	// admitMu serializes Submit's queue send against Drain's queue
+	// close: Drain takes the write side, so no sender can be mid-send
+	// when the channel closes.
+	admitMu  sync.RWMutex
+	queue    chan *run
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	order  []string
+	nextID int
+
+	wg      sync.WaitGroup
+	journal *journalSink
+	jfile   *persist.Journal
+
+	drainOnce sync.Once
+	drainErr  error
+
+	// execHook, when set (tests only), replaces the simulation body of
+	// execute so tests can block, panic, or fail a run deterministically.
+	execHook func(ctx context.Context, sp Spec) (*core.Metrics, error)
+}
+
+// New validates the config, opens the journal, and starts the worker
+// pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.RunTimeout == 0 {
+		cfg.RunTimeout = 10 * time.Minute
+	}
+	if cfg.Workers < 0 || cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: workers %d / queue depth %d must be positive", cfg.Workers, cfg.QueueDepth)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		scope: reg.Scope("serve"),
+		queue: make(chan *run, cfg.QueueDepth),
+		runs:  make(map[string]*run),
+	}
+	var app appender
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: data dir: %w", err)
+		}
+		j, err := persist.OpenJournal(filepath.Join(cfg.DataDir, "runs.jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening run journal: %w", err)
+		}
+		s.jfile = j
+		app = j
+	}
+	s.journal = newJournalSink(app)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Registry returns the server's metrics registry (the configured one,
+// or the private registry New created).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Draining reports whether the server has stopped admitting runs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// JournalDropped returns how many journal records were lost to sink
+// failures (retries exhausted or breaker open).
+func (s *Server) JournalDropped() int64 { return s.journal.droppedCount() }
+
+// Submit validates and enqueues a spec. A draining server refuses with
+// ErrDraining; a full queue sheds with ErrQueueFull — the run is not
+// registered, so a shed submission leaves no trace beyond a counter.
+func (s *Server) Submit(spec Spec) (RunInfo, error) {
+	if err := spec.Validate(); err != nil {
+		s.scope.Counter("submit_invalid").Inc()
+		return RunInfo{}, err
+	}
+	spec = spec.withDefaults()
+
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
+		return RunInfo{}, ErrDraining
+	}
+	r := &run{spec: spec, state: StateQueued, submitted: time.Now()}
+	s.mu.Lock()
+	s.nextID++
+	r.id = fmt.Sprintf("r-%06d", s.nextID)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- r:
+	default:
+		s.scope.Counter("runs_shed").Inc()
+		return RunInfo{}, ErrQueueFull
+	}
+	s.mu.Lock()
+	s.runs[r.id] = r
+	s.order = append(s.order, r.id)
+	s.mu.Unlock()
+	s.scope.Counter("runs_submitted").Inc()
+	s.scope.Gauge("queue_high_water").SetMax(float64(len(s.queue)))
+	s.journal.append(journalRecord{Time: time.Now(), Run: r.id, Name: spec.Name, State: StateQueued})
+	return r.info(), nil
+}
+
+// Get returns a run's current view.
+func (s *Server) Get(id string) (RunInfo, bool) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return RunInfo{}, false
+	}
+	return r.info(), true
+}
+
+// List returns every registered run in submission order.
+func (s *Server) List() []RunInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	runs := make([]*run, 0, len(ids))
+	for _, id := range ids {
+		runs = append(runs, s.runs[id])
+	}
+	s.mu.Unlock()
+	out := make([]RunInfo, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, r.info())
+	}
+	return out
+}
+
+// Cancel stops a run: a queued run is finalized as cancelled on the
+// spot (its worker will skip it), a running run gets its context
+// cancelled and settles asynchronously. Cancelling a terminal run
+// returns ErrTerminal with the final state.
+func (s *Server) Cancel(id string) (RunInfo, error) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return RunInfo{}, ErrNotFound
+	}
+	r.mu.Lock()
+	switch {
+	case r.state.Terminal():
+		r.mu.Unlock()
+		return r.info(), ErrTerminal
+	case r.state == StateQueued:
+		rec := r.finishLocked(StateCancelled, "cancelled by client", "", nil, nil, time.Now())
+		r.mu.Unlock()
+		s.recordFinish(rec)
+	default:
+		r.cancel(errCancelled)
+		r.mu.Unlock()
+	}
+	return r.info(), nil
+}
+
+// worker executes queued runs until the queue is closed by Drain.
+// During drain, still-queued runs are finalized as cancelled instead of
+// executed.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for r := range s.queue {
+		if s.draining.Load() {
+			s.finish(r, StateCancelled, "cancelled: server draining", "", nil, nil)
+			continue
+		}
+		s.execute(r)
+	}
+}
+
+// execute runs one spec under panic isolation, a cancellable context,
+// and the run deadline.
+func (s *Server) execute(r *run) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.scope.Counter("run_panics").Inc()
+			s.cfg.Logf("serve: run %s panicked: %v\n%s", r.id, p, debug.Stack())
+			s.finish(r, StateFailed, fmt.Sprintf("panic: %v", p), "", nil, nil)
+		}
+	}()
+
+	base, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	ctx := context.Context(base)
+	timeout := s.cfg.RunTimeout
+	if t := time.Duration(r.spec.TimeoutSeconds * float64(time.Second)); t > 0 && (timeout <= 0 || t < timeout) {
+		timeout = t
+	}
+	if timeout > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeoutCause(ctx, timeout, errRunDeadline)
+		defer cancelT()
+	}
+
+	if !r.start(time.Now(), cancel) {
+		return // cancelled while queued
+	}
+	s.journal.append(journalRecord{Time: time.Now(), Run: r.id, Name: r.spec.Name, State: StateRunning})
+	s.cfg.Logf("serve: run %s started (%s)", r.id, describeSpec(r.spec))
+
+	if r.spec.Experiment != "" {
+		s.executeExperiment(ctx, r)
+		return
+	}
+	var m *core.Metrics
+	var err error
+	if s.execHook != nil {
+		m, err = s.execHook(ctx, r.spec)
+	} else {
+		var cfg core.RunConfig
+		cfg, err = r.spec.runConfig(obs.Options{})
+		if err != nil {
+			s.finish(r, StateFailed, err.Error(), "", nil, nil)
+			return
+		}
+		m, err = core.RunContext(ctx, cfg)
+	}
+	if err == nil {
+		s.finish(r, StateDone, "", "", m, nil)
+		return
+	}
+	var intr *core.Interrupted
+	if errors.As(err, &intr) {
+		s.settleInterrupted(ctx, r, intr)
+		return
+	}
+	s.finish(r, StateFailed, err.Error(), "", nil, nil)
+}
+
+// settleInterrupted maps an interrupted simulation to its terminal
+// state from the context cause: a deadline fails it, a drain parks it
+// as a checkpoint (when there is a data dir to park it in), and a
+// client cancel discards it.
+func (s *Server) settleInterrupted(ctx context.Context, r *run, intr *core.Interrupted) {
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, errRunDeadline):
+		s.finish(r, StateFailed, errRunDeadline.Error(), "", nil, nil)
+	case errors.Is(cause, errDrainCheckpoint) && s.cfg.DataDir != "" && intr.Snapshot != nil:
+		path := filepath.Join(s.cfg.DataDir, r.id+".snapshot.json")
+		if err := persist.SaveJSON(path, snapshotFileKind, sched.SnapshotVersion, intr.Snapshot); err != nil {
+			s.finish(r, StateFailed, fmt.Sprintf("draining: checkpoint save failed: %v", err), "", nil, nil)
+			return
+		}
+		s.finish(r, StateCheckpointed, "", path, nil, nil)
+	case errors.Is(cause, errDrainCheckpoint):
+		s.finish(r, StateCancelled, "cancelled: server draining (no data dir to checkpoint into)", "", nil, nil)
+	default:
+		s.finish(r, StateCancelled, errCancelled.Error(), "", nil, nil)
+	}
+}
+
+// executeExperiment runs a paper artifact. Experiments are multi-run
+// aggregates with no single resumable snapshot, so drain cancels them
+// rather than checkpointing.
+func (s *Server) executeExperiment(ctx context.Context, r *run) {
+	e, err := experiments.ByID(r.spec.Experiment)
+	if err != nil {
+		s.finish(r, StateFailed, err.Error(), "", nil, nil)
+		return
+	}
+	opt := experiments.Options{Seed: r.spec.Seed}
+	if !r.spec.Full {
+		opt = experiments.Quick(r.spec.Seed)
+	}
+	lab := experiments.NewLab(opt)
+	lab.SetObs(obs.Options{Interrupt: func() bool { return ctx.Err() != nil }})
+	tbl, err := e.Run(lab)
+	if err == nil {
+		s.finish(r, StateDone, "", "", nil, tbl)
+		return
+	}
+	if ctx.Err() != nil {
+		cause := context.Cause(ctx)
+		switch {
+		case errors.Is(cause, errRunDeadline):
+			s.finish(r, StateFailed, errRunDeadline.Error(), "", nil, nil)
+		case errors.Is(cause, errDrainCheckpoint):
+			s.finish(r, StateCancelled, "cancelled: server draining", "", nil, nil)
+		default:
+			s.finish(r, StateCancelled, errCancelled.Error(), "", nil, nil)
+		}
+		return
+	}
+	s.finish(r, StateFailed, err.Error(), "", nil, nil)
+}
+
+// finishLocked transitions the run to a terminal state; r.mu must be
+// held. It returns the journal record describing the transition.
+func (r *run) finishLocked(st State, errMsg, checkpoint string, m *core.Metrics, tbl *experiments.Table, now time.Time) journalRecord {
+	r.state = st
+	r.err = errMsg
+	r.checkpoint = checkpoint
+	r.metrics = m
+	r.table = tbl
+	r.finished = now
+	return journalRecord{Time: now, Run: r.id, Name: r.spec.Name, State: st, Error: errMsg, Checkpoint: checkpoint}
+}
+
+// finish finalizes a run unless it already reached a terminal state.
+func (s *Server) finish(r *run, st State, errMsg, checkpoint string, m *core.Metrics, tbl *experiments.Table) {
+	r.mu.Lock()
+	if r.state.Terminal() {
+		r.mu.Unlock()
+		return
+	}
+	rec := r.finishLocked(st, errMsg, checkpoint, m, tbl, time.Now())
+	r.mu.Unlock()
+	s.recordFinish(rec)
+}
+
+// recordFinish accounts and journals a terminal transition.
+func (s *Server) recordFinish(rec journalRecord) {
+	s.scope.Counter("runs_" + string(rec.State)).Inc()
+	s.journal.append(rec)
+	if rec.Error != "" {
+		s.cfg.Logf("serve: run %s %s: %s", rec.Run, rec.State, rec.Error)
+	} else {
+		s.cfg.Logf("serve: run %s %s", rec.Run, rec.State)
+	}
+}
+
+// interruptRunning cancels every running run with the given cause and
+// returns how many were signalled.
+func (s *Server) interruptRunning(cause error) int {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, r := range runs {
+		if r.interrupt(cause) {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain shuts the server down gracefully: admission closes immediately
+// (Submit returns ErrDraining), queued runs are finalized as cancelled,
+// and in-flight runs get until ctx's deadline to finish on their own —
+// after which they are interrupted and parked as checkpoints (or
+// cancelled without a data dir). Drain returns once every accepted run
+// is terminal and the journal is closed; it is idempotent, and only the
+// first call's context matters.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { s.drainErr = s.drain(ctx) })
+	return s.drainErr
+}
+
+func (s *Server) drain(ctx context.Context) error {
+	s.admitMu.Lock()
+	s.draining.Store(true)
+	close(s.queue)
+	s.admitMu.Unlock()
+	s.cfg.Logf("serve: draining: admission closed")
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		n := s.interruptRunning(errDrainCheckpoint)
+		s.cfg.Logf("serve: draining: grace expired; interrupted %d in-flight run(s)", n)
+		select {
+		case <-done:
+		case <-time.After(drainHardWait):
+			return fmt.Errorf("serve: drain: workers still busy %s after interrupt", drainHardWait)
+		}
+	}
+	if s.jfile != nil {
+		if err := s.jfile.Close(); err != nil {
+			return fmt.Errorf("serve: closing run journal: %w", err)
+		}
+	}
+	s.cfg.Logf("serve: drained: all runs terminal")
+	return nil
+}
+
+// describeSpec is the one-line log form of a spec.
+func describeSpec(sp Spec) string {
+	if sp.Experiment != "" {
+		scale := "quick"
+		if sp.Full {
+			scale = "full"
+		}
+		return fmt.Sprintf("experiment %s, %s, seed %d", sp.Experiment, scale, sp.Seed)
+	}
+	return fmt.Sprintf("sim %.0fd x%.1f, zc %.1f, seed %d", sp.Days, sp.Scale, sp.ZCFactor, sp.Seed)
+}

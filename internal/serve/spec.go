@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"fmt"
+
+	"zccloud/internal/availability"
+	"zccloud/internal/cluster"
+	"zccloud/internal/core"
+	"zccloud/internal/experiments"
+	"zccloud/internal/faults"
+	"zccloud/internal/obs"
+	"zccloud/internal/sim"
+	"zccloud/internal/workload"
+)
+
+// Spec is one submitted unit of work: either a single scheduling
+// simulation (the default) or a paper experiment selected by Experiment.
+// The zero value of every field is a sensible default, so `{}` is a
+// valid spec (Mira only, 28 days, seed 42). All fields are bounded; a
+// spec that fails Validate is rejected at admission with a 400, never
+// enqueued.
+type Spec struct {
+	// Name is an optional client label echoed back in status.
+	Name string `json:"name,omitempty"`
+
+	// Experiment, when set, runs a paper artifact by id ("fig5",
+	// "table6", ...) instead of a single simulation. The simulation
+	// fields below are ignored except Seed.
+	Experiment string `json:"experiment,omitempty"`
+	// Full runs the experiment at paper scale; the default is the quick
+	// preset (a service should opt in to hour-long cells, not default
+	// to them).
+	Full bool `json:"full,omitempty"`
+
+	// Workload.
+	Seed        int64   `json:"seed,omitempty"`        // default 42
+	Days        float64 `json:"days,omitempty"`        // default 28
+	Scale       float64 `json:"scale,omitempty"`       // default 1 (the paper's NxWorkload)
+	MiraNodes   int     `json:"mira_nodes,omitempty"`  // default 49,152
+	Utilization float64 `json:"utilization,omitempty"` // default Table I's 0.84
+
+	// System.
+	ZCFactor     float64 `json:"zc_factor,omitempty"`      // ZCCloud size as a multiple of Mira
+	ZCDuty       float64 `json:"zc_duty,omitempty"`        // periodic duty factor, default 0.5
+	ZCPhaseHours float64 `json:"zc_phase_hours,omitempty"` // daily hour the window opens, default 20
+	KillRequeue  bool    `json:"kill_requeue,omitempty"`   // non-oracle mode
+
+	// Fault injection; any non-zero field arms the injector.
+	MTBFHours        float64 `json:"mtbf_hours,omitempty"`
+	BrownoutProb     float64 `json:"brownout_prob,omitempty"`
+	ForecastErrHours float64 `json:"forecast_err_hours,omitempty"`
+	RetryLimit       int     `json:"retry_limit,omitempty"`
+	BackoffHours     float64 `json:"backoff_hours,omitempty"`
+	BackoffJitter    bool    `json:"backoff_jitter,omitempty"`
+	FaultSeed        int64   `json:"fault_seed,omitempty"` // default Seed+1
+
+	// Run control.
+	Check bool `json:"check,omitempty"` // validate scheduler invariants per event
+	// TimeoutSeconds caps the run's wall-clock time. Zero inherits the
+	// server default; a positive value may only tighten it.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+func (sp Spec) withDefaults() Spec {
+	if sp.Seed == 0 {
+		sp.Seed = 42
+	}
+	if sp.Days == 0 {
+		sp.Days = 28
+	}
+	if sp.Scale == 0 {
+		sp.Scale = 1
+	}
+	if sp.MiraNodes == 0 {
+		sp.MiraNodes = cluster.MiraNodes
+	}
+	if sp.ZCDuty == 0 {
+		sp.ZCDuty = 0.5
+	}
+	if sp.ZCPhaseHours == 0 {
+		sp.ZCPhaseHours = 20
+	}
+	if sp.FaultSeed == 0 {
+		sp.FaultSeed = sp.Seed + 1
+	}
+	return sp
+}
+
+// Validate rejects malformed or unreasonable specs before admission.
+func (sp Spec) Validate() error {
+	d := sp.withDefaults()
+	if d.Experiment != "" {
+		if _, err := experiments.ByID(d.Experiment); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	switch {
+	case d.Days < 0 || sp.Days < 0:
+		return fmt.Errorf("serve: days %v < 0", sp.Days)
+	case d.Days > 3660:
+		return fmt.Errorf("serve: days %v > 3660", d.Days)
+	case d.Scale < 0.01 || d.Scale > 100:
+		return fmt.Errorf("serve: scale %v outside [0.01, 100]", d.Scale)
+	case d.MiraNodes < 1 || d.MiraNodes > 1<<22:
+		return fmt.Errorf("serve: mira_nodes %d outside [1, %d]", d.MiraNodes, 1<<22)
+	case d.Utilization < 0 || d.Utilization > 1:
+		return fmt.Errorf("serve: utilization %v outside [0, 1]", d.Utilization)
+	case d.ZCFactor < 0 || d.ZCFactor > 16:
+		return fmt.Errorf("serve: zc_factor %v outside [0, 16]", d.ZCFactor)
+	case d.ZCDuty <= 0 || d.ZCDuty > 1:
+		return fmt.Errorf("serve: zc_duty %v outside (0, 1]", d.ZCDuty)
+	case d.ZCPhaseHours < 0 || d.ZCPhaseHours >= 24:
+		return fmt.Errorf("serve: zc_phase_hours %v outside [0, 24)", d.ZCPhaseHours)
+	case d.MTBFHours < 0:
+		return fmt.Errorf("serve: mtbf_hours %v < 0", d.MTBFHours)
+	case d.BrownoutProb < 0 || d.BrownoutProb > 1:
+		return fmt.Errorf("serve: brownout_prob %v outside [0, 1]", d.BrownoutProb)
+	case d.ForecastErrHours < 0:
+		return fmt.Errorf("serve: forecast_err_hours %v < 0", d.ForecastErrHours)
+	case d.RetryLimit < 0:
+		return fmt.Errorf("serve: retry_limit %d < 0", d.RetryLimit)
+	case d.BackoffHours < 0:
+		return fmt.Errorf("serve: backoff_hours %v < 0", d.BackoffHours)
+	case d.TimeoutSeconds < 0:
+		return fmt.Errorf("serve: timeout_seconds %v < 0", d.TimeoutSeconds)
+	}
+	return nil
+}
+
+// faultConfig arms the injector when any fault field is set, mirroring
+// zccsim's flag handling: failures target the ZC partition when one
+// exists, the base system otherwise.
+func (sp Spec) faultConfig() *faults.Config {
+	if sp.MTBFHours == 0 && sp.BrownoutProb == 0 && sp.ForecastErrHours == 0 &&
+		sp.RetryLimit == 0 && sp.BackoffHours == 0 {
+		return nil
+	}
+	fc := &faults.Config{
+		Seed:          sp.FaultSeed,
+		ForecastErrSD: sim.Duration(sp.ForecastErrHours) * sim.Hour,
+		BrownoutProb:  sp.BrownoutProb,
+		RetryLimit:    sp.RetryLimit,
+		Backoff:       sim.Duration(sp.BackoffHours) * sim.Hour,
+		BackoffJitter: sp.BackoffJitter,
+	}
+	if sp.MTBFHours > 0 {
+		part := core.MiraPartition
+		if sp.ZCFactor > 0 {
+			part = core.ZCPartition
+		}
+		per := sp.MiraNodes / 64
+		if per < 1 {
+			per = 1
+		}
+		fc.Nodes = map[string]faults.NodeFailures{
+			part: {MTBF: sim.Duration(sp.MTBFHours) * sim.Hour, NodesPerFailure: per},
+		}
+	}
+	return fc
+}
+
+// runConfig turns a (defaulted, validated) simulation spec into a
+// core.RunConfig, generating its workload.
+func (sp Spec) runConfig(o obs.Options) (core.RunConfig, error) {
+	var zc availability.Model
+	if sp.ZCFactor > 0 {
+		if sp.ZCDuty >= 1 {
+			zc = availability.AlwaysOn{}
+		} else {
+			zc = availability.NewPeriodic(sp.ZCDuty, sim.Time(sp.ZCPhaseHours)*sim.Hour)
+		}
+	}
+	tr, err := workload.Generate(workload.Config{
+		Seed:              sp.Seed,
+		Days:              sp.Days,
+		SystemNodes:       sp.MiraNodes,
+		TargetUtilization: sp.Utilization,
+		Scale:             sp.Scale,
+	})
+	if err != nil {
+		return core.RunConfig{}, fmt.Errorf("serve: generating workload: %w", err)
+	}
+	o.Check = o.Check || sp.Check
+	return core.RunConfig{
+		Trace: tr,
+		System: core.SystemConfig{
+			MiraNodes: sp.MiraNodes,
+			ZCFactor:  sp.ZCFactor,
+			ZCAvail:   zc,
+			NonOracle: sp.KillRequeue,
+			Faults:    sp.faultConfig(),
+		},
+		Obs: o,
+	}, nil
+}

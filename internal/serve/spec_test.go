@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"zccloud/internal/obs"
+)
+
+func TestSpecDefaults(t *testing.T) {
+	d := Spec{}.withDefaults()
+	if d.Seed != 42 || d.Days != 28 || d.Scale != 1 || d.ZCDuty != 0.5 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	if d.FaultSeed != 43 {
+		t.Fatalf("fault seed = %d, want seed+1", d.FaultSeed)
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec must validate: %v", err)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"negative days", Spec{Days: -1}, "days"},
+		{"huge days", Spec{Days: 1e6}, "days"},
+		{"zero-ish scale", Spec{Scale: 0.001}, "scale"},
+		{"duty above 1", Spec{ZCFactor: 1, ZCDuty: 1.5}, "zc_duty"},
+		{"negative zc factor", Spec{ZCFactor: -1}, "zc_factor"},
+		{"brownout above 1", Spec{BrownoutProb: 2}, "brownout"},
+		{"negative retry limit", Spec{RetryLimit: -1}, "retry_limit"},
+		{"negative timeout", Spec{TimeoutSeconds: -5}, "timeout_seconds"},
+		{"unknown experiment", Spec{Experiment: "fig99"}, "unknown id"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: validated, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpecFaultConfig(t *testing.T) {
+	if fc := (Spec{}).withDefaults().faultConfig(); fc != nil {
+		t.Fatalf("fault-free spec built a fault config: %+v", fc)
+	}
+	sp := Spec{ZCFactor: 1, MTBFHours: 24, RetryLimit: 3, BackoffHours: 1, BackoffJitter: true}.withDefaults()
+	fc := sp.faultConfig()
+	if fc == nil {
+		t.Fatal("armed spec built no fault config")
+	}
+	if !fc.BackoffJitter {
+		t.Fatal("backoff jitter flag not threaded through")
+	}
+	if _, ok := fc.Nodes["zc"]; !ok {
+		t.Fatalf("failures should target the zc partition, got %v", fc.Nodes)
+	}
+	if fc.Seed != sp.Seed+1 {
+		t.Fatalf("fault seed = %d, want %d", fc.Seed, sp.Seed+1)
+	}
+}
+
+func TestSpecRunConfigBuildsWorkload(t *testing.T) {
+	sp := Spec{Days: 2, ZCFactor: 1}.withDefaults()
+	cfg, err := sp.runConfig(obs.Options{})
+	if err != nil {
+		t.Fatalf("runConfig: %v", err)
+	}
+	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
+		t.Fatal("no workload generated")
+	}
+	if cfg.System.ZCAvail == nil {
+		t.Fatal("zc availability model missing")
+	}
+	if err := cfg.System.Validate(); err != nil {
+		t.Fatalf("built system invalid: %v", err)
+	}
+}

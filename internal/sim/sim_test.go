@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -228,5 +229,56 @@ func TestEngineStats(t *testing.T) {
 	st = e.Stats()
 	if st.Steps != 5 || st.Pending != 0 || st.Now != 4 || st.MaxQueueLen != 5 {
 		t.Errorf("post-run stats = %+v", st)
+	}
+}
+
+func TestRunContext(t *testing.T) {
+	// A background (never-cancellable) context takes the plain Run path
+	// and drains every event.
+	e := New()
+	n := 0
+	for i := 0; i < 200; i++ {
+		e.Schedule(Time(i), PrioSchedule, func(Time) { n++ })
+	}
+	if err := e.RunContext(context.Background(), 0); err != nil {
+		t.Fatalf("RunContext(Background) = %v", err)
+	}
+	if n != 200 {
+		t.Errorf("dispatched %d events, want 200", n)
+	}
+
+	// A context cancelled from inside an event stops the run within one
+	// stride and reports the context's error.
+	e = New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n = 0
+	var atCancel int
+	for i := 0; i < 10*DefaultCancelStride; i++ {
+		e.Schedule(Time(i), PrioSchedule, func(Time) {
+			n++
+			if n == 10 {
+				atCancel = n
+				cancel()
+			}
+		})
+	}
+	if err := e.RunContext(ctx, 0); err != context.Canceled {
+		t.Fatalf("RunContext after cancel = %v, want context.Canceled", err)
+	}
+	if n-atCancel > DefaultCancelStride {
+		t.Errorf("ran %d events past the cancel, want <= %d", n-atCancel, DefaultCancelStride)
+	}
+	if e.Stats().Pending == 0 {
+		t.Error("cancelled run drained the whole queue")
+	}
+
+	// Dead on arrival: nothing dispatches.
+	e = New()
+	e.Schedule(1, PrioSchedule, func(Time) { t.Error("event ran under a dead context") })
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	if err := e.RunContext(dead, 0); err != context.Canceled {
+		t.Fatalf("dead-context RunContext = %v", err)
 	}
 }

@@ -15,6 +15,21 @@ fi
 echo "== go vet"
 go vet ./...
 
+# Deeper linters when present (CI installs pinned versions; local runs
+# skip rather than fetch — the build must stay dependency-free offline).
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck"
+	staticcheck ./...
+else
+	echo "== staticcheck (not installed; skipped)"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "== govulncheck"
+	govulncheck ./...
+else
+	echo "== govulncheck (not installed; skipped)"
+fi
+
 echo "== go build"
 go build ./...
 
@@ -135,6 +150,9 @@ if ! cmp -s "$tmpdir/http.out" "$tmpdir/nohttp.out"; then
 	diff "$tmpdir/nohttp.out" "$tmpdir/http.out" >&2 || true
 	exit 1
 fi
+
+echo "== zccd serving daemon chaos soak"
+scripts/soak.sh
 
 echo "== nop-tracer zero-alloc benchmark"
 out=$(go test ./internal/obs -run '^$' -bench BenchmarkNopTracer -benchmem -benchtime 100x)

@@ -1,0 +1,131 @@
+#!/bin/sh
+# Chaos soak for the zccd serving daemon: hammer a real binary with
+# concurrent submits (valid, faulted, long, malformed), random cancels,
+# then SIGTERM it mid-traffic. Asserts:
+#
+#   - the daemon exits 0 within the drain deadline;
+#   - every accepted run's journal record ends in a terminal state;
+#   - checkpointed runs left resumable snapshot files behind.
+#
+# Usage: scripts/soak.sh [rounds]   (default 3 submit rounds per client)
+set -eu
+cd "$(dirname "$0")/.."
+
+rounds=${1:-3}
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"; kill "$daemonpid" 2>/dev/null || true' EXIT
+daemonpid=""
+
+echo "== build"
+go build -o "$tmpdir/zccd" ./cmd/zccd
+
+echo "== start daemon"
+"$tmpdir/zccd" -addr 127.0.0.1:0 -workers 4 -queue 8 \
+	-drain-grace 2s -data "$tmpdir/data" 2>"$tmpdir/zccd.err" &
+daemonpid=$!
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's#.*serving on http://##; s# .*##p' "$tmpdir/zccd.err" | head -n 1)
+	[ -n "$addr" ] && break
+	if ! kill -0 "$daemonpid" 2>/dev/null; then
+		echo "daemon died on startup:" >&2
+		cat "$tmpdir/zccd.err" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+if [ -z "$addr" ]; then
+	echo "daemon never reported its address" >&2
+	cat "$tmpdir/zccd.err" >&2
+	exit 1
+fi
+echo "daemon at $addr (pid $daemonpid)"
+
+# The chaos mix: quick runs, a faulted+checked run, a long run the drain
+# will land on, an experiment, and garbage the API must 400.
+spec_for() {
+	case $(( $1 % 5 )) in
+	0) echo '{"days": 2, "mira_nodes": 4096}' ;;
+	1) echo '{"days": 3, "mira_nodes": 4096, "zc_factor": 1, "kill_requeue": true, "mtbf_hours": 12, "retry_limit": 3, "backoff_hours": 1, "backoff_jitter": true, "check": true}' ;;
+	2) echo '{"days": 3650, "mira_nodes": 4096, "scale": 4}' ;;
+	3) echo '{"experiment": "table5"}' ;;
+	4) echo '{"bogus": 1}' ;;
+	esac
+}
+
+echo "== chaos traffic ($rounds rounds x 4 clients)"
+for c in 1 2 3 4; do
+	(
+		i=0
+		while [ "$i" -lt "$rounds" ]; do
+			body=$(spec_for $((c + i)))
+			code=$(curl -s -o "$tmpdir/resp.$c.$i" -w '%{http_code}' \
+				-XPOST "http://$addr/v1/runs" -d "$body" || echo 000)
+			case $code in
+			202)
+				id=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$tmpdir/resp.$c.$i" | head -n 1)
+				echo "$id" >>"$tmpdir/accepted.$c"
+				# every third accepted run gets a cancel attempt
+				if [ $(( (c + i) % 3 )) -eq 0 ]; then
+					curl -s -o /dev/null -XDELETE "http://$addr/v1/runs/$id" || true
+				fi
+				;;
+			400|429|503|000) ;; # refused, shed, draining, or torn down: fine
+			*)
+				echo "client $c: unexpected status $code for $body" >&2
+				exit 1
+				;;
+			esac
+			i=$((i + 1))
+		done
+	) &
+done
+
+# SIGTERM lands while clients are still firing.
+sleep 1
+echo "== SIGTERM mid-traffic"
+kill -TERM "$daemonpid"
+wait "$daemonpid" && rc=0 || rc=$?
+daemonpid=""
+wait # clients
+if [ "$rc" -ne 0 ]; then
+	echo "daemon exited $rc, want 0; stderr:" >&2
+	cat "$tmpdir/zccd.err" >&2
+	exit 1
+fi
+
+echo "== invariants"
+journal="$tmpdir/data/runs.jsonl"
+if [ ! -f "$journal" ]; then
+	echo "no run journal at $journal" >&2
+	exit 1
+fi
+cat "$tmpdir"/accepted.* 2>/dev/null | sort -u >"$tmpdir/accepted.all" || true
+naccepted=$(wc -l <"$tmpdir/accepted.all")
+if [ "$naccepted" -eq 0 ]; then
+	echo "soak accepted no runs; traffic mix too hostile" >&2
+	exit 1
+fi
+bad=0
+while read -r id; do
+	[ -n "$id" ] || continue
+	final=$(grep "\"run\":\"$id\"" "$journal" | tail -n 1 |
+		sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+	case $final in
+	done|failed|cancelled|checkpointed) ;;
+	*)
+		echo "run $id final journal state '$final' not terminal" >&2
+		bad=1
+		;;
+	esac
+done <"$tmpdir/accepted.all"
+[ "$bad" -eq 0 ] || exit 1
+
+nckpt=$(grep -c '"state":"checkpointed"' "$journal" || true)
+nsnap=$(ls "$tmpdir/data"/*.snapshot.json 2>/dev/null | wc -l)
+if [ "$nckpt" -gt 0 ] && [ "$nsnap" -eq 0 ]; then
+	echo "journal has $nckpt checkpointed runs but no snapshot files" >&2
+	exit 1
+fi
+echo "accepted $naccepted runs, all terminal ($nckpt checkpointed, $nsnap snapshots)"
+echo "== ok"

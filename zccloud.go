@@ -23,6 +23,8 @@
 package zccloud
 
 import (
+	"context"
+
 	"zccloud/internal/availability"
 	"zccloud/internal/core"
 	"zccloud/internal/econ"
@@ -185,6 +187,14 @@ type Metrics = core.Metrics
 // Simulate runs one Mira-ZCCloud scheduling simulation.
 func Simulate(cfg RunConfig) (*Metrics, error) { return core.Run(cfg) }
 
+// SimulateContext is Simulate under a context: cancellation stops the
+// run at an event boundary (within one poll stride) and returns an
+// *InterruptedRun carrying a snapshot, exactly as an Interrupt hook
+// would. A background context costs nothing over Simulate.
+func SimulateContext(ctx context.Context, cfg RunConfig) (*Metrics, error) {
+	return core.RunContext(ctx, cfg)
+}
+
 // Crash safety: a run stopped by RunConfig.StopAt or ObsOptions.Interrupt
 // returns an *InterruptedRun error carrying a RunSnapshot; ResumeSimulation
 // continues it — under the same system configuration — to results
@@ -211,6 +221,12 @@ var ErrRunInterrupted = sched.ErrInterrupted
 // trace is ignored — jobs live in the snapshot); a mismatch is refused.
 func ResumeSimulation(cfg RunConfig, snap *RunSnapshot) (*Metrics, error) {
 	return core.Resume(cfg, snap)
+}
+
+// ResumeSimulationContext is ResumeSimulation under a context; see
+// SimulateContext for the cancellation contract.
+func ResumeSimulationContext(ctx context.Context, cfg RunConfig, snap *RunSnapshot) (*Metrics, error) {
+	return core.ResumeContext(ctx, cfg, snap)
 }
 
 // snapshotFileKind tags RunSnapshot files written by SaveSnapshot.
