@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check bench bench-all fmt
+.PHONY: build test race check bench bench-all bench-check fmt
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ bench:
 
 bench-all:
 	$(GO) test -bench=. -benchmem
+
+# bench-check reruns the baseline subset and fails on regression:
+# events/sec may not drop more than 15%, allocs/op may not grow more
+# than 10% (zero-alloc baselines tolerate no allocation at all).
+bench-check:
+	$(GO) run ./cmd/zccbench -compare BENCH_PR4.json
 
 fmt:
 	gofmt -w .

@@ -1,6 +1,100 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+func mkBaseline(results ...BenchResult) Baseline {
+	return Baseline{Results: results}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := mkBaseline(
+		BenchResult{Name: "BenchmarkThroughput-8", NsPerOp: 100,
+			Metrics: map[string]float64{"events/sec": 500000, "allocs/op": 1000}},
+		BenchResult{Name: "BenchmarkNop-8", NsPerOp: 0.2,
+			Metrics: map[string]float64{"allocs/op": 0}},
+	)
+	cur := mkBaseline(
+		// -4 suffix: a different GOMAXPROCS must still line up.
+		BenchResult{Name: "BenchmarkThroughput-4", NsPerOp: 110,
+			Metrics: map[string]float64{"events/sec": 460000, "allocs/op": 1050}},
+		BenchResult{Name: "BenchmarkNop-4", NsPerOp: 0.2,
+			Metrics: map[string]float64{"allocs/op": 0}},
+		// Extra benchmarks in the fresh run are informational, never a failure.
+		BenchResult{Name: "BenchmarkNew-4", NsPerOp: 5},
+	)
+	rep := Compare(base, cur, 0.15, 0.10)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", rep.Regressions)
+	}
+	if rep.Compared != 2 {
+		t.Fatalf("compared = %d, want 2", rep.Compared)
+	}
+}
+
+func TestCompareThroughputDrop(t *testing.T) {
+	base := mkBaseline(BenchResult{Name: "BenchmarkThroughput",
+		Metrics: map[string]float64{"events/sec": 500000}})
+	cur := mkBaseline(BenchResult{Name: "BenchmarkThroughput",
+		Metrics: map[string]float64{"events/sec": 400000}})
+	rep := Compare(base, cur, 0.15, 0.10)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "events/sec") {
+		t.Fatalf("want one events/sec regression, got %v", rep.Regressions)
+	}
+	// The same drop passes under a looser gate.
+	if rep := Compare(base, cur, 0.25, 0.10); len(rep.Regressions) != 0 {
+		t.Fatalf("25%% tolerance should absorb a 20%% drop: %v", rep.Regressions)
+	}
+}
+
+func TestCompareAllocGates(t *testing.T) {
+	base := mkBaseline(
+		BenchResult{Name: "BenchmarkNop", Metrics: map[string]float64{"allocs/op": 0}},
+		BenchResult{Name: "BenchmarkBusy", Metrics: map[string]float64{"allocs/op": 100}},
+	)
+	cur := mkBaseline(
+		BenchResult{Name: "BenchmarkNop", Metrics: map[string]float64{"allocs/op": 1}},
+		BenchResult{Name: "BenchmarkBusy", Metrics: map[string]float64{"allocs/op": 150}},
+	)
+	rep := Compare(base, cur, 0.15, 0.10)
+	if len(rep.Regressions) != 2 {
+		t.Fatalf("want zero-pin and growth regressions, got %v", rep.Regressions)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := mkBaseline(BenchResult{Name: "BenchmarkGone", NsPerOp: 1})
+	rep := Compare(base, mkBaseline(), 0.15, 0.10)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "not in this run") {
+		t.Fatalf("missing benchmark must fail the gate: %v", rep.Regressions)
+	}
+}
+
+func TestIndexResultsAveragesRepeats(t *testing.T) {
+	m := indexResults([]BenchResult{
+		{Name: "BenchmarkX-8", NsPerOp: 100, Metrics: map[string]float64{"events/sec": 100}},
+		{Name: "BenchmarkX-8", NsPerOp: 300, Metrics: map[string]float64{"events/sec": 300}},
+	})
+	r := m["BenchmarkX"]
+	if r.NsPerOp != 200 || r.Metrics["events/sec"] != 200 {
+		t.Fatalf("repeats not averaged: %+v", r)
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkFoo-bar":      "BenchmarkFoo-bar",
+		"BenchmarkEdge-case-16": "BenchmarkEdge-case",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
 
 func TestParseBenchLine(t *testing.T) {
 	r, ok := ParseBenchLine("BenchmarkEndToEndEventsPerSec-8   \t       2\t  25333770 ns/op\t    467606 events/sec")

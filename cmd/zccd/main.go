@@ -55,6 +55,10 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		drainGrace  = fs.Duration("drain-grace", 10*time.Second, "how long in-flight runs may keep running after a shutdown signal before being checkpointed")
 		httpTimeout = fs.Duration("http-shutdown", 5*time.Second, "deadline for the HTTP server to finish in-flight requests on shutdown")
 		dataDir     = fs.String("data", "", "directory for the run journal and drain checkpoints (empty = no persistence)")
+		logLevel    = fs.String("log-level", "info", "log threshold: debug, info, warn, or error")
+		logFormat   = fs.String("log-format", "logfmt", "log line encoding: logfmt or json")
+		sampleEvery = fs.Duration("sample-interval", time.Second, "period of the /v1/timeseries sampler")
+		sampleKeep  = fs.Int("sample-window", 600, "samples retained by /v1/timeseries")
 		quiet       = fs.Bool("quiet", false, "suppress operational log lines")
 		version     = fs.Bool("version", false, "print build information and exit")
 	)
@@ -66,19 +70,27 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		return nil
 	}
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(stderr, "zccd: "+format+"\n", args...)
-	}
-	if *quiet {
-		logf = func(string, ...any) {}
+	var logger *obs.Logger
+	if !*quiet {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		format, err := obs.ParseLogFormat(*logFormat)
+		if err != nil {
+			return err
+		}
+		logger = obs.NewLogger(stderr, lv, format)
 	}
 
 	srv, err := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		RunTimeout: *runTimeout,
-		DataDir:    *dataDir,
-		Logf:       logf,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RunTimeout:     *runTimeout,
+		DataDir:        *dataDir,
+		Log:            logger,
+		SampleInterval: *sampleEvery,
+		SampleWindow:   *sampleKeep,
 	})
 	if err != nil {
 		return err
@@ -91,7 +103,7 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	logf("serving on http://%s (%d workers, queue %d)", ln.Addr(), *workers, *queue)
+	logger.Info("serving", "addr", ln.Addr().String(), "workers", *workers, "queue", *queue)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -101,14 +113,14 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	defer signal.Stop(sigc)
 	select {
 	case sig := <-sigc:
-		logf("%s received; draining", sig)
+		logger.Info("draining", "signal", sig.String())
 	case <-func() <-chan struct{} {
 		if stop != nil {
 			return stop
 		}
 		return make(chan struct{}) // never fires
 	}():
-		logf("stop requested; draining")
+		logger.Info("draining", "signal", "stop requested")
 	case err := <-serveErr:
 		return fmt.Errorf("http server: %w", err)
 	}
@@ -133,6 +145,6 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	if drainErr != nil {
 		return drainErr
 	}
-	logf("drained; exiting")
+	logger.Info("drained; exiting")
 	return nil
 }

@@ -76,6 +76,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		httpAddr   = fs.String("http", "", "serve live /status, /metrics, and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 		spans      = fs.Bool("spans", false, "time run phases (wall clock) and render a span summary")
 		metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
+		logLevel   = fs.String("log-level", "", "emit structured logs to stderr at this threshold: debug, info, warn, or error (empty = no logs)")
+		logFormat  = fs.String("log-format", "logfmt", "structured log encoding: logfmt or json")
+		runID      = fs.String("run-id", "", "correlation ID bound to every log line and stamped on every trace event")
 		progress   = fs.Bool("progress", false, "report experiment progress and rate to stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -165,14 +168,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	// Telemetry: a registry always backs the summary table; the tracer
 	// and progress reporter are opt-in.
-	obsOpt := zccloud.ObsOptions{Metrics: zccloud.NewMetricsRegistry(), Check: *check}
+	obsOpt := zccloud.ObsOptions{Metrics: zccloud.NewMetricsRegistry(), Check: *check, RunID: *runID}
+	if *logLevel != "" {
+		lv, err := zccloud.ParseLogLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		format, err := zccloud.ParseLogFormat(*logFormat)
+		if err != nil {
+			return err
+		}
+		obsOpt.Log = zccloud.NewLogger(stderr, lv, format)
+	}
 	if *spans || *httpAddr != "" {
 		obsOpt.Timings = zccloud.NewSpanTimings()
 	}
 	if *httpAddr != "" {
 		obsOpt.Status = zccloud.NewRunStatus()
 		obsOpt.Status.SetPhase("setup")
-		intro, err := zccloud.StartIntrospection(*httpAddr, obsOpt.Metrics, obsOpt.Status, obsOpt.Timings)
+		ts := zccloud.NewTimeSeries(time.Second, 600,
+			zccloud.SampleStatus(obsOpt.Status, obsOpt.Metrics))
+		ts.Start()
+		defer ts.Stop()
+		intro, err := zccloud.StartIntrospection(*httpAddr, obsOpt.Metrics, obsOpt.Status, obsOpt.Timings, ts)
 		if err != nil {
 			return fmt.Errorf("starting introspection server: %w", err)
 		}

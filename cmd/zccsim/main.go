@@ -78,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		httpLinger = fs.Duration("http-linger", 0, "keep the -http server up this long after the run completes (Ctrl-C ends it early)")
 		spans      = fs.Bool("spans", false, "time run phases (wall clock) and print a span summary")
 		metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
+		logLevel   = fs.String("log-level", "", "emit structured logs to stderr at this threshold: debug, info, warn, or error (empty = no logs)")
+		logFormat  = fs.String("log-format", "logfmt", "structured log encoding: logfmt or json")
+		runID      = fs.String("run-id", "", "correlation ID bound to every log line and stamped on every trace event")
 		progress   = fs.Bool("progress", false, "report simulation progress and rate to stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -196,6 +199,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Metrics:   zccloud.NewMetricsRegistry(),
 		Interrupt: interrupted.Load,
 		Check:     *check,
+		RunID:     *runID,
+	}
+	if *logLevel != "" {
+		lv, err := zccloud.ParseLogLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		format, err := zccloud.ParseLogFormat(*logFormat)
+		if err != nil {
+			return err
+		}
+		obsOpt.Log = zccloud.NewLogger(stderr, lv, format)
 	}
 	if *spans || *httpAddr != "" {
 		obsOpt.Timings = zccloud.NewSpanTimings()
@@ -204,7 +219,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *httpAddr != "" {
 		obsOpt.Status = zccloud.NewRunStatus()
 		obsOpt.Status.SetPhase("setup")
-		in, err := zccloud.StartIntrospection(*httpAddr, obsOpt.Metrics, obsOpt.Status, obsOpt.Timings)
+		ts := zccloud.NewTimeSeries(time.Second, 600,
+			zccloud.SampleStatus(obsOpt.Status, obsOpt.Metrics))
+		ts.Start()
+		defer ts.Stop()
+		in, err := zccloud.StartIntrospection(*httpAddr, obsOpt.Metrics, obsOpt.Status, obsOpt.Timings, ts)
 		if err != nil {
 			return fmt.Errorf("starting introspection server: %w", err)
 		}

@@ -1,0 +1,252 @@
+// Command zcctop is a live terminal dashboard for a running zccd (or
+// any zccsim/zccexp -http introspection endpoint). It polls /status and
+// /v1/timeseries and renders queue depth, worker occupancy, run
+// outcomes, lifecycle latency percentiles, per-partition utilization,
+// and a sparkline per telemetry series.
+//
+//	zcctop -url http://127.0.0.1:8421              # refresh every 2s
+//	zcctop -url http://127.0.0.1:8421 -interval 1s
+//	zcctop -once                                   # one frame, then exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"zccloud"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "zcctop: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("zcctop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url      = fs.String("url", "http://127.0.0.1:8421", "base URL of the daemon's HTTP API")
+		interval = fs.Duration("interval", 2*time.Second, "refresh period")
+		once     = fs.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	c := &client{base: strings.TrimRight(*url, "/"), hc: &http.Client{Timeout: 10 * time.Second}}
+	if *once {
+		f, err := c.fetch()
+		if err != nil {
+			return err
+		}
+		io.WriteString(stdout, renderFrame(f))
+		return nil
+	}
+	for {
+		f, err := c.fetch()
+		if err != nil {
+			// The daemon may be restarting or draining; keep polling.
+			fmt.Fprintf(stdout, "\033[H\033[2Jzcctop: %v (retrying every %v)\n", err, *interval)
+		} else {
+			io.WriteString(stdout, "\033[H\033[2J"+renderFrame(f))
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// frame is one polled snapshot pair.
+type frame struct {
+	url    string
+	status zccloud.StatusSnapshot
+	series zccloud.TimeSeriesSnapshot
+}
+
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *client) fetch() (frame, error) {
+	f := frame{url: c.base}
+	if err := c.getJSON("/status", &f.status); err != nil {
+		return f, err
+	}
+	// /v1/timeseries is optional (older daemons); a frame without
+	// sparklines is still a frame.
+	c.getJSON("/v1/timeseries", &f.series)
+	return f, nil
+}
+
+func (c *client) getJSON(path string, into any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// sparkGlyphs are the eight block heights a sparkline is drawn with.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders up to width trailing values of vs, scaled to the
+// window's own min/max (a flat series renders at the lowest height).
+func sparkline(vs []float64, width int) string {
+	if len(vs) > width {
+		vs = vs[len(vs)-width:]
+	}
+	if len(vs) == 0 {
+		return ""
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[i])
+	}
+	return b.String()
+}
+
+// lifecycleOrder fixes the latency table's row order; stages the daemon
+// doesn't report are skipped, unknown extras append alphabetically.
+var lifecycleOrder = []string{"admission_wait", "queue_wait", "exec", "park"}
+
+func renderFrame(f frame) string {
+	var b strings.Builder
+	st := f.status
+
+	fmt.Fprintf(&b, "zcctop — %s   build %s   up %s", f.url, st.Build, fmtDur(st.UptimeSec))
+	if st.Phase != "" {
+		fmt.Fprintf(&b, "   phase %s", st.Phase)
+	}
+	b.WriteByte('\n')
+
+	if sv := st.Serve; sv != nil {
+		drain := ""
+		if sv.Draining {
+			drain = "   DRAINING"
+		}
+		fmt.Fprintf(&b, "queue   %d queued   %d/%d workers busy%s\n", sv.Queued, sv.Running, sv.Workers, drain)
+		shedRate := 0.0
+		if sv.Submitted+sv.Shed > 0 {
+			shedRate = float64(sv.Shed) / float64(sv.Submitted+sv.Shed) * 100
+		}
+		fmt.Fprintf(&b, "runs    submitted %d   completed %d   failed %d   shed %d (%.1f%%)\n",
+			sv.Submitted, sv.Completed, sv.Failed, sv.Shed, shedRate)
+		if len(sv.Outcomes) > 0 {
+			fmt.Fprintf(&b, "outcome %s\n", joinCounts(sv.Outcomes))
+		}
+		if len(sv.Latency) > 0 {
+			fmt.Fprintf(&b, "%-24s %8s %9s %9s %9s\n", "latency", "count", "p50(s)", "p95(s)", "p99(s)")
+			for _, stage := range latencyRows(sv.Latency) {
+				l := sv.Latency[stage]
+				fmt.Fprintf(&b, "  %-22s %8d %9.3f %9.3f %9.3f\n", stage, l.Count, l.P50, l.P95, l.P99)
+			}
+		}
+	}
+
+	if sim := st.Sim; sim != nil {
+		fmt.Fprintf(&b, "sim     day %.2f   queue %d   running %d   done %d/%d   %.0f events/sec\n",
+			sim.ClockDays, sim.QueueLen, sim.RunningJobs, sim.CompletedJobs, sim.TotalJobs, sim.EventsPerSec)
+		for _, p := range sim.Partitions {
+			fmt.Fprintf(&b, "  %-12s %4d/%-4d busy  %s %5.1f%%\n",
+				p.Name, p.Busy, p.Nodes, utilBar(p.Utilization, 20), p.Utilization*100)
+		}
+	}
+	if sw := st.Sweep; sw != nil {
+		fmt.Fprintf(&b, "sweep   %d/%d cells done\n", sw.Done, sw.Total)
+	}
+
+	if len(f.series.Series) > 0 {
+		b.WriteByte('\n')
+		names := make([]string, 0, len(f.series.Series))
+		for name := range f.series.Series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			vs := f.series.Series[name]
+			last := 0.0
+			if len(vs) > 0 {
+				last = vs[len(vs)-1]
+			}
+			fmt.Fprintf(&b, "%-24s %s %g\n", name, sparkline(vs, 40), last)
+		}
+	}
+	return b.String()
+}
+
+// latencyRows orders the latency table: known lifecycle stages first,
+// then anything else alphabetically.
+func latencyRows(m map[string]zccloud.LatencyStat) []string {
+	var rows []string
+	seen := map[string]bool{}
+	for _, stage := range lifecycleOrder {
+		if _, ok := m[stage]; ok {
+			rows = append(rows, stage)
+			seen[stage] = true
+		}
+	}
+	var extra []string
+	for stage := range m {
+		if !seen[stage] {
+			extra = append(extra, stage)
+		}
+	}
+	sort.Strings(extra)
+	return append(rows, extra...)
+}
+
+func joinCounts(m map[string]int64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, "   ")
+}
+
+func utilBar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	filled := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", filled) + strings.Repeat("-", width-filled) + "]"
+}
+
+func fmtDur(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Truncate(time.Second).String()
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"zccloud"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{
+			"build": "test",
+			"uptime_sec": 61.5,
+			"serve": {
+				"queued": 3, "running": 2, "workers": 2,
+				"submitted": 40, "completed": 37, "failed": 1, "shed": 10,
+				"latency": {
+					"exec": {"count": 37, "p50": 2.1, "p95": 8.8, "p99": 12},
+					"queue_wait": {"count": 40, "p50": 0.12, "p95": 1.9, "p99": 3.2}
+				},
+				"outcomes": {"ok": 36, "canceled": 1}
+			},
+			"sim": {
+				"clock_days": 3.5, "queue_len": 7, "running_jobs": 4,
+				"completed_jobs": 90, "total_jobs": 120,
+				"events_dispatched": 1000, "events_pending": 5,
+				"events_per_sec": 512000,
+				"partitions": [{"name": "mira", "nodes": 49152, "busy": 40000, "utilization": 0.81}]
+			}
+		}`))
+	})
+	mux.HandleFunc("GET /v1/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{
+			"interval_ms": 1000, "capacity": 600,
+			"times": [1000, 2000, 3000],
+			"series": {"queue_len": [1, 5, 3], "events_per_sec": [0, 250000, 512000]}
+		}`))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestOnceRendersFrame(t *testing.T) {
+	srv := testServer(t)
+	var out, errOut strings.Builder
+	if err := run([]string{"-once", "-url", srv.URL}, &out, &errOut); err != nil {
+		t.Fatalf("run -once: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"build test",
+		"up 1m1s",
+		"queue   3 queued   2/2 workers busy",
+		"submitted 40",
+		"shed 10 (20.0%)",
+		"queue_wait",
+		"exec",
+		"2.100", // exec p50
+		"ok=36",
+		"mira",
+		"81.0%",
+		"512000 events/sec",
+		"queue_len",
+		"events_per_sec",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame missing %q\nframe:\n%s", want, got)
+		}
+	}
+	// Latency rows follow the lifecycle order even though the JSON map
+	// iterates randomly.
+	if qi, ei := strings.Index(got, "queue_wait"), strings.Index(got, "  exec "); qi > ei {
+		t.Errorf("queue_wait row (%d) should precede exec row (%d)", qi, ei)
+	}
+	// Sparklines drawn from the series values.
+	for _, r := range got {
+		if r == '▁' || r == '█' {
+			return
+		}
+	}
+	t.Errorf("no sparkline glyphs in frame:\n%s", got)
+}
+
+func TestOnceFailsWhenUnreachable(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-once", "-url", "http://127.0.0.1:1"}, &out, &errOut); err == nil {
+		t.Fatal("run -once against a dead endpoint should fail")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 40); got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", got)
+	}
+	if got := sparkline([]float64{5, 5, 5}, 40); got != "▁▁▁" {
+		t.Errorf("flat sparkline = %q, want lowest glyphs", got)
+	}
+	if got := sparkline(nil, 40); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	// Window truncation keeps the trailing values.
+	if got := sparkline([]float64{9, 9, 0, 8}, 2); got != "▁█" {
+		t.Errorf("truncated sparkline = %q", got)
+	}
+}
+
+func TestUtilBar(t *testing.T) {
+	if got := utilBar(0.5, 4); got != "[##--]" {
+		t.Errorf("utilBar(0.5) = %q", got)
+	}
+	if got := utilBar(2, 4); got != "[####]" {
+		t.Errorf("utilBar clamps high: %q", got)
+	}
+	if got := utilBar(-1, 4); got != "[----]" {
+		t.Errorf("utilBar clamps low: %q", got)
+	}
+}
+
+func TestRenderFrameWithoutSeries(t *testing.T) {
+	f := frame{url: "http://x", status: zccloud.StatusSnapshot{Build: "b"}}
+	got := renderFrame(f)
+	if !strings.Contains(got, "build b") {
+		t.Errorf("minimal frame = %q", got)
+	}
+}

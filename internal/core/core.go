@@ -221,6 +221,13 @@ func buildSched(cfg RunConfig, sys SystemConfig) (sched.Config, *cluster.Machine
 	if sys.FCFS {
 		policy = sched.FCFS
 	}
+	// Run correlation: bind the run ID to every log line the scheduler
+	// emits and stamp it on every trace event, so a run's full lifecycle
+	// is reconstructable from either stream by run_id alone.
+	logger := cfg.Obs.Log
+	if cfg.Obs.RunID != "" {
+		logger = logger.With("run_id", cfg.Obs.RunID)
+	}
 	scfg := sched.Config{
 		Machine:            machine,
 		Engine:             sim.New(),
@@ -232,7 +239,8 @@ func buildSched(cfg RunConfig, sys SystemConfig) (sched.Config, *cluster.Machine
 		Predictor:          sys.Predictor,
 		CheckpointInterval: sys.CheckpointInterval,
 		CheckpointOverhead: sys.CheckpointOverhead,
-		Tracer:             cfg.Obs.Tracer,
+		Tracer:             obs.TagRun(cfg.Obs.Tracer, cfg.Obs.RunID),
+		Log:                logger,
 		Metrics:            cfg.Obs.Metrics,
 		Progress:           cfg.Obs.Progress,
 		Status:             cfg.Obs.Status,
@@ -258,6 +266,8 @@ func buildSched(cfg RunConfig, sys SystemConfig) (sched.Config, *cluster.Machine
 // ctx cancellation) into an *Interrupted error carrying the snapshot.
 func finishRun(ctx context.Context, s *sched.Scheduler, deadline sim.Time,
 	machine *cluster.Machine, jobs []*job.Job, obsOpts obs.Options) (*Metrics, error) {
+	logger := runLogger(obsOpts)
+	logger.Info("run started", "jobs", len(jobs), "deadline_days", float64(deadline)/float64(sim.Day))
 	obsOpts.Status.SetPhase("simulate")
 	span := obsOpts.Timings.Start("run.simulate")
 	res, err := s.RunContext(ctx, deadline)
@@ -267,14 +277,28 @@ func finishRun(ctx context.Context, s *sched.Scheduler, deadline sim.Time,
 		if serr != nil {
 			return nil, serr
 		}
+		logger.Info("run interrupted", "pending_events", len(snap.Pending))
 		return nil, &Interrupted{Snapshot: snap}
 	}
 	if err != nil {
+		logger.Error("run failed", "err", err.Error())
 		return nil, err
 	}
 	span = obsOpts.Timings.Start("run.collect")
 	defer span.Stop()
-	return collectMetrics(res, machine, jobs, obsOpts), nil
+	m := collectMetrics(res, machine, jobs, obsOpts)
+	logger.Info("run finished", "completed", m.Completed, "unfinished", m.Unfinished,
+		"makespan_days", m.MakespanDays, "avg_wait_hrs", m.AvgWaitHrs)
+	return m, nil
+}
+
+// runLogger binds the run ID (when set) to the run's logger, mirroring
+// the binding buildSched hands the scheduler.
+func runLogger(o obs.Options) *obs.Logger {
+	if o.RunID == "" {
+		return o.Log
+	}
+	return o.Log.With("run_id", o.RunID)
 }
 
 // Run simulates one configuration and extracts metrics. When the run is

@@ -99,19 +99,20 @@ func promName(name string) string {
 func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // Introspection is a live HTTP server exposing a running simulation:
-// /metrics (Prometheus text), /status (JSON run state), and the standard
-// /debug/pprof/* profiling endpoints. It only reads the telemetry layer
-// — registry snapshots, the status board, span timings — so serving
-// never perturbs the simulation.
+// /metrics (Prometheus text), /status (JSON run state), /v1/timeseries
+// (recent metric history), and the standard /debug/pprof/* profiling
+// endpoints. It only reads the telemetry layer — registry snapshots, the
+// status board, span timings, the sample ring — so serving never
+// perturbs the simulation.
 type Introspection struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
 // StartIntrospection binds addr (e.g. "127.0.0.1:0") and serves in a
-// background goroutine. Any of reg, status, and timings may be nil; the
-// corresponding endpoint sections are simply empty.
-func StartIntrospection(addr string, reg *Registry, status *Status, timings *Timings) (*Introspection, error) {
+// background goroutine. Any of reg, status, timings, and ts may be nil;
+// the corresponding endpoint sections are simply empty.
+func StartIntrospection(addr string, reg *Registry, status *Status, timings *Timings, ts *TimeSeries) (*Introspection, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -127,6 +128,10 @@ func StartIntrospection(addr string, reg *Registry, status *Status, timings *Tim
 		enc.SetIndent("", "  ")
 		enc.Encode(snap)
 	})
+	mux.HandleFunc("/v1/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ts.Snapshot().WriteJSON(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -141,6 +146,7 @@ func StartIntrospection(addr string, reg *Registry, status *Status, timings *Tim
 		fmt.Fprint(w, `<html><body><h1>zccloud introspection</h1><ul>
 <li><a href="/status">/status</a> — live run state (JSON)</li>
 <li><a href="/metrics">/metrics</a> — Prometheus metrics</li>
+<li><a href="/v1/timeseries">/v1/timeseries</a> — recent metric history (JSON)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiling</li>
 </ul></body></html>`)
 	})

@@ -84,7 +84,7 @@ func TestIntrospectionServer(t *testing.T) {
 	tm := NewTimings()
 	tm.Start("run.simulate").Stop()
 
-	in, err := StartIntrospection("127.0.0.1:0", reg, status, tm)
+	in, err := StartIntrospection("127.0.0.1:0", reg, status, tm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestIntrospectionServer(t *testing.T) {
 // TestIntrospectionNilBackends: every backend may be nil; handlers must
 // still answer.
 func TestIntrospectionNilBackends(t *testing.T) {
-	in, err := StartIntrospection("127.0.0.1:0", nil, nil, nil)
+	in, err := StartIntrospection("127.0.0.1:0", nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestIntrospectionConcurrentScrape(t *testing.T) {
 	reg := NewRegistry()
 	status := NewStatus()
 	tm := NewTimings()
-	in, err := StartIntrospection("127.0.0.1:0", reg, status, tm)
+	in, err := StartIntrospection("127.0.0.1:0", reg, status, tm, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestIntrospectionConcurrentScrape(t *testing.T) {
 }
 
 func TestIntrospectionBadAddr(t *testing.T) {
-	if _, err := StartIntrospection("256.0.0.1:99999", nil, nil, nil); err == nil {
+	if _, err := StartIntrospection("256.0.0.1:99999", nil, nil, nil, nil); err == nil {
 		t.Error("bad address should fail to listen")
 	}
 }
@@ -212,7 +212,7 @@ func TestIntrospectionBadAddr(t *testing.T) {
 // TestIntrospectionShutdownUnbinds: the graceful path must release the
 // port just like Close, and further scrapes must be refused.
 func TestIntrospectionShutdownUnbinds(t *testing.T) {
-	in, err := StartIntrospection("127.0.0.1:0", nil, nil, nil)
+	in, err := StartIntrospection("127.0.0.1:0", nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestIntrospectionShutdownUnbinds(t *testing.T) {
 	}
 	var lastErr error
 	for i := 0; i < 50; i++ {
-		in2, err := StartIntrospection(addr, nil, nil, nil)
+		in2, err := StartIntrospection(addr, nil, nil, nil, nil)
 		if err == nil {
 			in2.Close()
 			return
@@ -242,7 +242,7 @@ func TestIntrospectionShutdownUnbinds(t *testing.T) {
 }
 
 func TestIntrospectionCloseUnbinds(t *testing.T) {
-	in, err := StartIntrospection("127.0.0.1:0", nil, nil, nil)
+	in, err := StartIntrospection("127.0.0.1:0", nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestIntrospectionCloseUnbinds(t *testing.T) {
 	// on some platforms).
 	var lastErr error
 	for i := 0; i < 50; i++ {
-		in2, err := StartIntrospection(addr, nil, nil, nil)
+		in2, err := StartIntrospection(addr, nil, nil, nil, nil)
 		if err == nil {
 			in2.Close()
 			return

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. The zero value is LevelInfo so a
+// zero-configured logger is quiet about debug chatter but never silently
+// drops warnings.
+type Level int8
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+var levelNames = map[Level]string{
+	LevelDebug: "debug",
+	LevelInfo:  "info",
+	LevelWarn:  "warn",
+	LevelError: "error",
+}
+
+func (l Level) String() string {
+	if n, ok := levelNames[l]; ok {
+		return n
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	for l, n := range levelNames {
+		if n == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// LogFormat selects the line encoding.
+type LogFormat uint8
+
+// Log line encodings: logfmt ("ts=... level=info msg=... k=v") or one
+// JSON object per line.
+const (
+	Logfmt LogFormat = iota
+	LogJSON
+)
+
+// ParseLogFormat maps a flag value ("logfmt", "json") to a LogFormat.
+func ParseLogFormat(s string) (LogFormat, error) {
+	switch s {
+	case "logfmt", "":
+		return Logfmt, nil
+	case "json":
+		return LogJSON, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log format %q (want logfmt or json)", s)
+}
+
+// logSink is the shared output side of a logger family: one writer, one
+// mutex, one reusable buffer. Derived loggers (With) share the sink, so
+// lines from every derivation interleave whole, never torn.
+type logSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	format LogFormat
+	now    func() time.Time
+	buf    []byte
+}
+
+// Logger is a leveled, structured logger: every line is a timestamp, a
+// level, a message, and key=value attributes, encoded as logfmt or JSON.
+// It is zero-dependency and deterministic given a fixed time source.
+//
+// A nil *Logger is the disabled logger: every method is a cheap nil-check
+// no-op, pinned allocation-free (BenchmarkNopLogger), so call sites can
+// log unconditionally. With derives a child logger whose bound
+// attributes (a run_id, say) are rendered once and prefixed to every
+// line — the correlation mechanism behind run-lifecycle reconstruction.
+//
+// Attribute values may be string, int, int64, uint64, float64, bool,
+// time.Duration, or time.Time; anything else renders as "?(unsupported)".
+// The set is closed deliberately: rendering via fmt or dynamic interface
+// calls would force every argument to escape to the heap, breaking the
+// zero-alloc disabled path.
+type Logger struct {
+	sink  *logSink
+	min   Level
+	attrs []byte // pre-rendered bound attributes, format-specific
+}
+
+// NewLogger returns a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level, format LogFormat) *Logger {
+	return &Logger{
+		sink: &logSink{w: w, format: format, now: time.Now},
+		min:  min,
+	}
+}
+
+// SetTimeFunc replaces the wall-clock source (tests pin it for golden
+// output). It must be called before logging begins.
+func (l *Logger) SetTimeFunc(now func() time.Time) {
+	if l != nil {
+		l.sink.now = now
+	}
+}
+
+// Enabled reports whether a line at level v would be emitted.
+func (l *Logger) Enabled(v Level) bool { return l != nil && v >= l.min }
+
+// With returns a child logger that prefixes the given attributes to
+// every line. Nil-safe: a disabled logger derives a disabled logger.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	attrs := append([]byte(nil), l.attrs...)
+	attrs = appendAttrs(attrs, l.sink.format, kv)
+	return &Logger{sink: l.sink, min: l.min, attrs: attrs}
+}
+
+// Debug logs a line at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) {
+	if l == nil || LevelDebug < l.min {
+		return
+	}
+	l.sink.emit(LevelDebug, l.attrs, msg, kv)
+}
+
+// Info logs a line at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) {
+	if l == nil || LevelInfo < l.min {
+		return
+	}
+	l.sink.emit(LevelInfo, l.attrs, msg, kv)
+}
+
+// Warn logs a line at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) {
+	if l == nil || LevelWarn < l.min {
+		return
+	}
+	l.sink.emit(LevelWarn, l.attrs, msg, kv)
+}
+
+// Error logs a line at LevelError.
+func (l *Logger) Error(msg string, kv ...any) {
+	if l == nil || LevelError < l.min {
+		return
+	}
+	l.sink.emit(LevelError, l.attrs, msg, kv)
+}
+
+// logTimeLayout is RFC3339 with milliseconds, UTC.
+const logTimeLayout = "2006-01-02T15:04:05.000Z"
+
+// emit renders and writes one line under the sink lock. The buffer is
+// reused across lines; kv is read but never retained, so callers'
+// variadic slices stay off the heap.
+func (s *logSink) emit(lv Level, attrs []byte, msg string, kv []any) {
+	now := s.now().UTC()
+	s.mu.Lock()
+	b := s.buf[:0]
+	switch s.format {
+	case LogJSON:
+		b = append(b, `{"ts":"`...)
+		b = now.AppendFormat(b, logTimeLayout)
+		b = append(b, `","level":"`...)
+		b = append(b, lv.String()...)
+		b = append(b, `","msg":`...)
+		b = appendJSONString(b, msg)
+	default:
+		b = append(b, `ts=`...)
+		b = now.AppendFormat(b, logTimeLayout)
+		b = append(b, ` level=`...)
+		b = append(b, lv.String()...)
+		b = append(b, ` msg=`...)
+		b = appendLogfmtValue(b, msg)
+	}
+	b = append(b, attrs...)
+	b = appendAttrs(b, s.format, kv)
+	if s.format == LogJSON {
+		b = append(b, '}')
+	}
+	b = append(b, '\n')
+	s.w.Write(b)
+	s.buf = b
+	s.mu.Unlock()
+}
+
+// appendAttrs renders key/value pairs. A trailing unpaired key gets the
+// value "(missing)".
+func appendAttrs(b []byte, format LogFormat, kv []any) []byte {
+	for i := 0; i < len(kv); i += 2 {
+		key, _ := kv[i].(string)
+		if key == "" {
+			key = "arg" + strconv.Itoa(i)
+		}
+		var v any = "(missing)"
+		if i+1 < len(kv) {
+			v = kv[i+1]
+		}
+		if format == LogJSON {
+			b = append(b, ',')
+			b = appendJSONString(b, key)
+			b = append(b, ':')
+			b = appendJSONValue(b, v)
+		} else {
+			b = append(b, ' ')
+			b = append(b, key...)
+			b = append(b, '=')
+			b = appendLogfmtAny(b, v)
+		}
+	}
+	return b
+}
+
+// appendLogfmtAny renders one attribute value for logfmt. The type set
+// is closed (see Logger) to keep the disabled path allocation-free.
+func appendLogfmtAny(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendLogfmtValue(b, x)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case time.Duration:
+		return append(b, x.String()...)
+	case time.Time:
+		return x.UTC().AppendFormat(b, logTimeLayout)
+	}
+	return append(b, "?(unsupported)"...)
+}
+
+// appendJSONValue renders one attribute value for JSON lines.
+func appendJSONValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendJSONString(b, x)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case time.Duration:
+		b = append(b, '"')
+		b = append(b, x.String()...)
+		return append(b, '"')
+	case time.Time:
+		b = append(b, '"')
+		b = x.UTC().AppendFormat(b, logTimeLayout)
+		return append(b, '"')
+	}
+	return append(b, `"?(unsupported)"`...)
+}
+
+// appendLogfmtValue writes s bare when it is a plain token, quoted
+// otherwise (spaces, '=', quotes, control bytes, or empty).
+func appendLogfmtValue(b []byte, s string) []byte {
+	if s == "" {
+		return append(b, `""`...)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '=' || c == '"' || c >= 0x7f {
+			return strconv.AppendQuote(b, s)
+		}
+	}
+	return append(b, s...)
+}
+
+// appendJSONString writes s as a JSON string, escaping quotes, slashes,
+// and control bytes. Non-ASCII passes through (valid UTF-8 assumed).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigit(c>>4), hexDigit(c&0xf))
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+func hexDigit(n byte) byte {
+	if n < 10 {
+		return '0' + n
+	}
+	return 'a' + n - 10
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2026, 8, 8, 12, 0, 0, 123e6, time.UTC)
+}
+
+func TestLoggerLogfmt(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, Logfmt)
+	l.SetTimeFunc(fixedNow)
+	l.Info("run started", "run_id", "r-000001", "days", 28.0, "oracle", true)
+	want := `ts=2026-08-08T12:00:00.123Z level=info msg="run started" run_id=r-000001 days=28 oracle=true` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("logfmt line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, LogJSON)
+	l.SetTimeFunc(fixedNow)
+	l.Warn(`quoted "msg"`, "n", 7, "dur", 1500*time.Millisecond)
+	want := `{"ts":"2026-08-08T12:00:00.123Z","level":"warn","msg":"quoted \"msg\"","n":7,"dur":"1.5s"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("json line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn, Logfmt)
+	l.SetTimeFunc(fixedNow)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines at LevelWarn, got %d: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "level=warn") || !strings.Contains(lines[1], "level=error") {
+		t.Errorf("wrong lines survived the filter: %q", lines)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Error("Enabled disagrees with the filter")
+	}
+}
+
+func TestLoggerWithBindsAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, Logfmt)
+	l.SetTimeFunc(fixedNow)
+	rl := l.With("run_id", "r-000042").With("req_id", "q-00000007")
+	rl.Info("state", "state", "running")
+	got := buf.String()
+	for _, want := range []string{"run_id=r-000042", "req_id=q-00000007", "state=running"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("bound line %q missing %q", got, want)
+		}
+	}
+	// The parent is unaffected.
+	buf.Reset()
+	l.Info("bare")
+	if strings.Contains(buf.String(), "run_id") {
+		t.Errorf("parent logger inherited child attrs: %q", buf.String())
+	}
+}
+
+func TestLoggerEdgeValues(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, Logfmt)
+	l.SetTimeFunc(fixedNow)
+	l.Info("edge", "empty", "", "spaced", "a b=c", "odd") // odd trailing key
+	got := buf.String()
+	for _, want := range []string{`empty=""`, `spaced="a b=c"`, `odd=(missing)`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("line %q missing %q", got, want)
+		}
+	}
+	// Unsupported types degrade, never panic.
+	buf.Reset()
+	l.Info("odd", "v", struct{ X int }{1})
+	if !strings.Contains(buf.String(), "?(unsupported)") {
+		t.Errorf("unsupported value not flagged: %q", buf.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("d")
+	l.Info("i", "k", 1)
+	l.Warn("w")
+	l.Error("e", "err", "boom")
+	if l.With("run_id", "r-1") != nil {
+		t.Error("nil.With should stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestParseLevelAndFormat(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+	if f, err := ParseLogFormat("json"); err != nil || f != LogJSON {
+		t.Errorf("ParseLogFormat(json) = %v, %v", f, err)
+	}
+	if _, err := ParseLogFormat("xml"); err == nil {
+		t.Error("ParseLogFormat accepted garbage")
+	}
+}
+
+// TestDisabledLoggerZeroAlloc pins the contract that logging through a
+// nil logger — the default in every CLI — costs no allocations, exactly
+// like the Nop tracer.
+func TestDisabledLoggerZeroAlloc(t *testing.T) {
+	var l *Logger
+	id := "r-000001"
+	n := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Info("run started", "run_id", id, "queue_len", n, "days", 28.0)
+		n++
+	})
+	if allocs != 0 {
+		t.Errorf("disabled logger allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestLevelFilteredZeroAlloc: a live logger discarding below-threshold
+// lines is also allocation-free.
+func TestLevelFilteredZeroAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelError, Logfmt)
+	id := "r-000001"
+	n := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Debug("poll", "run_id", id, "i", n)
+		n++
+	})
+	if allocs != 0 {
+		t.Errorf("filtered debug line allocates %v per call, want 0", allocs)
+	}
+}
+
+// BenchmarkNopLogger is the acceptance benchmark for the disabled-logger
+// path, alongside BenchmarkNopTracer: 0 allocs/op.
+func BenchmarkNopLogger(b *testing.B) {
+	var l *Logger
+	id := "r-000001"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Info("run started", "run_id", id, "queue_len", i, "days", 28.0)
+	}
+}
+
+// BenchmarkLogfmtLogger measures the enabled logfmt path.
+func BenchmarkLogfmtLogger(b *testing.B) {
+	l := NewLogger(discard{}, LevelInfo, Logfmt)
+	id := "r-000001"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Info("run started", "run_id", id, "queue_len", i, "days", 28.0)
+	}
+}

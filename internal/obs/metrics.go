@@ -207,6 +207,38 @@ type HistogramSnapshot struct {
 	Over   int64   `json:"over,omitempty"`
 }
 
+// Quantile estimates the q-th quantile (0..1) from the bucket counts by
+// linear interpolation within the containing bucket. Mass below Lo
+// clamps to Min and mass at or above Hi clamps to Max, so tails stay
+// honest even when observations overflow the bucket range. Returns 0
+// with no observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := float64(s.Under)
+	if rank <= cum {
+		return s.Min
+	}
+	width := (s.Hi - s.Lo) / float64(len(s.Counts))
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			frac := (rank - cum) / float64(c)
+			return s.Lo + width*(float64(i)+frac)
+		}
+		cum = next
+	}
+	return s.Max
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry. Its
 // JSON encoding is deterministic (map keys sort).
 type Snapshot struct {
@@ -294,4 +326,12 @@ type Options struct {
 	// Check enables the scheduler's per-event invariant checker; a
 	// violation stops the run with a descriptive error.
 	Check bool
+	// Log receives structured lifecycle log lines; nil disables logging
+	// at zero cost.
+	Log *Logger
+	// RunID, when non-empty, correlates everything the run produces: it
+	// is bound to every log line, stamped on every trace event, and
+	// reported in run summaries, so a lifecycle is reconstructable from
+	// logs by this one key.
+	RunID string
 }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusHistogramScrapeValid pins the invariants a
+// Prometheus scraper relies on: bucket counts are cumulative and
+// non-decreasing, the series ends with le="+Inf" equal to _count, and
+// _sum/_count agree with the observed data even when observations fall
+// outside the bucket range.
+func TestWritePrometheusHistogramScrapeValid(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("serve.exec_seconds", 0, 10, 5)
+	obsVals := []float64{-1, 0.5, 1.5, 1.5, 3, 9.5, 42} // under, in-range, over
+	sum := 0.0
+	for _, v := range obsVals {
+		h.Observe(v)
+		sum += v
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+
+	if !strings.Contains(out, "# TYPE zccloud_serve_exec_seconds histogram\n") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+
+	var (
+		bucketCum  []int64
+		bucketLe   []string
+		infCount   = int64(-1)
+		sumVal     = math.NaN()
+		countVal   = int64(-1)
+		sawInfLast bool
+	)
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "zccloud_serve_exec_seconds_bucket{le=\"+Inf\"}"):
+			v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad +Inf line %q: %v", line, err)
+			}
+			infCount = v
+			sawInfLast = true
+		case strings.HasPrefix(line, "zccloud_serve_exec_seconds_bucket{"):
+			if sawInfLast {
+				t.Errorf("finite bucket after le=\"+Inf\": %q", line)
+			}
+			fields := strings.Fields(line)
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			le := strings.TrimSuffix(strings.TrimPrefix(fields[0], `zccloud_serve_exec_seconds_bucket{le="`), `"}`)
+			bucketCum = append(bucketCum, v)
+			bucketLe = append(bucketLe, le)
+		case strings.HasPrefix(line, "zccloud_serve_exec_seconds_sum "):
+			v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil {
+				t.Fatalf("bad sum line %q: %v", line, err)
+			}
+			sumVal = v
+		case strings.HasPrefix(line, "zccloud_serve_exec_seconds_count "):
+			v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			countVal = v
+		}
+	}
+
+	if len(bucketCum) != 5 {
+		t.Fatalf("want 5 finite buckets, got %d (%v)", len(bucketCum), bucketLe)
+	}
+	// Cumulative and non-decreasing, with strictly increasing le bounds.
+	prev := int64(0)
+	prevLe := math.Inf(-1)
+	for i, c := range bucketCum {
+		if c < prev {
+			t.Errorf("bucket %d count %d < previous %d: not cumulative", i, c, prev)
+		}
+		le, err := strconv.ParseFloat(bucketLe[i], 64)
+		if err != nil || le <= prevLe {
+			t.Errorf("bucket %d le=%q not strictly increasing (err %v)", i, bucketLe[i], err)
+		}
+		prev, prevLe = c, le
+	}
+	// le="+Inf" must exist, close the series, and equal _count.
+	if infCount != int64(len(obsVals)) {
+		t.Errorf("le=\"+Inf\" = %d, want %d", infCount, len(obsVals))
+	}
+	if countVal != int64(len(obsVals)) {
+		t.Errorf("_count = %d, want %d", countVal, len(obsVals))
+	}
+	// The last finite bucket excludes the over-range observation.
+	if last := bucketCum[len(bucketCum)-1]; last != int64(len(obsVals))-1 {
+		t.Errorf("last finite bucket = %d, want %d (over-range sample must only appear in +Inf)",
+			last, len(obsVals)-1)
+	}
+	if math.Abs(sumVal-sum) > 1e-9 {
+		t.Errorf("_sum = %v, want %v", sumVal, sum)
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q", 0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5) // one observation per bucket
+	}
+	s := reg.Snapshot().Histograms["q"]
+	cases := []struct{ q, want, tol float64 }{
+		{0.50, 50, 1.5},
+		{0.95, 95, 1.5},
+		{0.99, 99, 1.5},
+		{1.00, 100, 0.01},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("Quantile(%v) = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+
+	// Out-of-range mass clamps to observed extremes.
+	reg2 := NewRegistry()
+	h2 := reg2.Histogram("clamp", 0, 1, 4)
+	h2.Observe(-5)
+	h2.Observe(0.5)
+	h2.Observe(99)
+	s2 := reg2.Snapshot().Histograms["clamp"]
+	if got := s2.Quantile(0.01); got != -5 {
+		t.Errorf("under-range quantile = %v, want -5", got)
+	}
+	if got := s2.Quantile(0.999); got != 99 {
+		t.Errorf("over-range quantile = %v, want 99", got)
+	}
+
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile should be 0")
+	}
+}

@@ -55,15 +55,41 @@ type SweepStatus struct {
 	Cells       []CellStatus `json:"cells"`
 }
 
+// LatencyStat summarizes one lifecycle latency distribution for /status:
+// interpolated percentiles over the histogram buckets, in seconds.
+type LatencyStat struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// ServeStatus is the serving daemon's live state as served on /status:
+// queue/worker occupancy, run outcomes, and lifecycle latency summaries
+// keyed by stage ("admission_wait", "queue_wait", "exec", "park").
+type ServeStatus struct {
+	Queued    int                    `json:"queued"`
+	Running   int                    `json:"running"`
+	Workers   int                    `json:"workers"`
+	Draining  bool                   `json:"draining,omitempty"`
+	Submitted int64                  `json:"submitted"`
+	Completed int64                  `json:"completed"`
+	Failed    int64                  `json:"failed"`
+	Shed      int64                  `json:"shed"`
+	Latency   map[string]LatencyStat `json:"latency,omitempty"`
+	Outcomes  map[string]int64       `json:"outcomes,omitempty"`
+}
+
 // StatusSnapshot is everything /status serves: build identity, process
 // uptime, the current phase, the latest simulation sample, sweep state,
-// and span timings.
+// serving-daemon state, and span timings.
 type StatusSnapshot struct {
 	Build     string         `json:"build"`
 	UptimeSec float64        `json:"uptime_sec"`
 	Phase     string         `json:"phase,omitempty"`
 	Sim       *SimStatus     `json:"sim,omitempty"`
 	Sweep     *SweepStatus   `json:"sweep,omitempty"`
+	Serve     *ServeStatus   `json:"serve,omitempty"`
 	Spans     []SpanSnapshot `json:"spans,omitempty"`
 }
 

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TimeSeries is an in-process metrics history: a fixed-capacity ring of
+// periodic samples over named series (selected counters, gauges, or live
+// run state). It exists because Prometheus-style endpoints are
+// point-in-time — a scraper that polls every 15 s cannot reconstruct a
+// queue-depth spike that lived for 2 s — while this ring keeps the last
+// capacity×interval of history in bounded memory and serves it as JSON
+// at /v1/timeseries.
+//
+// The sample callback runs on the ticker goroutine; it must only read
+// concurrency-safe state (registry handles, the status board). A series
+// that first appears mid-flight is zero-backfilled so every series stays
+// aligned with the shared timestamp ring. Nil-safe throughout.
+type TimeSeries struct {
+	mu       sync.Mutex
+	interval time.Duration
+	capacity int
+	sample   func(put func(name string, v float64))
+
+	names  []string             // insertion order, for deterministic JSON
+	series map[string][]float64 // rings, aligned with times
+	times  []int64              // unix milliseconds ring
+	head   int                  // next write position
+	count  int                  // filled samples, <= capacity
+
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewTimeSeries builds a ring of capacity samples taken every interval.
+// sample is invoked once per tick with a put function to record each
+// series' current value. Defaults: 1 s interval, 600 samples.
+func NewTimeSeries(interval time.Duration, capacity int, sample func(put func(name string, v float64))) *TimeSeries {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if capacity <= 0 {
+		capacity = 600
+	}
+	return &TimeSeries{
+		interval: interval,
+		capacity: capacity,
+		sample:   sample,
+		series:   make(map[string][]float64),
+		times:    make([]int64, capacity),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Start launches the background sampler; Stop ends it. Nil-safe.
+func (t *TimeSeries) Start() {
+	if t == nil {
+		return
+	}
+	go func() {
+		tick := time.NewTicker(t.interval)
+		defer tick.Stop()
+		t.Tick(time.Now()) // an immediate first sample, so short runs still record
+		for {
+			select {
+			case now := <-tick.C:
+				t.Tick(now)
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background sampler. Idempotent and nil-safe.
+func (t *TimeSeries) Stop() {
+	if t == nil {
+		return
+	}
+	t.once.Do(func() { close(t.stop) })
+}
+
+// Interval returns the sampling period (0 on nil).
+func (t *TimeSeries) Interval() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.interval
+}
+
+// Tick takes one sample at the given wall-clock time. Exposed so tests
+// (and callers without a ticker) can drive sampling deterministically.
+func (t *TimeSeries) Tick(now time.Time) {
+	if t == nil || t.sample == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.times[t.head] = now.UnixMilli()
+	t.sample(func(name string, v float64) {
+		r, ok := t.series[name]
+		if !ok {
+			// Late-appearing series: zero-backfill so it aligns with the
+			// shared timestamp ring.
+			r = make([]float64, t.capacity)
+			t.series[name] = r
+			t.names = append(t.names, name)
+		}
+		r[t.head] = v
+	})
+	// A series the sampler skipped this tick keeps its slot's stale value;
+	// overwrite with zero so rings never resurrect old samples.
+	t.head = (t.head + 1) % t.capacity
+	if t.count < t.capacity {
+		t.count++
+	}
+}
+
+// TimeSeriesSnapshot is the JSON document /v1/timeseries serves: aligned
+// arrays, oldest sample first.
+type TimeSeriesSnapshot struct {
+	// IntervalMS is the sampling period in milliseconds.
+	IntervalMS int64 `json:"interval_ms"`
+	// Capacity is the ring size (samples retained at steady state).
+	Capacity int `json:"capacity"`
+	// Times holds each retained sample's unix-millisecond timestamp.
+	Times []int64 `json:"times"`
+	// Series maps series name to values aligned with Times.
+	Series map[string][]float64 `json:"series"`
+}
+
+// Snapshot copies the retained window in chronological order. Nil-safe:
+// a nil TimeSeries yields an empty snapshot.
+func (t *TimeSeries) Snapshot() TimeSeriesSnapshot {
+	out := TimeSeriesSnapshot{Series: map[string][]float64{}}
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out.IntervalMS = t.interval.Milliseconds()
+	out.Capacity = t.capacity
+	out.Times = t.unroll64(t.times)
+	for _, name := range t.names {
+		out.Series[name] = t.unroll(t.series[name])
+	}
+	return out
+}
+
+// unroll returns ring r's retained samples oldest-first; mu held.
+func (t *TimeSeries) unroll(r []float64) []float64 {
+	out := make([]float64, 0, t.count)
+	start := t.head - t.count
+	for i := 0; i < t.count; i++ {
+		out = append(out, r[((start+i)%t.capacity+t.capacity)%t.capacity])
+	}
+	return out
+}
+
+func (t *TimeSeries) unroll64(r []int64) []int64 {
+	out := make([]int64, 0, t.count)
+	start := t.head - t.count
+	for i := 0; i < t.count; i++ {
+		out = append(out, r[((start+i)%t.capacity+t.capacity)%t.capacity])
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot with sorted series keys (encoding/json
+// sorts map keys, so output is deterministic given equal data).
+func (s TimeSeriesSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SampleStatus returns a TimeSeries sampler that reads live run state
+// from a status board and selected metrics from a registry: queue depth,
+// running/completed jobs, events/sec, simulated clock, per-partition
+// utilization, and — when reg is non-nil — every counter under the
+// "serve." scope. Either argument may be nil.
+func SampleStatus(st *Status, reg *Registry) func(put func(string, float64)) {
+	return func(put func(string, float64)) {
+		if st != nil {
+			snap := st.Snapshot()
+			if snap.Sim != nil {
+				put("queue_len", float64(snap.Sim.QueueLen))
+				put("running_jobs", float64(snap.Sim.RunningJobs))
+				put("completed_jobs", float64(snap.Sim.CompletedJobs))
+				put("events_per_sec", snap.Sim.EventsPerSec)
+				put("clock_days", snap.Sim.ClockDays)
+				for _, p := range snap.Sim.Partitions {
+					put("util."+p.Name, p.Utilization)
+				}
+			}
+			if snap.Sweep != nil {
+				put("sweep_done", float64(snap.Sweep.Done))
+			}
+		}
+		if reg != nil {
+			ms := reg.Snapshot()
+			names := make([]string, 0, len(ms.Counters))
+			for n := range ms.Counters {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				put(n, float64(ms.Counters[n]))
+			}
+		}
+	}
+}

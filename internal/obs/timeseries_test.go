@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func tsAt(sec int) time.Time {
+	return time.Date(2026, 8, 8, 12, 0, sec, 0, time.UTC)
+}
+
+func TestTimeSeriesFillAndWrap(t *testing.T) {
+	v := 0.0
+	ts := NewTimeSeries(time.Second, 3, func(put func(string, float64)) {
+		put("x", v)
+		v++
+	})
+	for i := 0; i < 2; i++ {
+		ts.Tick(tsAt(i))
+	}
+	snap := ts.Snapshot()
+	if len(snap.Times) != 2 || len(snap.Series["x"]) != 2 {
+		t.Fatalf("partial ring: times=%v series=%v", snap.Times, snap.Series)
+	}
+	if snap.Series["x"][0] != 0 || snap.Series["x"][1] != 1 {
+		t.Errorf("partial ring out of order: %v", snap.Series["x"])
+	}
+
+	// Overflow the capacity: oldest samples fall off, order holds.
+	for i := 2; i < 5; i++ {
+		ts.Tick(tsAt(i))
+	}
+	snap = ts.Snapshot()
+	if len(snap.Times) != 3 {
+		t.Fatalf("full ring holds %d, want 3", len(snap.Times))
+	}
+	wantVals := []float64{2, 3, 4}
+	for i, w := range wantVals {
+		if snap.Series["x"][i] != w {
+			t.Errorf("wrapped ring[%d] = %v, want %v (all %v)", i, snap.Series["x"][i], w, snap.Series["x"])
+		}
+	}
+	wantT := tsAt(2).UnixMilli()
+	if snap.Times[0] != wantT {
+		t.Errorf("oldest time %d, want %d", snap.Times[0], wantT)
+	}
+	if snap.IntervalMS != 1000 || snap.Capacity != 3 {
+		t.Errorf("metadata: interval_ms=%d capacity=%d", snap.IntervalMS, snap.Capacity)
+	}
+}
+
+func TestTimeSeriesLateSeriesBackfilled(t *testing.T) {
+	n := 0
+	ts := NewTimeSeries(time.Second, 4, func(put func(string, float64)) {
+		put("always", float64(n))
+		if n >= 2 {
+			put("late", float64(n*10))
+		}
+		n++
+	})
+	for i := 0; i < 4; i++ {
+		ts.Tick(tsAt(i))
+	}
+	snap := ts.Snapshot()
+	late := snap.Series["late"]
+	if len(late) != 4 {
+		t.Fatalf("late series misaligned: %v", late)
+	}
+	want := []float64{0, 0, 20, 30}
+	for i, w := range want {
+		if late[i] != w {
+			t.Errorf("late[%d] = %v, want %v", i, late[i], w)
+		}
+	}
+}
+
+func TestTimeSeriesSnapshotJSONRoundTrip(t *testing.T) {
+	ts := NewTimeSeries(250*time.Millisecond, 8, func(put func(string, float64)) {
+		put("queue_len", 3)
+	})
+	ts.Tick(tsAt(0))
+	ts.Tick(tsAt(1))
+	var buf bytes.Buffer
+	if err := ts.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back TimeSeriesSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if back.IntervalMS != 250 || len(back.Times) != 2 || back.Series["queue_len"][1] != 3 {
+		t.Errorf("round-tripped snapshot wrong: %+v", back)
+	}
+}
+
+func TestTimeSeriesNilSafe(t *testing.T) {
+	var ts *TimeSeries
+	ts.Start()
+	ts.Tick(tsAt(0))
+	ts.Stop()
+	snap := ts.Snapshot()
+	if len(snap.Times) != 0 || len(snap.Series) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", snap)
+	}
+	if ts.Interval() != 0 {
+		t.Errorf("nil interval = %v", ts.Interval())
+	}
+}
+
+func TestTimeSeriesStartStop(t *testing.T) {
+	ticked := make(chan struct{}, 64)
+	ts := NewTimeSeries(5*time.Millisecond, 16, func(put func(string, float64)) {
+		put("n", 1)
+		select {
+		case ticked <- struct{}{}:
+		default:
+		}
+	})
+	ts.Start()
+	select {
+	case <-ticked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sampler never ticked")
+	}
+	ts.Stop()
+	ts.Stop() // idempotent
+	if len(ts.Snapshot().Times) == 0 {
+		t.Error("no samples retained after Start")
+	}
+}
+
+func TestSampleStatus(t *testing.T) {
+	st := NewStatus()
+	st.SetSim(SimStatus{
+		QueueLen: 7, RunningJobs: 2, CompletedJobs: 5, ClockDays: 1.5,
+		Partitions: []PartitionStatus{{Name: "batch", Utilization: 0.75}},
+	})
+	reg := NewRegistry()
+	reg.Counter("serve.submitted").Add(4)
+
+	got := map[string]float64{}
+	SampleStatus(st, reg)(func(name string, v float64) { got[name] = v })
+
+	want := map[string]float64{
+		"queue_len": 7, "running_jobs": 2, "completed_jobs": 5,
+		"clock_days": 1.5, "util.batch": 0.75, "serve.submitted": 4,
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("sample %q = %v, want %v (all %v)", k, got[k], w, got)
+		}
+	}
+
+	// Nil inputs produce no samples rather than panicking.
+	n := 0
+	SampleStatus(nil, nil)(func(string, float64) { n++ })
+	if n != 0 {
+		t.Errorf("nil sampler emitted %d values", n)
+	}
+}

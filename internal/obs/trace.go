@@ -91,6 +91,11 @@ type Event struct {
 	Partition string
 	Nodes     int
 	Detail    float64
+	// Run correlates the event with the serving-layer run that produced
+	// it (a zccd run ID, or -run-id on the CLIs). Empty outside a
+	// correlated run; when empty the JSONL encoding omits it entirely, so
+	// uncorrelated traces stay byte-identical across versions.
+	Run string
 }
 
 // Tracer consumes simulation events. Implementations must tolerate
@@ -237,5 +242,30 @@ func appendEvent(b []byte, e Event) []byte {
 		b = append(b, `,"detail":`...)
 		b = strconv.AppendFloat(b, e.Detail, 'g', -1, 64)
 	}
+	if e.Run != "" {
+		b = append(b, `,"run":`...)
+		b = appendJSONString(b, e.Run)
+	}
 	return append(b, '}')
+}
+
+// TagRun wraps a tracer so every event it forwards carries the given
+// run ID — the trace half of run correlation. Wrapping a nil or Nop
+// tracer, or tagging with an empty ID, returns t unchanged so the
+// disabled path stays free.
+func TagRun(t Tracer, run string) Tracer {
+	if run == "" || !Enabled(t) {
+		return t
+	}
+	return runTagger{t: t, run: run}
+}
+
+type runTagger struct {
+	t   Tracer
+	run string
+}
+
+func (r runTagger) Trace(e Event) {
+	e.Run = r.run
+	r.t.Trace(e)
 }

@@ -101,6 +101,7 @@ type traceLine struct {
 	Part   string  `json:"part"`
 	Nodes  int     `json:"nodes"`
 	Detail float64 `json:"detail"`
+	Run    string  `json:"run"`
 }
 
 // TraceScanner streams Events out of a JSONL trace. Lines longer than
@@ -142,6 +143,7 @@ func (t *TraceScanner) Next() (e Event, ok bool, err error) {
 			Partition: rec.Part,
 			Nodes:     rec.Nodes,
 			Detail:    rec.Detail,
+			Run:       rec.Run,
 		}
 		if rec.Job != nil {
 			e.Job = *rec.Job

@@ -127,6 +127,11 @@ type Config struct {
 	// the event loop — the data behind the introspection server's
 	// /status endpoint. Nil costs nothing.
 	Status *obs.Status
+	// Log, when non-nil, receives debug-level structured lines for
+	// low-frequency scheduler events (window transitions, faults,
+	// abandonments, checkpoints). Per-job lifecycle events stay in the
+	// trace; the log is for humans tailing a run. Nil costs nothing.
+	Log *obs.Logger
 	// Check enables the scheduler invariant checker after every
 	// dispatched event: capacity conservation, queue/running exclusivity,
 	// monotone event times, and job-state conservation. A violation stops
@@ -954,6 +959,7 @@ func (s *Scheduler) windowEnd(p *cluster.Partition, now sim.Time) {
 			killed = append(killed, rj)
 		}
 	}
+	s.cfg.Log.Debug("window down", "sim_hours", now.Hours(), "partition", p.Name, "killed", len(killed))
 	// Deterministic order: by job ID.
 	sort.Slice(killed, func(i, k int) bool { return killed[i].j.ID < killed[k].j.ID })
 	for _, rj := range killed {
@@ -999,6 +1005,7 @@ func (s *Scheduler) kill(rj *runningJob, now sim.Time) {
 		}
 		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvAbandon, Job: j.ID,
 			Nodes: j.Nodes, Detail: float64(j.Requeues)})
+		s.cfg.Log.Debug("job abandoned", "sim_hours", now.Hours(), "job", j.ID, "requeues", j.Requeues)
 		return
 	}
 	s.requeued++
@@ -1037,6 +1044,8 @@ func (s *Scheduler) nodeFail(p *cluster.Partition, o faults.Outage, now sim.Time
 	s.nodeFailures++
 	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvNodeFail, Job: -1, Partition: p.Name,
 		Nodes: n, Detail: float64(o.Repair)})
+	s.cfg.Log.Debug("nodes failed", "sim_hours", now.Hours(), "partition", p.Name,
+		"nodes", n, "repair_hours", sim.Time(o.Repair).Hours())
 	s.applyCapacity(p, now)
 	s.schedule(pendingEvent{Kind: evRepair, At: now + o.Repair, Prio: sim.PrioRelease,
 		Part: p.Name, Nodes: n})
@@ -1047,6 +1056,7 @@ func (s *Scheduler) nodeFail(p *cluster.Partition, o faults.Outage, now sim.Time
 func (s *Scheduler) nodeRepair(p *cluster.Partition, n int, now sim.Time) {
 	s.failOffline[p.Name] -= n
 	s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvNodeRepair, Job: -1, Partition: p.Name, Nodes: n})
+	s.cfg.Log.Debug("nodes repaired", "sim_hours", now.Hours(), "partition", p.Name, "nodes", n)
 	s.applyCapacity(p, now)
 	s.requestPass(now)
 }
@@ -1078,6 +1088,8 @@ func (s *Scheduler) windowFateEnd(p *cluster.Partition, f faults.WindowFate, now
 		s.brownouts++
 		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvBrownout, Job: -1, Partition: p.Name,
 			Nodes: surviving, Detail: float64(surviving) / float64(p.Nodes)})
+		s.cfg.Log.Debug("brownout", "sim_hours", now.Hours(), "partition", p.Name,
+			"surviving", surviving, "of", p.Nodes)
 	} else {
 		s.tracer.Trace(obs.Event{Time: now, Kind: obs.EvWindowDown, Job: -1, Partition: p.Name, Nodes: p.Nodes})
 	}

@@ -313,6 +313,7 @@ func (s *Scheduler) Snapshot() (*Snapshot, error) {
 	}
 	s.tracer.Trace(obs.Event{Time: s.eng.Now(), Kind: obs.EvCheckpointSave, Job: -1,
 		Detail: float64(len(snap.Pending))})
+	s.cfg.Log.Debug("checkpoint saved", "sim_hours", s.eng.Now().Hours(), "pending_events", len(snap.Pending))
 	if r := s.cfg.Metrics; r != nil {
 		r.Scope("sched").Counter("checkpoint_saves").Inc()
 	}
@@ -435,6 +436,7 @@ func Restore(cfg Config, snap *Snapshot) (*Scheduler, error) {
 	}
 	s.tracer.Trace(obs.Event{Time: s.eng.Now(), Kind: obs.EvCheckpointRestore, Job: -1,
 		Detail: float64(len(snap.Pending))})
+	s.cfg.Log.Debug("checkpoint restored", "sim_hours", s.eng.Now().Hours(), "pending_events", len(snap.Pending))
 	if r := s.cfg.Metrics; r != nil {
 		r.Scope("sched").Counter("checkpoint_restores").Inc()
 	}

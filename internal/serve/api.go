@@ -3,7 +3,9 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"zccloud/internal/obs"
@@ -20,24 +22,53 @@ type apiError struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/runs       submit a Spec        → 202 RunInfo
-//	GET    /v1/runs       list runs            → 200 [RunInfo]
-//	GET    /v1/runs/{id}  one run's status     → 200 RunInfo
-//	DELETE /v1/runs/{id}  cancel a run         → 202 RunInfo
-//	GET    /healthz       liveness             → 200, or 503 draining
-//	GET    /metrics       Prometheus text
+//	POST   /v1/runs        submit a Spec        → 202 RunInfo
+//	GET    /v1/runs        list runs            → 200 [RunInfo]
+//	GET    /v1/runs/{id}   one run's status     → 200 RunInfo
+//	DELETE /v1/runs/{id}   cancel a run         → 202 RunInfo
+//	GET    /status         live server state    → 200 StatusSnapshot
+//	GET    /v1/timeseries  recent sample ring   → 200 TimeSeriesSnapshot
+//	GET    /healthz        liveness             → 200, or 503 draining
+//	GET    /metrics        Prometheus text
 //
 // Submit maps admission outcomes to statuses: malformed or invalid
 // specs → 400, queue full → 429 with Retry-After, draining → 503.
+//
+// Every response carries an X-Request-ID header, and every request is
+// logged at debug level under that req_id — with the run_id bound too
+// when the path names a run, so a run's API history greps out by either
+// key.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /v1/timeseries", s.handleTimeseries)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.withRequestID(mux)
+}
+
+// withRequestID stamps each request with a correlation ID and emits the
+// debug-level request log line.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("q-%08d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", reqID)
+		if !s.log.Enabled(obs.LevelDebug) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		l := s.log.With("req_id", reqID)
+		if runID, ok := strings.CutPrefix(r.URL.Path, "/v1/runs/"); ok && runID != "" {
+			l = l.With("run_id", runID)
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		l.Debug("request", "method", r.Method, "path", r.URL.Path, "dur", time.Since(start))
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -95,6 +126,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, info)
 	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.Status()
+	snap := obs.StatusSnapshot{
+		Build:     obs.BuildInfo(),
+		UptimeSec: time.Since(s.started).Seconds(),
+		Serve:     &st,
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.ts.Snapshot().WriteJSON(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

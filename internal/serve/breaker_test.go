@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"zccloud/internal/obs"
 )
 
 func TestBreakerTripsAfterThreshold(t *testing.T) {
@@ -153,7 +155,7 @@ func (f *flakyAppender) Append(rec any) error {
 
 func TestJournalSinkRetriesTransientFailures(t *testing.T) {
 	app := &flakyAppender{failures: 2}
-	s := newJournalSink(app)
+	s := newJournalSink(app, nil, obs.Scope{})
 	s.retry.Sleep = func(time.Duration) {}
 	if err := s.append(journalRecord{Run: "r-1", State: StateQueued}); err != nil {
 		t.Fatalf("append with 2 transient failures (3 attempts): %v", err)
@@ -176,7 +178,7 @@ func (b *brokenAppender) Append(any) error {
 
 func TestJournalSinkBreakerShedsWhenSick(t *testing.T) {
 	app := &brokenAppender{}
-	s := newJournalSink(app)
+	s := newJournalSink(app, nil, obs.Scope{})
 	s.retry.Sleep = func(time.Duration) {}
 	fixed := time.Unix(0, 0)
 	s.br.now = func() time.Time { return fixed }

@@ -3,6 +3,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"zccloud/internal/obs"
 )
 
 // journalRecord is one runs.jsonl line: a run's state transition with
@@ -32,19 +34,31 @@ type appender interface {
 // breaker is open) the record is counted as dropped and the server
 // carries on — the journal is an audit trail, not the source of truth
 // for in-memory state.
+//
+// Breaker transitions are surfaced three ways: a warn/info log line
+// carrying the run_id whose append crossed the state, a
+// journal_breaker_open gauge (1 while open), and a
+// journal_breaker_trips counter on /metrics.
 type journalSink struct {
 	mu      sync.Mutex
 	app     appender
 	br      *Breaker
 	retry   RetryPolicy
 	dropped int64
+
+	log     *obs.Logger
+	scope   obs.Scope
+	wasOpen bool
+	trips   int64 // last Trips() value mirrored into the counter
 }
 
-func newJournalSink(app appender) *journalSink {
+func newJournalSink(app appender, log *obs.Logger, scope obs.Scope) *journalSink {
 	return &journalSink{
 		app:   app,
 		br:    NewBreaker(3, 2*time.Second),
 		retry: RetryPolicy{Attempts: 3, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond},
+		log:   log,
+		scope: scope,
 	}
 }
 
@@ -59,6 +73,8 @@ func (s *journalSink) append(rec journalRecord) error {
 	}
 	if !s.br.Allow() {
 		s.dropped++
+		s.log.Warn("journal record dropped: breaker open",
+			"run_id", rec.Run, "state", string(rec.State), "dropped", s.dropped)
 		return ErrBreakerOpen
 	}
 	err := s.retry.Do(func() error { return s.app.Append(rec) })
@@ -66,7 +82,36 @@ func (s *journalSink) append(rec journalRecord) error {
 	if err != nil {
 		s.dropped++
 	}
+	s.observeBreaker(rec, err)
 	return err
+}
+
+// observeBreaker mirrors the breaker's state into metrics and logs its
+// transitions; s.mu held.
+func (s *journalSink) observeBreaker(rec journalRecord, err error) {
+	if t := s.br.Trips(); t > s.trips {
+		s.scope.Counter("journal_breaker_trips").Add(t - s.trips)
+		s.trips = t
+	}
+	open := !s.br.Allow()
+	if open != s.wasOpen {
+		s.wasOpen = open
+		if open {
+			s.scope.Gauge("journal_breaker_open").Set(1)
+			s.log.Warn("journal breaker opened", "run_id", rec.Run,
+				"state", string(rec.State), "err", errString(err), "trips", s.trips)
+		} else {
+			s.scope.Gauge("journal_breaker_open").Set(0)
+			s.log.Info("journal breaker closed", "run_id", rec.Run, "state", string(rec.State))
+		}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // droppedCount returns how many records were lost to sink failures.

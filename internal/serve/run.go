@@ -7,6 +7,7 @@ import (
 
 	"zccloud/internal/core"
 	"zccloud/internal/experiments"
+	"zccloud/internal/obs"
 )
 
 // State is a run's position in its lifecycle. Transitions only move
@@ -58,6 +59,9 @@ type RunInfo struct {
 type run struct {
 	id   string
 	spec Spec
+	// log carries the run_id binding; every line about this run goes
+	// through it. Set once at admission, read-only afterwards.
+	log *obs.Logger
 
 	mu         sync.Mutex
 	state      State
@@ -66,8 +70,11 @@ type run struct {
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
-	metrics    *core.Metrics
-	table      *experiments.Table
+	// interruptedAt marks when a running run was first cancelled; the
+	// park-time histogram measures interrupt → terminal.
+	interruptedAt time.Time
+	metrics       *core.Metrics
+	table         *experiments.Table
 	// cancel interrupts the run's context with a cause that tells the
 	// worker whether to checkpoint (drain) or discard (client cancel);
 	// nil until the run starts.
@@ -121,6 +128,9 @@ func (r *run) interrupt(cause error) bool {
 	defer r.mu.Unlock()
 	if r.state != StateRunning || r.cancel == nil {
 		return false
+	}
+	if r.interruptedAt.IsZero() {
+		r.interruptedAt = time.Now()
 	}
 	r.cancel(cause)
 	return true

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,18 +79,41 @@ type Config struct {
 	// checkpoints. Empty disables persistence (checkpoint-less drain
 	// cancels in-flight runs instead).
 	DataDir string
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational log lines; nil discards them
+	// at zero cost. Every line about a specific run carries its run_id.
+	Log *obs.Logger
 	// Metrics receives server metrics under the "serve" scope; nil
 	// creates a private registry (see Registry).
 	Metrics *obs.Registry
+	// SampleInterval is the period of the /v1/timeseries sampler; zero
+	// means one second.
+	SampleInterval time.Duration
+	// SampleWindow is how many samples /v1/timeseries retains; zero
+	// means 600 (ten minutes at the default interval).
+	SampleWindow int
 }
+
+// Lifecycle histogram shapes, in seconds. Uniform buckets; the ranges
+// are sized so typical values land mid-range and the interpolated
+// /status percentiles stay meaningful (out-of-range mass clamps to the
+// observed extremes).
+const (
+	admissionHistHi = 1.0   // Submit critical section: contention only
+	queueHistHi     = 300.0 // queue wait: whole simulations deep
+	execHistHi      = 600.0 // execution: default run deadline
+	parkHistHi      = 30.0  // interrupt → terminal: drain settle time
+	lifecycleBuck   = 120
+)
 
 // Server owns the queue, the worker pool, and the run table.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	scope obs.Scope
+	cfg     Config
+	reg     *obs.Registry
+	scope   obs.Scope
+	log     *obs.Logger
+	ts      *obs.TimeSeries
+	started time.Time
+	reqSeq  atomic.Int64
 
 	// admitMu serializes Submit's queue send against Drain's queue
 	// close: Drain takes the write side, so no sender can be mid-send
@@ -130,20 +154,32 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Workers < 0 || cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("serve: workers %d / queue depth %d must be positive", cfg.Workers, cfg.QueueDepth)
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = time.Second
+	}
+	if cfg.SampleWindow == 0 {
+		cfg.SampleWindow = 600
 	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		scope: reg.Scope("serve"),
-		queue: make(chan *run, cfg.QueueDepth),
-		runs:  make(map[string]*run),
+		cfg:     cfg,
+		reg:     reg,
+		scope:   reg.Scope("serve"),
+		log:     cfg.Log,
+		started: time.Now(),
+		queue:   make(chan *run, cfg.QueueDepth),
+		runs:    make(map[string]*run),
 	}
+	// Pre-register the lifecycle histograms so /metrics serves the full
+	// schema from the first scrape rather than only after each stage has
+	// been observed once (scrapers hate appearing-later series).
+	s.scope.Histogram("admission_wait_seconds", 0, admissionHistHi, lifecycleBuck)
+	s.scope.Histogram("queue_wait_seconds", 0, queueHistHi, lifecycleBuck)
+	s.scope.Histogram("exec_seconds", 0, execHistHi, lifecycleBuck)
+	s.scope.Histogram("park_seconds", 0, parkHistHi, lifecycleBuck)
 	var app appender
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
@@ -156,7 +192,9 @@ func New(cfg Config) (*Server, error) {
 		s.jfile = j
 		app = j
 	}
-	s.journal = newJournalSink(app)
+	s.journal = newJournalSink(app, s.log, s.scope)
+	s.ts = obs.NewTimeSeries(cfg.SampleInterval, cfg.SampleWindow, s.sampleTelemetry)
+	s.ts.Start()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -179,6 +217,7 @@ func (s *Server) JournalDropped() int64 { return s.journal.droppedCount() }
 // ErrDraining; a full queue sheds with ErrQueueFull — the run is not
 // registered, so a shed submission leaves no trace beyond a counter.
 func (s *Server) Submit(spec Spec) (RunInfo, error) {
+	admitStart := time.Now()
 	if err := spec.Validate(); err != nil {
 		s.scope.Counter("submit_invalid").Inc()
 		return RunInfo{}, err
@@ -195,11 +234,14 @@ func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	s.nextID++
 	r.id = fmt.Sprintf("r-%06d", s.nextID)
 	s.mu.Unlock()
+	r.log = s.log.With("run_id", r.id)
 
 	select {
 	case s.queue <- r:
 	default:
 		s.scope.Counter("runs_shed").Inc()
+		s.scope.Counter("outcome_shed").Inc()
+		r.log.Warn("run shed", "state", "shed", "queue_depth", s.cfg.QueueDepth)
 		return RunInfo{}, ErrQueueFull
 	}
 	s.mu.Lock()
@@ -208,7 +250,11 @@ func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	s.mu.Unlock()
 	s.scope.Counter("runs_submitted").Inc()
 	s.scope.Gauge("queue_high_water").SetMax(float64(len(s.queue)))
+	admissionWait := time.Since(admitStart).Seconds()
+	s.scope.Histogram("admission_wait_seconds", 0, admissionHistHi, lifecycleBuck).Observe(admissionWait)
 	s.journal.append(journalRecord{Time: time.Now(), Run: r.id, Name: spec.Name, State: StateQueued})
+	r.log.Info("run admitted", "state", string(StateQueued), "spec", describeSpec(spec),
+		"queue_len", len(s.queue), "admission_wait_s", admissionWait)
 	return r.info(), nil
 }
 
@@ -257,9 +303,13 @@ func (s *Server) Cancel(id string) (RunInfo, error) {
 		return r.info(), ErrTerminal
 	case r.state == StateQueued:
 		rec := r.finishLocked(StateCancelled, "cancelled by client", "", nil, nil, time.Now())
+		rl := r.log
 		r.mu.Unlock()
-		s.recordFinish(rec)
+		s.recordFinish(rec, lifecycleTimes{execSec: -1, parkSec: -1}, rl)
 	default:
+		if r.interruptedAt.IsZero() {
+			r.interruptedAt = time.Now()
+		}
 		r.cancel(errCancelled)
 		r.mu.Unlock()
 	}
@@ -286,7 +336,7 @@ func (s *Server) execute(r *run) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.scope.Counter("run_panics").Inc()
-			s.cfg.Logf("serve: run %s panicked: %v\n%s", r.id, p, debug.Stack())
+			r.log.Error("run panicked", "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 			s.finish(r, StateFailed, fmt.Sprintf("panic: %v", p), "", nil, nil)
 		}
 	}()
@@ -307,8 +357,11 @@ func (s *Server) execute(r *run) {
 	if !r.start(time.Now(), cancel) {
 		return // cancelled while queued
 	}
+	queueWait := r.started.Sub(r.submitted).Seconds()
+	s.scope.Histogram("queue_wait_seconds", 0, queueHistHi, lifecycleBuck).Observe(queueWait)
 	s.journal.append(journalRecord{Time: time.Now(), Run: r.id, Name: r.spec.Name, State: StateRunning})
-	s.cfg.Logf("serve: run %s started (%s)", r.id, describeSpec(r.spec))
+	r.log.Info("run started", "state", string(StateRunning), "spec", describeSpec(r.spec),
+		"queue_wait_s", queueWait)
 
 	if r.spec.Experiment != "" {
 		s.executeExperiment(ctx, r)
@@ -320,7 +373,7 @@ func (s *Server) execute(r *run) {
 		m, err = s.execHook(ctx, r.spec)
 	} else {
 		var cfg core.RunConfig
-		cfg, err = r.spec.runConfig(obs.Options{})
+		cfg, err = r.spec.runConfig(obs.Options{Log: s.log, RunID: r.id})
 		if err != nil {
 			s.finish(r, StateFailed, err.Error(), "", nil, nil)
 			return
@@ -376,7 +429,11 @@ func (s *Server) executeExperiment(ctx context.Context, r *run) {
 		opt = experiments.Quick(r.spec.Seed)
 	}
 	lab := experiments.NewLab(opt)
-	lab.SetObs(obs.Options{Interrupt: func() bool { return ctx.Err() != nil }})
+	lab.SetObs(obs.Options{
+		Interrupt: func() bool { return ctx.Err() != nil },
+		Log:       s.log,
+		RunID:     r.id,
+	})
 	tbl, err := e.Run(lab)
 	if err == nil {
 		s.finish(r, StateDone, "", "", nil, tbl)
@@ -409,6 +466,14 @@ func (r *run) finishLocked(st State, errMsg, checkpoint string, m *core.Metrics,
 	return journalRecord{Time: now, Run: r.id, Name: r.spec.Name, State: st, Error: errMsg, Checkpoint: checkpoint}
 }
 
+// lifecycleTimes captures the durations a terminal transition closes
+// out; finish computes it under r.mu so recordFinish can observe the
+// histograms lock-free.
+type lifecycleTimes struct {
+	execSec float64 // started → finished; < 0 if the run never started
+	parkSec float64 // interrupt → finished; < 0 if never interrupted
+}
+
 // finish finalizes a run unless it already reached a terminal state.
 func (s *Server) finish(r *run, st State, errMsg, checkpoint string, m *core.Metrics, tbl *experiments.Table) {
 	r.mu.Lock()
@@ -417,19 +482,71 @@ func (s *Server) finish(r *run, st State, errMsg, checkpoint string, m *core.Met
 		return
 	}
 	rec := r.finishLocked(st, errMsg, checkpoint, m, tbl, time.Now())
+	lt := lifecycleTimes{execSec: -1, parkSec: -1}
+	if !r.started.IsZero() {
+		lt.execSec = r.finished.Sub(r.started).Seconds()
+	}
+	if !r.interruptedAt.IsZero() {
+		lt.parkSec = r.finished.Sub(r.interruptedAt).Seconds()
+	}
+	rl := r.log
 	r.mu.Unlock()
-	s.recordFinish(rec)
+	s.recordFinish(rec, lt, rl)
 }
 
-// recordFinish accounts and journals a terminal transition.
-func (s *Server) recordFinish(rec journalRecord) {
-	s.scope.Counter("runs_" + string(rec.State)).Inc()
-	s.journal.append(rec)
-	if rec.Error != "" {
-		s.cfg.Logf("serve: run %s %s: %s", rec.Run, rec.State, rec.Error)
-	} else {
-		s.cfg.Logf("serve: run %s %s", rec.Run, rec.State)
+// outcomeOf maps a terminal transition to its lifecycle outcome label:
+// ok, canceled, deadline, panic, error, or parked. (Shed submissions
+// never reach finish; they are counted at admission.)
+func outcomeOf(st State, errMsg string) string {
+	switch st {
+	case StateDone:
+		return "ok"
+	case StateCancelled:
+		return "canceled"
+	case StateCheckpointed:
+		return "parked"
+	case StateFailed:
+		switch {
+		case strings.HasPrefix(errMsg, "panic:"):
+			return "panic"
+		case errMsg == errRunDeadline.Error():
+			return "deadline"
+		}
+		return "error"
 	}
+	return string(st)
+}
+
+// recordFinish accounts, journals, and logs a terminal transition.
+func (s *Server) recordFinish(rec journalRecord, lt lifecycleTimes, rl *obs.Logger) {
+	outcome := outcomeOf(rec.State, rec.Error)
+	s.scope.Counter("runs_" + string(rec.State)).Inc()
+	s.scope.Counter("outcome_" + outcome).Inc()
+	if lt.execSec >= 0 {
+		s.scope.Histogram("exec_seconds", 0, execHistHi, lifecycleBuck).Observe(lt.execSec)
+		s.scope.Histogram("exec_seconds_"+outcome, 0, execHistHi, lifecycleBuck).Observe(lt.execSec)
+	}
+	if lt.parkSec >= 0 {
+		s.scope.Histogram("park_seconds", 0, parkHistHi, lifecycleBuck).Observe(lt.parkSec)
+	}
+	s.journal.append(rec)
+	kv := make([]any, 0, 10)
+	kv = append(kv, "state", string(rec.State), "outcome", outcome)
+	if lt.execSec >= 0 {
+		kv = append(kv, "exec_s", lt.execSec)
+	}
+	if lt.parkSec >= 0 {
+		kv = append(kv, "park_s", lt.parkSec)
+	}
+	if rec.Error != "" {
+		kv = append(kv, "err", rec.Error)
+		rl.Warn("run finished", kv...)
+		return
+	}
+	if rec.Checkpoint != "" {
+		kv = append(kv, "checkpoint", rec.Checkpoint)
+	}
+	rl.Info("run finished", kv...)
 }
 
 // interruptRunning cancels every running run with the given cause and
@@ -467,7 +584,7 @@ func (s *Server) drain(ctx context.Context) error {
 	s.draining.Store(true)
 	close(s.queue)
 	s.admitMu.Unlock()
-	s.cfg.Logf("serve: draining: admission closed")
+	s.log.Info("draining: admission closed")
 
 	done := make(chan struct{})
 	go func() {
@@ -478,20 +595,90 @@ func (s *Server) drain(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		n := s.interruptRunning(errDrainCheckpoint)
-		s.cfg.Logf("serve: draining: grace expired; interrupted %d in-flight run(s)", n)
+		s.log.Warn("draining: grace expired", "interrupted", n)
 		select {
 		case <-done:
 		case <-time.After(drainHardWait):
 			return fmt.Errorf("serve: drain: workers still busy %s after interrupt", drainHardWait)
 		}
 	}
+	s.ts.Stop()
 	if s.jfile != nil {
 		if err := s.jfile.Close(); err != nil {
 			return fmt.Errorf("serve: closing run journal: %w", err)
 		}
 	}
-	s.cfg.Logf("serve: drained: all runs terminal")
+	s.log.Info("drained: all runs terminal")
 	return nil
+}
+
+// lifecycleStages are the four /status latency summaries and the
+// histograms behind them.
+var lifecycleStages = [...]string{"admission_wait", "queue_wait", "exec", "park"}
+
+// Status summarizes the server for /status: occupancy, cumulative run
+// outcomes, and interpolated p50/p95/p99 for each lifecycle stage.
+func (s *Server) Status() obs.ServeStatus {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	st := obs.ServeStatus{
+		Workers:  s.cfg.Workers,
+		Draining: s.draining.Load(),
+	}
+	for _, r := range runs {
+		switch r.currentState() {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		}
+	}
+	ms := s.reg.Snapshot()
+	st.Submitted = ms.Counter("serve.runs_submitted")
+	st.Completed = ms.Counter("serve.runs_done")
+	st.Failed = ms.Counter("serve.runs_failed")
+	st.Shed = ms.Counter("serve.runs_shed")
+	st.Latency = make(map[string]obs.LatencyStat, len(lifecycleStages))
+	for _, stage := range lifecycleStages {
+		h, ok := ms.Histograms["serve."+stage+"_seconds"]
+		if !ok {
+			continue
+		}
+		st.Latency[stage] = obs.LatencyStat{
+			Count: h.Count,
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	st.Outcomes = make(map[string]int64)
+	for name, v := range ms.Counters {
+		if o, ok := strings.CutPrefix(name, "serve.outcome_"); ok {
+			st.Outcomes[o] = v
+		}
+	}
+	return st
+}
+
+// TimeSeries exposes the server's sample ring (for introspection tests).
+func (s *Server) TimeSeries() *obs.TimeSeries { return s.ts }
+
+// sampleTelemetry is the /v1/timeseries sampler: queue/worker occupancy
+// and cumulative outcome counters (zcctop differentiates the counters
+// into rates).
+func (s *Server) sampleTelemetry(put func(string, float64)) {
+	st := s.Status()
+	put("queue_len", float64(st.Queued))
+	put("running", float64(st.Running))
+	put("submitted", float64(st.Submitted))
+	put("completed", float64(st.Completed))
+	put("failed", float64(st.Failed))
+	put("shed", float64(st.Shed))
+	put("journal_dropped", float64(s.JournalDropped()))
 }
 
 // describeSpec is the one-line log form of a spec.

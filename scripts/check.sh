@@ -45,7 +45,8 @@ go test ./internal/miso -fuzz FuzzReadCSV -fuzztime 5s
 
 echo "== same-seed faulted-run determinism"
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+zccdpid=""
+trap 'rm -rf "$tmpdir"; [ -n "$zccdpid" ] && kill "$zccdpid" 2>/dev/null || true' EXIT
 go build -o "$tmpdir/zccsim" ./cmd/zccsim
 for i in 1 2; do
 	"$tmpdir/zccsim" -days 7 -mira-nodes 2048 -zc-factor 1 -zc-duty 0.5 \
@@ -154,13 +155,97 @@ fi
 echo "== zccd serving daemon chaos soak"
 scripts/soak.sh
 
-echo "== nop-tracer zero-alloc benchmark"
-out=$(go test ./internal/obs -run '^$' -bench BenchmarkNopTracer -benchmem -benchtime 100x)
-echo "$out"
-allocs=$(echo "$out" | awk '/BenchmarkNopTracer/ {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}')
-if [ "$allocs" != "0" ]; then
-	echo "BenchmarkNopTracer allocates ($allocs allocs/op, want 0)" >&2
+echo "== zccd lifecycle telemetry smoke test"
+# Start a debug-logging daemon, push one run through its whole
+# lifecycle, and assert the run is reconstructable from structured logs
+# by run_id alone, the sample ring serves history, and zcctop renders.
+go build -o "$tmpdir/zccd" ./cmd/zccd
+go build -o "$tmpdir/zcctop" ./cmd/zcctop
+"$tmpdir/zccd" -addr 127.0.0.1:0 -workers 1 -log-level debug \
+	-sample-interval 100ms -data "$tmpdir/zccd-data" 2>"$tmpdir/zccd.log" &
+zccdpid=$!
+daddr=""
+for _ in $(seq 1 100); do
+	daddr=$(sed -n 's/.*msg=serving .*addr=\([^ ]*\).*/\1/p' "$tmpdir/zccd.log" | head -n 1)
+	[ -n "$daddr" ] && break
+	if ! kill -0 "$zccdpid" 2>/dev/null; then
+		echo "zccd died on startup:" >&2
+		cat "$tmpdir/zccd.log" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+[ -n "$daddr" ] || { echo "zccd never logged its address" >&2; exit 1; }
+runid=$(curl -fsS -XPOST "http://$daddr/v1/runs" \
+	-d '{"days": 2, "mira_nodes": 2048}' | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$runid" ] || { echo "submit returned no run id" >&2; exit 1; }
+state=""
+for _ in $(seq 1 200); do
+	state=$(curl -fsS "http://$daddr/v1/runs/$runid" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+	[ "$state" = "done" ] && break
+	sleep 0.05
+done
+if [ "$state" != "done" ]; then
+	echo "run $runid never completed (state: $state)" >&2
+	cat "$tmpdir/zccd.log" >&2
 	exit 1
 fi
+sleep 0.3 # let the sampler take a post-completion sample
+# Every log line that names the run must carry it as run_id=<id>: the
+# lifecycle greps out of the log stream by correlation key alone.
+lifecycle=$(grep -c "run_id=$runid" "$tmpdir/zccd.log" || true)
+if [ "$lifecycle" -lt 3 ]; then
+	echo "only $lifecycle log lines carry run_id=$runid (want admitted/started/finished at least):" >&2
+	cat "$tmpdir/zccd.log" >&2
+	exit 1
+fi
+if grep "$runid" "$tmpdir/zccd.log" | grep -v "run_id=$runid" | grep -q .; then
+	echo "log lines mention $runid without a run_id key:" >&2
+	grep "$runid" "$tmpdir/zccd.log" | grep -v "run_id=$runid" >&2
+	exit 1
+fi
+for m in "run admitted" "run started" "run finished"; do
+	if ! grep "run_id=$runid" "$tmpdir/zccd.log" | grep -q "msg=\"$m\""; then
+		echo "no \"$m\" log line for $runid" >&2
+		cat "$tmpdir/zccd.log" >&2
+		exit 1
+	fi
+done
+# The time-series ring must have accumulated real history.
+curl -fsS "http://$daddr/v1/timeseries" >"$tmpdir/ts.json"
+samples=$(awk '/"times": \[/{f=1;next} f&&/\]/{exit} f{n++} END{print n+0}' "$tmpdir/ts.json")
+if [ "$samples" -lt 2 ]; then
+	echo "/v1/timeseries has $samples samples (want >= 2):" >&2
+	cat "$tmpdir/ts.json" >&2
+	exit 1
+fi
+# /metrics must expose the lifecycle histograms.
+curl -fsS "http://$daddr/metrics" >"$tmpdir/zccd-metrics.prom"
+for h in admission_wait_seconds queue_wait_seconds exec_seconds park_seconds; do
+	if ! grep -q "zccloud_serve_${h}_bucket" "$tmpdir/zccd-metrics.prom"; then
+		echo "/metrics is missing the serve.$h histogram" >&2
+		exit 1
+	fi
+done
+# The dashboard renders one frame against the live daemon and exits 0.
+"$tmpdir/zcctop" -once -url "http://$daddr" >"$tmpdir/zcctop.out"
+if ! grep -q "completed" "$tmpdir/zcctop.out"; then
+	echo "zcctop -once frame looks empty:" >&2
+	cat "$tmpdir/zcctop.out" >&2
+	exit 1
+fi
+kill -TERM "$zccdpid"
+wait "$zccdpid" || { echo "zccd drain exited nonzero" >&2; exit 1; }
+
+echo "== disabled-instrumentation zero-alloc benchmarks"
+out=$(go test ./internal/obs -run '^$' -bench 'BenchmarkNopTracer|BenchmarkNopLogger' -benchmem -benchtime 100x)
+echo "$out"
+for b in BenchmarkNopTracer BenchmarkNopLogger; do
+	allocs=$(echo "$out" | awk -v b="$b" '$0 ~ b {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}')
+	if [ "$allocs" != "0" ]; then
+		echo "$b allocates ($allocs allocs/op, want 0)" >&2
+		exit 1
+	fi
+done
 
 echo "== ok"

@@ -25,7 +25,7 @@ echo "== start daemon"
 daemonpid=$!
 addr=""
 for _ in $(seq 1 100); do
-	addr=$(sed -n 's#.*serving on http://##; s# .*##p' "$tmpdir/zccd.err" | head -n 1)
+	addr=$(sed -n 's/.*msg=serving .*addr=\([^ ]*\).*/\1/p' "$tmpdir/zccd.err" | head -n 1)
 	[ -n "$addr" ] && break
 	if ! kill -0 "$daemonpid" 2>/dev/null; then
 		echo "daemon died on startup:" >&2

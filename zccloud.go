@@ -500,6 +500,9 @@ const (
 // TraceEventKindByName resolves a trace-record "ev" name to its kind.
 var TraceEventKindByName = obs.KindByName
 
+// TagRunTracer wraps a tracer so every event carries the given run ID.
+var TagRunTracer = obs.TagRun
+
 // NopTracer is the disabled tracer; its calls never allocate.
 type NopTracer = obs.Nop
 
@@ -575,10 +578,61 @@ type SweepLiveStatus = obs.SweepStatus
 // CellLiveStatus is one sweep cell's live state.
 type CellLiveStatus = obs.CellStatus
 
+// ServeLiveStatus is the serving daemon's /status section.
+type ServeLiveStatus = obs.ServeStatus
+
+// LatencyStat is one lifecycle stage's percentile summary.
+type LatencyStat = obs.LatencyStat
+
+// Structured logging (internal/obs): leveled key=value or JSON log
+// lines with bound-attribute correlation (run_id, req_id). A nil
+// *Logger is the disabled logger — every call is an allocation-free
+// no-op.
+
+// Logger is the structured leveled logger.
+type Logger = obs.Logger
+
+// NewLogger returns a logger writing lines at or above min to w.
+var NewLogger = obs.NewLogger
+
+// LogLevel orders log severities.
+type LogLevel = obs.Level
+
+// Log levels, least to most severe.
+const (
+	LogDebug = obs.LevelDebug
+	LogInfo  = obs.LevelInfo
+	LogWarn  = obs.LevelWarn
+	LogError = obs.LevelError
+)
+
+// ParseLogLevel maps "debug", "info", "warn", or "error" to a LogLevel.
+var ParseLogLevel = obs.ParseLevel
+
+// LogFormat selects the log line encoding (logfmt or JSON).
+type LogFormat = obs.LogFormat
+
+// ParseLogFormat maps "logfmt" or "json" to a LogFormat.
+var ParseLogFormat = obs.ParseLogFormat
+
+// TimeSeries is the in-process sample ring behind /v1/timeseries.
+type TimeSeries = obs.TimeSeries
+
+// NewTimeSeries builds a ring of capacity samples taken every interval.
+var NewTimeSeries = obs.NewTimeSeries
+
+// TimeSeriesSnapshot is the /v1/timeseries JSON document.
+type TimeSeriesSnapshot = obs.TimeSeriesSnapshot
+
+// SampleStatus builds a TimeSeries sampler reading a status board and
+// registry.
+var SampleStatus = obs.SampleStatus
+
 // Introspection is the live HTTP server.
 type Introspection = obs.Introspection
 
-// StartIntrospection serves /metrics, /status, and /debug/pprof on addr.
+// StartIntrospection serves /metrics, /status, /v1/timeseries, and
+// /debug/pprof on addr.
 var StartIntrospection = obs.StartIntrospection
 
 // WritePrometheus renders a metrics snapshot in the Prometheus text
