@@ -1,0 +1,463 @@
+// Command zccagent is the worker half of distributed experiment
+// sweeps: it registers with a zccd control plane, heartbeats, and pulls
+// sweep cells to execute until told to stop.
+//
+//	zccagent -server http://127.0.0.1:8421 -name $(hostname)
+//
+// Each pulled cell arrives as a lease — a monotonic fencing token plus
+// a deadline — and the agent's heartbeats renew it while the cell runs.
+// A completed cell is reported back under its token; if the control
+// plane reaped this agent in the meantime (a long GC pause, a network
+// partition), the token is stale, the result is rejected, and the cell
+// has already been requeued elsewhere — the agent just drops it and
+// re-registers. SIGINT/SIGTERM drains gracefully: the in-flight cell is
+// interrupted at its next event boundary and released back to the
+// queue front (no retry penalty), the agent deregisters, and exits 0.
+//
+// Every HTTP call carries an agent-derived X-Request-ID the control
+// plane echoes into its own logs, and every log line carries agent_id —
+// with run_id and cell bound while a cell is in flight — so one grep
+// reconstructs a cell's lifecycle across both processes.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"zccloud/internal/experiments"
+	"zccloud/internal/fleet"
+	"zccloud/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "zccagent: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// agent is one worker's client state against the control plane.
+type agent struct {
+	server string
+	name   string
+	hc     *http.Client
+	log    *obs.Logger
+	rng    *rand.Rand
+
+	id     string // control-plane identity; changes on re-register
+	reqSeq atomic.Int64
+
+	hbEvery time.Duration
+
+	// token is the fencing token of the in-flight cell's lease (0 =
+	// idle); the heartbeat loop renews it and flags it lost.
+	token     atomic.Int64
+	leaseLost atomic.Bool
+	// draining is set by SIGTERM (agent drain) or a draining reply from
+	// the control plane; either way the in-flight cell stops at its
+	// next event boundary and is released rather than completed.
+	draining atomic.Bool
+	// reregister asks the claim loop to re-register before continuing
+	// (the control plane forgot us: restart or reap).
+	reregister atomic.Bool
+}
+
+// run is the testable agent body. ready (optional) receives the agent
+// ID once registered; stop (optional) triggers the same path as
+// SIGTERM.
+func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("zccagent", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server      = fs.String("server", "http://127.0.0.1:8421", "zccd control-plane base URL")
+		name        = fs.String("name", "", "agent name reported at registration (default: hostname)")
+		poll        = fs.Duration("poll", 500*time.Millisecond, "idle claim-poll interval (jittered)")
+		connectWait = fs.Duration("connect-wait", 30*time.Second, "how long to keep retrying the initial registration")
+		logLevel    = fs.String("log-level", "info", "log threshold: debug, info, warn, or error")
+		logFormat   = fs.String("log-format", "logfmt", "log line encoding: logfmt or json")
+		quiet       = fs.Bool("quiet", false, "suppress operational log lines")
+		version     = fs.Bool("version", false, "print build information and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stderr, "zccagent", obs.BuildInfo())
+		return nil
+	}
+	if *name == "" {
+		h, err := os.Hostname()
+		if err != nil {
+			h = "zccagent"
+		}
+		*name = h
+	}
+
+	var logger *obs.Logger
+	if !*quiet {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		format, err := obs.ParseLogFormat(*logFormat)
+		if err != nil {
+			return err
+		}
+		logger = obs.NewLogger(stderr, lv, format)
+	}
+
+	a := &agent{
+		server: *server,
+		name:   *name,
+		hc:     &http.Client{Timeout: 30 * time.Second},
+		log:    logger,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if err := a.registerWithRetry(*connectWait); err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- a.id
+	}
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		select {
+		case sig := <-sigc:
+			a.alog().Info("draining", "signal", sig.String())
+		case <-func() <-chan struct{} {
+			if stop != nil {
+				return stop
+			}
+			return make(chan struct{})
+		}():
+			a.alog().Info("draining", "signal", "stop requested")
+		}
+		a.draining.Store(true)
+	}()
+
+	hbDone := make(chan struct{})
+	hbStop := make(chan struct{})
+	go a.heartbeatLoop(hbStop, hbDone)
+
+	err := a.claimLoop(*poll)
+
+	close(hbStop)
+	<-hbDone
+	a.deregister()
+	a.alog().Info("drained; exiting")
+	return err
+}
+
+// alog is the agent's identity-bound logger.
+func (a *agent) alog() *obs.Logger { return a.log.With("agent_id", a.id) }
+
+// nextReqID derives the per-request correlation ID the control plane
+// echoes into its logs.
+func (a *agent) nextReqID() string {
+	id := a.id
+	if id == "" {
+		id = "unregistered"
+	}
+	return fmt.Sprintf("%s-r%06d", id, a.reqSeq.Add(1))
+}
+
+// do issues one JSON request. A nil in sends an empty object; a nil out
+// discards the body. Returns the HTTP status (0 on transport error).
+func (a *agent) do(method, path string, in, out any) (int, error) {
+	body := []byte("{}")
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return 0, err
+		}
+	}
+	req, err := http.NewRequest(method, a.server+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	reqID := a.nextReqID()
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	a.log.Debug("request", "req_id", reqID, "method", method, "path", path, "status", resp.StatusCode)
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 && out != nil {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s %s response: %w", method, path, err)
+		}
+	} else {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	}
+	return resp.StatusCode, nil
+}
+
+// register introduces the agent; the reply fixes its identity and
+// cadence.
+func (a *agent) register() error {
+	var view fleet.AgentView
+	code, err := a.do("POST", "/v1/agents", map[string]string{"name": a.name}, &view)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("register: HTTP %d", code)
+	}
+	a.id = view.ID
+	a.hbEvery = time.Duration(view.HeartbeatMS) * time.Millisecond
+	if a.hbEvery <= 0 {
+		a.hbEvery = 2 * time.Second
+	}
+	a.alog().Info("registered", "agent", a.name, "server", a.server,
+		"heartbeat", a.hbEvery, "lease", time.Duration(view.LeaseMS)*time.Millisecond)
+	return nil
+}
+
+// registerWithRetry keeps trying until the control plane answers or the
+// wait budget runs out — agents routinely start before the daemon.
+func (a *agent) registerWithRetry(wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	delay := 200 * time.Millisecond
+	for {
+		err := a.register()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) || a.draining.Load() {
+			return fmt.Errorf("registering with %s: %w", a.server, err)
+		}
+		a.log.Warn("register failed; retrying", "err", err.Error(), "backoff", delay)
+		time.Sleep(delay)
+		if delay *= 2; delay > 2*time.Second {
+			delay = 2 * time.Second
+		}
+	}
+}
+
+// heartbeatLoop renews the in-flight lease (if any) on the cadence the
+// control plane asked for. A lost-token reply interrupts the cell; an
+// unknown-agent reply schedules a re-registration; a draining reply
+// stops new claims and releases the in-flight cell.
+func (a *agent) heartbeatLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(a.hbEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		var tokens []int64
+		if tok := a.token.Load(); tok != 0 {
+			tokens = []int64{tok}
+		}
+		var rep fleet.HeartbeatReply
+		code, err := a.do("POST", "/v1/agents/"+a.id+"/heartbeat",
+			map[string][]int64{"tokens": tokens}, &rep)
+		switch {
+		case err != nil:
+			a.alog().Warn("heartbeat failed", "err", err.Error())
+		case code == http.StatusNotFound:
+			// Reaped (or the daemon restarted): our leases are gone and
+			// our tokens fenced off. Drop the cell, get a new identity.
+			a.alog().Warn("reaped by control plane; re-registering")
+			if a.token.Load() != 0 {
+				a.leaseLost.Store(true)
+			}
+			a.reregister.Store(true)
+		case code != http.StatusOK:
+			a.alog().Warn("heartbeat rejected", "status", code)
+		default:
+			for _, lost := range rep.Lost {
+				if lost == a.token.Load() && lost != 0 {
+					a.alog().Warn("lease lost; stopping cell", "token", lost)
+					a.leaseLost.Store(true)
+				}
+			}
+			if rep.Draining {
+				a.draining.Store(true)
+			}
+		}
+	}
+}
+
+// claimLoop pulls and executes cells until draining. One cell runs at a
+// time; idle polls are jittered so a fleet of agents does not beat on
+// the control plane in phase.
+func (a *agent) claimLoop(poll time.Duration) error {
+	// labs caches the Lab per sweep fingerprint: cells of one sweep
+	// share derived artifacts (scaled traces, the SP analysis) exactly
+	// like the single-process runner's shared Lab. Only the latest
+	// fingerprint is kept — sweeps run mostly one at a time.
+	var (
+		labFP string
+		lab   *experiments.Lab
+	)
+	for !a.draining.Load() {
+		if a.reregister.CompareAndSwap(true, false) {
+			if err := a.registerWithRetry(30 * time.Second); err != nil {
+				return err
+			}
+		}
+		var grant fleet.Grant
+		code, err := a.do("POST", "/v1/cells/claim", map[string]string{"agent": a.id}, &grant)
+		switch {
+		case err != nil:
+			a.alog().Warn("claim failed", "err", err.Error())
+			a.sleep(4 * poll)
+			continue
+		case code == http.StatusNoContent:
+			a.sleep(poll)
+			continue
+		case code == http.StatusNotFound:
+			a.reregister.Store(true)
+			continue
+		case code == http.StatusServiceUnavailable:
+			// Control plane draining: release nothing (we hold no
+			// lease), keep a slow poll so we pick work back up if it
+			// returns.
+			a.sleep(8 * poll)
+			continue
+		case code != http.StatusOK:
+			a.alog().Warn("claim rejected", "status", code)
+			a.sleep(4 * poll)
+			continue
+		}
+		if lab == nil || labFP != grant.Fingerprint {
+			lab = experiments.NewLab(grant.Options)
+			labFP = grant.Fingerprint
+		}
+		a.runCell(lab, grant)
+	}
+	return nil
+}
+
+// runCell executes one granted cell and reports its outcome: complete
+// on a terminal record, release on a voluntary stop, drop on a lost
+// lease.
+func (a *agent) runCell(lab *experiments.Lab, grant fleet.Grant) {
+	e, err := experiments.ByID(grant.Cell)
+	if err != nil {
+		// A cell we cannot run (version skew): report it as an error
+		// attempt so the control plane retries elsewhere or abandons.
+		a.complete(grant, experiments.CellRecord{
+			ID: grant.Cell, Status: experiments.CellError,
+			Error: fmt.Sprintf("agent %s: %v", a.id, err),
+		})
+		return
+	}
+	clog := a.alog().With("run_id", grant.Sweep, "cell", grant.Cell, "token", grant.Token)
+	clog.Info("cell start", "attempt_deadline_ms", grant.DeadlineMS)
+	a.leaseLost.Store(false)
+	a.token.Store(grant.Token)
+	lab.SetObs(obs.Options{
+		RunID: grant.Sweep,
+		Log:   a.log,
+		Interrupt: func() bool {
+			return a.draining.Load() || a.leaseLost.Load()
+		},
+	})
+	rec, interrupted := experiments.ExecuteCell(lab, e)
+	a.token.Store(0)
+	switch {
+	case interrupted && a.leaseLost.Load():
+		clog.Warn("cell dropped: lease lost mid-run", "elapsed_ms", rec.ElapsedMS)
+	case interrupted:
+		clog.Info("cell released: draining", "elapsed_ms", rec.ElapsedMS)
+		a.release(grant)
+	default:
+		clog.Info("cell finished", "status", rec.Status, "elapsed_ms", rec.ElapsedMS)
+		a.complete(grant, rec)
+	}
+}
+
+// complete reports a terminal record, retrying transient failures; a
+// 409 means the fencing token went stale — the cell was requeued — and
+// the result is discarded by design.
+func (a *agent) complete(grant fleet.Grant, rec experiments.CellRecord) {
+	body := struct {
+		Agent  string                 `json:"agent"`
+		Sweep  string                 `json:"sweep"`
+		Cell   string                 `json:"cell"`
+		Token  int64                  `json:"token"`
+		Record experiments.CellRecord `json:"record"`
+	}{a.id, grant.Sweep, grant.Cell, grant.Token, rec}
+	clog := a.alog().With("run_id", grant.Sweep, "cell", grant.Cell, "token", grant.Token)
+	for attempt := 1; ; attempt++ {
+		code, err := a.do("POST", "/v1/cells/complete", body, nil)
+		switch {
+		case err == nil && code == http.StatusOK:
+			return
+		case code == http.StatusConflict:
+			clog.Warn("result fenced off (cell requeued elsewhere); discarding")
+			return
+		case attempt >= 3:
+			clog.Error("completion lost after retries", "status", code, "err", errString(err))
+			return
+		default:
+			clog.Warn("completion failed; retrying", "status", code, "err", errString(err))
+			time.Sleep(time.Duration(attempt) * 200 * time.Millisecond)
+		}
+	}
+}
+
+// release parks the in-flight cell back on the queue front (agent
+// drain). Best-effort: a stale token means it was already requeued.
+func (a *agent) release(grant fleet.Grant) {
+	body := struct {
+		Agent string `json:"agent"`
+		Sweep string `json:"sweep"`
+		Cell  string `json:"cell"`
+		Token int64  `json:"token"`
+	}{a.id, grant.Sweep, grant.Cell, grant.Token}
+	code, err := a.do("POST", "/v1/cells/release", body, nil)
+	if err != nil || code != http.StatusOK {
+		a.alog().Warn("release failed", "run_id", grant.Sweep, "cell", grant.Cell,
+			"status", code, "err", errString(err))
+	}
+}
+
+// deregister tells the control plane we are leaving; best-effort.
+func (a *agent) deregister() {
+	if a.id == "" {
+		return
+	}
+	if _, err := a.do("DELETE", "/v1/agents/"+a.id, nil, nil); err != nil {
+		a.alog().Warn("deregister failed", "err", err.Error())
+	}
+}
+
+// sleep waits with ±25% jitter, waking early when draining.
+func (a *agent) sleep(d time.Duration) {
+	d = time.Duration(float64(d) * (0.75 + 0.5*a.rng.Float64()))
+	const step = 50 * time.Millisecond
+	for waited := time.Duration(0); waited < d; waited += step {
+		if a.draining.Load() {
+			return
+		}
+		time.Sleep(step)
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

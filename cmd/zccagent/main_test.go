@@ -1,0 +1,268 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"zccloud/internal/experiments"
+	"zccloud/internal/fleet"
+	"zccloud/internal/serve"
+)
+
+// startControlPlane brings up a real serve.Server over httptest.
+func startControlPlane(t *testing.T, dataDir string) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := serve.New(serve.Config{
+		Workers: 1,
+		DataDir: dataDir,
+		Fleet: fleet.Config{
+			LeaseTTL:   2 * time.Second,
+			AgentTTL:   2 * time.Second,
+			RetryLimit: 3,
+			Backoff:    time.Millisecond,
+			BackoffCap: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	})
+	return srv, ts
+}
+
+// startAgent runs the agent body against the control plane and returns
+// its ID, stop trigger, and exit channel.
+func startAgent(t *testing.T, serverURL string, extra ...string) (string, chan struct{}, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	args := append([]string{"-server", serverURL, "-poll", "10ms", "-quiet"}, extra...)
+	go func() { errc <- run(args, io.Discard, ready, stop) }()
+	select {
+	case id := <-ready:
+		return id, stop, errc
+	case err := <-errc:
+		t.Fatalf("agent exited before registering: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent never registered")
+	}
+	return "", nil, nil
+}
+
+func postJSON(t *testing.T, url, body string, into any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if into != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(b, into); err != nil {
+			t.Fatalf("unmarshal %s: %v (%s)", url, err, b)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitSweepDone(t *testing.T, base, id string, wait time.Duration) fleet.SweepView {
+	t.Helper()
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(base + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view fleet.SweepView
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(b, &view); err != nil {
+			t.Fatalf("sweep view: %v (%s)", err, b)
+		}
+		if view.Done {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never finished: %+v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAgentRunsSweepMatchesSingleProcess is the acceptance check in
+// miniature: a zccagent-executed sweep must produce, cell for cell, the
+// same tables as running the experiments in-process with the same
+// options.
+func TestAgentRunsSweepMatchesSingleProcess(t *testing.T) {
+	dataDir := t.TempDir()
+	_, ts := startControlPlane(t, dataDir)
+	_, stop, errc := startAgent(t, ts.URL, "-name", "e2e")
+
+	cells := []string{"table1", "table2", "table4"}
+	var sv fleet.SweepView
+	code := postJSON(t, ts.URL+"/v1/sweeps",
+		`{"experiments": ["table1", "table2", "table4"], "seed": 7, "dir": "d1"}`, &sv)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d", code)
+	}
+	view := waitSweepDone(t, ts.URL, sv.ID, 60*time.Second)
+	if view.Completed != len(cells) || view.Abandoned != 0 {
+		t.Fatalf("sweep = %+v", view)
+	}
+
+	// Fold the fleet journal last-record-wins and compare each table to
+	// a fresh in-process execution under identical options.
+	final := map[string]experiments.CellRecord{}
+	data, err := os.ReadFile(filepath.Join(dataDir, "sweeps", "d1", "cells.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec experiments.CellRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		final[rec.ID] = rec
+	}
+	lab := experiments.NewLab(experiments.Quick(7))
+	for _, id := range cells {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, interrupted := experiments.ExecuteCell(lab, e)
+		if interrupted || want.Status != experiments.CellOK {
+			t.Fatalf("local run of %s: %+v", id, want)
+		}
+		got, ok := final[id]
+		if !ok || got.Status != experiments.CellOK {
+			t.Fatalf("fleet record for %s: %+v", id, got)
+		}
+		gj, _ := json.Marshal(got.Table)
+		wj, _ := json.Marshal(want.Table)
+		if string(gj) != string(wj) {
+			t.Fatalf("table %s diverges between fleet and in-process:\nfleet: %s\nlocal: %s", id, gj, wj)
+		}
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("agent exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent did not exit after stop")
+	}
+}
+
+func TestAgentDeregistersOnStop(t *testing.T) {
+	_, ts := startControlPlane(t, t.TempDir())
+	agentID, stop, errc := startAgent(t, ts.URL, "-name", "quitter")
+
+	var agents []fleet.AgentStatus
+	resp, err := http.Get(ts.URL + "/v1/agents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(b, &agents); err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != 1 || agents[0].ID != agentID {
+		t.Fatalf("agents = %+v, want just %s", agents, agentID)
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("agent exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent did not exit")
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/agents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	agents = nil
+	if err := json.Unmarshal(b, &agents); err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != 0 {
+		t.Fatalf("agent still registered after graceful stop: %+v", agents)
+	}
+}
+
+// TestAgentsShareSweep runs two agents against one sweep; every cell
+// must land exactly once regardless of which agent ran it.
+func TestAgentsShareSweep(t *testing.T) {
+	dataDir := t.TempDir()
+	_, ts := startControlPlane(t, dataDir)
+	_, stop1, errc1 := startAgent(t, ts.URL, "-name", "w1")
+	_, stop2, errc2 := startAgent(t, ts.URL, "-name", "w2")
+
+	var sv fleet.SweepView
+	code := postJSON(t, ts.URL+"/v1/sweeps",
+		`{"experiments": ["table1", "table2", "table4", "table5", "table7"], "seed": 3, "dir": "shared"}`, &sv)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d", code)
+	}
+	view := waitSweepDone(t, ts.URL, sv.ID, 60*time.Second)
+	if view.Completed != 5 || view.Abandoned != 0 {
+		t.Fatalf("sweep = %+v", view)
+	}
+	// Exactly one ok record per cell in the journal.
+	data, err := os.ReadFile(filepath.Join(dataDir, "sweeps", "shared", "cells.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCount := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec experiments.CellRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Status == experiments.CellOK {
+			okCount[rec.ID]++
+		}
+	}
+	want := map[string]int{"table1": 1, "table2": 1, "table4": 1, "table5": 1, "table7": 1}
+	if !reflect.DeepEqual(okCount, want) {
+		t.Fatalf("ok records per cell = %v, want %v", okCount, want)
+	}
+
+	close(stop1)
+	close(stop2)
+	for _, errc := range []chan error{errc1, errc2} {
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("agent exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("agent did not exit")
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"zccloud/internal/fleet"
 	"zccloud/internal/obs"
 	"zccloud/internal/serve"
 )
@@ -61,6 +62,12 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		sampleKeep  = fs.Int("sample-window", 600, "samples retained by /v1/timeseries")
 		quiet       = fs.Bool("quiet", false, "suppress operational log lines")
 		version     = fs.Bool("version", false, "print build information and exit")
+
+		leaseTTL   = fs.Duration("lease-ttl", 15*time.Second, "fleet: how long a granted sweep cell stays valid between heartbeat renewals")
+		agentTTL   = fs.Duration("agent-ttl", 10*time.Second, "fleet: how long an agent may miss heartbeats before it is reaped and its cells requeued")
+		fleetRetry = fs.Int("fleet-retry-limit", 3, "fleet: involuntary requeues per cell before it is abandoned")
+		fleetBack  = fs.Duration("fleet-backoff", time.Second, "fleet: base of the exponential full-jitter requeue backoff")
+		fleetCap   = fs.Duration("fleet-backoff-cap", time.Minute, "fleet: cap on the pre-jitter requeue backoff")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +98,13 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		Log:            logger,
 		SampleInterval: *sampleEvery,
 		SampleWindow:   *sampleKeep,
+		Fleet: fleet.Config{
+			LeaseTTL:   *leaseTTL,
+			AgentTTL:   *agentTTL,
+			RetryLimit: *fleetRetry,
+			Backoff:    *fleetBack,
+			BackoffCap: *fleetCap,
+		},
 	})
 	if err != nil {
 		return err

@@ -30,6 +30,12 @@ const (
 	CellPanic   = "panic"   // experiment panicked; stack recorded
 	CellTimeout = "timeout" // watchdog fired and the cell stopped cooperatively
 	CellWedged  = "wedged"  // watchdog fired and the cell never stopped (fatal)
+
+	// Fleet-mode statuses, written by the zccd control plane rather than
+	// the process that ran the cell. None are skipped on resume.
+	CellReleased  = "released"  // agent drained and parked the cell back on the queue
+	CellLost      = "lost"      // agent reaped or lease expired mid-cell
+	CellAbandoned = "abandoned" // retry budget exhausted; terminal
 )
 
 // ErrSweepInterrupted reports that RunSweep stopped early because its
@@ -139,6 +145,100 @@ func sweepFingerprint(opt Options, exps []Experiment) (string, error) {
 	}{SweepVersion, opt.withDefaults(), ids})
 }
 
+// Sweep is an open run directory: the manifest is written (or verified,
+// on resume), the journal is open for appends, and Prior holds the
+// latest record per cell from any previous run. It is the on-disk half
+// of a sweep, shared by the in-process runner (RunSweep) and the zccd
+// fleet control plane — both write the same layout, so a sweep started
+// under one can be finished or resumed under the other.
+type Sweep struct {
+	dir         string
+	fingerprint string
+	ids         []string
+	prior       map[string]CellRecord
+	journal     *persist.Journal
+}
+
+// Dir returns the run directory.
+func (s *Sweep) Dir() string { return s.dir }
+
+// Fingerprint returns the manifest fingerprint pinning this sweep's
+// configuration.
+func (s *Sweep) Fingerprint() string { return s.fingerprint }
+
+// CellIDs returns the sweep's experiment IDs in run order.
+func (s *Sweep) CellIDs() []string { return append([]string(nil), s.ids...) }
+
+// Prior returns the latest journal record per cell from previous runs
+// (last record wins). The map is shared, not copied; treat it read-only.
+func (s *Sweep) Prior() map[string]CellRecord { return s.prior }
+
+// Append journals one cell record (fsync'd).
+func (s *Sweep) Append(rec CellRecord) error { return s.journal.Append(rec) }
+
+// Close closes the journal. The directory stays resumable.
+func (s *Sweep) Close() error { return s.journal.Close() }
+
+// OpenSweep opens (or creates) a sweep run directory for the given
+// configuration. A fresh directory gets a manifest pinning the
+// fingerprint; with resume set, the existing manifest must match the
+// configuration and the journal's records are loaded last-record-wins.
+// Without resume, a directory that already holds a sweep is refused.
+func OpenSweep(dir string, opt Options, exps []Experiment, resume bool) (*Sweep, error) {
+	if dir == "" {
+		return nil, errors.New("experiments: sweep needs a run directory")
+	}
+	fp, err := sweepFingerprint(opt, exps)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	manifestPath := filepath.Join(dir, "manifest.json")
+	journalPath := filepath.Join(dir, "cells.jsonl")
+	prior := make(map[string]CellRecord)
+	if resume {
+		var man sweepManifest
+		if err := persist.LoadJSON(manifestPath, manifestKind, SweepVersion, &man); err != nil {
+			return nil, fmt.Errorf("experiments: resume refused: %w", err)
+		}
+		if man.Fingerprint != fp {
+			return nil, fmt.Errorf("experiments: resume refused: run directory %s was created with a different configuration (manifest fingerprint %.12s, current %.12s)",
+				dir, man.Fingerprint, fp)
+		}
+		err := persist.ReadJournal(journalPath, func() any { return &CellRecord{} },
+			func(rec any) error {
+				r := rec.(*CellRecord)
+				prior[r.ID] = *r
+				return nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: resume refused: %w", err)
+		}
+	} else {
+		if _, err := os.Stat(manifestPath); err == nil {
+			return nil, fmt.Errorf("experiments: %s already holds a sweep; resume it or choose a fresh directory", dir)
+		}
+		man := sweepManifest{Fingerprint: fp, Options: opt.withDefaults()}
+		for _, e := range exps {
+			man.Experiments = append(man.Experiments, e.ID)
+		}
+		if err := persist.SaveJSON(manifestPath, manifestKind, SweepVersion, man); err != nil {
+			return nil, err
+		}
+	}
+	journal, err := persist.OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return &Sweep{dir: dir, fingerprint: fp, ids: ids, prior: prior, journal: journal}, nil
+}
+
 // RunSweep runs the configured experiments, journaling one record per
 // cell to Dir. Each cell runs under a panic guard and, when CellTimeout
 // is set, a watchdog; a failing cell is recorded and the sweep moves on.
@@ -159,53 +259,12 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 	if cfg.Grace <= 0 {
 		cfg.Grace = 30 * time.Second
 	}
-	fp, err := sweepFingerprint(cfg.Options, exps)
+	sw, err := OpenSweep(cfg.Dir, cfg.Options, exps, cfg.Resume)
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-		return nil, err
-	}
-
-	manifestPath := filepath.Join(cfg.Dir, "manifest.json")
-	journalPath := filepath.Join(cfg.Dir, "cells.jsonl")
-	prior := make(map[string]CellRecord)
-	if cfg.Resume {
-		var man sweepManifest
-		if err := persist.LoadJSON(manifestPath, manifestKind, SweepVersion, &man); err != nil {
-			return nil, fmt.Errorf("experiments: resume refused: %w", err)
-		}
-		if man.Fingerprint != fp {
-			return nil, fmt.Errorf("experiments: resume refused: run directory %s was created with a different configuration (manifest fingerprint %.12s, current %.12s)",
-				cfg.Dir, man.Fingerprint, fp)
-		}
-		err := persist.ReadJournal(journalPath, func() any { return &CellRecord{} },
-			func(rec any) error {
-				r := rec.(*CellRecord)
-				prior[r.ID] = *r
-				return nil
-			})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: resume refused: %w", err)
-		}
-	} else {
-		if _, err := os.Stat(manifestPath); err == nil {
-			return nil, fmt.Errorf("experiments: %s already holds a sweep; resume it or choose a fresh directory", cfg.Dir)
-		}
-		man := sweepManifest{Fingerprint: fp, Options: cfg.Options.withDefaults()}
-		for _, e := range exps {
-			man.Experiments = append(man.Experiments, e.ID)
-		}
-		if err := persist.SaveJSON(manifestPath, manifestKind, SweepVersion, man); err != nil {
-			return nil, err
-		}
-	}
-
-	journal, err := persist.OpenJournal(journalPath)
-	if err != nil {
-		return nil, err
-	}
-	defer journal.Close()
+	defer sw.Close()
+	fp, prior := sw.Fingerprint(), sw.Prior()
 
 	r := &sweepRunner{cfg: cfg}
 	lab := NewLab(cfg.Options)
@@ -249,7 +308,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			// A wedged cell is journaled before the sweep aborts, so a
 			// resume re-runs it.
 			res.Records[rec.ID] = rec
-			if err := journal.Append(rec); err != nil {
+			if err := sw.Append(rec); err != nil {
 				return res, err
 			}
 			res.Ran++
@@ -420,6 +479,53 @@ func (r *sweepRunner) runCell(lab *Lab, e Experiment) (CellRecord, error) {
 		rec.Table = out.table
 	}
 	return rec, nil
+}
+
+// ExecuteCell runs one experiment cell to a journalable record under a
+// panic guard, with no watchdog of its own: callers that need a budget
+// (a fleet agent's lease deadline, a drain signal) install an Interrupt
+// hook on the Lab's obs options. When that hook stops the cell,
+// ExecuteCell reports interrupted=true with a status-less record — the
+// cell produced no result and should be released back to its queue, not
+// journaled as failed.
+func ExecuteCell(lab *Lab, e Experiment) (rec CellRecord, interrupted bool) {
+	start := time.Now()
+	out := runGuarded(lab, e)
+	rec = CellRecord{ID: e.ID, ElapsedMS: time.Since(start).Milliseconds()}
+	switch {
+	case out.panicked:
+		rec.Status = CellPanic
+		rec.Error = out.err.Error()
+		rec.Stack = string(out.stack)
+	case out.err != nil && errors.Is(out.err, sched.ErrInterrupted):
+		return rec, true
+	case out.err != nil:
+		rec.Status = CellError
+		rec.Error = out.err.Error()
+	case out.table == nil:
+		rec.Status = CellError
+		rec.Error = "experiment returned no table"
+	default:
+		rec.Status = CellOK
+		rec.Table = out.table
+	}
+	return rec, false
+}
+
+// runGuarded executes e.Run under a panic guard in the calling
+// goroutine.
+func runGuarded(lab *Lab, e Experiment) (out cellOutcome) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = cellOutcome{
+				err:      fmt.Errorf("panic: %v", p),
+				panicked: true,
+				stack:    debug.Stack(),
+			}
+		}
+	}()
+	t, err := e.Run(lab)
+	return cellOutcome{table: t, err: err}
 }
 
 // SweepStatus summarizes a run directory's journal without running

@@ -1,0 +1,769 @@
+// Package fleet is the control-plane half of distributed experiment
+// sweeps: a registry of worker agents (cmd/zccagent) that pull cells
+// over HTTP, and a lease table that makes the distribution
+// crash-tolerant with exactly-once-observable results.
+//
+// The protocol, in order of what can go wrong:
+//
+//   - Every granted cell is a lease: a monotonic fencing token plus a
+//     deadline. Heartbeats renew the leases they name; an agent that
+//     misses heartbeats past its TTL is reaped, and a lease that
+//     outlives its deadline expires, either way the cell is requeued.
+//   - Requeues back off exponentially with full jitter (mirroring
+//     internal/faults' kill/requeue semantics for simulated nodes) up to
+//     a retry limit, after which the cell is journaled as abandoned —
+//     a sweep never spins forever on a poisoned cell.
+//   - Completions are fenced: a result carrying any token but the
+//     lease's current one is rejected with ErrStaleToken, so a reaped
+//     agent's late result can never overwrite the retry's. Failed
+//     attempts are journaled before the requeue, so duplicate terminal
+//     records per cell resolve last-record-wins exactly like a resumed
+//     single-process sweep (internal/experiments).
+//   - A draining agent releases its cell voluntarily: the cell returns
+//     to the front of the queue with no retry penalty, journaled as
+//     "released" so the lifecycle greps out of cells.jsonl.
+//
+// The controller is clock-injectable and never starts goroutines; the
+// serving layer (internal/serve) owns the reap ticker and the journals.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"zccloud/internal/experiments"
+	"zccloud/internal/obs"
+)
+
+// Errors the HTTP layer maps to statuses.
+var (
+	// ErrUnknownAgent rejects calls from an agent that never registered
+	// or was reaped; the agent must re-register (its old leases are
+	// already requeued, and its old tokens are fenced off).
+	ErrUnknownAgent = errors.New("fleet: unknown or reaped agent; re-register")
+	// ErrStaleToken rejects a completion or release whose fencing token
+	// no longer matches the cell's lease — the cell was reaped and
+	// requeued, or already completed by another agent.
+	ErrStaleToken = errors.New("fleet: stale fencing token; result discarded")
+	// ErrUnknownSweep rejects references to sweeps this controller does
+	// not track.
+	ErrUnknownSweep = errors.New("fleet: unknown sweep")
+	// ErrUnknownCell rejects references to cells outside the sweep.
+	ErrUnknownCell = errors.New("fleet: unknown cell")
+	// ErrDraining refuses new sweeps and claims on a draining controller.
+	ErrDraining = errors.New("fleet: control plane is draining")
+)
+
+// Config sizes the controller. The zero value is usable: 15s leases,
+// 10s agent TTL, 3 retries, 1s base backoff capped at 60s.
+type Config struct {
+	// LeaseTTL is how long a granted cell stays valid without a renewing
+	// heartbeat. Heartbeats that name the lease's token extend it by
+	// another LeaseTTL.
+	LeaseTTL time.Duration
+	// AgentTTL is how long an agent may go silent before it is reaped
+	// and its leases are requeued.
+	AgentTTL time.Duration
+	// RetryLimit bounds involuntary requeues (reap or lease expiry, or a
+	// failed attempt) per cell before it is abandoned. Voluntary
+	// releases never count.
+	RetryLimit int
+	// Backoff is the base of the exponential requeue delay: the k-th
+	// requeue waits up to Backoff·2^(k-1), full-jittered, capped at
+	// BackoffCap.
+	Backoff time.Duration
+	// BackoffCap caps the pre-jitter requeue delay.
+	BackoffCap time.Duration
+	// Seed seeds the jitter RNG (0 means 1).
+	Seed int64
+	// Log receives control-plane log lines; every line about a sweep
+	// carries run_id, every line about an agent carries agent_id.
+	Log *obs.Logger
+	// Metrics receives fleet gauges and counters under the "fleet"
+	// scope; nil creates a private registry.
+	Metrics *obs.Registry
+	// Now is the clock (tests inject a fake one); nil means time.Now.
+	Now func() time.Time
+}
+
+// Appender is where accepted cell records and control-plane markers go
+// — in practice an *experiments.Sweep journal.
+type Appender interface {
+	Append(rec experiments.CellRecord) error
+}
+
+// Cell states inside the controller.
+const (
+	cellPending   = iota // waiting for a claim (possibly backing off)
+	cellLeased           // granted to an agent under a live lease
+	cellDone             // terminal: an accepted CellOK record
+	cellAbandoned        // terminal: retry budget exhausted
+)
+
+// cell is one experiment of one sweep, with its lease and retry state.
+type cell struct {
+	id        string
+	state     int
+	attempts  int       // involuntary requeues + failed attempts so far
+	notBefore time.Time // backoff gate; zero means claimable now
+	token     int64     // fencing token of the current lease (cellLeased)
+	agent     string    // agent holding the lease
+	deadline  time.Time // lease expiry
+}
+
+// sweep is one distributed run: its configuration, journal, and cells.
+type sweep struct {
+	id      string
+	dir     string
+	name    string
+	fp      string
+	opt     experiments.Options
+	journal Appender
+	cells   []*cell // claim order
+	byID    map[string]*cell
+	added   time.Time
+}
+
+func (s *sweep) done() bool {
+	for _, c := range s.cells {
+		if c.state != cellDone && c.state != cellAbandoned {
+			return false
+		}
+	}
+	return true
+}
+
+// agent is one registered worker.
+type agent struct {
+	id       string
+	name     string
+	lastSeen time.Time
+}
+
+// Controller tracks agents, sweeps, and leases. All methods are safe
+// for concurrent use.
+type Controller struct {
+	cfg   Config
+	scope obs.Scope
+	log   *obs.Logger
+	now   func() time.Time
+
+	mu         sync.Mutex
+	agents     map[string]*agent
+	sweeps     map[string]*sweep
+	sweepOrder []string
+	nextAgent  int64
+	nextToken  int64 // monotonic fencing token source
+	rng        *rand.Rand
+	draining   bool
+}
+
+// New returns a controller with the config's zero values filled in.
+func New(cfg Config) *Controller {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.AgentTTL <= 0 {
+		cfg.AgentTTL = 10 * time.Second
+	}
+	if cfg.RetryLimit <= 0 {
+		cfg.RetryLimit = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = time.Second
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = time.Minute
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Controller{
+		cfg:    cfg,
+		scope:  reg.Scope("fleet"),
+		log:    cfg.Log,
+		now:    cfg.Now,
+		agents: make(map[string]*agent),
+		sweeps: make(map[string]*sweep),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	// Pre-touch every series so /metrics serves the full fleet schema
+	// from the first scrape.
+	for _, name := range []string{"agents_reaped", "leases_expired", "requeues",
+		"cells_completed", "cells_failed", "cells_abandoned", "cells_released",
+		"stale_completions", "claims"} {
+		c.scope.Counter(name)
+	}
+	c.scope.Gauge("agents_live")
+	c.scope.Gauge("leases_active")
+	return c
+}
+
+// HeartbeatEvery is the cadence the control plane asks agents to
+// heartbeat at: comfortably inside the reap TTL.
+func (c *Controller) HeartbeatEvery() time.Duration { return c.cfg.AgentTTL / 3 }
+
+// LeaseTTL returns the configured lease duration.
+func (c *Controller) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
+
+// AgentView is what an agent learns at registration.
+type AgentView struct {
+	ID string `json:"id"`
+	// HeartbeatMS is the cadence the agent must heartbeat at.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// LeaseMS is how long a granted cell stays valid between renewals.
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+// Register adds an agent and returns its identity and cadence. A
+// re-registering agent (same name) still gets a fresh ID: identity is
+// per registration, so a reaped agent's tokens stay fenced off.
+func (c *Controller) Register(name string) AgentView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextAgent++
+	a := &agent{id: fmt.Sprintf("a-%06d", c.nextAgent), name: name, lastSeen: c.now()}
+	c.agents[a.id] = a
+	c.scope.Gauge("agents_live").Set(float64(len(c.agents)))
+	c.log.Info("agent registered", "agent_id", a.id, "agent", name, "agents_live", len(c.agents))
+	return AgentView{
+		ID:          a.id,
+		HeartbeatMS: c.HeartbeatEvery().Milliseconds(),
+		LeaseMS:     c.cfg.LeaseTTL.Milliseconds(),
+	}
+}
+
+// HeartbeatReply tells the agent what changed under it.
+type HeartbeatReply struct {
+	// Draining asks the agent to release its cells and stop claiming.
+	Draining bool `json:"draining,omitempty"`
+	// Lost lists tokens the agent named that no longer hold their lease
+	// (reaped, expired, or completed); the agent must stop those cells —
+	// their results would be fenced off anyway.
+	Lost []int64 `json:"lost,omitempty"`
+}
+
+// Heartbeat marks the agent live and renews the leases whose tokens it
+// names. Tokens that no longer match a live lease come back in Lost.
+func (c *Controller) Heartbeat(agentID string, tokens []int64) (HeartbeatReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.agents[agentID]
+	if !ok {
+		return HeartbeatReply{}, ErrUnknownAgent
+	}
+	now := c.now()
+	a.lastSeen = now
+	rep := HeartbeatReply{Draining: c.draining}
+	for _, tok := range tokens {
+		if cl := c.leaseByTokenLocked(tok); cl != nil && cl.agent == agentID {
+			cl.deadline = now.Add(c.cfg.LeaseTTL)
+		} else {
+			rep.Lost = append(rep.Lost, tok)
+		}
+	}
+	return rep, nil
+}
+
+// Deregister removes an agent gracefully, releasing its leases back to
+// the front of the queue with no retry penalty. Unknown agents are a
+// no-op (deregistering twice is fine).
+func (c *Controller) Deregister(agentID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.agents[agentID]
+	if !ok {
+		return
+	}
+	delete(c.agents, agentID)
+	c.scope.Gauge("agents_live").Set(float64(len(c.agents)))
+	n := c.releaseAgentLeasesLocked(agentID)
+	c.log.Info("agent deregistered", "agent_id", agentID, "agent", a.name, "released", n)
+}
+
+// AddSweep registers a sweep whose cells the fleet will distribute.
+// Cells whose prior journal record is CellOK are terminal immediately
+// (the resume path); everything else is queued. The journal receives
+// accepted records and control-plane markers.
+func (c *Controller) AddSweep(id, dir, name string, opt experiments.Options, fingerprint string,
+	cellIDs []string, prior map[string]experiments.CellRecord, journal Appender) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return ErrDraining
+	}
+	if _, ok := c.sweeps[id]; ok {
+		return fmt.Errorf("fleet: sweep %s already registered", id)
+	}
+	sw := &sweep{
+		id: id, dir: dir, name: name, fp: fingerprint, opt: opt,
+		journal: journal, byID: make(map[string]*cell, len(cellIDs)),
+		added: c.now(),
+	}
+	skipped := 0
+	for _, cid := range cellIDs {
+		cl := &cell{id: cid}
+		if rec, ok := prior[cid]; ok && rec.Status == experiments.CellOK {
+			cl.state = cellDone
+			skipped++
+		}
+		sw.cells = append(sw.cells, cl)
+		sw.byID[cid] = cl
+	}
+	c.sweeps[id] = sw
+	c.sweepOrder = append(c.sweepOrder, id)
+	c.log.Info("sweep registered", "run_id", id, "dir", dir,
+		"cells", len(cellIDs), "skipped", skipped, "fingerprint", fingerprint)
+	return nil
+}
+
+// Grant is one leased cell: everything an agent needs to run it and
+// prove its result fresh.
+type Grant struct {
+	Sweep string `json:"sweep"`
+	Cell  string `json:"cell"`
+	// Token is the fencing token; completions and releases must carry
+	// it, heartbeats should name it to renew the lease.
+	Token int64 `json:"token"`
+	// DeadlineMS is the lease's remaining validity in milliseconds.
+	DeadlineMS int64 `json:"deadline_ms"`
+	// Options parameterize the Lab the agent builds; Fingerprint lets it
+	// cache that Lab across cells of the same sweep.
+	Options     experiments.Options `json:"options"`
+	Fingerprint string              `json:"fingerprint"`
+}
+
+// Claim grants the oldest eligible pending cell to the agent, or
+// returns nil when nothing is claimable (backoffs pending, all leased,
+// or all terminal).
+func (c *Controller) Claim(agentID string) (*Grant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.agents[agentID]
+	if !ok {
+		return nil, ErrUnknownAgent
+	}
+	if c.draining {
+		return nil, ErrDraining
+	}
+	now := c.now()
+	a.lastSeen = now
+	for _, sid := range c.sweepOrder {
+		sw := c.sweeps[sid]
+		for _, cl := range sw.cells {
+			if cl.state != cellPending || now.Before(cl.notBefore) {
+				continue
+			}
+			c.nextToken++
+			cl.state = cellLeased
+			cl.token = c.nextToken
+			cl.agent = agentID
+			cl.deadline = now.Add(c.cfg.LeaseTTL)
+			c.scope.Counter("claims").Inc()
+			c.setLeaseGaugeLocked()
+			c.log.Info("cell leased", "run_id", sw.id, "cell", cl.id,
+				"agent_id", agentID, "token", cl.token, "attempt", cl.attempts+1)
+			return &Grant{
+				Sweep:       sw.id,
+				Cell:        cl.id,
+				Token:       cl.token,
+				DeadlineMS:  c.cfg.LeaseTTL.Milliseconds(),
+				Options:     sw.opt,
+				Fingerprint: sw.fp,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// Complete accepts one attempt's terminal record if its fencing token
+// still holds the lease. A CellOK record finishes the cell; any other
+// status counts as a failed attempt and requeues it with backoff (or
+// abandons it past the retry limit). The record is journaled before the
+// cell changes state, so a journal write failure leaves the lease
+// intact and the agent can retry the completion.
+func (c *Controller) Complete(agentID, sweepID, cellID string, token int64, rec experiments.CellRecord) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, cl, err := c.lookupLocked(sweepID, cellID)
+	if err != nil {
+		return err
+	}
+	if a, ok := c.agents[agentID]; ok {
+		a.lastSeen = c.now()
+	}
+	if cl.state != cellLeased || cl.token != token {
+		c.scope.Counter("stale_completions").Inc()
+		c.log.Warn("completion fenced off", "run_id", sweepID, "cell", cellID,
+			"agent_id", agentID, "token", token, "current_token", cl.token,
+			"status", rec.Status)
+		return ErrStaleToken
+	}
+	rec.ID = cellID // the journal is keyed by cell, whatever the agent sent
+	if err := sw.journal.Append(rec); err != nil {
+		return fmt.Errorf("fleet: journaling cell record: %w", err)
+	}
+	cl.agent = ""
+	cl.token = 0
+	if rec.Status == experiments.CellOK {
+		cl.state = cellDone
+		c.scope.Counter("cells_completed").Inc()
+		c.setLeaseGaugeLocked()
+		c.log.Info("cell completed", "run_id", sweepID, "cell", cellID,
+			"agent_id", agentID, "elapsed_ms", rec.ElapsedMS)
+		if sw.done() {
+			c.log.Info("sweep complete", "run_id", sweepID, "cells", len(sw.cells))
+		}
+		return nil
+	}
+	c.scope.Counter("cells_failed").Inc()
+	c.log.Warn("cell attempt failed", "run_id", sweepID, "cell", cellID,
+		"agent_id", agentID, "status", rec.Status, "err", rec.Error)
+	c.requeueLocked(sw, cl, fmt.Sprintf("attempt failed: %s", rec.Status))
+	return nil
+}
+
+// Release hands a leased cell back voluntarily (agent drain): the cell
+// returns to the queue immediately with no retry penalty, journaled as
+// released so the lifecycle stays grep-able.
+func (c *Controller) Release(agentID, sweepID, cellID string, token int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, cl, err := c.lookupLocked(sweepID, cellID)
+	if err != nil {
+		return err
+	}
+	if cl.state != cellLeased || cl.token != token || cl.agent != agentID {
+		c.scope.Counter("stale_completions").Inc()
+		return ErrStaleToken
+	}
+	c.releaseCellLocked(sw, cl)
+	return nil
+}
+
+// releaseAgentLeasesLocked returns every lease the agent holds to the
+// queue with no penalty; used by graceful deregistration.
+func (c *Controller) releaseAgentLeasesLocked(agentID string) int {
+	n := 0
+	for _, sid := range c.sweepOrder {
+		sw := c.sweeps[sid]
+		for _, cl := range sw.cells {
+			if cl.state == cellLeased && cl.agent == agentID {
+				c.releaseCellLocked(sw, cl)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// releaseCellLocked parks a leased cell back on the queue front.
+func (c *Controller) releaseCellLocked(sw *sweep, cl *cell) {
+	agentID := cl.agent
+	cl.state = cellPending
+	cl.agent = ""
+	cl.token = 0
+	cl.notBefore = time.Time{}
+	c.scope.Counter("cells_released").Inc()
+	c.setLeaseGaugeLocked()
+	c.journalMarkerLocked(sw, cl.id, experiments.CellReleased,
+		fmt.Sprintf("agent %s drained; cell requeued", agentID))
+	c.log.Info("cell released", "run_id", sw.id, "cell", cl.id, "agent_id", agentID)
+}
+
+// requeueLocked sends a cell back to the queue after an involuntary
+// loss (reap, expiry, failed attempt): exponential backoff with full
+// jitter, abandoned past the retry limit.
+func (c *Controller) requeueLocked(sw *sweep, cl *cell, why string) {
+	cl.state = cellPending
+	cl.agent = ""
+	cl.token = 0
+	cl.attempts++
+	c.setLeaseGaugeLocked()
+	if cl.attempts > c.cfg.RetryLimit {
+		cl.state = cellAbandoned
+		c.scope.Counter("cells_abandoned").Inc()
+		c.journalMarkerLocked(sw, cl.id, experiments.CellAbandoned,
+			fmt.Sprintf("%s; retry limit %d exhausted", why, c.cfg.RetryLimit))
+		c.log.Error("cell abandoned", "run_id", sw.id, "cell", cl.id,
+			"attempts", cl.attempts, "why", why)
+		if sw.done() {
+			c.log.Info("sweep complete", "run_id", sw.id, "cells", len(sw.cells))
+		}
+		return
+	}
+	delay := c.backoffLocked(cl.attempts)
+	cl.notBefore = c.now().Add(delay)
+	c.scope.Counter("requeues").Inc()
+	c.log.Warn("cell requeued", "run_id", sw.id, "cell", cl.id,
+		"attempt", cl.attempts, "backoff", delay, "why", why)
+}
+
+// backoffLocked is the full-jitter requeue delay before attempt k
+// (k ≥ 1): uniform in (0, min(Backoff·2^(k-1), BackoffCap)]. Zero would
+// skip the backoff gate entirely, so the draw is open at zero —
+// mirroring faults.RetryDelayFor.
+func (c *Controller) backoffLocked(attempt int) time.Duration {
+	exp := attempt - 1
+	if exp > 20 {
+		exp = 20
+	}
+	max := c.cfg.Backoff << exp
+	if max > c.cfg.BackoffCap {
+		max = c.cfg.BackoffCap
+	}
+	return time.Duration(float64(max) * (1 - c.rng.Float64()))
+}
+
+// journalMarkerLocked appends a control-plane lifecycle record; journal
+// failures are logged and counted, never fatal — markers are an audit
+// trail, results go through Complete's stricter path.
+func (c *Controller) journalMarkerLocked(sw *sweep, cellID, status, msg string) {
+	err := sw.journal.Append(experiments.CellRecord{ID: cellID, Status: status, Error: msg})
+	if err != nil {
+		c.scope.Counter("journal_marker_drops").Inc()
+		c.log.Error("journal marker dropped", "run_id", sw.id, "cell", cellID,
+			"status", status, "err", err.Error())
+	}
+}
+
+// Tick is one reap pass: agents silent past AgentTTL are reaped with
+// their leases requeued, and leases past their deadline expire. The
+// serving layer calls it on a timer; tests call it directly.
+func (c *Controller) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	for id, a := range c.agents {
+		if now.Sub(a.lastSeen) <= c.cfg.AgentTTL {
+			continue
+		}
+		delete(c.agents, id)
+		c.scope.Counter("agents_reaped").Inc()
+		c.scope.Gauge("agents_live").Set(float64(len(c.agents)))
+		c.log.Warn("agent reaped", "agent_id", id, "agent", a.name,
+			"silent_for", now.Sub(a.lastSeen), "agents_live", len(c.agents))
+		for _, sid := range c.sweepOrder {
+			sw := c.sweeps[sid]
+			for _, cl := range sw.cells {
+				if cl.state == cellLeased && cl.agent == id {
+					c.journalMarkerLocked(sw, cl.id, experiments.CellLost,
+						fmt.Sprintf("agent %s reaped mid-cell", id))
+					c.requeueLocked(sw, cl, fmt.Sprintf("agent %s reaped", id))
+				}
+			}
+		}
+	}
+	for _, sid := range c.sweepOrder {
+		sw := c.sweeps[sid]
+		for _, cl := range sw.cells {
+			if cl.state == cellLeased && now.After(cl.deadline) {
+				c.scope.Counter("leases_expired").Inc()
+				c.journalMarkerLocked(sw, cl.id, experiments.CellLost,
+					fmt.Sprintf("lease %d held by %s expired", cl.token, cl.agent))
+				c.log.Warn("lease expired", "run_id", sw.id, "cell", cl.id,
+					"agent_id", cl.agent, "token", cl.token)
+				c.requeueLocked(sw, cl, "lease expired")
+			}
+		}
+	}
+}
+
+// SetDraining flips the controller's drain flag: claims stop, new
+// sweeps are refused, and heartbeat replies ask agents to release and
+// back off. Existing leases stay valid so in-flight completions land.
+func (c *Controller) SetDraining(v bool) {
+	c.mu.Lock()
+	c.draining = v
+	c.mu.Unlock()
+}
+
+// leaseByTokenLocked finds the cell currently leased under a token.
+// Tokens are globally unique, so the first match is the only one.
+func (c *Controller) leaseByTokenLocked(token int64) *cell {
+	for _, sid := range c.sweepOrder {
+		for _, cl := range c.sweeps[sid].cells {
+			if cl.state == cellLeased && cl.token == token {
+				return cl
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Controller) lookupLocked(sweepID, cellID string) (*sweep, *cell, error) {
+	sw, ok := c.sweeps[sweepID]
+	if !ok {
+		return nil, nil, ErrUnknownSweep
+	}
+	cl, ok := sw.byID[cellID]
+	if !ok {
+		return nil, nil, ErrUnknownCell
+	}
+	return sw, cl, nil
+}
+
+func (c *Controller) setLeaseGaugeLocked() {
+	n := 0
+	for _, sid := range c.sweepOrder {
+		for _, cl := range c.sweeps[sid].cells {
+			if cl.state == cellLeased {
+				n++
+			}
+		}
+	}
+	c.scope.Gauge("leases_active").Set(float64(n))
+}
+
+// CellView is one cell's externally visible state.
+type CellView struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // pending, leased, done, abandoned
+	// Attempts counts involuntary requeues and failed attempts so far.
+	Attempts int    `json:"attempts,omitempty"`
+	Agent    string `json:"agent,omitempty"` // holder while leased
+	Token    int64  `json:"token,omitempty"` // fencing token while leased
+	// NotBefore is the backoff gate on a pending cell, if any.
+	NotBefore *time.Time `json:"not_before,omitempty"`
+}
+
+// SweepView is one sweep's externally visible state.
+type SweepView struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Dir         string `json:"dir"`
+	Fingerprint string `json:"fingerprint"`
+	// Done means every cell is terminal (done or abandoned).
+	Done bool `json:"done"`
+	// Counts by state.
+	Pending   int `json:"pending"`
+	Leased    int `json:"leased"`
+	Completed int `json:"completed"`
+	Abandoned int `json:"abandoned"`
+	// Failed lists abandoned cell IDs.
+	Failed []string   `json:"failed,omitempty"`
+	Cells  []CellView `json:"cells,omitempty"`
+}
+
+var cellStateNames = [...]string{"pending", "leased", "done", "abandoned"}
+
+func (c *Controller) sweepViewLocked(sw *sweep, detail bool) SweepView {
+	v := SweepView{ID: sw.id, Name: sw.name, Dir: sw.dir, Fingerprint: sw.fp, Done: true}
+	for _, cl := range sw.cells {
+		switch cl.state {
+		case cellPending:
+			v.Pending++
+			v.Done = false
+		case cellLeased:
+			v.Leased++
+			v.Done = false
+		case cellDone:
+			v.Completed++
+		case cellAbandoned:
+			v.Abandoned++
+			v.Failed = append(v.Failed, cl.id)
+		}
+		if detail {
+			cv := CellView{ID: cl.id, State: cellStateNames[cl.state],
+				Attempts: cl.attempts, Agent: cl.agent, Token: cl.token}
+			if cl.state == cellPending && !cl.notBefore.IsZero() {
+				t := cl.notBefore
+				cv.NotBefore = &t
+			}
+			v.Cells = append(v.Cells, cv)
+		}
+	}
+	return v
+}
+
+// Sweep returns one sweep's state with per-cell detail.
+func (c *Controller) Sweep(id string) (SweepView, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return SweepView{}, false
+	}
+	return c.sweepViewLocked(sw, true), true
+}
+
+// Sweeps lists every sweep in registration order, without cell detail.
+func (c *Controller) Sweeps() []SweepView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SweepView, 0, len(c.sweepOrder))
+	for _, sid := range c.sweepOrder {
+		out = append(out, c.sweepViewLocked(c.sweeps[sid], false))
+	}
+	return out
+}
+
+// AgentStatus is one agent's externally visible state.
+type AgentStatus struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name,omitempty"`
+	LastSeen time.Time `json:"last_seen"`
+	Leases   int       `json:"leases"`
+}
+
+// Agents lists live agents, oldest registration first.
+func (c *Controller) Agents() []AgentStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	leases := make(map[string]int)
+	for _, sid := range c.sweepOrder {
+		for _, cl := range c.sweeps[sid].cells {
+			if cl.state == cellLeased {
+				leases[cl.agent]++
+			}
+		}
+	}
+	out := make([]AgentStatus, 0, len(c.agents))
+	for _, a := range c.agents {
+		out = append(out, AgentStatus{ID: a.id, Name: a.name, LastSeen: a.lastSeen, Leases: leases[a.id]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats is a cheap counters snapshot for the telemetry sampler.
+type Stats struct {
+	AgentsLive   int
+	LeasesActive int
+	SweepsOpen   int // sweeps with non-terminal cells
+}
+
+// Stats summarizes live occupancy without a full registry snapshot.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{AgentsLive: len(c.agents)}
+	for _, sid := range c.sweepOrder {
+		sw := c.sweeps[sid]
+		open := false
+		for _, cl := range sw.cells {
+			switch cl.state {
+			case cellLeased:
+				st.LeasesActive++
+				open = true
+			case cellPending:
+				open = true
+			}
+		}
+		if open {
+			st.SweepsOpen++
+		}
+	}
+	return st
+}

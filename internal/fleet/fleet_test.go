@@ -1,0 +1,464 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"zccloud/internal/experiments"
+	"zccloud/internal/obs"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// memJournal is an in-memory Appender with injectable failures.
+type memJournal struct {
+	mu   sync.Mutex
+	recs []experiments.CellRecord
+	fail error // returned by Append while set
+}
+
+func (j *memJournal) Append(rec experiments.CellRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.fail != nil {
+		return j.fail
+	}
+	j.recs = append(j.recs, rec)
+	return nil
+}
+
+func (j *memJournal) setFail(err error) {
+	j.mu.Lock()
+	j.fail = err
+	j.mu.Unlock()
+}
+
+func (j *memJournal) records() []experiments.CellRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]experiments.CellRecord(nil), j.recs...)
+}
+
+// statuses returns the journal's per-cell status sequence for one cell.
+func (j *memJournal) statuses(cellID string) []string {
+	var out []string
+	for _, r := range j.records() {
+		if r.ID == cellID {
+			out = append(out, r.Status)
+		}
+	}
+	return out
+}
+
+// harness bundles a controller with its clock, journal, and registry.
+type harness struct {
+	c   *Controller
+	clk *fakeClock
+	j   *memJournal
+	reg *obs.Registry
+}
+
+func newHarness(t *testing.T, cfg Config, cells ...string) *harness {
+	t.Helper()
+	h := &harness{clk: newFakeClock(), j: &memJournal{}, reg: obs.NewRegistry()}
+	cfg.Now = h.clk.Now
+	cfg.Metrics = h.reg
+	h.c = New(cfg)
+	if len(cells) > 0 {
+		err := h.c.AddSweep("s-1", "/tmp/s-1", "t", experiments.Options{}, "fp-1",
+			cells, nil, h.j)
+		if err != nil {
+			t.Fatalf("AddSweep: %v", err)
+		}
+	}
+	return h
+}
+
+func (h *harness) counter(name string) int64 {
+	return h.reg.Counter("fleet." + name).Value()
+}
+
+func mustClaim(t *testing.T, c *Controller, agentID string) *Grant {
+	t.Helper()
+	g, err := c.Claim(agentID)
+	if err != nil {
+		t.Fatalf("Claim(%s): %v", agentID, err)
+	}
+	if g == nil {
+		t.Fatalf("Claim(%s): no grant available", agentID)
+	}
+	return g
+}
+
+func okRec(id string) experiments.CellRecord {
+	return experiments.CellRecord{ID: id, Status: experiments.CellOK,
+		Table: &experiments.Table{Title: "t-" + id}}
+}
+
+func errRec(id string) experiments.CellRecord {
+	return experiments.CellRecord{ID: id, Status: experiments.CellError, Error: "boom"}
+}
+
+func TestClaimCompleteHappyPath(t *testing.T) {
+	h := newHarness(t, Config{}, "c1", "c2")
+	a := h.c.Register("w1")
+
+	g1 := mustClaim(t, h.c, a.ID)
+	g2 := mustClaim(t, h.c, a.ID)
+	if g2.Token <= g1.Token {
+		t.Fatalf("fencing tokens not monotonic: %d then %d", g1.Token, g2.Token)
+	}
+	if g, _ := h.c.Claim(a.ID); g != nil {
+		t.Fatalf("third claim should be empty, got %+v", g)
+	}
+
+	if err := h.c.Complete(a.ID, g1.Sweep, g1.Cell, g1.Token, okRec(g1.Cell)); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if err := h.c.Complete(a.ID, g2.Sweep, g2.Cell, g2.Token, okRec(g2.Cell)); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	v, ok := h.c.Sweep("s-1")
+	if !ok || !v.Done || v.Completed != 2 {
+		t.Fatalf("sweep not done after both completions: %+v", v)
+	}
+	if n := len(h.j.records()); n != 2 {
+		t.Fatalf("journal has %d records, want 2", n)
+	}
+	if got := h.counter("cells_completed"); got != 2 {
+		t.Fatalf("cells_completed = %d, want 2", got)
+	}
+}
+
+func TestLateResultAfterReapIsFenced(t *testing.T) {
+	h := newHarness(t, Config{AgentTTL: 10 * time.Second, Backoff: time.Millisecond}, "c1")
+	a := h.c.Register("w1")
+	g := mustClaim(t, h.c, a.ID)
+
+	// The agent goes silent past its TTL; the reap pass requeues its cell.
+	h.clk.Advance(11 * time.Second)
+	h.c.Tick()
+	if got := h.counter("agents_reaped"); got != 1 {
+		t.Fatalf("agents_reaped = %d, want 1", got)
+	}
+	if got := h.j.statuses("c1"); len(got) != 1 || got[0] != experiments.CellLost {
+		t.Fatalf("journal after reap = %v, want [lost]", got)
+	}
+
+	// The reaped agent's late result must bounce: unknown agent or stale
+	// token, but never an accepted record.
+	err := h.c.Complete(a.ID, g.Sweep, g.Cell, g.Token, okRec(g.Cell))
+	if !errors.Is(err, ErrStaleToken) {
+		t.Fatalf("late completion error = %v, want ErrStaleToken", err)
+	}
+	if got := h.counter("stale_completions"); got != 1 {
+		t.Fatalf("stale_completions = %d, want 1", got)
+	}
+
+	// A fresh agent picks the cell up (after backoff) and completes it.
+	b := h.c.Register("w2")
+	h.clk.Advance(time.Second)
+	g2 := mustClaim(t, h.c, b.ID)
+	if g2.Token == g.Token {
+		t.Fatal("requeued cell granted under the same fencing token")
+	}
+	if err := h.c.Complete(b.ID, g2.Sweep, g2.Cell, g2.Token, okRec(g2.Cell)); err != nil {
+		t.Fatalf("second agent's completion: %v", err)
+	}
+	// One more late duplicate from the ghost: still fenced.
+	if err := h.c.Complete(a.ID, g.Sweep, g.Cell, g.Token, okRec(g.Cell)); !errors.Is(err, ErrStaleToken) {
+		t.Fatalf("post-completion duplicate error = %v, want ErrStaleToken", err)
+	}
+	if got := h.j.statuses("c1"); len(got) != 2 || got[1] != experiments.CellOK {
+		t.Fatalf("journal = %v, want [lost ok]", got)
+	}
+}
+
+func TestHeartbeatRenewsLeaseAndReportsLost(t *testing.T) {
+	h := newHarness(t, Config{LeaseTTL: 10 * time.Second, AgentTTL: 30 * time.Second}, "c1")
+	a := h.c.Register("w1")
+	g := mustClaim(t, h.c, a.ID)
+
+	// Renewing heartbeats carry the lease well past its original TTL.
+	for i := 0; i < 4; i++ {
+		h.clk.Advance(6 * time.Second)
+		rep, err := h.c.Heartbeat(a.ID, []int64{g.Token})
+		if err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+		if len(rep.Lost) != 0 {
+			t.Fatalf("heartbeat %d reported lost tokens %v", i, rep.Lost)
+		}
+		h.c.Tick()
+	}
+	if got := h.counter("leases_expired"); got != 0 {
+		t.Fatalf("lease expired despite renewals (count %d)", got)
+	}
+
+	// Stop renewing: the lease expires even though the agent itself
+	// heartbeats on (an agent stuck on a cell it forgot it holds).
+	h.clk.Advance(11 * time.Second)
+	if _, err := h.c.Heartbeat(a.ID, nil); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	h.c.Tick()
+	if got := h.counter("leases_expired"); got != 1 {
+		t.Fatalf("leases_expired = %d, want 1", got)
+	}
+	rep, err := h.c.Heartbeat(a.ID, []int64{g.Token})
+	if err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if len(rep.Lost) != 1 || rep.Lost[0] != g.Token {
+		t.Fatalf("Lost = %v, want [%d]", rep.Lost, g.Token)
+	}
+}
+
+func TestFailedAttemptsBackOffThenAbandon(t *testing.T) {
+	h := newHarness(t, Config{
+		RetryLimit: 2, Backoff: time.Second, BackoffCap: 4 * time.Second,
+	}, "c1")
+	a := h.c.Register("w1")
+
+	for attempt := 1; ; attempt++ {
+		g, err := h.c.Claim(a.ID)
+		if err != nil {
+			t.Fatalf("claim: %v", err)
+		}
+		if g == nil {
+			// Backoff gate: nothing claimable until the delay passes, and
+			// the delay must respect the exponential cap.
+			v, _ := h.c.Sweep("s-1")
+			if v.Done {
+				break
+			}
+			cv := v.Cells[0]
+			if cv.NotBefore == nil {
+				t.Fatalf("pending cell has no backoff gate: %+v", cv)
+			}
+			wait := cv.NotBefore.Sub(h.clk.Now())
+			maxWait := time.Second << (cv.Attempts - 1)
+			if maxWait > 4*time.Second {
+				maxWait = 4 * time.Second
+			}
+			if wait <= 0 || wait > maxWait {
+				t.Fatalf("backoff %v outside (0, %v] at attempt %d", wait, maxWait, cv.Attempts)
+			}
+			h.clk.Advance(wait)
+			continue
+		}
+		if err := h.c.Complete(a.ID, g.Sweep, g.Cell, g.Token, errRec(g.Cell)); err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+	}
+
+	v, _ := h.c.Sweep("s-1")
+	if !v.Done || v.Abandoned != 1 || len(v.Failed) != 1 || v.Failed[0] != "c1" {
+		t.Fatalf("sweep after exhausting retries: %+v", v)
+	}
+	// Journal lifecycle: error per failed attempt (RetryLimit+1 of them),
+	// then the abandoned marker.
+	got := h.j.statuses("c1")
+	want := []string{experiments.CellError, experiments.CellError, experiments.CellError, experiments.CellAbandoned}
+	if len(got) != len(want) {
+		t.Fatalf("journal statuses = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("journal statuses = %v, want %v", got, want)
+		}
+	}
+	if h.counter("cells_abandoned") != 1 || h.counter("requeues") != 2 {
+		t.Fatalf("counters: abandoned=%d requeues=%d, want 1/2",
+			h.counter("cells_abandoned"), h.counter("requeues"))
+	}
+}
+
+func TestVoluntaryReleaseHasNoPenalty(t *testing.T) {
+	h := newHarness(t, Config{Backoff: time.Hour}, "c1")
+	a := h.c.Register("w1")
+	g := mustClaim(t, h.c, a.ID)
+	if err := h.c.Release(a.ID, g.Sweep, g.Cell, g.Token); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	// No attempt increment, no backoff gate: another agent claims it
+	// immediately even with an hour-long base backoff configured.
+	b := h.c.Register("w2")
+	g2 := mustClaim(t, h.c, b.ID)
+	if g2.Cell != "c1" {
+		t.Fatalf("reclaimed %q, want c1", g2.Cell)
+	}
+	v, _ := h.c.Sweep("s-1")
+	if v.Cells[0].Attempts != 0 {
+		t.Fatalf("voluntary release counted as an attempt: %+v", v.Cells[0])
+	}
+	if got := h.j.statuses("c1"); len(got) != 1 || got[0] != experiments.CellReleased {
+		t.Fatalf("journal = %v, want [released]", got)
+	}
+	// Releasing under the old token is now stale.
+	if err := h.c.Release(a.ID, g.Sweep, g.Cell, g.Token); !errors.Is(err, ErrStaleToken) {
+		t.Fatalf("double release error = %v, want ErrStaleToken", err)
+	}
+}
+
+func TestDeregisterReleasesLeases(t *testing.T) {
+	h := newHarness(t, Config{}, "c1", "c2")
+	a := h.c.Register("w1")
+	mustClaim(t, h.c, a.ID)
+	mustClaim(t, h.c, a.ID)
+	h.c.Deregister(a.ID)
+	if got := h.counter("cells_released"); got != 2 {
+		t.Fatalf("cells_released = %d, want 2", got)
+	}
+	if _, err := h.c.Heartbeat(a.ID, nil); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("heartbeat after deregister = %v, want ErrUnknownAgent", err)
+	}
+	b := h.c.Register("w2")
+	if g := mustClaim(t, h.c, b.ID); g.Cell != "c1" {
+		t.Fatalf("released cells not claimable: got %q", g.Cell)
+	}
+}
+
+func TestDuplicateTerminalRecordsLastWins(t *testing.T) {
+	h := newHarness(t, Config{Backoff: time.Millisecond}, "c1")
+	a := h.c.Register("w1")
+
+	g := mustClaim(t, h.c, a.ID)
+	if err := h.c.Complete(a.ID, g.Sweep, g.Cell, g.Token, errRec(g.Cell)); err != nil {
+		t.Fatalf("failed attempt: %v", err)
+	}
+	h.clk.Advance(time.Second)
+	g2 := mustClaim(t, h.c, a.ID)
+	if err := h.c.Complete(a.ID, g2.Sweep, g2.Cell, g2.Token, okRec(g2.Cell)); err != nil {
+		t.Fatalf("second attempt: %v", err)
+	}
+
+	// The journal now holds two terminal records for c1: error then ok.
+	// Resume semantics are last-record-wins, so a reader folding the
+	// journal the way OpenSweep does must land on ok.
+	recs := h.j.records()
+	final := map[string]experiments.CellRecord{}
+	for _, r := range recs {
+		final[r.ID] = r
+	}
+	if final["c1"].Status != experiments.CellOK {
+		t.Fatalf("last record for c1 = %q, want ok (journal %v)", final["c1"].Status, h.j.statuses("c1"))
+	}
+	v, _ := h.c.Sweep("s-1")
+	if !v.Done || v.Completed != 1 {
+		t.Fatalf("sweep state: %+v", v)
+	}
+}
+
+func TestJournalFailureKeepsLeaseForRetry(t *testing.T) {
+	h := newHarness(t, Config{}, "c1")
+	a := h.c.Register("w1")
+	g := mustClaim(t, h.c, a.ID)
+
+	h.j.setFail(errors.New("disk full"))
+	if err := h.c.Complete(a.ID, g.Sweep, g.Cell, g.Token, okRec(g.Cell)); err == nil {
+		t.Fatal("completion with failing journal should error")
+	}
+	// The lease survived the journal failure: the same token still
+	// completes once the journal recovers — no record was lost.
+	h.j.setFail(nil)
+	if err := h.c.Complete(a.ID, g.Sweep, g.Cell, g.Token, okRec(g.Cell)); err != nil {
+		t.Fatalf("retried completion: %v", err)
+	}
+	v, _ := h.c.Sweep("s-1")
+	if !v.Done {
+		t.Fatalf("sweep not done: %+v", v)
+	}
+}
+
+func TestResumeSkipsPriorOKCells(t *testing.T) {
+	h := newHarness(t, Config{})
+	prior := map[string]experiments.CellRecord{
+		"c1": {ID: "c1", Status: experiments.CellOK},
+		"c2": {ID: "c2", Status: experiments.CellError}, // must re-run
+	}
+	err := h.c.AddSweep("s-1", "/tmp/s-1", "t", experiments.Options{}, "fp-1",
+		[]string{"c1", "c2", "c3"}, prior, h.j)
+	if err != nil {
+		t.Fatalf("AddSweep: %v", err)
+	}
+	a := h.c.Register("w1")
+	seen := map[string]bool{}
+	for {
+		g, err := h.c.Claim(a.ID)
+		if err != nil {
+			t.Fatalf("claim: %v", err)
+		}
+		if g == nil {
+			break
+		}
+		seen[g.Cell] = true
+	}
+	if seen["c1"] || !seen["c2"] || !seen["c3"] {
+		t.Fatalf("claimable cells = %v, want exactly c2 and c3", seen)
+	}
+}
+
+func TestDrainingStopsClaimsAndSweeps(t *testing.T) {
+	h := newHarness(t, Config{}, "c1")
+	a := h.c.Register("w1")
+	g := mustClaim(t, h.c, a.ID)
+	h.c.SetDraining(true)
+
+	if _, err := h.c.Claim(a.ID); !errors.Is(err, ErrDraining) {
+		t.Fatalf("claim while draining = %v, want ErrDraining", err)
+	}
+	if err := h.c.AddSweep("s-2", "/tmp/s-2", "", experiments.Options{}, "fp", []string{"x"}, nil, h.j); !errors.Is(err, ErrDraining) {
+		t.Fatalf("AddSweep while draining = %v, want ErrDraining", err)
+	}
+	rep, err := h.c.Heartbeat(a.ID, []int64{g.Token})
+	if err != nil || !rep.Draining {
+		t.Fatalf("heartbeat = %+v, %v; want Draining=true", rep, err)
+	}
+	// The in-flight completion still lands: drain never orphans work.
+	if err := h.c.Complete(a.ID, g.Sweep, g.Cell, g.Token, okRec(g.Cell)); err != nil {
+		t.Fatalf("completion while draining: %v", err)
+	}
+}
+
+func TestStatsAndAgentViews(t *testing.T) {
+	h := newHarness(t, Config{}, "c1", "c2")
+	a := h.c.Register("w1")
+	h.c.Register("w2")
+	mustClaim(t, h.c, a.ID)
+
+	st := h.c.Stats()
+	if st.AgentsLive != 2 || st.LeasesActive != 1 || st.SweepsOpen != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	agents := h.c.Agents()
+	if len(agents) != 2 || agents[0].Leases != 1 || agents[1].Leases != 0 {
+		t.Fatalf("Agents = %+v", agents)
+	}
+	views := h.c.Sweeps()
+	if len(views) != 1 || views[0].Leased != 1 || views[0].Pending != 1 {
+		t.Fatalf("Sweeps = %+v", views)
+	}
+}

@@ -78,6 +78,22 @@ type ServeStatus struct {
 	Shed      int64                  `json:"shed"`
 	Latency   map[string]LatencyStat `json:"latency,omitempty"`
 	Outcomes  map[string]int64       `json:"outcomes,omitempty"`
+	Fleet     *FleetStatus           `json:"fleet,omitempty"`
+}
+
+// FleetStatus is the distributed-sweep control plane's live state as
+// served on /status: agent/lease occupancy and cumulative fault
+// accounting (reaps, requeues, abandonments, fenced-off results).
+type FleetStatus struct {
+	AgentsLive       int   `json:"agents_live"`
+	LeasesActive     int   `json:"leases_active"`
+	SweepsOpen       int   `json:"sweeps_open"`
+	AgentsReaped     int64 `json:"agents_reaped"`
+	LeasesExpired    int64 `json:"leases_expired"`
+	Requeues         int64 `json:"requeues"`
+	CellsCompleted   int64 `json:"cells_completed"`
+	CellsAbandoned   int64 `json:"cells_abandoned"`
+	StaleCompletions int64 `json:"stale_completions"`
 }
 
 // StatusSnapshot is everything /status serves: build identity, process

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,28 +24,51 @@ type apiError struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/runs        submit a Spec        → 202 RunInfo
-//	GET    /v1/runs        list runs            → 200 [RunInfo]
-//	GET    /v1/runs/{id}   one run's status     → 200 RunInfo
-//	DELETE /v1/runs/{id}   cancel a run         → 202 RunInfo
-//	GET    /status         live server state    → 200 StatusSnapshot
-//	GET    /v1/timeseries  recent sample ring   → 200 TimeSeriesSnapshot
-//	GET    /healthz        liveness             → 200, or 503 draining
-//	GET    /metrics        Prometheus text
+//	POST   /v1/runs                 submit a Spec        → 202 RunInfo
+//	GET    /v1/runs                 list runs            → 200 [RunInfo]
+//	GET    /v1/runs/{id}            one run's status     → 200 RunInfo
+//	DELETE /v1/runs/{id}            cancel a run         → 202 RunInfo
+//	POST   /v1/sweeps               submit a SweepSpec   → 202 SweepView
+//	GET    /v1/sweeps               list sweeps          → 200 [SweepView]
+//	GET    /v1/sweeps/{id}          one sweep's cells    → 200 SweepView
+//	POST   /v1/agents               register an agent    → 200 AgentView
+//	GET    /v1/agents               list live agents     → 200 [AgentStatus]
+//	POST   /v1/agents/{id}/heartbeat renew leases        → 200 HeartbeatReply
+//	DELETE /v1/agents/{id}          graceful deregister  → 200
+//	POST   /v1/cells/claim          pull a cell lease    → 200 Grant, or 204
+//	POST   /v1/cells/complete       submit a cell record → 200, or 409 stale token
+//	POST   /v1/cells/release        park a cell back     → 200, or 409 stale token
+//	GET    /status                  live server state    → 200 StatusSnapshot
+//	GET    /v1/timeseries           recent sample ring   → 200 TimeSeriesSnapshot
+//	GET    /healthz                 liveness             → 200, or 503 draining
+//	GET    /metrics                 Prometheus text
 //
 // Submit maps admission outcomes to statuses: malformed or invalid
-// specs → 400, queue full → 429 with Retry-After, draining → 503.
+// specs → 400, queue full → 429 with a Retry-After derived from the
+// observed drain rate (jittered so shed clients spread out), draining
+// → 503.
 //
-// Every response carries an X-Request-ID header, and every request is
-// logged at debug level under that req_id — with the run_id bound too
-// when the path names a run, so a run's API history greps out by either
-// key.
+// Every response carries an X-Request-ID header — a client-supplied one
+// is honored, so an agent's request IDs thread through control-plane
+// logs — and every request is logged at debug level under that req_id,
+// with the run_id bound too when the path names a run, so a run's API
+// history greps out by either key.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("POST /v1/agents", s.handleAgentRegister)
+	mux.HandleFunc("GET /v1/agents", s.handleAgentList)
+	mux.HandleFunc("POST /v1/agents/{id}/heartbeat", s.handleAgentHeartbeat)
+	mux.HandleFunc("DELETE /v1/agents/{id}", s.handleAgentDeregister)
+	mux.HandleFunc("POST /v1/cells/claim", s.handleCellClaim)
+	mux.HandleFunc("POST /v1/cells/complete", s.handleCellComplete)
+	mux.HandleFunc("POST /v1/cells/release", s.handleCellRelease)
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /v1/timeseries", s.handleTimeseries)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -51,11 +76,47 @@ func (s *Server) Handler() http.Handler {
 	return s.withRequestID(mux)
 }
 
-// withRequestID stamps each request with a correlation ID and emits the
-// debug-level request log line.
+// reqLogKey carries the request-scoped logger (req_id bound) through
+// the request context to handlers that want to log under it.
+type reqLogKey struct{}
+
+// reqLog returns the request's correlation-bound logger; outside the
+// middleware (tests calling handlers directly) it falls back to the
+// server logger.
+func (s *Server) reqLog(r *http.Request) *obs.Logger {
+	if l, ok := r.Context().Value(reqLogKey{}).(*obs.Logger); ok {
+		return l
+	}
+	return s.log
+}
+
+// validRequestID accepts client-supplied correlation IDs that are safe
+// to echo into headers and logfmt: short, and alphanumeric plus ./_-.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// withRequestID stamps each request with a correlation ID — honoring a
+// valid client-supplied X-Request-ID, so agent-originated IDs carry
+// through control-plane logs — and emits the debug-level request line.
 func (s *Server) withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		reqID := fmt.Sprintf("q-%08d", s.reqSeq.Add(1))
+		reqID := r.Header.Get("X-Request-ID")
+		if !validRequestID(reqID) {
+			reqID = fmt.Sprintf("q-%08d", s.reqSeq.Add(1))
+		}
 		w.Header().Set("X-Request-ID", reqID)
 		if !s.log.Enabled(obs.LevelDebug) {
 			next.ServeHTTP(w, r)
@@ -66,7 +127,7 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 			l = l.With("run_id", runID)
 		}
 		start := time.Now()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqLogKey{}, l)))
 		l.Debug("request", "method", r.Method, "path", r.URL.Path, "dur", time.Since(start))
 	})
 }
@@ -90,9 +151,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	info, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		// The queue holds whole simulations; a slot opening is a matter
-		// of seconds, not milliseconds.
-		w.Header().Set("Retry-After", "1")
+		// The hint tracks the observed drain rate (EWMA of exec time
+		// over the worker pool) with jitter, so shed clients neither
+		// hammer a busy server every second nor stampede back in
+		// lockstep when a slot finally frees.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})

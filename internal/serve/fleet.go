@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"zccloud/internal/experiments"
+	"zccloud/internal/fleet"
+)
+
+// ErrNoDataDir refuses sweep submissions on a journal-less server: a
+// distributed sweep *is* its run directory.
+var ErrNoDataDir = errors.New("serve: distributed sweeps need a data dir (-data)")
+
+// maxCompleteBytes bounds a cell-completion body. Completions carry a
+// whole result table, so they get more headroom than specs.
+const maxCompleteBytes = 8 << 20
+
+// SweepSpec is a submitted distributed sweep: which experiments to fan
+// out across the agent fleet, at which scale.
+type SweepSpec struct {
+	// Name is an optional client label echoed back in status.
+	Name string `json:"name,omitempty"`
+	// Experiments lists cell IDs (empty = the full registry).
+	Experiments []string `json:"experiments,omitempty"`
+	// Seed defaults to 42; Full runs paper scale instead of the quick
+	// preset, mirroring run Specs.
+	Seed int64 `json:"seed,omitempty"`
+	Full bool  `json:"full,omitempty"`
+	// Dir names the run directory under <data>/sweeps/ (default: the
+	// sweep id). A plain name only — no path separators.
+	Dir string `json:"dir,omitempty"`
+	// Resume reopens an existing run directory: cells already journaled
+	// CellOK are terminal immediately, everything else re-runs. The
+	// directory's manifest must match this spec's configuration.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// resolve validates the spec and returns the experiment set and lab
+// options it names.
+func (sp SweepSpec) resolve() ([]experiments.Experiment, experiments.Options, error) {
+	if sp.Seed == 0 {
+		sp.Seed = 42
+	}
+	exps := experiments.All
+	if len(sp.Experiments) > 0 {
+		exps = nil
+		for _, id := range sp.Experiments {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				return nil, experiments.Options{}, fmt.Errorf("serve: %w", err)
+			}
+			exps = append(exps, e)
+		}
+	}
+	if sp.Dir != "" && (strings.ContainsAny(sp.Dir, "/\\") || sp.Dir == "." || sp.Dir == "..") {
+		return nil, experiments.Options{}, fmt.Errorf("serve: sweep dir %q must be a plain directory name", sp.Dir)
+	}
+	opt := experiments.Options{Seed: sp.Seed}
+	if !sp.Full {
+		opt = experiments.Quick(sp.Seed)
+	}
+	return exps, opt, nil
+}
+
+// sweepJournal serializes appends against the drain-time close, so a
+// completion racing the shutdown gets an error instead of a torn file.
+type sweepJournal struct {
+	mu sync.Mutex
+	sw *experiments.Sweep // nil once closed
+}
+
+func (j *sweepJournal) Append(rec experiments.CellRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.sw == nil {
+		return errors.New("serve: sweep journal closed (server draining)")
+	}
+	return j.sw.Append(rec)
+}
+
+func (j *sweepJournal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.sw == nil {
+		return nil
+	}
+	sw := j.sw
+	j.sw = nil
+	return sw.Close()
+}
+
+// SubmitSweep opens (or resumes) a run directory and hands its cells to
+// the fleet controller for distribution.
+func (s *Server) SubmitSweep(spec SweepSpec) (fleet.SweepView, error) {
+	if s.cfg.DataDir == "" {
+		return fleet.SweepView{}, ErrNoDataDir
+	}
+	if s.draining.Load() {
+		return fleet.SweepView{}, ErrDraining
+	}
+	exps, opt, err := spec.resolve()
+	if err != nil {
+		return fleet.SweepView{}, err
+	}
+	s.sweepMu.Lock()
+	s.nextSweep++
+	id := fmt.Sprintf("s-%06d", s.nextSweep)
+	s.sweepMu.Unlock()
+	dirName := spec.Dir
+	if dirName == "" {
+		dirName = id
+	}
+	dir := filepath.Join(s.cfg.DataDir, "sweeps", dirName)
+	sw, err := experiments.OpenSweep(dir, opt, exps, spec.Resume)
+	if err != nil {
+		return fleet.SweepView{}, err
+	}
+	j := &sweepJournal{sw: sw}
+	if err := s.fleet.AddSweep(id, dir, spec.Name, opt, sw.Fingerprint(), sw.CellIDs(), sw.Prior(), j); err != nil {
+		j.close()
+		return fleet.SweepView{}, err
+	}
+	s.sweepMu.Lock()
+	s.sweepJournals[id] = j
+	s.sweepMu.Unlock()
+	v, _ := s.fleet.Sweep(id)
+	return v, nil
+}
+
+// Fleet exposes the controller (tests and the reap loop).
+func (s *Server) Fleet() *fleet.Controller { return s.fleet }
+
+// fleetLoop is the dispatch-side background loop: a reap tick a few
+// times per TTL so dead agents and expired leases are noticed promptly.
+func (s *Server) fleetLoop(every time.Duration) {
+	defer s.fleetWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.fleet.Tick()
+		case <-s.fleetStop:
+			return
+		}
+	}
+}
+
+// closeSweepJournals closes every open sweep journal; drain calls it
+// once no more completions can be accepted.
+func (s *Server) closeSweepJournals() error {
+	s.sweepMu.Lock()
+	journals := make([]*sweepJournal, 0, len(s.sweepJournals))
+	for _, j := range s.sweepJournals {
+		journals = append(journals, j)
+	}
+	s.sweepMu.Unlock()
+	var firstErr error
+	for _, j := range journals {
+		if err := j.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// --- HTTP layer ---
+
+// Fleet request bodies. Agent identity rides in the body (not the
+// path) for claim/complete/release so the routes stay flat.
+type agentRegisterReq struct {
+	Name string `json:"name,omitempty"`
+}
+
+type heartbeatReq struct {
+	// Tokens lists the fencing tokens of leases the agent still holds;
+	// each is renewed or reported lost.
+	Tokens []int64 `json:"tokens,omitempty"`
+}
+
+type claimReq struct {
+	Agent string `json:"agent"`
+}
+
+type completeReq struct {
+	Agent string `json:"agent"`
+	Sweep string `json:"sweep"`
+	Cell  string `json:"cell"`
+	Token int64  `json:"token"`
+	// Record is the attempt's terminal record, journaled verbatim
+	// (last record per cell wins on resume).
+	Record experiments.CellRecord `json:"record"`
+}
+
+type releaseReq struct {
+	Agent string `json:"agent"`
+	Sweep string `json:"sweep"`
+	Cell  string `json:"cell"`
+	Token int64  `json:"token"`
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// fleetErr maps controller errors to HTTP statuses: stale fencing
+// tokens are 409 (the result is discarded, not retried), unknown
+// agents 404 (re-register), unknown sweeps/cells 404, draining 503.
+func fleetErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, fleet.ErrStaleToken):
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+	case errors.Is(err, fleet.ErrUnknownAgent),
+		errors.Is(err, fleet.ErrUnknownSweep),
+		errors.Is(err, fleet.ErrUnknownCell):
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	case errors.Is(err, fleet.ErrDraining), errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleAgentRegister(w http.ResponseWriter, r *http.Request) {
+	var req agentRegisterReq
+	if !decodeBody(w, r, maxSpecBytes, &req) {
+		return
+	}
+	view := s.fleet.Register(req.Name)
+	s.reqLog(r).Debug("agent register", "agent_id", view.ID, "agent", req.Name)
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleAgentList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleet.Agents())
+}
+
+func (s *Server) handleAgentHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatReq
+	if !decodeBody(w, r, maxSpecBytes, &req) {
+		return
+	}
+	id := r.PathValue("id")
+	rep, err := s.fleet.Heartbeat(id, req.Tokens)
+	if err != nil {
+		fleetErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleAgentDeregister(w http.ResponseWriter, r *http.Request) {
+	s.fleet.Deregister(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deregistered"})
+}
+
+func (s *Server) handleCellClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimReq
+	if !decodeBody(w, r, maxSpecBytes, &req) {
+		return
+	}
+	grant, err := s.fleet.Claim(req.Agent)
+	if err != nil {
+		fleetErr(w, err)
+		return
+	}
+	if grant == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.reqLog(r).Debug("cell claim", "agent_id", req.Agent,
+		"run_id", grant.Sweep, "cell", grant.Cell, "token", grant.Token)
+	writeJSON(w, http.StatusOK, grant)
+}
+
+func (s *Server) handleCellComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeReq
+	if !decodeBody(w, r, maxCompleteBytes, &req) {
+		return
+	}
+	s.reqLog(r).Debug("cell complete", "agent_id", req.Agent,
+		"run_id", req.Sweep, "cell", req.Cell, "token", req.Token,
+		"status", req.Record.Status)
+	if err := s.fleet.Complete(req.Agent, req.Sweep, req.Cell, req.Token, req.Record); err != nil {
+		fleetErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+}
+
+func (s *Server) handleCellRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseReq
+	if !decodeBody(w, r, maxSpecBytes, &req) {
+		return
+	}
+	s.reqLog(r).Debug("cell release", "agent_id", req.Agent,
+		"run_id", req.Sweep, "cell", req.Cell, "token", req.Token)
+	if err := s.fleet.Release(req.Agent, req.Sweep, req.Cell, req.Token); err != nil {
+		fleetErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	if !decodeBody(w, r, maxSpecBytes, &spec) {
+		return
+	}
+	view, err := s.SubmitSweep(spec)
+	switch {
+	case errors.Is(err, ErrNoDataDir):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case errors.Is(err, ErrDraining), errors.Is(err, fleet.ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil && strings.Contains(err.Error(), "already holds a sweep"):
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+	case err != nil && strings.Contains(err.Error(), "resume refused"):
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleet.Sweeps())
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.fleet.Sweep(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fleet.ErrUnknownSweep.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}

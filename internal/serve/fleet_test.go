@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"zccloud/internal/core"
+	"zccloud/internal/experiments"
+	"zccloud/internal/fleet"
+)
+
+// fastFleet is a fleet config with millisecond-scale TTLs so reap and
+// backoff paths run in test time.
+func fastFleet() fleet.Config {
+	return fleet.Config{
+		LeaseTTL:   200 * time.Millisecond,
+		AgentTTL:   150 * time.Millisecond,
+		RetryLimit: 3,
+		Backoff:    time.Millisecond,
+		BackoffCap: 5 * time.Millisecond,
+	}
+}
+
+func newFleetServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	if cfg.Fleet.LeaseTTL == 0 {
+		cfg.Fleet = fastFleet()
+	}
+	return newAPIServer(t, cfg)
+}
+
+// fleetPost is doJSON plus unmarshal-into for the happy path.
+func fleetPost(t *testing.T, url, body string, into any) *http.Response {
+	t.Helper()
+	resp, b := doJSON(t, "POST", url, body)
+	if into != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(b, into); err != nil {
+			t.Fatalf("unmarshal %s: %v (%s)", url, err, b)
+		}
+	}
+	return resp
+}
+
+func registerAgent(t *testing.T, base, name string) fleet.AgentView {
+	t.Helper()
+	var view fleet.AgentView
+	resp := fleetPost(t, base+"/v1/agents", fmt.Sprintf(`{"name": %q}`, name), &view)
+	if resp.StatusCode != http.StatusOK || view.ID == "" {
+		t.Fatalf("register = %d, view %+v", resp.StatusCode, view)
+	}
+	return view
+}
+
+// claimCell claims until a grant arrives or the deadline passes (nil if
+// nothing ever becomes claimable).
+func claimCell(t *testing.T, base, agentID string, wait time.Duration) *fleet.Grant {
+	t.Helper()
+	deadline := time.Now().Add(wait)
+	for time.Now().Before(deadline) {
+		var g fleet.Grant
+		resp, b := doJSON(t, "POST", base+"/v1/cells/claim", fmt.Sprintf(`{"agent": %q}`, agentID))
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if err := json.Unmarshal(b, &g); err != nil {
+				t.Fatal(err)
+			}
+			return &g
+		case http.StatusNoContent:
+			time.Sleep(2 * time.Millisecond)
+		default:
+			t.Fatalf("claim = %d: %s", resp.StatusCode, b)
+		}
+	}
+	return nil
+}
+
+func completeBody(agentID string, g *fleet.Grant, rec experiments.CellRecord) string {
+	rec.ID = g.Cell
+	b, _ := json.Marshal(map[string]any{
+		"agent": agentID, "sweep": g.Sweep, "cell": g.Cell, "token": g.Token, "record": rec,
+	})
+	return string(b)
+}
+
+func TestSweepSubmitRequiresDataDir(t *testing.T) {
+	_, ts := newAPIServer(t, Config{Workers: 1})
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/sweeps", `{"experiments": ["table1"]}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "data dir") {
+		t.Fatalf("submit without data dir = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSweepSubmitValidation(t *testing.T) {
+	_, ts := newFleetServer(t, Config{Workers: 1})
+	for body, wantFrag := range map[string]string{
+		`{"experiments": ["no-such-cell"]}`: "no-such-cell",
+		`{"dir": "../escape"}`:              "plain directory name",
+		`{"dir": "a/b"}`:                    "plain directory name",
+	} {
+		resp, b := doJSON(t, "POST", ts.URL+"/v1/sweeps", body)
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(b), wantFrag) {
+			t.Fatalf("submit %s = %d: %s", body, resp.StatusCode, b)
+		}
+	}
+}
+
+// TestFleetReapRequeueSecondAgentCompletes is the exactly-once core over
+// HTTP: agent A claims a cell and dies silently; the control plane reaps
+// it and requeues; agent A's late result is fenced with 409; agent B
+// completes the retry; the journal resolves last-record-wins.
+func TestFleetReapRequeueSecondAgentCompletes(t *testing.T) {
+	s, ts := newFleetServer(t, Config{Workers: 1})
+
+	var sv fleet.SweepView
+	resp := fleetPost(t, ts.URL+"/v1/sweeps",
+		`{"experiments": ["table2", "table4"], "seed": 7, "dir": "d1"}`, &sv)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d", resp.StatusCode)
+	}
+
+	a := registerAgent(t, ts.URL, "doomed")
+	g := claimCell(t, ts.URL, a.ID, time.Second)
+	if g == nil {
+		t.Fatal("no grant")
+	}
+
+	// Agent A goes silent; wait out its TTL and force a reap pass (the
+	// background loop ticks too, this just removes timing slop).
+	time.Sleep(200 * time.Millisecond)
+	s.Fleet().Tick()
+
+	rec := experiments.CellRecord{Status: experiments.CellOK,
+		Table: &experiments.Table{ID: g.Cell, Title: "late ghost result"}}
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/cells/complete", completeBody(a.ID, g, rec))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("late completion = %d, want 409: %s", resp.StatusCode, body)
+	}
+
+	// Agent B drains the whole sweep with distinct results.
+	b := registerAgent(t, ts.URL, "healthy")
+	for {
+		g2 := claimCell(t, ts.URL, b.ID, time.Second)
+		if g2 == nil {
+			break
+		}
+		if g2.Cell == g.Cell && g2.Token == g.Token {
+			t.Fatal("requeued cell reissued under the same fencing token")
+		}
+		rec := experiments.CellRecord{Status: experiments.CellOK,
+			Table: &experiments.Table{ID: g2.Cell, Title: "retry result"}}
+		if resp, body := doJSON(t, "POST", ts.URL+"/v1/cells/complete", completeBody(b.ID, g2, rec)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("completion = %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/sweeps/"+sv.ID, "")
+	var view fleet.SweepView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if !view.Done || view.Completed != 2 || view.Abandoned != 0 {
+		t.Fatalf("sweep = %+v", view)
+	}
+
+	// The on-disk journal resolves last-record-wins to the retry's
+	// table, never the ghost's.
+	final := loadFinalRecords(t, filepath.Join(s.cfg.DataDir, "sweeps", "d1"))
+	for _, id := range []string{"table2", "table4"} {
+		fr, ok := final[id]
+		if !ok || fr.Status != experiments.CellOK {
+			t.Fatalf("final record for %s: %+v", id, fr)
+		}
+		if fr.Table.Title == "late ghost result" {
+			t.Fatalf("ghost result survived for %s", id)
+		}
+	}
+
+	// Metrics surface the incident.
+	resp, body = doJSON(t, "GET", ts.URL+"/metrics", "")
+	for _, want := range []string{"fleet_agents_reaped 1", "fleet_stale_completions 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+	if m := regexp.MustCompile(`fleet_requeues (\d+)`).FindStringSubmatch(string(body)); m == nil || m[1] == "0" {
+		t.Fatalf("/metrics missing nonzero fleet_requeues:\n%s", body)
+	}
+
+	// /status carries the fleet block.
+	resp, body = doJSON(t, "GET", ts.URL+"/status", "")
+	var snap struct {
+		Serve struct {
+			Fleet *struct {
+				AgentsReaped int64 `json:"agents_reaped"`
+			} `json:"fleet"`
+		} `json:"serve"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Serve.Fleet == nil || snap.Serve.Fleet.AgentsReaped != 1 {
+		t.Fatalf("/status fleet block = %+v", snap.Serve.Fleet)
+	}
+}
+
+// loadFinalRecords folds a sweep journal last-record-wins.
+func loadFinalRecords(t *testing.T, dir string) map[string]experiments.CellRecord {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "cells.jsonl"))
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	final := make(map[string]experiments.CellRecord)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec experiments.CellRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		final[rec.ID] = rec
+	}
+	return final
+}
+
+func TestSweepResumeAcrossServers(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, ts1 := newFleetServer(t, Config{Workers: 1, DataDir: dataDir})
+
+	var sv fleet.SweepView
+	spec := `{"experiments": ["table2", "table5"], "seed": 9, "dir": "d1"}`
+	if resp := fleetPost(t, ts1.URL+"/v1/sweeps", spec, &sv); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	// Re-submitting the same fresh dir is refused.
+	if resp, body := doJSON(t, "POST", ts1.URL+"/v1/sweeps", spec); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate dir submit = %d: %s", resp.StatusCode, body)
+	}
+
+	// Complete exactly one of the two cells, then drain the server.
+	a := registerAgent(t, ts1.URL, "w")
+	g := claimCell(t, ts1.URL, a.ID, time.Second)
+	rec := experiments.CellRecord{Status: experiments.CellOK, Table: &experiments.Table{ID: g.Cell}}
+	if resp, body := doJSON(t, "POST", ts1.URL+"/v1/cells/complete", completeBody(a.ID, g, rec)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("complete = %d: %s", resp.StatusCode, body)
+	}
+	drainServer(t, s1)
+	doneCell := g.Cell
+
+	// A new control plane resumes the directory: the completed cell is
+	// terminal on arrival, only the other is claimable.
+	_, ts2 := newFleetServer(t, Config{Workers: 1, DataDir: dataDir})
+	var sv2 fleet.SweepView
+	resp := fleetPost(t, ts2.URL+"/v1/sweeps",
+		`{"experiments": ["table2", "table5"], "seed": 9, "dir": "d1", "resume": true}`, &sv2)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume submit = %d", resp.StatusCode)
+	}
+	if sv2.Completed != 1 || sv2.Pending != 1 {
+		t.Fatalf("resumed view = %+v", sv2)
+	}
+	b := registerAgent(t, ts2.URL, "w2")
+	g2 := claimCell(t, ts2.URL, b.ID, time.Second)
+	if g2 == nil || g2.Cell == doneCell {
+		t.Fatalf("resume granted %+v; want the unfinished cell", g2)
+	}
+
+	// Resuming under a different configuration is refused: the manifest
+	// fingerprint pins the sweep.
+	resp, body := doJSON(t, "POST", ts2.URL+"/v1/sweeps",
+		`{"experiments": ["table2", "table5"], "seed": 10, "dir": "d1", "resume": true}`)
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(body), "resume refused") {
+		t.Fatalf("mismatched resume = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func drainServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestDrainClosesSweepJournalsAndRefusesCompletions(t *testing.T) {
+	s, ts := newFleetServer(t, Config{Workers: 1})
+	fleetPost(t, ts.URL+"/v1/sweeps", `{"experiments": ["table2"], "dir": "d1"}`, nil)
+	a := registerAgent(t, ts.URL, "w")
+	g := claimCell(t, ts.URL, a.ID, time.Second)
+	drainServer(t, s)
+
+	rec := experiments.CellRecord{Status: experiments.CellOK, Table: &experiments.Table{ID: g.Cell}}
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/cells/complete", completeBody(a.ID, g, rec))
+	// The journal is closed: the completion must be refused (500 journal
+	// error), never half-recorded.
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("completion accepted after drain: %s", body)
+	}
+	// And new sweeps are refused outright.
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/sweeps", `{"experiments": ["table2"], "dir": "d2"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sweep submit while draining = %d", resp.StatusCode)
+	}
+}
+
+func TestRetryAfterTracksDrainRate(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4})
+	// No observations yet: the old constant behavior.
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("cold retryAfterSeconds = %d, want 1", got)
+	}
+	// Slow runs push the hint up: 120s exec over 4 workers ≈ 30s drain,
+	// jittered to [15, 45].
+	for i := 0; i < 20; i++ {
+		s.observeExecTime(120)
+	}
+	for i := 0; i < 50; i++ {
+		got := s.retryAfterSeconds()
+		if got < 15 || got > 45 {
+			t.Fatalf("retryAfterSeconds = %d, want within [15, 45]", got)
+		}
+	}
+	// Absurdly slow runs still clamp to the ceiling.
+	for i := 0; i < 20; i++ {
+		s.observeExecTime(100000)
+	}
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Fatalf("clamped retryAfterSeconds = %d, want 60", got)
+	}
+}
+
+func TestRetryAfterHeaderOnQueueFull(t *testing.T) {
+	s, ts := newAPIServer(t, Config{Workers: 1, QueueDepth: 1})
+	block := make(chan struct{})
+	defer close(block)
+	s.execHook = func(ctx context.Context, sp Spec) (*core.Metrics, error) {
+		select {
+		case <-block:
+			return &core.Metrics{Completed: 1}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Pretend recent runs took ~20s each so the header has to reflect
+	// the observed drain rate rather than the old hardcoded "1".
+	for i := 0; i < 10; i++ {
+		s.observeExecTime(20)
+	}
+
+	// Occupy the single worker, then the single queue slot.
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/runs", `{}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST 1 = %d: %s", resp.StatusCode, body)
+	}
+	var first RunInfo
+	json.Unmarshal(body, &first)
+	for {
+		if info, _ := s.Get(first.ID); info.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, _ := doJSON(t, "POST", ts.URL+"/v1/runs", `{}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST 2 = %d", resp.StatusCode)
+	}
+
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/runs", `{}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("POST 3 = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	sec, err := strconv.Atoi(ra)
+	if err != nil || sec < 1 || sec > 60 {
+		t.Fatalf("Retry-After = %q, want integer seconds in [1, 60]", ra)
+	}
+	// ewma 20s / 1 worker with jitter in [0.5, 1.5) => [10, 30).
+	if sec < 10 || sec >= 30 {
+		t.Fatalf("Retry-After = %d, want drain-rate-derived value in [10, 30)", sec)
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	_, ts := newAPIServer(t, Config{Workers: 1})
+
+	// A valid agent-style ID is echoed back (and threads through logs).
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "a-000007-r000042")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "a-000007-r000042" {
+		t.Fatalf("X-Request-ID echoed as %q", got)
+	}
+
+	// Garbage is replaced with a server-generated ID, not echoed.
+	req, _ = http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "bad id with spaces and far too much junk to be a correlation id at all!")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := resp.Header.Get("X-Request-ID")
+	if !strings.HasPrefix(got, "q-") {
+		t.Fatalf("invalid client ID echoed back as %q; want generated q- ID", got)
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -33,6 +35,7 @@ import (
 
 	"zccloud/internal/core"
 	"zccloud/internal/experiments"
+	"zccloud/internal/fleet"
 	"zccloud/internal/obs"
 	"zccloud/internal/persist"
 	"zccloud/internal/sched"
@@ -91,6 +94,10 @@ type Config struct {
 	// SampleWindow is how many samples /v1/timeseries retains; zero
 	// means 600 (ten minutes at the default interval).
 	SampleWindow int
+
+	// Fleet sizes the distributed-sweep control plane (lease TTLs, reap
+	// thresholds, requeue backoff). The zero value uses fleet defaults.
+	Fleet fleet.Config
 }
 
 // Lifecycle histogram shapes, in seconds. Uniform buckets; the ranges
@@ -131,6 +138,22 @@ type Server struct {
 	journal *journalSink
 	jfile   *persist.Journal
 
+	// Distributed-sweep control plane: the lease/registry controller,
+	// its reap loop, and the open sweep journals.
+	fleet         *fleet.Controller
+	fleetStop     chan struct{}
+	fleetWG       sync.WaitGroup
+	sweepMu       sync.Mutex
+	sweepJournals map[string]*sweepJournal
+	nextSweep     int
+
+	// execEWMA holds the float64 bits of an exponentially weighted
+	// moving average of run execution seconds; the 429 Retry-After hint
+	// derives the admission drain rate from it.
+	execEWMA atomic.Uint64
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
+
 	drainOnce sync.Once
 	drainErr  error
 
@@ -165,14 +188,21 @@ func New(cfg Config) (*Server, error) {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		scope:   reg.Scope("serve"),
-		log:     cfg.Log,
-		started: time.Now(),
-		queue:   make(chan *run, cfg.QueueDepth),
-		runs:    make(map[string]*run),
+		cfg:           cfg,
+		reg:           reg,
+		scope:         reg.Scope("serve"),
+		log:           cfg.Log,
+		started:       time.Now(),
+		queue:         make(chan *run, cfg.QueueDepth),
+		runs:          make(map[string]*run),
+		fleetStop:     make(chan struct{}),
+		sweepJournals: make(map[string]*sweepJournal),
+		retryRng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	fc := cfg.Fleet
+	fc.Log = cfg.Log
+	fc.Metrics = reg
+	s.fleet = fleet.New(fc)
 	// Pre-register the lifecycle histograms so /metrics serves the full
 	// schema from the first scrape rather than only after each stage has
 	// been observed once (scrapers hate appearing-later series).
@@ -199,6 +229,17 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	// The reap loop ticks several times per TTL so a dead agent or
+	// expired lease is noticed well before the next one accrues.
+	tick := s.fleet.LeaseTTL()
+	if hb := s.fleet.HeartbeatEvery(); hb < tick {
+		tick = hb
+	}
+	if tick /= 2; tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	s.fleetWG.Add(1)
+	go s.fleetLoop(tick)
 	return s, nil
 }
 
@@ -525,6 +566,7 @@ func (s *Server) recordFinish(rec journalRecord, lt lifecycleTimes, rl *obs.Logg
 	if lt.execSec >= 0 {
 		s.scope.Histogram("exec_seconds", 0, execHistHi, lifecycleBuck).Observe(lt.execSec)
 		s.scope.Histogram("exec_seconds_"+outcome, 0, execHistHi, lifecycleBuck).Observe(lt.execSec)
+		s.observeExecTime(lt.execSec)
 	}
 	if lt.parkSec >= 0 {
 		s.scope.Histogram("park_seconds", 0, parkHistHi, lifecycleBuck).Observe(lt.parkSec)
@@ -584,6 +626,11 @@ func (s *Server) drain(ctx context.Context) error {
 	s.draining.Store(true)
 	close(s.queue)
 	s.admitMu.Unlock()
+	// The fleet drains in parallel with runs: claims stop immediately,
+	// heartbeat replies ask agents to release their cells, and leases
+	// already granted stay valid so in-flight completions still land
+	// until the journals close below.
+	s.fleet.SetDraining(true)
 	s.log.Info("draining: admission closed")
 
 	done := make(chan struct{})
@@ -603,6 +650,11 @@ func (s *Server) drain(ctx context.Context) error {
 		}
 	}
 	s.ts.Stop()
+	close(s.fleetStop)
+	s.fleetWG.Wait()
+	if err := s.closeSweepJournals(); err != nil {
+		return fmt.Errorf("serve: closing sweep journals: %w", err)
+	}
 	if s.jfile != nil {
 		if err := s.jfile.Close(); err != nil {
 			return fmt.Errorf("serve: closing run journal: %w", err)
@@ -610,6 +662,46 @@ func (s *Server) drain(ctx context.Context) error {
 	}
 	s.log.Info("drained: all runs terminal")
 	return nil
+}
+
+// execEWMAAlpha weights the newest run's execution time in the drain
+// rate estimate; ~3-4 runs dominate the average, so the Retry-After
+// hint tracks load shifts without whiplashing on one outlier.
+const execEWMAAlpha = 0.3
+
+// observeExecTime folds one finished run's execution time into the
+// drain-rate EWMA (lock-free: racing updates just reorder the fold).
+func (s *Server) observeExecTime(sec float64) {
+	prev := math.Float64frombits(s.execEWMA.Load())
+	next := sec
+	if prev > 0 {
+		next = execEWMAAlpha*sec + (1-execEWMAAlpha)*prev
+	}
+	s.execEWMA.Store(math.Float64bits(next))
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the observed
+// admission drain rate: with W workers retiring runs every EWMA
+// seconds, a queue slot frees roughly every EWMA/W seconds. The hint is
+// jittered uniformly in [0.5x, 1.5x] so a burst of shed clients does
+// not stampede back in lockstep, and clamped to [1, 60].
+func (s *Server) retryAfterSeconds() int {
+	ewma := math.Float64frombits(s.execEWMA.Load())
+	if ewma <= 0 {
+		return 1 // nothing observed yet: the old static hint
+	}
+	est := ewma / float64(s.cfg.Workers)
+	s.retryMu.Lock()
+	jitter := 0.5 + s.retryRng.Float64()
+	s.retryMu.Unlock()
+	secs := int(math.Ceil(est * jitter))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // lifecycleStages are the four /status latency summaries and the
@@ -661,6 +753,18 @@ func (s *Server) Status() obs.ServeStatus {
 			st.Outcomes[o] = v
 		}
 	}
+	fs := s.fleet.Stats()
+	st.Fleet = &obs.FleetStatus{
+		AgentsLive:       fs.AgentsLive,
+		LeasesActive:     fs.LeasesActive,
+		SweepsOpen:       fs.SweepsOpen,
+		AgentsReaped:     ms.Counter("fleet.agents_reaped"),
+		LeasesExpired:    ms.Counter("fleet.leases_expired"),
+		Requeues:         ms.Counter("fleet.requeues"),
+		CellsCompleted:   ms.Counter("fleet.cells_completed"),
+		CellsAbandoned:   ms.Counter("fleet.cells_abandoned"),
+		StaleCompletions: ms.Counter("fleet.stale_completions"),
+	}
 	return st
 }
 
@@ -679,6 +783,12 @@ func (s *Server) sampleTelemetry(put func(string, float64)) {
 	put("failed", float64(st.Failed))
 	put("shed", float64(st.Shed))
 	put("journal_dropped", float64(s.JournalDropped()))
+	if f := st.Fleet; f != nil {
+		put("agents_live", float64(f.AgentsLive))
+		put("leases_active", float64(f.LeasesActive))
+		put("fleet_requeues", float64(f.Requeues))
+		put("cells_completed", float64(f.CellsCompleted))
+	}
 }
 
 // describeSpec is the one-line log form of a spec.

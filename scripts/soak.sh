@@ -1,20 +1,222 @@
 #!/bin/sh
-# Chaos soak for the zccd serving daemon: hammer a real binary with
-# concurrent submits (valid, faulted, long, malformed), random cancels,
-# then SIGTERM it mid-traffic. Asserts:
+# Chaos soaks for the zccd serving daemon, driving real binaries.
+#
+# Daemon mode (default):  scripts/soak.sh [rounds]
+#   Hammer zccd with concurrent submits (valid, faulted, long,
+#   malformed), random cancels, then SIGTERM it mid-traffic. Asserts:
 #
 #   - the daemon exits 0 within the drain deadline;
 #   - every accepted run's journal record ends in a terminal state;
 #   - checkpointed runs left resumable snapshot files behind.
 #
-# Usage: scripts/soak.sh [rounds]   (default 3 submit rounds per client)
+# Agent mode:  scripts/soak.sh agents
+#   Distributed-sweep chaos: start zccd with short fleet TTLs, spawn
+#   three zccagent workers, submit a sweep, SIGKILL the agent holding
+#   the longest cell mid-run. Asserts:
+#
+#   - the dead agent is reaped and its cell requeued (/metrics);
+#   - every cell lands terminal with exactly one ok record (journal);
+#   - the fleet's tables are byte-identical to a single-process
+#     zccexp run of the same sweep;
+#   - surviving agents and the daemon drain cleanly on SIGTERM.
 set -eu
 cd "$(dirname "$0")/.."
 
-rounds=${1:-3}
+mode=${1:-3}
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"; kill "$daemonpid" 2>/dev/null || true' EXIT
 daemonpid=""
+agentpids=""
+trap 'rm -rf "$tmpdir"; for p in $daemonpid $agentpids; do kill -9 "$p" 2>/dev/null || true; done' EXIT
+
+# wait_addr <stderr-log> <pid>: waits for the daemon's "serving" line
+# and prints the bound address.
+wait_addr() {
+	_log=$1
+	_pid=$2
+	_addr=""
+	for _ in $(seq 1 200); do
+		_addr=$(sed -n 's/.*msg=serving .*addr=\([^ ]*\).*/\1/p' "$_log" | head -n 1)
+		[ -n "$_addr" ] && break
+		if ! kill -0 "$_pid" 2>/dev/null; then
+			echo "daemon died on startup:" >&2
+			cat "$_log" >&2
+			exit 1
+		fi
+		sleep 0.05
+	done
+	if [ -z "$_addr" ]; then
+		echo "daemon never reported its address" >&2
+		cat "$_log" >&2
+		exit 1
+	fi
+	printf '%s' "$_addr"
+}
+
+# flatjson <url>: fetches a pretty-printed JSON endpoint as one line so
+# plain sh can grep it.
+flatjson() {
+	curl -s "$1" | tr -d ' \n\t'
+}
+
+if [ "$mode" = "agents" ]; then
+	cells="table1,table2,table4,table5,table7,fig5,fig6,fig7,fig11"
+	longcell="fig11" # the slowest cell: the one we SIGKILL an agent under
+
+	echo "== build (zccd + zccagent + zccexp)"
+	go build -o "$tmpdir/zccd" ./cmd/zccd
+	go build -o "$tmpdir/zccagent" ./cmd/zccagent
+	go build -o "$tmpdir/zccexp" ./cmd/zccexp
+
+	echo "== start control plane (short fleet TTLs)"
+	"$tmpdir/zccd" -addr 127.0.0.1:0 -workers 2 -data "$tmpdir/data" \
+		-agent-ttl 2s -lease-ttl 3s -fleet-backoff 200ms -fleet-backoff-cap 1s \
+		2>"$tmpdir/zccd.err" &
+	daemonpid=$!
+	addr=$(wait_addr "$tmpdir/zccd.err" "$daemonpid")
+	echo "daemon at $addr (pid $daemonpid)"
+
+	echo "== start 3 agents"
+	for i in 1 2 3; do
+		"$tmpdir/zccagent" -server "http://$addr" -name "agent$i" -poll 50ms \
+			2>"$tmpdir/agent$i.err" &
+		eval "apid$i=$!"
+		agentpids="$agentpids $!"
+	done
+
+	echo "== submit sweep ($cells)"
+	curl -s -o "$tmpdir/sweep.json" -XPOST "http://$addr/v1/sweeps" \
+		-d "{\"experiments\": [$(echo "$cells" | sed 's/[^,]*/"&"/g')], \"seed\": 42, \"dir\": \"chaos\"}"
+	sweepid=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$tmpdir/sweep.json" | head -n 1)
+	if [ -z "$sweepid" ]; then
+		echo "sweep submission failed:" >&2
+		cat "$tmpdir/sweep.json" >&2
+		exit 1
+	fi
+	echo "sweep $sweepid"
+
+	echo "== SIGKILL the agent holding $longcell"
+	victim=""
+	for _ in $(seq 1 400); do
+		flat=$(flatjson "http://$addr/v1/sweeps/$sweepid")
+		holder=$(printf '%s' "$flat" |
+			grep -o "\"id\":\"$longcell\",\"state\":\"leased\"[^}]*" |
+			sed -n 's/.*"agent":"\([^"]*\)".*/\1/p')
+		if [ -n "$holder" ]; then
+			aflat=$(flatjson "http://$addr/v1/agents")
+			victim=$(printf '%s' "$aflat" |
+				grep -o "\"id\":\"$holder\",\"name\":\"[^\"]*\"" |
+				sed 's/.*"name":"\([^"]*\)".*/\1/')
+			break
+		fi
+		case $flat in
+		*'"done":true'*)
+			echo "sweep finished before chaos could be injected; $longcell too fast" >&2
+			exit 1
+			;;
+		esac
+		sleep 0.02
+	done
+	if [ -z "$victim" ]; then
+		echo "no agent ever held $longcell" >&2
+		exit 1
+	fi
+	case $victim in
+	agent1) kill -9 "$apid1" ;;
+	agent2) kill -9 "$apid2" ;;
+	agent3) kill -9 "$apid3" ;;
+	*)
+		echo "unknown victim '$victim'" >&2
+		exit 1
+		;;
+	esac
+	echo "killed $victim (held $longcell under agent id $holder)"
+
+	echo "== wait for the survivors to finish the sweep"
+	swdone=0
+	for _ in $(seq 1 600); do
+		flat=$(flatjson "http://$addr/v1/sweeps/$sweepid")
+		case $flat in
+		*'"done":true'*)
+			swdone=1
+			break
+			;;
+		esac
+		sleep 0.1
+	done
+	if [ "$swdone" -ne 1 ]; then
+		echo "sweep never finished; last view: $flat" >&2
+		cat "$tmpdir/zccd.err" >&2
+		exit 1
+	fi
+	case $flat in
+	*'"abandoned":0'*) ;;
+	*)
+		echo "sweep abandoned cells: $flat" >&2
+		exit 1
+		;;
+	esac
+
+	echo "== invariants: reap + requeue visible in /metrics"
+	curl -s "http://$addr/metrics" >"$tmpdir/metrics.txt"
+	reaped=$(sed -n 's/^[a-z_]*fleet_agents_reaped \([0-9][0-9]*\)$/\1/p' "$tmpdir/metrics.txt")
+	requeues=$(sed -n 's/^[a-z_]*fleet_requeues \([0-9][0-9]*\)$/\1/p' "$tmpdir/metrics.txt")
+	if [ "${reaped:-0}" -lt 1 ] || [ "${requeues:-0}" -lt 1 ]; then
+		echo "metrics show reaped=$reaped requeues=$requeues; want both >= 1" >&2
+		exit 1
+	fi
+
+	echo "== invariants: every cell terminal exactly once"
+	journal="$tmpdir/data/sweeps/chaos/cells.jsonl"
+	[ -f "$journal" ] || { echo "no sweep journal at $journal" >&2; exit 1; }
+	for cell in $(echo "$cells" | tr ',' ' '); do
+		nok=$(grep -c "\"id\":\"$cell\",\"status\":\"ok\"" "$journal" || true)
+		if [ "$nok" -ne 1 ]; then
+			echo "cell $cell has $nok ok records, want exactly 1" >&2
+			grep "\"id\":\"$cell\"" "$journal" >&2 || true
+			exit 1
+		fi
+	done
+
+	echo "== invariants: tables match a single-process run"
+	"$tmpdir/zccexp" -quick -seed 42 -ids "$cells" -run-dir "$tmpdir/cmp" -o /dev/null
+	for cell in $(echo "$cells" | tr ',' ' '); do
+		fleet_table=$(grep "\"id\":\"$cell\",\"status\":\"ok\"" "$journal" | tail -n 1 | sed 's/.*"table"://')
+		solo_table=$(grep "\"id\":\"$cell\",\"status\":\"ok\"" "$tmpdir/cmp/cells.jsonl" | tail -n 1 | sed 's/.*"table"://')
+		if [ -z "$fleet_table" ] || [ "$fleet_table" != "$solo_table" ]; then
+			echo "cell $cell: fleet table diverges from single-process run" >&2
+			echo "fleet: $fleet_table" >&2
+			echo "solo:  $solo_table" >&2
+			exit 1
+		fi
+	done
+
+	echo "== drain survivors and daemon"
+	for i in 1 2 3; do
+		[ "agent$i" = "$victim" ] && continue
+		eval "apid=\$apid$i"
+		kill -TERM "$apid"
+		wait "$apid" && arc=0 || arc=$?
+		if [ "$arc" -ne 0 ]; then
+			echo "agent$i exited $arc, want 0; stderr:" >&2
+			cat "$tmpdir/agent$i.err" >&2
+			exit 1
+		fi
+	done
+	kill -TERM "$daemonpid"
+	wait "$daemonpid" && rc=0 || rc=$?
+	daemonpid=""
+	agentpids=""
+	if [ "$rc" -ne 0 ]; then
+		echo "daemon exited $rc, want 0; stderr:" >&2
+		cat "$tmpdir/zccd.err" >&2
+		exit 1
+	fi
+	echo "reaped=$reaped requeues=$requeues; all cells exactly-once and byte-identical"
+	echo "== ok"
+	exit 0
+fi
+
+rounds=$mode
 
 echo "== build"
 go build -o "$tmpdir/zccd" ./cmd/zccd
@@ -23,22 +225,7 @@ echo "== start daemon"
 "$tmpdir/zccd" -addr 127.0.0.1:0 -workers 4 -queue 8 \
 	-drain-grace 2s -data "$tmpdir/data" 2>"$tmpdir/zccd.err" &
 daemonpid=$!
-addr=""
-for _ in $(seq 1 100); do
-	addr=$(sed -n 's/.*msg=serving .*addr=\([^ ]*\).*/\1/p' "$tmpdir/zccd.err" | head -n 1)
-	[ -n "$addr" ] && break
-	if ! kill -0 "$daemonpid" 2>/dev/null; then
-		echo "daemon died on startup:" >&2
-		cat "$tmpdir/zccd.err" >&2
-		exit 1
-	fi
-	sleep 0.05
-done
-if [ -z "$addr" ]; then
-	echo "daemon never reported its address" >&2
-	cat "$tmpdir/zccd.err" >&2
-	exit 1
-fi
+addr=$(wait_addr "$tmpdir/zccd.err" "$daemonpid")
 echo "daemon at $addr (pid $daemonpid)"
 
 # The chaos mix: quick runs, a faulted+checked run, a long run the drain
