@@ -1,0 +1,102 @@
+// Command netchaos runs the internal/netchaos TCP fault injector as a
+// standalone proxy, for soak scripts and manual partition drills:
+//
+//	netchaos -listen 127.0.0.1:9421 -target 127.0.0.1:8421 \
+//	    -latency 30ms -drop 0.05 -seed 42
+//
+// Point agents at the -listen address and the control plane keeps its
+// real one; the proxy degrades the path between them. It prints one
+// parseable line on startup:
+//
+//	msg=proxying addr=<listen addr> target=<target>
+//
+// so scripts can scrape the bound address (handy with -listen :0).
+// SIGINT/SIGTERM shuts it down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zccloud/internal/netchaos"
+	"zccloud/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "netchaos: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr *os.File, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("netchaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:0", "address to listen on")
+		target    = fs.String("target", "", "address to forward to (required)")
+		seed      = fs.Int64("seed", 1, "fault RNG seed (deterministic draws)")
+		latency   = fs.Duration("latency", 0, "added latency per chunk, each direction")
+		jitter    = fs.Duration("jitter", 0, "uniform extra latency in [0, jitter)")
+		drop      = fs.Float64("drop", 0, "per-chunk probability of tearing the connection down")
+		reset     = fs.Float64("reset", 0, "per-connection probability of an immediate reset")
+		bandwidth = fs.Int("bandwidth", 0, "per-direction throughput cap in bytes/second (0 = unlimited)")
+		partition = fs.String("partition", "none", "black-hole one direction: none, c2s, s2c, or both")
+		version   = fs.Bool("version", false, "print build information and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stderr, "netchaos", obs.BuildInfo())
+		return nil
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	f := netchaos.Faults{
+		Latency:      *latency,
+		Jitter:       *jitter,
+		DropProb:     *drop,
+		ResetProb:    *reset,
+		BandwidthBPS: *bandwidth,
+	}
+	switch *partition {
+	case "none":
+	case "c2s":
+		f.PartitionC2S = true
+	case "s2c":
+		f.PartitionS2C = true
+	case "both":
+		f.PartitionC2S, f.PartitionS2C = true, true
+	default:
+		return fmt.Errorf("-partition %q: want none, c2s, s2c, or both", *partition)
+	}
+
+	p, err := netchaos.New(*listen, *target, *seed)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	p.SetFaults(f)
+	fmt.Fprintf(stdout, "msg=proxying addr=%s target=%s latency=%s jitter=%s drop=%g reset=%g bandwidth=%d partition=%s seed=%d\n",
+		p.Addr(), *target, *latency, *jitter, *drop, *reset, *bandwidth, *partition, *seed)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	if stop == nil {
+		stop = make(chan struct{})
+	}
+	select {
+	case <-sigc:
+	case <-stop:
+	}
+	// Give in-flight chunks a beat to settle before tearing down.
+	time.Sleep(10 * time.Millisecond)
+	return nil
+}

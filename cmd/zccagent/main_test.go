@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -220,8 +221,15 @@ func TestAgentDeregistersOnStop(t *testing.T) {
 func TestAgentsShareSweep(t *testing.T) {
 	dataDir := t.TempDir()
 	_, ts := startControlPlane(t, dataDir)
-	_, stop1, errc1 := startAgent(t, ts.URL, "-name", "w1")
-	_, stop2, errc2 := startAgent(t, ts.URL, "-name", "w2")
+	id1, stop1, errc1 := startAgent(t, ts.URL, "-name", "w1")
+	id2, stop2, errc2 := startAgent(t, ts.URL, "-name", "w2")
+
+	// Distinct identities: near-simultaneous registrations (neither has
+	// an agent ID yet) must not collide in the control plane's
+	// idempotency cache — that would fuse both agents into one.
+	if id1 == id2 {
+		t.Fatalf("both agents registered as %q", id1)
+	}
 
 	var sv fleet.SweepView
 	code := postJSON(t, ts.URL+"/v1/sweeps",
@@ -264,5 +272,196 @@ func TestAgentsShareSweep(t *testing.T) {
 		case <-time.After(10 * time.Second):
 			t.Fatal("agent did not exit")
 		}
+	}
+}
+
+// TestAgentParallelExactlyOnce runs one agent with -parallel 3 over a
+// six-cell sweep: every cell must land exactly once even with three
+// leases in flight at a time (slot map, lab pool, and seat accounting
+// all exercised under -race).
+func TestAgentParallelExactlyOnce(t *testing.T) {
+	dataDir := t.TempDir()
+	_, ts := startControlPlane(t, dataDir)
+	_, stop, errc := startAgent(t, ts.URL, "-name", "wide", "-parallel", "3")
+
+	cells := []string{"table1", "table2", "table4", "table5", "table7", "fig5"}
+	var sv fleet.SweepView
+	code := postJSON(t, ts.URL+"/v1/sweeps",
+		`{"experiments": ["table1", "table2", "table4", "table5", "table7", "fig5"], "seed": 11, "dir": "wide"}`, &sv)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d", code)
+	}
+	view := waitSweepDone(t, ts.URL, sv.ID, 120*time.Second)
+	if view.Completed != len(cells) || view.Abandoned != 0 {
+		t.Fatalf("sweep = %+v", view)
+	}
+	assertExactlyOnce(t, filepath.Join(dataDir, "sweeps", "wide", "cells.jsonl"), cells)
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("agent exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent did not exit")
+	}
+}
+
+// assertExactlyOnce folds a cells journal and requires exactly one OK
+// record per expected cell — the distributed exactly-once contract.
+func assertExactlyOnce(t *testing.T, journal string, cells []string) {
+	t.Helper()
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCount := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec experiments.CellRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Status == experiments.CellOK {
+			okCount[rec.ID]++
+		}
+	}
+	want := map[string]int{}
+	for _, id := range cells {
+		want[id] = 1
+	}
+	if !reflect.DeepEqual(okCount, want) {
+		t.Fatalf("ok records per cell = %v, want %v", okCount, want)
+	}
+}
+
+// TestAgentRidesOutControlPlaneRestart is the partition-tolerance
+// acceptance test: the control plane is SIGKILLed (serve.Kill — no
+// graceful bookkeeping) mid-sweep and restarted on the same address
+// with the same data directory. The agent must ride the outage on its
+// retry policy, re-register with the new incarnation, and finish the
+// re-adopted sweep with every cell exactly once.
+func TestAgentRidesOutControlPlaneRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := serve.Config{
+		Workers: 1,
+		DataDir: dataDir,
+		Fleet: fleet.Config{
+			LeaseTTL:   time.Second,
+			AgentTTL:   2 * time.Second,
+			RetryLimit: 5,
+			Backoff:    time.Millisecond,
+			BackoffCap: 10 * time.Millisecond,
+		},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv1, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := &http.Server{Handler: srv1.Handler()}
+	go hs1.Serve(ln)
+	base := "http://" + addr
+
+	_, stop, errc := startAgent(t, base, "-name", "survivor", "-parallel", "2")
+
+	cells := []string{"table1", "table2", "table4", "table5", "table7", "fig5", "fig6", "fig7"}
+	var sv fleet.SweepView
+	code := postJSON(t, base+"/v1/sweeps",
+		`{"experiments": ["table1", "table2", "table4", "table5", "table7", "fig5", "fig6", "fig7"], "seed": 5, "dir": "restart"}`, &sv)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d", code)
+	}
+
+	// Let at least one cell land, then pull the rug: abrupt kill, no
+	// drain, listener gone. The agent sees refused connections.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/sweeps/" + sv.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view fleet.SweepView
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(b, &view); err != nil {
+			t.Fatalf("sweep view: %v (%s)", err, b)
+		}
+		if view.Completed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no cell completed before kill: %+v", view)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv1.Kill()
+	hs1.Close()
+
+	// Restart on the same address with the same data directory.
+	var ln2 net.Listener
+	for retry := 0; ; retry++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if retry > 100 {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	srv2, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("restart serve.New: %v", err)
+	}
+	hs2 := &http.Server{Handler: srv2.Handler()}
+	go hs2.Serve(ln2)
+	t.Cleanup(func() {
+		hs2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv2.Drain(ctx)
+	})
+
+	// The agent must re-register with the new incarnation on its own —
+	// claim and heartbeat both turn 404 into a re-registration.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		var agents []fleet.AgentStatus
+		resp, err := http.Get(base + "/v1/agents")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if json.Unmarshal(b, &agents) == nil && len(agents) == 1 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent never re-registered after restart: %+v", agents)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The re-adopted sweep runs to completion, every cell exactly once:
+	// pre-crash completions survived in the journal, the in-flight cell
+	// was fenced and requeued, nothing ran twice.
+	view := waitSweepDone(t, base, sv.ID, 120*time.Second)
+	if view.Completed != len(cells) || view.Abandoned != 0 {
+		t.Fatalf("re-adopted sweep = %+v", view)
+	}
+	assertExactlyOnce(t, filepath.Join(dataDir, "sweeps", "restart", "cells.jsonl"), cells)
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("agent exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent did not exit")
 	}
 }

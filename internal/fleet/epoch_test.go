@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"zccloud/internal/experiments"
+)
+
+// TestTokenFloorFencesPreCrashTokens: a controller restarted with the
+// floor a previous incarnation persisted must grant only tokens above
+// it, so every pre-crash token is stale by construction.
+func TestTokenFloorFencesPreCrashTokens(t *testing.T) {
+	h := newHarness(t, Config{TokenFloor: 4096}, "c1")
+	a := h.c.Register("w")
+	g := mustClaim(t, h.c, a.ID)
+	if g.Token != 4097 {
+		t.Fatalf("first token above floor = %d, want 4097", g.Token)
+	}
+	// A completion under any token the dead incarnation could have
+	// granted (≤ floor) is fenced.
+	err := h.c.Complete(a.ID, g.Sweep, g.Cell, 4096, okRec(g.Cell))
+	if !errors.Is(err, ErrStaleToken) {
+		t.Fatalf("pre-crash token completion = %v, want ErrStaleToken", err)
+	}
+	if err := h.c.Complete(a.ID, g.Sweep, g.Cell, g.Token, okRec(g.Cell)); err != nil {
+		t.Fatalf("live token completion: %v", err)
+	}
+}
+
+// TestPersistEpochOncePerBlock: the epoch hook runs once per EpochBlock
+// tokens, each call durably covering the whole block BEFORE any token
+// in it is granted.
+func TestPersistEpochOncePerBlock(t *testing.T) {
+	var persisted []int64
+	cfg := Config{
+		EpochBlock:   2,
+		PersistEpoch: func(high int64) error { persisted = append(persisted, high); return nil },
+	}
+	h := newHarness(t, cfg, "c1", "c2", "c3")
+	a := h.c.Register("w")
+	g1 := mustClaim(t, h.c, a.ID)
+	g2 := mustClaim(t, h.c, a.ID)
+	g3 := mustClaim(t, h.c, a.ID)
+	if g1.Token != 1 || g2.Token != 2 || g3.Token != 3 {
+		t.Fatalf("tokens = %d, %d, %d", g1.Token, g2.Token, g3.Token)
+	}
+	// Claims 1-2 ride the first epoch (high 2); claim 3 opens the next.
+	if len(persisted) != 2 || persisted[0] != 2 || persisted[1] != 4 {
+		t.Fatalf("persisted epochs = %v, want [2 4]", persisted)
+	}
+	for _, g := range []*Grant{g1, g2, g3} {
+		if g.Token > persisted[len(persisted)-1] {
+			t.Fatalf("token %d granted above last persisted epoch %d", g.Token, persisted[len(persisted)-1])
+		}
+	}
+}
+
+// TestPersistEpochFailureBlocksClaim: if the epoch cannot be made
+// durable the claim must fail — an unfenced token would let a
+// post-crash completion race a pre-crash one — and the cell must stay
+// claimable once the journal heals.
+func TestPersistEpochFailureBlocksClaim(t *testing.T) {
+	var fail error
+	cfg := Config{
+		EpochBlock:   8,
+		PersistEpoch: func(high int64) error { return fail },
+	}
+	h := newHarness(t, cfg, "c1")
+	a := h.c.Register("w")
+	fail = errors.New("disk full")
+	if g, err := h.c.Claim(a.ID); err == nil || g != nil {
+		t.Fatalf("claim with failing epoch journal = %+v, %v; want error", g, err)
+	}
+	fail = nil
+	g := mustClaim(t, h.c, a.ID)
+	if g.Token != 1 {
+		t.Fatalf("healed claim token = %d, want 1 (no token burned)", g.Token)
+	}
+}
+
+// TestParallelLeasesPerAgent is the fleet side of zccagent -parallel N:
+// one agent holds several leases at once, heartbeats renew exactly the
+// tokens it names, an unrenewed lease expires alone, and the loss is
+// reported on the next heartbeat without disturbing the others.
+func TestParallelLeasesPerAgent(t *testing.T) {
+	h := newHarness(t, Config{LeaseTTL: 10 * time.Second, AgentTTL: 30 * time.Second},
+		"c1", "c2", "c3")
+	a := h.c.Register("w")
+	g1 := mustClaim(t, h.c, a.ID)
+	g2 := mustClaim(t, h.c, a.ID)
+	g3 := mustClaim(t, h.c, a.ID)
+
+	ags := h.c.Agents()
+	if len(ags) != 1 || ags[0].Leases != 3 {
+		t.Fatalf("agent view = %+v, want 3 leases", ags)
+	}
+
+	// Renew only leases 1 and 3; let 2 ride its original deadline out.
+	h.clk.Advance(8 * time.Second)
+	rep, err := h.c.Heartbeat(a.ID, []int64{g1.Token, g3.Token})
+	if err != nil || len(rep.Lost) != 0 {
+		t.Fatalf("heartbeat = %+v, %v", rep, err)
+	}
+	h.clk.Advance(4 * time.Second) // lease 2 is now 12s old; 1 and 3 are 4s old
+	h.c.Tick()
+	if got := h.counter("leases_expired"); got != 1 {
+		t.Fatalf("leases_expired = %d, want exactly the unrenewed lease", got)
+	}
+
+	// The next heartbeat reports exactly the expired token lost.
+	rep, err = h.c.Heartbeat(a.ID, []int64{g1.Token, g2.Token, g3.Token})
+	if err != nil || len(rep.Lost) != 1 || rep.Lost[0] != g2.Token {
+		t.Fatalf("heartbeat after expiry = %+v, %v; want lost [%d]", rep, err, g2.Token)
+	}
+
+	// The surviving leases complete under their original tokens; the
+	// expired cell re-claims under a fresh, higher token.
+	for _, g := range []*Grant{g1, g3} {
+		if err := h.c.Complete(a.ID, g.Sweep, g.Cell, g.Token, okRec(g.Cell)); err != nil {
+			t.Fatalf("complete %s: %v", g.Cell, err)
+		}
+	}
+	if err := h.c.Complete(a.ID, g2.Sweep, g2.Cell, g2.Token, okRec(g2.Cell)); !errors.Is(err, ErrStaleToken) {
+		t.Fatalf("expired-lease completion = %v, want ErrStaleToken", err)
+	}
+	h.clk.Advance(5 * time.Second) // clear the requeue backoff
+	g2b := mustClaim(t, h.c, a.ID)
+	if g2b.Cell != g2.Cell || g2b.Token <= g3.Token {
+		t.Fatalf("re-claim = %+v, want %s under a fresh token", g2b, g2.Cell)
+	}
+	if err := h.c.Complete(a.ID, g2b.Sweep, g2b.Cell, g2b.Token, okRec(g2b.Cell)); err != nil {
+		t.Fatalf("re-claim complete: %v", err)
+	}
+	views := h.c.Sweeps()
+	if len(views) != 1 || !views[0].Done || views[0].Completed != 3 {
+		t.Fatalf("sweep views = %+v", views)
+	}
+	// Exactly one OK record per cell despite the expiry detour.
+	for _, id := range []string{"c1", "c2", "c3"} {
+		ok := 0
+		for _, st := range h.j.statuses(id) {
+			if st == experiments.CellOK {
+				ok++
+			}
+		}
+		if ok != 1 {
+			t.Fatalf("cell %s has %d OK records, want 1", id, ok)
+		}
+	}
+}
+
+// TestDeregisterReleasesAllParallelLeases: an agent draining with N
+// in-flight cells returns every one to the queue front, no penalty.
+func TestDeregisterReleasesAllParallelLeases(t *testing.T) {
+	h := newHarness(t, Config{}, "c1", "c2", "c3")
+	a := h.c.Register("w")
+	for i := 0; i < 3; i++ {
+		mustClaim(t, h.c, a.ID)
+	}
+	h.c.Deregister(a.ID)
+	if got := h.counter("cells_released"); got != 3 {
+		t.Fatalf("cells_released = %d, want 3", got)
+	}
+	views := h.c.Sweeps()
+	if views[0].Pending != 3 || views[0].Leased != 0 {
+		t.Fatalf("after drain-release: %+v", views[0])
+	}
+	if got := h.counter("requeues"); got != 0 {
+		t.Fatalf("voluntary release incurred %d requeue penalties", got)
+	}
+}

@@ -30,6 +30,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -88,6 +89,21 @@ type Config struct {
 	Metrics *obs.Registry
 	// Now is the clock (tests inject a fake one); nil means time.Now.
 	Now func() time.Time
+
+	// TokenFloor fences tokens across restarts: the first token this
+	// controller grants is TokenFloor+1, so every token a previous
+	// incarnation could possibly have granted (≤ the floor it persisted)
+	// is stale here. Zero means start from scratch.
+	TokenFloor int64
+	// PersistEpoch, when set, is called to durably record a new token
+	// high-water mark BEFORE any token under it is granted. If it fails
+	// the claim fails — granting an unfenced token would let a post-crash
+	// completion race a pre-crash one. Nil disables epoch persistence
+	// (tokens are fenced only within this process's lifetime).
+	PersistEpoch func(high int64) error
+	// EpochBlock is how many tokens each persisted epoch covers (default
+	// 4096): PersistEpoch runs once per block, not once per claim.
+	EpochBlock int64
 }
 
 // Appender is where accepted cell records and control-plane markers go
@@ -158,6 +174,7 @@ type Controller struct {
 	sweepOrder []string
 	nextAgent  int64
 	nextToken  int64 // monotonic fencing token source
+	tokenHigh  int64 // tokens ≤ tokenHigh are covered by a persisted epoch
 	rng        *rand.Rand
 	draining   bool
 }
@@ -185,18 +202,26 @@ func New(cfg Config) *Controller {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.EpochBlock <= 0 {
+		cfg.EpochBlock = 4096
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	c := &Controller{
-		cfg:    cfg,
-		scope:  reg.Scope("fleet"),
-		log:    cfg.Log,
-		now:    cfg.Now,
-		agents: make(map[string]*agent),
-		sweeps: make(map[string]*sweep),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		scope:     reg.Scope("fleet"),
+		log:       cfg.Log,
+		now:       cfg.Now,
+		agents:    make(map[string]*agent),
+		sweeps:    make(map[string]*sweep),
+		nextToken: cfg.TokenFloor,
+		tokenHigh: cfg.TokenFloor,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.PersistEpoch == nil {
+		c.tokenHigh = math.MaxInt64 // no persistence: never gate a claim
 	}
 	// Pre-touch every series so /metrics serves the full fleet schema
 	// from the first scrape.
@@ -364,6 +389,17 @@ func (c *Controller) Claim(agentID string) (*Grant, error) {
 		for _, cl := range sw.cells {
 			if cl.state != cellPending || now.Before(cl.notBefore) {
 				continue
+			}
+			// The epoch covering this token must be durable before the
+			// token leaves the process: a crash after the grant then finds
+			// TokenFloor ≥ this token, fencing it off. One persisted epoch
+			// covers EpochBlock tokens, so this is a once-per-block write.
+			if c.nextToken+1 > c.tokenHigh {
+				newHigh := c.nextToken + c.cfg.EpochBlock
+				if err := c.cfg.PersistEpoch(newHigh); err != nil {
+					return nil, fmt.Errorf("fleet: persisting token epoch: %w", err)
+				}
+				c.tokenHigh = newHigh
 			}
 			c.nextToken++
 			cl.state = cellLeased

@@ -1,0 +1,235 @@
+// Package netchaos is an in-process TCP fault injector: a proxy that
+// sits between an agent and the control plane (or any client/server
+// pair) and degrades the path on demand — added latency, random
+// connection drops and resets, bandwidth caps, and one-way partitions
+// that black-hole bytes without closing the connection (the cruelest
+// failure: the peer just never answers).
+//
+// Faults are deterministic from a seed and toggleable at runtime
+// (SetFaults takes effect on the next chunk of every live connection),
+// so -race unit tests and scripts/soak.sh can script a partition
+// schedule: healthy → severed → healed, asserting the system rides it
+// out. The proxy dials the target per connection, so a target that
+// restarts on the same address is picked up transparently — exactly
+// what a zccd restart under test needs.
+package netchaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// chunkBytes is the pump granularity: faults (latency, drops, caps,
+// partition state) are consulted once per chunk, so runtime toggles
+// land within one chunk of traffic.
+const chunkBytes = 16 << 10
+
+// Faults is one snapshot of the injected misbehavior. The zero value
+// is a transparent proxy.
+type Faults struct {
+	// Latency is added to every chunk, each direction; Jitter adds a
+	// uniform extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// DropProb is the per-chunk probability the whole connection is torn
+	// down mid-stream (both directions), simulating a flaky middlebox.
+	DropProb float64
+	// ResetProb is the per-new-connection probability of an immediate
+	// close before any byte flows (connection refused-ish).
+	ResetProb float64
+	// BandwidthBPS caps each direction's throughput in bytes/second;
+	// 0 means unlimited.
+	BandwidthBPS int
+	// PartitionC2S / PartitionS2C black-hole bytes in one direction
+	// without closing the connection: requests (or responses) vanish and
+	// the peer hangs until its own timeout fires.
+	PartitionC2S bool
+	PartitionS2C bool
+}
+
+// Proxy is one listening fault injector.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	faults Faults
+	rng    *rand.Rand
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy listening on listen (e.g. "127.0.0.1:0"),
+// forwarding every connection to target. The seed makes the fault
+// draws reproducible.
+func New(listen, target string, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("netchaos: listen %s: %w", listen, err)
+	}
+	p := &Proxy{
+		target: target,
+		ln:     ln,
+		rng:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listening address — point the client here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetFaults swaps the active fault set; live connections honor it on
+// their next chunk.
+func (p *Proxy) SetFaults(f Faults) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+// Faults returns the active fault set.
+func (p *Proxy) Faults() Faults {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
+}
+
+// Close stops the listener and tears down every live connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// draw returns a deterministic uniform draw in [0, 1).
+func (p *Proxy) draw() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if f := p.Faults(); f.ResetProb > 0 && p.draw() < f.ResetProb {
+			conn.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+// serve pumps one client connection to a fresh target connection. The
+// per-connection dial is deliberate: a restarted target on the same
+// address serves the next connection with no proxy restart.
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	if !p.track(client) {
+		client.Close()
+		return
+	}
+	defer p.untrack(client)
+	defer client.Close()
+	server, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		return
+	}
+	if !p.track(server) {
+		server.Close()
+		return
+	}
+	defer p.untrack(server)
+	defer server.Close()
+
+	var once sync.Once
+	kill := func() {
+		once.Do(func() {
+			client.Close()
+			server.Close()
+		})
+	}
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go p.pump(&pumps, kill, client, server, true)  // client → server
+	go p.pump(&pumps, kill, server, client, false) // server → client
+	pumps.Wait()
+}
+
+// pump copies src → dst chunk by chunk, re-reading the fault set each
+// chunk so runtime toggles land mid-connection.
+func (p *Proxy) pump(wg *sync.WaitGroup, kill func(), src, dst net.Conn, c2s bool) {
+	defer wg.Done()
+	defer kill() // either side ending ends the connection pair
+	buf := make([]byte, chunkBytes)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			f := p.Faults()
+			if f.DropProb > 0 && p.draw() < f.DropProb {
+				return
+			}
+			if d := f.Latency; d > 0 || f.Jitter > 0 {
+				if f.Jitter > 0 {
+					d += time.Duration(p.draw() * float64(f.Jitter))
+				}
+				time.Sleep(d)
+			}
+			if f.BandwidthBPS > 0 {
+				time.Sleep(time.Duration(float64(n) / float64(f.BandwidthBPS) * float64(time.Second)))
+			}
+			partitioned := (c2s && f.PartitionC2S) || (!c2s && f.PartitionS2C)
+			if !partitioned {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			// Partitioned bytes are read and discarded: the sender sees
+			// progress, the receiver sees silence.
+		}
+		if err != nil {
+			return // EOF or error: kill tears down the pair
+		}
+	}
+}

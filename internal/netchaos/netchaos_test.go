@@ -1,0 +1,247 @@
+package netchaos
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func newProxy(t *testing.T, target string, seed int64) *Proxy {
+	t.Helper()
+	p, err := New("127.0.0.1:0", target, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// roundTrip writes msg through the proxy and reads the echo back.
+func roundTrip(t *testing.T, addr, msg string, timeout time.Duration) (string, error) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func TestTransparentPassThrough(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), 1)
+	got, err := roundTrip(t, p.Addr(), "hello through the proxy", time.Second)
+	if err != nil || got != "hello through the proxy" {
+		t.Fatalf("roundTrip = %q, %v", got, err)
+	}
+}
+
+func TestLatencyInjected(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), 1)
+	p.SetFaults(Faults{Latency: 100 * time.Millisecond})
+	start := time.Now()
+	if _, err := roundTrip(t, p.Addr(), "ping", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Request chunk + echo chunk each eat the latency at least once.
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 200ms with 100ms per-chunk latency", elapsed)
+	}
+}
+
+func TestResetKillsNewConnections(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), 1)
+	p.SetFaults(Faults{ResetProb: 1})
+	if got, err := roundTrip(t, p.Addr(), "doomed", 500*time.Millisecond); err == nil {
+		t.Fatalf("round trip through reset-everything proxy succeeded: %q", got)
+	}
+}
+
+func TestDropTearsDownMidStream(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), 1)
+	p.SetFaults(Faults{DropProb: 1})
+	if got, err := roundTrip(t, p.Addr(), "doomed", 500*time.Millisecond); err == nil {
+		t.Fatalf("round trip through drop-everything proxy succeeded: %q", got)
+	}
+}
+
+func TestOneWayPartitionStallsSilently(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), 1)
+	p.SetFaults(Faults{PartitionS2C: true})
+	// The request gets through, the echo is black-holed: the read must
+	// time out rather than error fast — that is what distinguishes a
+	// partition from a reset.
+	start := time.Now()
+	_, err := roundTrip(t, p.Addr(), "into the void", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("read through partition succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("partitioned read failed fast (%v, err %v); want a silent stall to the deadline", elapsed, err)
+	}
+}
+
+func TestRuntimeToggleHealsLiveProxy(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), 1)
+	p.SetFaults(Faults{ResetProb: 1})
+	if _, err := roundTrip(t, p.Addr(), "x", 300*time.Millisecond); err == nil {
+		t.Fatal("severed proxy passed traffic")
+	}
+	p.SetFaults(Faults{}) // heal
+	got, err := roundTrip(t, p.Addr(), "recovered", time.Second)
+	if err != nil || got != "recovered" {
+		t.Fatalf("healed roundTrip = %q, %v", got, err)
+	}
+}
+
+func TestDeterministicFromSeed(t *testing.T) {
+	ln := echoServer(t)
+	outcomes := func(seed int64) string {
+		p := newProxy(t, ln.Addr().String(), seed)
+		p.SetFaults(Faults{ResetProb: 0.5})
+		var b strings.Builder
+		for i := 0; i < 16; i++ {
+			if _, err := roundTrip(t, p.Addr(), "d", 300*time.Millisecond); err != nil {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		p.Close()
+		return b.String()
+	}
+	a, b := outcomes(42), outcomes(42)
+	if a != b {
+		t.Fatalf("same seed, different outcomes: %s vs %s", a, b)
+	}
+	if c := outcomes(43); c == a && strings.ContainsRune(a, 'x') {
+		t.Logf("different seeds coincided (%s); suspicious but possible", c)
+	}
+}
+
+// TestTargetRestartOnSameAddress pins the property the soak restart
+// mode leans on: the proxy dials per connection, so a target that dies
+// and comes back on the same address serves new connections without
+// touching the proxy.
+func TestTargetRestartOnSameAddress(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	serve := func(ln net.Listener, reply string) {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1)
+				c.Read(buf)
+				c.Write([]byte(reply))
+			}(c)
+		}
+	}
+	go serve(ln, "one")
+	p := newProxy(t, addr, 1)
+
+	ask := func(want string) {
+		t.Helper()
+		c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.SetDeadline(time.Now().Add(time.Second))
+		c.Write([]byte("?"))
+		got, _ := io.ReadAll(c)
+		if string(got) != want {
+			t.Fatalf("reply = %q, want %q", got, want)
+		}
+	}
+	ask("one")
+
+	ln.Close() // the target dies
+	time.Sleep(20 * time.Millisecond)
+	ln2, err := net.Listen("tcp", addr) // and restarts on the same address
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	go serve(ln2, "two")
+	ask("two")
+}
+
+// TestHTTPThroughChaos drives a real HTTP exchange through latency +
+// drops — the -race-friendly smoke that agents lean on.
+func TestHTTPThroughChaos(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer backend.Close()
+	p := newProxy(t, strings.TrimPrefix(backend.URL, "http://"), 7)
+	p.SetFaults(Faults{Latency: 5 * time.Millisecond, DropProb: 0.3})
+
+	client := &http.Client{Timeout: 2 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true}}
+	okCount, failCount := 0, 0
+	for i := 0; i < 20; i++ {
+		resp, err := client.Get("http://" + p.Addr() + "/")
+		if err != nil {
+			failCount++
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) == "ok" {
+			okCount++
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("no request survived 30% chunk drops; proxy too hostile")
+	}
+	if failCount == 0 {
+		t.Fatal("no request failed under 30% chunk drops; faults not applied")
+	}
+}

@@ -1,4 +1,4 @@
-package serve
+package persist
 
 import (
 	"errors"
@@ -9,10 +9,10 @@ import (
 
 // ErrBreakerOpen is returned by guarded operations while the breaker is
 // cooling down after repeated failures.
-var ErrBreakerOpen = errors.New("serve: circuit breaker open")
+var ErrBreakerOpen = errors.New("persist: circuit breaker open")
 
 // Breaker is a consecutive-failure circuit breaker for a flaky
-// dependency (the run journal's disk, say). After threshold consecutive
+// dependency (a journal's disk, say). After threshold consecutive
 // failures it opens: Allow reports false and callers should fail fast
 // instead of piling retries onto a sick dependency. After the cooldown
 // it half-opens — the next caller is let through as a probe; a success
@@ -38,6 +38,14 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 		cooldown = 5 * time.Second
 	}
 	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock substitutes the breaker's time source; it exists so tests
+// can step a fake clock through the cooldown deterministically.
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
 }
 
 // Allow reports whether a call may proceed: true while closed, false

@@ -1,0 +1,137 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, time.Second)
+	b.SetClock(func() time.Time { return now })
+
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures (threshold 3)", i)
+		}
+		b.Record(boom)
+	}
+	if !b.Allow() {
+		t.Fatal("breaker open before threshold")
+	}
+	b.Record(boom)
+	if b.Allow() {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(2, time.Second)
+	b.SetClock(func() time.Time { return now })
+	boom := errors.New("boom")
+
+	b.Record(boom)
+	b.Record(boom)
+	if b.Allow() {
+		t.Fatal("breaker should be open")
+	}
+
+	// Cooldown elapses: one probe is admitted.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker should half-open after cooldown")
+	}
+	// A failing probe re-opens for a full cooldown.
+	b.Record(boom)
+	if b.Allow() {
+		t.Fatal("failing probe should re-open the breaker")
+	}
+
+	// A succeeding probe closes it entirely.
+	now = now.Add(time.Second)
+	b.Record(nil)
+	if !b.Allow() {
+		t.Fatal("successful probe should close the breaker")
+	}
+	b.Record(boom)
+	if !b.Allow() {
+		t.Fatal("single failure after close must not re-open")
+	}
+}
+
+func TestRetryPolicyStopsOnSuccess(t *testing.T) {
+	calls := 0
+	var slept []time.Duration
+	p := RetryPolicy{
+		Attempts: 5, Base: 10 * time.Millisecond, Max: 40 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+		Rand:  func() float64 { return 1 },
+	}
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	// Full-jitter ceilings double per try, capped at Max.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryPolicyExhaustsAndCapsBackoff(t *testing.T) {
+	boom := errors.New("persistent")
+	calls := 0
+	var slept []time.Duration
+	p := RetryPolicy{
+		Attempts: 4, Base: 10 * time.Millisecond, Max: 15 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+		Rand:  func() float64 { return 1 },
+	}
+	if err := p.Do(func() error { calls++; return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want the last error", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	for i, d := range slept {
+		if d > 15*time.Millisecond {
+			t.Fatalf("sleep[%d] = %v exceeds Max", i, d)
+		}
+	}
+}
+
+func TestRetryPolicyJitterStaysBelowCeiling(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		Attempts: 3, Base: 100 * time.Millisecond, Max: time.Second,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+		Rand:  func() float64 { return 0.25 },
+	}
+	p.Do(func() error { return errors.New("x") })
+	want := []time.Duration{25 * time.Millisecond, 50 * time.Millisecond}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep[%d] = %v, want %v (0.25 of ceiling)", i, slept[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package retryhttp is the client half of the fleet's partition
+// tolerance: one HTTP policy shared by every zccagent request — a
+// per-attempt timeout, capped exponential backoff with full jitter
+// between attempts, server Retry-After hints honored, and one
+// X-Request-ID reused across every attempt of a logical request so the
+// server can replay the first execution's answer instead of executing
+// twice (idempotent retry).
+//
+// The retry classification is deliberately small:
+//
+//   - transport errors and 500/502/503/504/429 are retried — the
+//     request may never have executed, or the server wants it later;
+//   - everything else (2xx, 400, 404, 409, ...) is definitive and
+//     returned to the caller on the first sighting. A 409 stale token
+//     or a 404 unknown agent must never be retried into a loop.
+package retryhttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"zccloud/internal/obs"
+)
+
+// ErrAborted reports that the caller's Sleep hook refused to wait for
+// another attempt (the agent is draining).
+var ErrAborted = errors.New("retryhttp: aborted while waiting to retry")
+
+// maxResponseBytes bounds any decoded or drained response body.
+const maxResponseBytes = 8 << 20
+
+// Client issues JSON requests under the unified retry policy. The zero
+// value works: 10s per-attempt timeout, 5 attempts, 250ms base backoff
+// capped at 10s, Retry-After honored up to 60s.
+type Client struct {
+	// HTTP issues each attempt; its Timeout is the per-attempt bound.
+	// Nil means a private client with a 10s timeout.
+	HTTP *http.Client
+	// Attempts is the total number of tries per logical request
+	// (default 5).
+	Attempts int
+	// Base caps the first backoff draw (default 250ms); Cap caps every
+	// draw (default 10s). The wait before retry k is uniform in
+	// [0, min(Base·2^(k-1), Cap)) — full jitter, so a fleet of agents
+	// severed by one partition does not retry in phase.
+	Base time.Duration
+	Cap  time.Duration
+	// MaxRetryAfter caps an honored server Retry-After hint (default
+	// 60s) so a bad header cannot park an agent for an hour.
+	MaxRetryAfter time.Duration
+	// Sleep waits between attempts; returning false aborts the request
+	// with ErrAborted (drain). Nil means time.Sleep and never abort.
+	Sleep func(time.Duration) bool
+	// Rand is the jitter source, for tests; nil means math/rand global.
+	Rand func() float64
+	// Log receives per-attempt warn/debug lines; nil discards them.
+	Log *obs.Logger
+
+	mu sync.Mutex // serializes Rand draws (a *rand.Rand is not safe)
+}
+
+func (c *Client) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	return 5
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{Timeout: 10 * time.Second}
+	}
+	return c.HTTP
+}
+
+func (c *Client) jitter() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Rand != nil {
+		return c.Rand()
+	}
+	return rand.Float64()
+}
+
+// backoff is the full-jitter wait before retry k (k ≥ 1).
+func (c *Client) backoff(k int) time.Duration {
+	base, cap := c.Base, c.Cap
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 10 * time.Second
+	}
+	if k > 30 {
+		k = 30
+	}
+	ceil := base << uint(k-1)
+	if ceil > cap || ceil <= 0 {
+		ceil = cap
+	}
+	return time.Duration(c.jitter() * float64(ceil))
+}
+
+// retryableStatus reports whether a status means "try again later":
+// the server shed or errored in a way that implies the request may not
+// have (definitively) executed.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header as integer seconds (the only
+// form this control plane emits), capped at MaxRetryAfter; 0 when
+// absent or malformed.
+func (c *Client) retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	max := c.MaxRetryAfter
+	if max <= 0 {
+		max = time.Minute
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// DoJSON sends one logical JSON request: in is marshaled as the body
+// (nil sends an empty object), a 2xx response is decoded into out (nil
+// discards it), and reqID rides as X-Request-ID on every attempt — the
+// idempotency key that lets the server deduplicate retries. Returns
+// the definitive HTTP status, or 0 with an error when every attempt
+// failed in transport or the caller aborted the wait.
+func (c *Client) DoJSON(method, url, reqID string, in, out any) (int, error) {
+	body := []byte("{}")
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return 0, err
+		}
+	}
+	var lastErr error
+	lastStatus := 0
+	for attempt := 1; ; attempt++ {
+		status, hint, done, err := c.try(method, url, reqID, body, out)
+		if done {
+			return status, err
+		}
+		lastErr, lastStatus = err, status
+		if attempt >= c.attempts() {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("retryhttp: %s %s: HTTP %d after %d attempts", method, url, lastStatus, attempt)
+			}
+			return lastStatus, lastErr
+		}
+		// The server's hint is a floor, not a replacement: a shedding
+		// server knows its own drain rate better than our backoff curve.
+		wait := c.backoff(attempt)
+		if hint > wait {
+			wait = hint
+		}
+		c.Log.Warn("request failed; retrying", "req_id", reqID, "method", method,
+			"url", url, "attempt", attempt, "status", status, "err", errString(err),
+			"wait", wait)
+		if !c.sleep(wait) {
+			return lastStatus, ErrAborted
+		}
+	}
+}
+
+func (c *Client) sleep(d time.Duration) bool {
+	if c.Sleep != nil {
+		return c.Sleep(d)
+	}
+	time.Sleep(d)
+	return true
+}
+
+// try issues one attempt. done means the response (or build/decode
+// error) is definitive and should be returned as-is; hint is the
+// server's Retry-After on a retryable status.
+func (c *Client) try(method, url, reqID string, body []byte, out any) (status int, hint time.Duration, done bool, err error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, true, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer resp.Body.Close()
+	if retryableStatus(resp.StatusCode) {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBytes))
+		return resp.StatusCode, c.retryAfter(resp.Header), false, nil
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 && out != nil {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(out); err != nil {
+			return resp.StatusCode, 0, true, fmt.Errorf("decoding %s %s response: %w", method, url, err)
+		}
+		return resp.StatusCode, 0, true, nil
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBytes))
+	return resp.StatusCode, 0, true, nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,233 @@
+package retryhttp
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptServer answers each request with the next scripted status,
+// recording the X-Request-ID it saw; the last status repeats forever.
+type scriptServer struct {
+	mu         sync.Mutex
+	script     []int
+	retryAfter string // Retry-After header on retryable statuses
+	calls      int
+	reqIDs     []string
+}
+
+func (ss *scriptServer) handler(w http.ResponseWriter, r *http.Request) {
+	ss.mu.Lock()
+	i := ss.calls
+	ss.calls++
+	ss.reqIDs = append(ss.reqIDs, r.Header.Get("X-Request-ID"))
+	if i >= len(ss.script) {
+		i = len(ss.script) - 1
+	}
+	status := ss.script[i]
+	ra := ss.retryAfter
+	ss.mu.Unlock()
+	if ra != "" && retryableStatus(status) {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write([]byte(`{"ok":true}`))
+}
+
+func (ss *scriptServer) stats() (int, []string) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.calls, append([]string(nil), ss.reqIDs...)
+}
+
+// newClient returns a Client whose sleeps are recorded instead of
+// slept, with deterministic max-jitter draws.
+func newClient(ss *scriptServer) (*Client, *httptest.Server, *[]time.Duration) {
+	ts := httptest.NewServer(http.HandlerFunc(ss.handler))
+	var slept []time.Duration
+	c := &Client{
+		HTTP:     ts.Client(),
+		Attempts: 4,
+		Base:     100 * time.Millisecond,
+		Cap:      time.Second,
+		Rand:     func() float64 { return 0.999 },
+		Sleep: func(d time.Duration) bool {
+			slept = append(slept, d)
+			return true
+		},
+	}
+	return c, ts, &slept
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	ss := &scriptServer{script: []int{500, 503, 200}}
+	c, ts, slept := newClient(ss)
+	defer ts.Close()
+
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	status, err := c.DoJSON("POST", ts.URL+"/v1/cells/claim", "a-1-r000001", nil, &out)
+	if err != nil || status != 200 {
+		t.Fatalf("DoJSON = %d, %v; want 200, nil", status, err)
+	}
+	if !out.OK {
+		t.Fatalf("response not decoded: %+v", out)
+	}
+	calls, _ := ss.stats()
+	if calls != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+}
+
+// TestReusesRequestIDAcrossAttempts pins the idempotency contract: the
+// server must be able to match every retry of one logical request to
+// its first execution.
+func TestReusesRequestIDAcrossAttempts(t *testing.T) {
+	ss := &scriptServer{script: []int{502, 500, 200}}
+	c, ts, _ := newClient(ss)
+	defer ts.Close()
+
+	if _, err := c.DoJSON("POST", ts.URL+"/x", "a-1-r000042", nil, nil); err != nil {
+		t.Fatalf("DoJSON: %v", err)
+	}
+	_, ids := ss.stats()
+	if len(ids) != 3 {
+		t.Fatalf("saw %d request IDs, want 3", len(ids))
+	}
+	for i, id := range ids {
+		if id != "a-1-r000042" {
+			t.Fatalf("attempt %d carried X-Request-ID %q, want a-1-r000042", i+1, id)
+		}
+	}
+}
+
+// TestHonorsRetryAfter is the Retry-After contract: a 503 carrying
+// Retry-After: 2 must hold the client for at least those 2 seconds
+// even though the backoff curve alone would wait far less.
+func TestHonorsRetryAfter(t *testing.T) {
+	ss := &scriptServer{script: []int{503, 200}, retryAfter: "2"}
+	c, ts, slept := newClient(ss)
+	defer ts.Close()
+
+	status, err := c.DoJSON("POST", ts.URL+"/v1/cells/claim", "a-1-r000002", nil, nil)
+	if err != nil || status != 200 {
+		t.Fatalf("DoJSON = %d, %v; want 200, nil", status, err)
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(*slept))
+	}
+	if got := (*slept)[0]; got < 2*time.Second {
+		t.Fatalf("waited %v before retry, want >= 2s (server's Retry-After)", got)
+	}
+}
+
+func TestRetryAfterCapped(t *testing.T) {
+	ss := &scriptServer{script: []int{429, 200}, retryAfter: "3600"}
+	c, ts, slept := newClient(ss)
+	c.MaxRetryAfter = 5 * time.Second
+	defer ts.Close()
+
+	if _, err := c.DoJSON("POST", ts.URL+"/x", "a-1-r000003", nil, nil); err != nil {
+		t.Fatalf("DoJSON: %v", err)
+	}
+	if got := (*slept)[0]; got > 5*time.Second {
+		t.Fatalf("waited %v, want <= MaxRetryAfter 5s", got)
+	}
+}
+
+func TestDefinitiveStatusesNotRetried(t *testing.T) {
+	for _, code := range []int{400, 404, 409} {
+		ss := &scriptServer{script: []int{code}}
+		c, ts, slept := newClient(ss)
+		status, err := c.DoJSON("POST", ts.URL+"/x", "a-1-r000004", nil, nil)
+		ts.Close()
+		if err != nil {
+			t.Fatalf("HTTP %d: DoJSON err = %v, want nil (status is the answer)", code, err)
+		}
+		if status != code {
+			t.Fatalf("DoJSON status = %d, want %d", status, code)
+		}
+		calls, _ := ss.stats()
+		if calls != 1 || len(*slept) != 0 {
+			t.Fatalf("HTTP %d: %d calls, %d sleeps; want exactly one attempt", code, calls, len(*slept))
+		}
+	}
+}
+
+func TestExhaustsAttempts(t *testing.T) {
+	ss := &scriptServer{script: []int{503}}
+	c, ts, slept := newClient(ss)
+	defer ts.Close()
+
+	status, err := c.DoJSON("POST", ts.URL+"/x", "a-1-r000005", nil, nil)
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	if status != 503 {
+		t.Fatalf("status = %d, want last-seen 503", status)
+	}
+	calls, _ := ss.stats()
+	if calls != 4 {
+		t.Fatalf("server saw %d calls, want Attempts=4", calls)
+	}
+	// Max-jitter draws against a 100ms base double per attempt.
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	for i, d := range *slept {
+		lo := want[i] * 9 / 10
+		if d < lo || d > want[i] {
+			t.Fatalf("sleep %d = %v, want about %v", i, d, want[i])
+		}
+	}
+}
+
+func TestTransportErrorsRetried(t *testing.T) {
+	ss := &scriptServer{script: []int{200}}
+	ts := httptest.NewServer(http.HandlerFunc(ss.handler))
+	url := ts.URL
+	ts.Close() // connection refused from now on
+
+	attempts := 0
+	c := &Client{
+		Attempts: 3,
+		Base:     time.Millisecond,
+		Cap:      time.Millisecond,
+		Sleep: func(time.Duration) bool {
+			attempts++
+			return true
+		},
+	}
+	status, err := c.DoJSON("POST", url+"/x", "a-1-r000006", nil, nil)
+	if err == nil {
+		t.Fatal("want transport error")
+	}
+	if status != 0 {
+		t.Fatalf("status = %d, want 0 for transport failure", status)
+	}
+	if attempts != 2 {
+		t.Fatalf("slept %d times, want 2 (3 attempts)", attempts)
+	}
+}
+
+func TestAbortDuringWait(t *testing.T) {
+	ss := &scriptServer{script: []int{503}}
+	c, ts, _ := newClient(ss)
+	defer ts.Close()
+	c.Sleep = func(time.Duration) bool { return false } // draining
+
+	_, err := c.DoJSON("POST", ts.URL+"/x", "a-1-r000007", nil, nil)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	calls, _ := ss.stats()
+	if calls != 1 {
+		t.Fatalf("server saw %d calls, want 1 (abort before retry)", calls)
+	}
+}

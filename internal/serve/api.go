@@ -62,13 +62,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
-	mux.HandleFunc("POST /v1/agents", s.handleAgentRegister)
+	// Fleet mutations are idempotent under a client-supplied
+	// X-Request-ID: a retried request whose first execution already
+	// produced a definitive answer gets that answer replayed, so agents
+	// retrying through a flaky network never double-claim or
+	// double-complete.
+	mux.HandleFunc("POST /v1/agents", s.idempotent(s.handleAgentRegister))
 	mux.HandleFunc("GET /v1/agents", s.handleAgentList)
-	mux.HandleFunc("POST /v1/agents/{id}/heartbeat", s.handleAgentHeartbeat)
-	mux.HandleFunc("DELETE /v1/agents/{id}", s.handleAgentDeregister)
-	mux.HandleFunc("POST /v1/cells/claim", s.handleCellClaim)
-	mux.HandleFunc("POST /v1/cells/complete", s.handleCellComplete)
-	mux.HandleFunc("POST /v1/cells/release", s.handleCellRelease)
+	mux.HandleFunc("POST /v1/agents/{id}/heartbeat", s.idempotent(s.handleAgentHeartbeat))
+	mux.HandleFunc("DELETE /v1/agents/{id}", s.idempotent(s.handleAgentDeregister))
+	mux.HandleFunc("POST /v1/cells/claim", s.idempotent(s.handleCellClaim))
+	mux.HandleFunc("POST /v1/cells/complete", s.idempotent(s.handleCellComplete))
+	mux.HandleFunc("POST /v1/cells/release", s.idempotent(s.handleCellRelease))
 	mux.HandleFunc("GET /status", s.handleStatus)
 	mux.HandleFunc("GET /v1/timeseries", s.handleTimeseries)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -6,137 +6,8 @@ import (
 	"time"
 
 	"zccloud/internal/obs"
+	"zccloud/internal/persist"
 )
-
-func TestBreakerTripsAfterThreshold(t *testing.T) {
-	now := time.Unix(0, 0)
-	b := NewBreaker(3, time.Second)
-	b.now = func() time.Time { return now }
-
-	boom := errors.New("boom")
-	for i := 0; i < 2; i++ {
-		if !b.Allow() {
-			t.Fatalf("breaker open after %d failures (threshold 3)", i)
-		}
-		b.Record(boom)
-	}
-	if !b.Allow() {
-		t.Fatal("breaker open before threshold")
-	}
-	b.Record(boom)
-	if b.Allow() {
-		t.Fatal("breaker still closed after 3 consecutive failures")
-	}
-	if got := b.Trips(); got != 1 {
-		t.Fatalf("trips = %d, want 1", got)
-	}
-}
-
-func TestBreakerHalfOpenProbe(t *testing.T) {
-	now := time.Unix(0, 0)
-	b := NewBreaker(2, time.Second)
-	b.now = func() time.Time { return now }
-	boom := errors.New("boom")
-
-	b.Record(boom)
-	b.Record(boom)
-	if b.Allow() {
-		t.Fatal("breaker should be open")
-	}
-
-	// Cooldown elapses: one probe is admitted.
-	now = now.Add(time.Second)
-	if !b.Allow() {
-		t.Fatal("breaker should half-open after cooldown")
-	}
-	// A failing probe re-opens for a full cooldown.
-	b.Record(boom)
-	if b.Allow() {
-		t.Fatal("failing probe should re-open the breaker")
-	}
-
-	// A succeeding probe closes it entirely.
-	now = now.Add(time.Second)
-	b.Record(nil)
-	if !b.Allow() {
-		t.Fatal("successful probe should close the breaker")
-	}
-	b.Record(boom)
-	if !b.Allow() {
-		t.Fatal("single failure after close must not re-open")
-	}
-}
-
-func TestRetryPolicyStopsOnSuccess(t *testing.T) {
-	calls := 0
-	var slept []time.Duration
-	p := RetryPolicy{
-		Attempts: 5, Base: 10 * time.Millisecond, Max: 40 * time.Millisecond,
-		Sleep: func(d time.Duration) { slept = append(slept, d) },
-		Rand:  func() float64 { return 1 },
-	}
-	err := p.Do(func() error {
-		calls++
-		if calls < 3 {
-			return errors.New("transient")
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatalf("Do: %v", err)
-	}
-	if calls != 3 {
-		t.Fatalf("calls = %d, want 3", calls)
-	}
-	// Full-jitter ceilings double per try, capped at Max.
-	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
-	if len(slept) != len(want) {
-		t.Fatalf("slept %v, want %v", slept, want)
-	}
-	for i := range want {
-		if slept[i] != want[i] {
-			t.Fatalf("sleep[%d] = %v, want %v", i, slept[i], want[i])
-		}
-	}
-}
-
-func TestRetryPolicyExhaustsAndCapsBackoff(t *testing.T) {
-	boom := errors.New("persistent")
-	calls := 0
-	var slept []time.Duration
-	p := RetryPolicy{
-		Attempts: 4, Base: 10 * time.Millisecond, Max: 15 * time.Millisecond,
-		Sleep: func(d time.Duration) { slept = append(slept, d) },
-		Rand:  func() float64 { return 1 },
-	}
-	if err := p.Do(func() error { calls++; return boom }); !errors.Is(err, boom) {
-		t.Fatalf("Do = %v, want the last error", err)
-	}
-	if calls != 4 {
-		t.Fatalf("calls = %d, want 4", calls)
-	}
-	for i, d := range slept {
-		if d > 15*time.Millisecond {
-			t.Fatalf("sleep[%d] = %v exceeds Max", i, d)
-		}
-	}
-}
-
-func TestRetryPolicyJitterStaysBelowCeiling(t *testing.T) {
-	var slept []time.Duration
-	p := RetryPolicy{
-		Attempts: 3, Base: 100 * time.Millisecond, Max: time.Second,
-		Sleep: func(d time.Duration) { slept = append(slept, d) },
-		Rand:  func() float64 { return 0.25 },
-	}
-	p.Do(func() error { return errors.New("x") })
-	want := []time.Duration{25 * time.Millisecond, 50 * time.Millisecond}
-	for i := range want {
-		if slept[i] != want[i] {
-			t.Fatalf("sleep[%d] = %v, want %v (0.25 of ceiling)", i, slept[i], want[i])
-		}
-	}
-}
 
 // flakyAppender fails the first n appends, then succeeds.
 type flakyAppender struct {
@@ -155,9 +26,9 @@ func (f *flakyAppender) Append(rec any) error {
 
 func TestJournalSinkRetriesTransientFailures(t *testing.T) {
 	app := &flakyAppender{failures: 2}
-	s := newJournalSink(app, nil, obs.Scope{})
+	s := newJournalSink("run_id", app, nil, obs.Scope{})
 	s.retry.Sleep = func(time.Duration) {}
-	if err := s.append(journalRecord{Run: "r-1", State: StateQueued}); err != nil {
+	if err := s.append(journalRecord{Run: "r-1", State: StateQueued}, "r-1", string(StateQueued)); err != nil {
 		t.Fatalf("append with 2 transient failures (3 attempts): %v", err)
 	}
 	if len(app.appended) != 1 {
@@ -178,20 +49,20 @@ func (b *brokenAppender) Append(any) error {
 
 func TestJournalSinkBreakerShedsWhenSick(t *testing.T) {
 	app := &brokenAppender{}
-	s := newJournalSink(app, nil, obs.Scope{})
+	s := newJournalSink("run_id", app, nil, obs.Scope{})
 	s.retry.Sleep = func(time.Duration) {}
 	fixed := time.Unix(0, 0)
-	s.br.now = func() time.Time { return fixed }
+	s.br.SetClock(func() time.Time { return fixed })
 
 	// Breaker threshold is 3 append-level failures; each append retries
 	// internally, so after 3 appends the breaker is open.
 	for i := 0; i < 3; i++ {
-		if err := s.append(journalRecord{Run: "r-1"}); err == nil {
+		if err := s.append(journalRecord{Run: "r-1"}, "r-1", ""); err == nil {
 			t.Fatal("append should fail")
 		}
 	}
 	callsWhenOpen := app.calls
-	if err := s.append(journalRecord{Run: "r-1"}); !errors.Is(err, ErrBreakerOpen) {
+	if err := s.append(journalRecord{Run: "r-1"}, "r-1", ""); !errors.Is(err, persist.ErrBreakerOpen) {
 		t.Fatalf("append = %v, want ErrBreakerOpen", err)
 	}
 	if app.calls != callsWhenOpen {

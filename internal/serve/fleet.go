@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -17,6 +18,12 @@ import (
 // ErrNoDataDir refuses sweep submissions on a journal-less server: a
 // distributed sweep *is* its run directory.
 var ErrNoDataDir = errors.New("serve: distributed sweeps need a data dir (-data)")
+
+// ErrRegistryUnavailable fails a sweep submission whose registration
+// could not be journaled: without the registry record the sweep would
+// silently evaporate on restart. Retryable (HTTP 503) — the registry
+// sits behind a breaker that heals when the disk does.
+var ErrRegistryUnavailable = errors.New("serve: sweep registry journal unavailable")
 
 // maxCompleteBytes bounds a cell-completion body. Completions carry a
 // whole result table, so they get more headroom than specs.
@@ -97,7 +104,14 @@ func (j *sweepJournal) close() error {
 }
 
 // SubmitSweep opens (or resumes) a run directory and hands its cells to
-// the fleet controller for distribution.
+// the fleet controller for distribution. The registration is journaled
+// to the sweep registry BEFORE the run directory is touched: a crash
+// anywhere past that append leaves a record the restart acts on
+// (re-adopt the directory, or drop the registration if the directory
+// never materialized). A registration that cannot be journaled fails
+// the submission — an unjournaled sweep would silently evaporate on
+// restart, which is exactly the failure mode the registry exists to
+// close.
 func (s *Server) SubmitSweep(spec SweepSpec) (fleet.SweepView, error) {
 	if s.cfg.DataDir == "" {
 		return fleet.SweepView{}, ErrNoDataDir
@@ -117,14 +131,33 @@ func (s *Server) SubmitSweep(spec SweepSpec) (fleet.SweepView, error) {
 	if dirName == "" {
 		dirName = id
 	}
+	// One directory, one open sweep: a second registration of a dir the
+	// fleet is still distributing (including one just re-adopted from the
+	// registry) would double-execute its cells.
+	for _, v := range s.fleet.Sweeps() {
+		if !v.Done && filepath.Base(v.Dir) == dirName {
+			return fleet.SweepView{}, fmt.Errorf("serve: directory %s already holds a sweep being distributed (%s)", dirName, v.ID)
+		}
+	}
+	expIDs := make([]string, 0, len(exps))
+	for _, e := range exps {
+		expIDs = append(expIDs, e.ID)
+	}
+	optCopy := opt
+	if err := s.registryAppend(registryRecord{Type: "sweep", ID: id, Dir: dirName,
+		Name: spec.Name, Experiments: expIDs, Options: &optCopy}); err != nil {
+		return fleet.SweepView{}, fmt.Errorf("%w: %v", ErrRegistryUnavailable, err)
+	}
 	dir := filepath.Join(s.cfg.DataDir, "sweeps", dirName)
 	sw, err := experiments.OpenSweep(dir, opt, exps, spec.Resume)
 	if err != nil {
+		s.registryAppend(registryRecord{Type: "dropped", ID: id})
 		return fleet.SweepView{}, err
 	}
 	j := &sweepJournal{sw: sw}
 	if err := s.fleet.AddSweep(id, dir, spec.Name, opt, sw.Fingerprint(), sw.CellIDs(), sw.Prior(), j); err != nil {
 		j.close()
+		s.registryAppend(registryRecord{Type: "dropped", ID: id})
 		return fleet.SweepView{}, err
 	}
 	s.sweepMu.Lock()
@@ -138,7 +171,8 @@ func (s *Server) SubmitSweep(spec SweepSpec) (fleet.SweepView, error) {
 func (s *Server) Fleet() *fleet.Controller { return s.fleet }
 
 // fleetLoop is the dispatch-side background loop: a reap tick a few
-// times per TTL so dead agents and expired leases are noticed promptly.
+// times per TTL so dead agents and expired leases are noticed promptly,
+// then a registry pass marking newly finished sweeps done.
 func (s *Server) fleetLoop(every time.Duration) {
 	defer s.fleetWG.Done()
 	t := time.NewTicker(every)
@@ -147,6 +181,7 @@ func (s *Server) fleetLoop(every time.Duration) {
 		select {
 		case <-t.C:
 			s.fleet.Tick()
+			s.markFinishedSweeps()
 		case <-s.fleetStop:
 			return
 		}
@@ -218,8 +253,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, into any) b
 
 // fleetErr maps controller errors to HTTP statuses: stale fencing
 // tokens are 409 (the result is discarded, not retried), unknown
-// agents 404 (re-register), unknown sweeps/cells 404, draining 503.
-func fleetErr(w http.ResponseWriter, err error) {
+// agents 404 (re-register), unknown sweeps/cells 404, draining 503
+// with a Retry-After hint so backed-off agents spread out.
+func (s *Server) fleetErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, fleet.ErrStaleToken):
 		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
@@ -228,6 +264,7 @@ func fleetErr(w http.ResponseWriter, err error) {
 		errors.Is(err, fleet.ErrUnknownCell):
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
 	case errors.Is(err, fleet.ErrDraining), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
@@ -256,7 +293,7 @@ func (s *Server) handleAgentHeartbeat(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rep, err := s.fleet.Heartbeat(id, req.Tokens)
 	if err != nil {
-		fleetErr(w, err)
+		s.fleetErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -274,7 +311,7 @@ func (s *Server) handleCellClaim(w http.ResponseWriter, r *http.Request) {
 	}
 	grant, err := s.fleet.Claim(req.Agent)
 	if err != nil {
-		fleetErr(w, err)
+		s.fleetErr(w, err)
 		return
 	}
 	if grant == nil {
@@ -295,7 +332,7 @@ func (s *Server) handleCellComplete(w http.ResponseWriter, r *http.Request) {
 		"run_id", req.Sweep, "cell", req.Cell, "token", req.Token,
 		"status", req.Record.Status)
 	if err := s.fleet.Complete(req.Agent, req.Sweep, req.Cell, req.Token, req.Record); err != nil {
-		fleetErr(w, err)
+		s.fleetErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
@@ -309,7 +346,7 @@ func (s *Server) handleCellRelease(w http.ResponseWriter, r *http.Request) {
 	s.reqLog(r).Debug("cell release", "agent_id", req.Agent,
 		"run_id", req.Sweep, "cell", req.Cell, "token", req.Token)
 	if err := s.fleet.Release(req.Agent, req.Sweep, req.Cell, req.Token); err != nil {
-		fleetErr(w, err)
+		s.fleetErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
@@ -324,7 +361,9 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrNoDataDir):
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
-	case errors.Is(err, ErrDraining), errors.Is(err, fleet.ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, fleet.ErrDraining),
+		errors.Is(err, ErrRegistryUnavailable):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	case err != nil && strings.Contains(err.Error(), "already holds a sweep"):
 		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})

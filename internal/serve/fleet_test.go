@@ -258,30 +258,32 @@ func TestSweepResumeAcrossServers(t *testing.T) {
 	drainServer(t, s1)
 	doneCell := g.Cell
 
-	// A new control plane resumes the directory: the completed cell is
-	// terminal on arrival, only the other is claimable.
-	_, ts2 := newFleetServer(t, Config{Workers: 1, DataDir: dataDir})
-	var sv2 fleet.SweepView
-	resp := fleetPost(t, ts2.URL+"/v1/sweeps",
-		`{"experiments": ["table2", "table5"], "seed": 9, "dir": "d1", "resume": true}`, &sv2)
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("resume submit = %d", resp.StatusCode)
+	// A new control plane re-adopts the directory automatically from the
+	// sweep registry: the completed cell is terminal on arrival, only
+	// the other is claimable — no resume resubmission needed.
+	s2, ts2 := newFleetServer(t, Config{Workers: 1, DataDir: dataDir})
+	sv2, ok := s2.Fleet().Sweep(sv.ID)
+	if !ok {
+		t.Fatalf("sweep %s not re-adopted after restart", sv.ID)
 	}
 	if sv2.Completed != 1 || sv2.Pending != 1 {
-		t.Fatalf("resumed view = %+v", sv2)
+		t.Fatalf("re-adopted view = %+v", sv2)
 	}
 	b := registerAgent(t, ts2.URL, "w2")
 	g2 := claimCell(t, ts2.URL, b.ID, time.Second)
 	if g2 == nil || g2.Cell == doneCell {
-		t.Fatalf("resume granted %+v; want the unfinished cell", g2)
+		t.Fatalf("re-adopted sweep granted %+v; want the unfinished cell", g2)
+	}
+	if g2.Token <= g.Token {
+		t.Fatalf("post-restart token %d not fenced past pre-crash token %d", g2.Token, g.Token)
 	}
 
-	// Resuming under a different configuration is refused: the manifest
-	// fingerprint pins the sweep.
+	// Resubmitting the directory while its re-adopted sweep is still
+	// being distributed is refused — it would double-execute the cells.
 	resp, body := doJSON(t, "POST", ts2.URL+"/v1/sweeps",
-		`{"experiments": ["table2", "table5"], "seed": 10, "dir": "d1", "resume": true}`)
-	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(body), "resume refused") {
-		t.Fatalf("mismatched resume = %d: %s", resp.StatusCode, body)
+		`{"experiments": ["table2", "table5"], "seed": 9, "dir": "d1", "resume": true}`)
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(body), "already holds a sweep") {
+		t.Fatalf("resubmit of open dir = %d: %s", resp.StatusCode, body)
 	}
 }
 

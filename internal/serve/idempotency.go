@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+)
+
+// idemCacheCap bounds the idempotency replay cache; FIFO eviction. At
+// one entry per fleet mutation this is minutes of history for a busy
+// fleet — far longer than any client retry window.
+const idemCacheCap = 4096
+
+// idemEntry is one recorded response.
+type idemEntry struct {
+	status int
+	body   []byte
+}
+
+// idemCache maps (method, path, request id) to the response the first
+// execution produced, so a client retrying a mutation whose response
+// was lost in the network gets the original answer back instead of a
+// second execution. Only definitive responses (2xx/4xx) are recorded:
+// retryable failures (5xx, 429) must re-execute, or a transient error
+// would be replayed forever at the client that retries under one id.
+type idemCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]idemEntry
+	order   []string
+}
+
+func newIdemCache(capacity int) *idemCache {
+	return &idemCache{cap: capacity, entries: make(map[string]idemEntry)}
+}
+
+func (c *idemCache) get(key string) (idemEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+func (c *idemCache) put(key string, e idemEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return // first execution wins
+	}
+	for len(c.entries) >= c.cap && len(c.order) > 0 {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+}
+
+// idemRecorder tees the response into a buffer for the cache.
+type idemRecorder struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *idemRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *idemRecorder) Write(b []byte) (int, error) {
+	r.buf.Write(b)
+	return r.ResponseWriter.Write(b)
+}
+
+// idempotent makes a fleet mutation endpoint safe to retry under one
+// X-Request-ID: the first execution's definitive response is recorded
+// and replayed to duplicates (marked X-Idempotent-Replay: 1), so an
+// agent whose claim/complete response was severed by the network can
+// resend without double-claiming or double-completing. Requests without
+// a valid client-supplied id pass straight through.
+//
+// The cache trusts clients to make their IDs globally unique — two
+// distinct clients presenting the same ID on the same path would be
+// answered from one entry (zccagent embeds a per-process boot nonce in
+// every ID for exactly this reason).
+func (s *Server) idempotent(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if !validRequestID(reqID) {
+			next(w, r)
+			return
+		}
+		key := r.Method + " " + r.URL.Path + " " + reqID
+		if e, ok := s.idem.get(key); ok {
+			s.scope.Counter("idempotent_replays").Inc()
+			s.reqLog(r).Debug("idempotent replay", "req_id", reqID, "status", e.status)
+			w.Header().Set("X-Idempotent-Replay", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(e.status)
+			w.Write(e.body)
+			return
+		}
+		rec := &idemRecorder{ResponseWriter: w, status: http.StatusOK}
+		next(rec, r)
+		if rec.status < http.StatusInternalServerError && rec.status != http.StatusTooManyRequests {
+			s.idem.put(key, idemEntry{status: rec.status, body: rec.buf.Bytes()})
+		}
+	}
+}

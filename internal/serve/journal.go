@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"zccloud/internal/obs"
+	"zccloud/internal/persist"
 )
 
 // journalRecord is one runs.jsonl line: a run's state transition with
@@ -29,43 +30,46 @@ type appender interface {
 
 // journalSink writes journal records through a retry policy and a
 // circuit breaker, so a transiently sick disk neither loses every
-// record nor stalls the run workers behind unbounded retries. Appends
-// are best-effort: after the retries are exhausted (or while the
-// breaker is open) the record is counted as dropped and the server
-// carries on — the journal is an audit trail, not the source of truth
-// for in-memory state.
+// record nor stalls the run workers behind unbounded retries. The same
+// sink fronts both the run journal (runs.jsonl, advisory: the caller
+// drops the record and carries on) and the sweep registry journal
+// (sweeps/registry.jsonl, where callers check the returned error
+// because registration durability is the whole point).
 //
 // Breaker transitions are surfaced three ways: a warn/info log line
-// carrying the run_id whose append crossed the state, a
+// carrying the correlation id whose append crossed the state, a
 // journal_breaker_open gauge (1 while open), and a
-// journal_breaker_trips counter on /metrics.
+// journal_breaker_trips counter on /metrics — shared across every sink
+// the server owns, so one sick disk reads as one signal.
 type journalSink struct {
 	mu      sync.Mutex
 	app     appender
-	br      *Breaker
-	retry   RetryPolicy
+	br      *persist.Breaker
+	retry   persist.RetryPolicy
 	dropped int64
 
+	idKey   string // log-attribute name for the record's correlation id
 	log     *obs.Logger
 	scope   obs.Scope
 	wasOpen bool
 	trips   int64 // last Trips() value mirrored into the counter
 }
 
-func newJournalSink(app appender, log *obs.Logger, scope obs.Scope) *journalSink {
+func newJournalSink(idKey string, app appender, log *obs.Logger, scope obs.Scope) *journalSink {
 	return &journalSink{
+		idKey: idKey,
 		app:   app,
-		br:    NewBreaker(3, 2*time.Second),
-		retry: RetryPolicy{Attempts: 3, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond},
+		br:    persist.NewBreaker(3, 2*time.Second),
+		retry: persist.RetryPolicy{Attempts: 3, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond},
 		log:   log,
 		scope: scope,
 	}
 }
 
 // append writes one record, retrying transient failures with jittered
-// backoff; it returns the final error for accounting but callers treat
-// it as advisory.
-func (s *journalSink) append(rec journalRecord) error {
+// backoff. id and state label the record in logs. It returns the final
+// error; whether that is advisory or fatal is the caller's policy.
+func (s *journalSink) append(rec any, id, state string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.app == nil {
@@ -74,21 +78,21 @@ func (s *journalSink) append(rec journalRecord) error {
 	if !s.br.Allow() {
 		s.dropped++
 		s.log.Warn("journal record dropped: breaker open",
-			"run_id", rec.Run, "state", string(rec.State), "dropped", s.dropped)
-		return ErrBreakerOpen
+			s.idKey, id, "state", state, "dropped", s.dropped)
+		return persist.ErrBreakerOpen
 	}
 	err := s.retry.Do(func() error { return s.app.Append(rec) })
 	s.br.Record(err)
 	if err != nil {
 		s.dropped++
 	}
-	s.observeBreaker(rec, err)
+	s.observeBreaker(id, state, err)
 	return err
 }
 
 // observeBreaker mirrors the breaker's state into metrics and logs its
 // transitions; s.mu held.
-func (s *journalSink) observeBreaker(rec journalRecord, err error) {
+func (s *journalSink) observeBreaker(id, state string, err error) {
 	if t := s.br.Trips(); t > s.trips {
 		s.scope.Counter("journal_breaker_trips").Add(t - s.trips)
 		s.trips = t
@@ -98,11 +102,11 @@ func (s *journalSink) observeBreaker(rec journalRecord, err error) {
 		s.wasOpen = open
 		if open {
 			s.scope.Gauge("journal_breaker_open").Set(1)
-			s.log.Warn("journal breaker opened", "run_id", rec.Run,
-				"state", string(rec.State), "err", errString(err), "trips", s.trips)
+			s.log.Warn("journal breaker opened", s.idKey, id,
+				"state", state, "err", errString(err), "trips", s.trips)
 		} else {
 			s.scope.Gauge("journal_breaker_open").Set(0)
-			s.log.Info("journal breaker closed", "run_id", rec.Run, "state", string(rec.State))
+			s.log.Info("journal breaker closed", s.idKey, id, "state", state)
 		}
 	}
 }

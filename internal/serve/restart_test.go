@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"zccloud/internal/experiments"
+	"zccloud/internal/fleet"
+)
+
+// countStatus counts a cell's journal records with the given status —
+// the exactly-once assertions below hinge on a completed cell having
+// ONE CellOK line no matter how many crashes happened around it.
+func countStatus(t *testing.T, dir, cellID, status string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "cells.jsonl"))
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	n := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if strings.Contains(line, `"id":"`+cellID+`"`) && strings.Contains(line, `"status":"`+status+`"`) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRestartKillMidSweep is the crash-durability core: a SIGKILL-style
+// stop mid-sweep (one cell done, one leased) must restart into a server
+// that re-adopted the sweep on its own, fenced every pre-crash token,
+// requeued the in-flight cell, and completes with zero duplicate
+// terminal records.
+func TestRestartKillMidSweep(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, ts1 := newFleetServer(t, Config{Workers: 1, DataDir: dataDir})
+
+	var sv fleet.SweepView
+	if resp := fleetPost(t, ts1.URL+"/v1/sweeps",
+		`{"experiments": ["table2", "table4"], "seed": 7, "dir": "d1"}`, &sv); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	a := registerAgent(t, ts1.URL, "w")
+	g1 := claimCell(t, ts1.URL, a.ID, time.Second)
+	rec := experiments.CellRecord{Status: experiments.CellOK, Table: &experiments.Table{ID: g1.Cell}}
+	if resp, body := doJSON(t, "POST", ts1.URL+"/v1/cells/complete", completeBody(a.ID, g1, rec)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("complete = %d: %s", resp.StatusCode, body)
+	}
+	g2 := claimCell(t, ts1.URL, a.ID, time.Second) // in flight at the crash
+	if g2 == nil {
+		t.Fatal("no second grant")
+	}
+	s1.Kill()
+
+	s2, ts2 := newFleetServer(t, Config{Workers: 1, DataDir: dataDir})
+	sv2, ok := s2.Fleet().Sweep(sv.ID)
+	if !ok {
+		t.Fatalf("sweep %s not re-adopted after kill", sv.ID)
+	}
+	// The completed cell is terminal on arrival; the cell that was leased
+	// at the crash is pending again (its lease died with the process).
+	if sv2.Completed != 1 || sv2.Pending != 1 || sv2.Leased != 0 {
+		t.Fatalf("re-adopted view = %+v", sv2)
+	}
+
+	// The old agent survives the restart and reports its pre-crash
+	// result under its pre-crash token: fenced with 409 — that cell is
+	// already requeued, and accepting the ghost would race the retry.
+	ghost := experiments.CellRecord{Status: experiments.CellOK,
+		Table: &experiments.Table{ID: g2.Cell, Title: "pre-crash ghost"}}
+	if resp, body := doJSON(t, "POST", ts2.URL+"/v1/cells/complete", completeBody(a.ID, g2, ghost)); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("pre-crash token completion = %d, want 409: %s", resp.StatusCode, body)
+	}
+
+	// A fresh claim gets the requeued cell under a token fenced past
+	// everything the dead incarnation could have granted.
+	b := registerAgent(t, ts2.URL, "w2")
+	g3 := claimCell(t, ts2.URL, b.ID, time.Second)
+	if g3 == nil || g3.Cell != g2.Cell {
+		t.Fatalf("post-restart grant = %+v; want requeued %s", g3, g2.Cell)
+	}
+	if g3.Token <= g2.Token {
+		t.Fatalf("post-restart token %d not fenced past pre-crash %d", g3.Token, g2.Token)
+	}
+	rec = experiments.CellRecord{Status: experiments.CellOK, Table: &experiments.Table{ID: g3.Cell}}
+	if resp, body := doJSON(t, "POST", ts2.URL+"/v1/cells/complete", completeBody(b.ID, g3, rec)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry complete = %d: %s", resp.StatusCode, body)
+	}
+	if sv3, _ := s2.Fleet().Sweep(sv.ID); !sv3.Done || sv3.Completed != 2 {
+		t.Fatalf("final view = %+v", sv3)
+	}
+
+	// Exactly once on disk: one CellOK per cell, despite the crash and
+	// the fenced ghost.
+	dir := filepath.Join(dataDir, "sweeps", "d1")
+	for _, id := range []string{g1.Cell, g2.Cell} {
+		if n := countStatus(t, dir, id, experiments.CellOK); n != 1 {
+			t.Fatalf("cell %s has %d CellOK records, want exactly 1", id, n)
+		}
+	}
+}
+
+// TestRestartCrashBetweenRegistryAppendAndDirectory covers the
+// narrowest crash window: the registration hit registry.jsonl but the
+// process died before the run directory existed. The restart must not
+// wedge — the registration is dropped, and the directory name is free
+// for a fresh submission.
+func TestRestartCrashBetweenRegistryAppendAndDirectory(t *testing.T) {
+	dataDir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dataDir, "sweeps"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft the torn state: a registration record with no directory.
+	reg := `{"time":"2026-08-08T12:00:00Z","type":"sweep","id":"s-000001","dir":"ghost","experiments":["table2"],"options":{"Seed":7,"WorkloadDays":28,"MarketDays":60,"WindSites":60,"BrownoutProb":0.25}}` + "\n"
+	if err := os.WriteFile(filepath.Join(dataDir, "sweeps", "registry.jsonl"), []byte(reg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newFleetServer(t, Config{Workers: 1, DataDir: dataDir})
+	if views := s.Fleet().Sweeps(); len(views) != 0 {
+		t.Fatalf("torn registration re-adopted: %+v", views)
+	}
+	// The drop was journaled, so the NEXT restart does not retry it.
+	data, err := os.ReadFile(filepath.Join(dataDir, "sweeps", "registry.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"type":"dropped"`) {
+		t.Fatalf("no dropped marker after failed re-adoption:\n%s", data)
+	}
+	// Fresh ids never collide with journaled ones, and the dir is free.
+	var sv fleet.SweepView
+	if resp := fleetPost(t, ts.URL+"/v1/sweeps",
+		`{"experiments": ["table2"], "seed": 7, "dir": "ghost"}`, &sv); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit of dropped dir = %d", resp.StatusCode)
+	}
+	if sv.ID == "s-000001" {
+		t.Fatalf("new sweep reused journaled id %s", sv.ID)
+	}
+}
+
+// TestRestartWithExpiredUnreapedLease kills the server while a lease is
+// already past its deadline but the reap tick has not yet noticed. The
+// journal has a CellLost marker or not depending on timing — either
+// way the restart must requeue the cell, not resurrect the lease.
+func TestRestartWithExpiredUnreapedLease(t *testing.T) {
+	dataDir := t.TempDir()
+	fc := fastFleet()
+	fc.LeaseTTL = 50 * time.Millisecond
+	// Slow the reap loop down so the expiry is very likely un-reaped at
+	// the kill: the loop ticks at min(LeaseTTL, HeartbeatEvery)/2.
+	fc.AgentTTL = 10 * time.Second
+	s1, ts1 := newFleetServer(t, Config{Workers: 1, DataDir: dataDir, Fleet: fc})
+
+	var sv fleet.SweepView
+	fleetPost(t, ts1.URL+"/v1/sweeps", `{"experiments": ["table2"], "dir": "d1"}`, &sv)
+	a := registerAgent(t, ts1.URL, "w")
+	g := claimCell(t, ts1.URL, a.ID, time.Second)
+	time.Sleep(60 * time.Millisecond) // lease now expired, possibly unreaped
+	s1.Kill()
+
+	s2, ts2 := newFleetServer(t, Config{Workers: 1, DataDir: dataDir, Fleet: fastFleet()})
+	sv2, ok := s2.Fleet().Sweep(sv.ID)
+	if !ok || sv2.Pending != 1 || sv2.Leased != 0 {
+		t.Fatalf("re-adopted view = %+v (ok=%v)", sv2, ok)
+	}
+	b := registerAgent(t, ts2.URL, "w2")
+	g2 := claimCell(t, ts2.URL, b.ID, time.Second)
+	if g2 == nil || g2.Token <= g.Token {
+		t.Fatalf("grant %+v; want token fenced past %d", g2, g.Token)
+	}
+}
+
+// TestDoubleRestartMidSweep crashes twice across one three-cell sweep;
+// every incarnation completes one cell. Exactly-once must hold through
+// both recoveries, with tokens strictly increasing across incarnations.
+func TestDoubleRestartMidSweep(t *testing.T) {
+	dataDir := t.TempDir()
+	cells := []string{"table2", "table4", "table5"}
+	var lastToken int64
+	completed := make(map[string]bool)
+
+	runOne := func(expectDone bool) {
+		s, ts := newFleetServer(t, Config{Workers: 1, DataDir: dataDir})
+		if len(completed) == 0 {
+			if resp := fleetPost(t, ts.URL+"/v1/sweeps",
+				`{"experiments": ["table2", "table4", "table5"], "seed": 3, "dir": "d1"}`, nil); resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit = %d", resp.StatusCode)
+			}
+		}
+		a := registerAgent(t, ts.URL, "w")
+		g := claimCell(t, ts.URL, a.ID, time.Second)
+		if g == nil {
+			t.Fatal("no grant")
+		}
+		if g.Token <= lastToken {
+			t.Fatalf("token %d not above prior incarnation's %d", g.Token, lastToken)
+		}
+		lastToken = g.Token
+		if completed[g.Cell] {
+			t.Fatalf("already-completed cell %s re-granted", g.Cell)
+		}
+		rec := experiments.CellRecord{Status: experiments.CellOK, Table: &experiments.Table{ID: g.Cell}}
+		if resp, body := doJSON(t, "POST", ts.URL+"/v1/cells/complete", completeBody(a.ID, g, rec)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("complete = %d: %s", resp.StatusCode, body)
+		}
+		completed[g.Cell] = true
+		if expectDone {
+			views := s.Fleet().Sweeps()
+			if len(views) != 1 || !views[0].Done || views[0].Completed != 3 {
+				t.Fatalf("final sweep views = %+v", views)
+			}
+			drainServer(t, s)
+			return
+		}
+		s.Kill()
+	}
+	runOne(false)
+	runOne(false)
+	runOne(true)
+
+	dir := filepath.Join(dataDir, "sweeps", "d1")
+	for _, id := range cells {
+		if n := countStatus(t, dir, id, experiments.CellOK); n != 1 {
+			t.Fatalf("cell %s has %d CellOK records, want exactly 1", id, n)
+		}
+	}
+
+	// A fourth server re-adopts nothing: the registry has the done
+	// marker (or at worst re-adopts a fully terminal sweep — but the
+	// graceful drain above guarantees the marker was written).
+	data, err := os.ReadFile(filepath.Join(dataDir, "sweeps", "registry.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"type":"done"`) {
+		t.Fatalf("registry missing done marker:\n%s", data)
+	}
+}

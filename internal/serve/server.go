@@ -138,6 +138,13 @@ type Server struct {
 	journal *journalSink
 	jfile   *persist.Journal
 
+	// Sweep registry journal (<data>/sweeps/registry.jsonl): sweep
+	// registrations, done/dropped markers, and token epochs — what a
+	// restart replays to re-adopt open sweeps with pre-crash leases
+	// fenced.
+	registry *journalSink
+	regFile  *persist.Journal
+
 	// Distributed-sweep control plane: the lease/registry controller,
 	// its reap loop, and the open sweep journals.
 	fleet         *fleet.Controller
@@ -145,7 +152,9 @@ type Server struct {
 	fleetWG       sync.WaitGroup
 	sweepMu       sync.Mutex
 	sweepJournals map[string]*sweepJournal
+	sweepDone     map[string]bool // done-marked in the registry
 	nextSweep     int
+	idem          *idemCache
 
 	// execEWMA holds the float64 bits of an exponentially weighted
 	// moving average of run execution seconds; the 429 Retry-After hint
@@ -197,12 +206,10 @@ func New(cfg Config) (*Server, error) {
 		runs:          make(map[string]*run),
 		fleetStop:     make(chan struct{}),
 		sweepJournals: make(map[string]*sweepJournal),
+		sweepDone:     make(map[string]bool),
+		idem:          newIdemCache(idemCacheCap),
 		retryRng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	fc := cfg.Fleet
-	fc.Log = cfg.Log
-	fc.Metrics = reg
-	s.fleet = fleet.New(fc)
 	// Pre-register the lifecycle histograms so /metrics serves the full
 	// schema from the first scrape rather than only after each stage has
 	// been observed once (scrapers hate appearing-later series).
@@ -210,9 +217,13 @@ func New(cfg Config) (*Server, error) {
 	s.scope.Histogram("queue_wait_seconds", 0, queueHistHi, lifecycleBuck)
 	s.scope.Histogram("exec_seconds", 0, execHistHi, lifecycleBuck)
 	s.scope.Histogram("park_seconds", 0, parkHistHi, lifecycleBuck)
-	var app appender
+	fc := cfg.Fleet
+	fc.Log = cfg.Log
+	fc.Metrics = reg
+	var app, regApp appender
+	var reopen []registryRecord
 	if cfg.DataDir != "" {
-		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Join(cfg.DataDir, "sweeps"), 0o755); err != nil {
 			return nil, fmt.Errorf("serve: data dir: %w", err)
 		}
 		j, err := persist.OpenJournal(filepath.Join(cfg.DataDir, "runs.jsonl"))
@@ -221,8 +232,29 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.jfile = j
 		app = j
+		// Replay the sweep registry before the fleet controller exists:
+		// the replayed epoch becomes the controller's token floor, so
+		// every lease token a previous incarnation granted is fenced.
+		regPath := filepath.Join(cfg.DataDir, "sweeps", "registry.jsonl")
+		rp, err := replayRegistry(regPath)
+		if err != nil {
+			return nil, err
+		}
+		rj, err := persist.OpenJournal(regPath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening sweep registry: %w", err)
+		}
+		s.regFile = rj
+		regApp = rj
+		s.nextSweep = rp.nextSeq
+		reopen = rp.open
+		fc.TokenFloor = rp.epoch
+		fc.PersistEpoch = s.persistEpoch
 	}
-	s.journal = newJournalSink(app, s.log, s.scope)
+	s.fleet = fleet.New(fc)
+	s.journal = newJournalSink("run_id", app, s.log, s.scope)
+	s.registry = newJournalSink("run_id", regApp, s.log, s.scope)
+	s.readoptSweeps(reopen)
 	s.ts = obs.NewTimeSeries(cfg.SampleInterval, cfg.SampleWindow, s.sampleTelemetry)
 	s.ts.Start()
 	for i := 0; i < cfg.Workers; i++ {
@@ -293,7 +325,7 @@ func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	s.scope.Gauge("queue_high_water").SetMax(float64(len(s.queue)))
 	admissionWait := time.Since(admitStart).Seconds()
 	s.scope.Histogram("admission_wait_seconds", 0, admissionHistHi, lifecycleBuck).Observe(admissionWait)
-	s.journal.append(journalRecord{Time: time.Now(), Run: r.id, Name: spec.Name, State: StateQueued})
+	s.journal.append(journalRecord{Time: time.Now(), Run: r.id, Name: spec.Name, State: StateQueued}, r.id, string(StateQueued))
 	r.log.Info("run admitted", "state", string(StateQueued), "spec", describeSpec(spec),
 		"queue_len", len(s.queue), "admission_wait_s", admissionWait)
 	return r.info(), nil
@@ -400,7 +432,7 @@ func (s *Server) execute(r *run) {
 	}
 	queueWait := r.started.Sub(r.submitted).Seconds()
 	s.scope.Histogram("queue_wait_seconds", 0, queueHistHi, lifecycleBuck).Observe(queueWait)
-	s.journal.append(journalRecord{Time: time.Now(), Run: r.id, Name: r.spec.Name, State: StateRunning})
+	s.journal.append(journalRecord{Time: time.Now(), Run: r.id, Name: r.spec.Name, State: StateRunning}, r.id, string(StateRunning))
 	r.log.Info("run started", "state", string(StateRunning), "spec", describeSpec(r.spec),
 		"queue_wait_s", queueWait)
 
@@ -571,7 +603,7 @@ func (s *Server) recordFinish(rec journalRecord, lt lifecycleTimes, rl *obs.Logg
 	if lt.parkSec >= 0 {
 		s.scope.Histogram("park_seconds", 0, parkHistHi, lifecycleBuck).Observe(lt.parkSec)
 	}
-	s.journal.append(rec)
+	s.journal.append(rec, rec.Run, string(rec.State))
 	kv := make([]any, 0, 10)
 	kv = append(kv, "state", string(rec.State), "outcome", outcome)
 	if lt.execSec >= 0 {
@@ -652,8 +684,17 @@ func (s *Server) drain(ctx context.Context) error {
 	s.ts.Stop()
 	close(s.fleetStop)
 	s.fleetWG.Wait()
+	// One final registry pass: a sweep that finished just before drain
+	// must get its done marker now — the fleet loop that would have
+	// written it next tick is already stopped.
+	s.markFinishedSweeps()
 	if err := s.closeSweepJournals(); err != nil {
 		return fmt.Errorf("serve: closing sweep journals: %w", err)
+	}
+	if s.regFile != nil {
+		if err := s.regFile.Close(); err != nil {
+			return fmt.Errorf("serve: closing sweep registry: %w", err)
+		}
 	}
 	if s.jfile != nil {
 		if err := s.jfile.Close(); err != nil {
@@ -662,6 +703,34 @@ func (s *Server) drain(ctx context.Context) error {
 	}
 	s.log.Info("drained: all runs terminal")
 	return nil
+}
+
+// Kill stops the server abruptly, simulating a crash for restart
+// tests: background loops stop and journal files close with none of
+// drain's graceful bookkeeping — no released leases, no done markers,
+// no terminal records. The on-disk journals are left exactly as a
+// SIGKILL would leave them, so a successor Server on the same data dir
+// exercises the real recovery path. Kill poisons Drain (and vice
+// versa): whichever runs first wins.
+func (s *Server) Kill() {
+	s.drainOnce.Do(func() {
+		s.admitMu.Lock()
+		s.draining.Store(true)
+		close(s.queue)
+		s.admitMu.Unlock()
+		s.ts.Stop()
+		close(s.fleetStop)
+		s.fleetWG.Wait()
+		s.wg.Wait()
+		s.closeSweepJournals()
+		if s.regFile != nil {
+			s.regFile.Close()
+		}
+		if s.jfile != nil {
+			s.jfile.Close()
+		}
+		s.drainErr = errors.New("serve: server was killed")
+	})
 }
 
 // execEWMAAlpha weights the newest run's execution time in the drain

@@ -427,7 +427,7 @@ func TestJournalSicknessDoesNotFailRuns(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
 	// Swap in a journal sink whose appender always fails: every record
 	// is dropped, but runs must still reach done.
-	s.journal = newJournalSink(&brokenAppender{}, nil, obs.Scope{})
+	s.journal = newJournalSink("run_id", &brokenAppender{}, nil, obs.Scope{})
 	s.journal.retry.Sleep = func(time.Duration) {}
 
 	info, err := s.Submit(tinySpec())

@@ -46,7 +46,8 @@ go test ./internal/miso -fuzz FuzzReadCSV -fuzztime 5s
 echo "== same-seed faulted-run determinism"
 tmpdir=$(mktemp -d)
 zccdpid=""
-trap 'rm -rf "$tmpdir"; [ -n "$zccdpid" ] && kill "$zccdpid" 2>/dev/null || true' EXIT
+chaospids=""
+trap 'rm -rf "$tmpdir"; for p in $zccdpid $chaospids; do kill -9 "$p" 2>/dev/null || true; done' EXIT
 go build -o "$tmpdir/zccsim" ./cmd/zccsim
 for i in 1 2; do
 	"$tmpdir/zccsim" -days 7 -mira-nodes 2048 -zc-factor 1 -zc-duty 0.5 \
@@ -236,6 +237,85 @@ if ! grep -q "completed" "$tmpdir/zcctop.out"; then
 fi
 kill -TERM "$zccdpid"
 wait "$zccdpid" || { echo "zccd drain exited nonzero" >&2; exit 1; }
+zccdpid=""
+
+echo "== netchaos flaky-link sweep smoke test"
+# One agent reaches zccd only through a lossy netchaos proxy (added
+# latency, 5% chunk drops). The sweep must still land exactly once per
+# cell with tables byte-identical to a single-process run — the agent's
+# retry policy, not luck, absorbs the faults.
+go build -o "$tmpdir/zccagent" ./cmd/zccagent
+go build -o "$tmpdir/netchaos" ./cmd/netchaos
+"$tmpdir/zccd" -addr 127.0.0.1:0 -workers 1 -data "$tmpdir/flaky-data" \
+	2>"$tmpdir/flaky-zccd.err" &
+zccdpid=$!
+faddr=""
+for _ in $(seq 1 100); do
+	faddr=$(sed -n 's/.*msg=serving .*addr=\([^ ]*\).*/\1/p' "$tmpdir/flaky-zccd.err" | head -n 1)
+	[ -n "$faddr" ] && break
+	kill -0 "$zccdpid" 2>/dev/null || { cat "$tmpdir/flaky-zccd.err" >&2; exit 1; }
+	sleep 0.05
+done
+[ -n "$faddr" ] || { echo "zccd never logged its address" >&2; exit 1; }
+"$tmpdir/netchaos" -target "$faddr" -seed 7 -latency 1ms -drop 0.05 \
+	>"$tmpdir/flaky-proxy.out" 2>&1 &
+proxypid=$!
+chaospids="$proxypid"
+paddr=""
+for _ in $(seq 1 100); do
+	paddr=$(sed -n 's/.*msg=proxying addr=\([^ ]*\).*/\1/p' "$tmpdir/flaky-proxy.out" | head -n 1)
+	[ -n "$paddr" ] && break
+	kill -0 "$proxypid" 2>/dev/null || { cat "$tmpdir/flaky-proxy.out" >&2; exit 1; }
+	sleep 0.05
+done
+[ -n "$paddr" ] || { echo "netchaos never reported its address" >&2; exit 1; }
+"$tmpdir/zccagent" -server "http://$paddr" -name flaky -poll 50ms \
+	2>"$tmpdir/flaky-agent.err" &
+agentpid=$!
+chaospids="$chaospids $agentpid"
+flakycells="table1,table2,table4"
+sweepid=$(curl -fsS -XPOST "http://$faddr/v1/sweeps" \
+	-d "{\"experiments\": [$(echo "$flakycells" | sed 's/[^,]*/"&"/g')], \"seed\": 9, \"dir\": \"flaky\"}" |
+	sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$sweepid" ] || { echo "flaky sweep submission failed" >&2; exit 1; }
+swdone=0
+for _ in $(seq 1 600); do
+	flat=$(curl -s "http://$faddr/v1/sweeps/$sweepid" | tr -d ' \n\t')
+	case $flat in
+	*'"done":true'*)
+		swdone=1
+		break
+		;;
+	esac
+	sleep 0.1
+done
+if [ "$swdone" -ne 1 ]; then
+	echo "flaky-link sweep never finished; last view: ${flat:-}" >&2
+	cat "$tmpdir/flaky-agent.err" >&2
+	exit 1
+fi
+"$tmpdir/zccexp" -quick -seed 9 -ids "$flakycells" -run-dir "$tmpdir/flaky-cmp" -o /dev/null >/dev/null
+for cell in $(echo "$flakycells" | tr ',' ' '); do
+	nok=$(grep -c "\"id\":\"$cell\",\"status\":\"ok\"" "$tmpdir/flaky-data/sweeps/flaky/cells.jsonl" || true)
+	if [ "$nok" -ne 1 ]; then
+		echo "flaky-link cell $cell has $nok ok records, want exactly 1" >&2
+		exit 1
+	fi
+	fleet_table=$(grep "\"id\":\"$cell\",\"status\":\"ok\"" "$tmpdir/flaky-data/sweeps/flaky/cells.jsonl" | sed 's/.*"table"://')
+	solo_table=$(grep "\"id\":\"$cell\",\"status\":\"ok\"" "$tmpdir/flaky-cmp/cells.jsonl" | sed 's/.*"table"://')
+	if [ -z "$fleet_table" ] || [ "$fleet_table" != "$solo_table" ]; then
+		echo "flaky-link cell $cell: table diverges from single-process run" >&2
+		exit 1
+	fi
+done
+kill -TERM "$agentpid"
+wait "$agentpid" || { echo "agent drain exited nonzero" >&2; cat "$tmpdir/flaky-agent.err" >&2; exit 1; }
+kill -TERM "$zccdpid"
+wait "$zccdpid" || { echo "zccd drain exited nonzero" >&2; exit 1; }
+zccdpid=""
+kill -TERM "$proxypid" 2>/dev/null || true
+wait "$proxypid" 2>/dev/null || true
+chaospids=""
 
 echo "== disabled-instrumentation zero-alloc benchmarks"
 out=$(go test ./internal/obs -run '^$' -bench 'BenchmarkNopTracer|BenchmarkNopLogger' -benchmem -benchtime 100x)

@@ -19,6 +19,21 @@
 #   - the fleet's tables are byte-identical to a single-process
 #     zccexp run of the same sweep;
 #   - surviving agents and the daemon drain cleanly on SIGTERM.
+#
+# Restart mode:  scripts/soak.sh restart
+#   Control-plane crash chaos: agents talk to zccd through a netchaos
+#   proxy (latency + random connection drops), zccd is SIGKILLed
+#   mid-sweep — no drain, no bookkeeping — and restarted on the same
+#   address and data directory. Asserts:
+#
+#   - the restarted daemon re-adopts the open sweep from its registry
+#     journal (log line);
+#   - agents ride the outage on their retry policy, re-register, and
+#     finish the sweep;
+#   - every cell lands with exactly one ok record despite requeued
+#     in-flight cells and fenced pre-crash tokens;
+#   - tables are byte-identical to a single-process zccexp run;
+#   - agents and the restarted daemon drain cleanly on SIGTERM.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,7 +41,8 @@ mode=${1:-3}
 tmpdir=$(mktemp -d)
 daemonpid=""
 agentpids=""
-trap 'rm -rf "$tmpdir"; for p in $daemonpid $agentpids; do kill -9 "$p" 2>/dev/null || true; done' EXIT
+proxypid=""
+trap 'rm -rf "$tmpdir"; for p in $daemonpid $agentpids $proxypid; do kill -9 "$p" 2>/dev/null || true; done' EXIT
 
 # wait_addr <stderr-log> <pid>: waits for the daemon's "serving" line
 # and prints the bound address.
@@ -212,6 +228,175 @@ if [ "$mode" = "agents" ]; then
 		exit 1
 	fi
 	echo "reaped=$reaped requeues=$requeues; all cells exactly-once and byte-identical"
+	echo "== ok"
+	exit 0
+fi
+
+if [ "$mode" = "restart" ]; then
+	cells="table1,table2,table4,table5,table7,fig5,fig6,fig7,fig11"
+
+	echo "== build (zccd + zccagent + zccexp + netchaos)"
+	go build -o "$tmpdir/zccd" ./cmd/zccd
+	go build -o "$tmpdir/zccagent" ./cmd/zccagent
+	go build -o "$tmpdir/zccexp" ./cmd/zccexp
+	go build -o "$tmpdir/netchaos" ./cmd/netchaos
+
+	echo "== start control plane (short fleet TTLs)"
+	"$tmpdir/zccd" -addr 127.0.0.1:0 -workers 2 -data "$tmpdir/data" \
+		-agent-ttl 2s -lease-ttl 3s -fleet-backoff 200ms -fleet-backoff-cap 1s \
+		2>"$tmpdir/zccd.err" &
+	daemonpid=$!
+	addr=$(wait_addr "$tmpdir/zccd.err" "$daemonpid")
+	echo "daemon at $addr (pid $daemonpid)"
+
+	echo "== start netchaos proxy between agents and daemon"
+	"$tmpdir/netchaos" -target "$addr" -seed 42 -latency 2ms -jitter 3ms -drop 0.02 \
+		>"$tmpdir/chaos.out" 2>&1 &
+	proxypid=$!
+	proxyaddr=""
+	for _ in $(seq 1 100); do
+		proxyaddr=$(sed -n 's/.*msg=proxying addr=\([^ ]*\).*/\1/p' "$tmpdir/chaos.out" | head -n 1)
+		[ -n "$proxyaddr" ] && break
+		if ! kill -0 "$proxypid" 2>/dev/null; then
+			echo "netchaos died on startup:" >&2
+			cat "$tmpdir/chaos.out" >&2
+			exit 1
+		fi
+		sleep 0.05
+	done
+	[ -n "$proxyaddr" ] || { echo "netchaos never reported its address" >&2; exit 1; }
+	echo "chaos proxy at $proxyaddr -> $addr (latency 2ms±3ms, drop 2%)"
+
+	echo "== start 2 agents through the proxy"
+	for i in 1 2; do
+		"$tmpdir/zccagent" -server "http://$proxyaddr" -name "agent$i" \
+			-poll 50ms -parallel 2 2>"$tmpdir/agent$i.err" &
+		agentpids="$agentpids $!"
+	done
+
+	echo "== submit sweep ($cells)"
+	curl -s -o "$tmpdir/sweep.json" -XPOST "http://$addr/v1/sweeps" \
+		-d "{\"experiments\": [$(echo "$cells" | sed 's/[^,]*/"&"/g')], \"seed\": 42, \"dir\": \"chaos\"}"
+	sweepid=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$tmpdir/sweep.json" | head -n 1)
+	if [ -z "$sweepid" ]; then
+		echo "sweep submission failed:" >&2
+		cat "$tmpdir/sweep.json" >&2
+		exit 1
+	fi
+	echo "sweep $sweepid"
+
+	echo "== SIGKILL zccd after the first completion, mid-sweep"
+	killed=0
+	for _ in $(seq 1 600); do
+		flat=$(flatjson "http://$addr/v1/sweeps/$sweepid")
+		case $flat in
+		*'"done":true'*)
+			echo "sweep finished before the kill; not enough work in flight" >&2
+			exit 1
+			;;
+		*'"completed":0'*) ;;
+		*'"completed":'*)
+			killed=1
+			break
+			;;
+		esac
+		sleep 0.02
+	done
+	if [ "$killed" -ne 1 ]; then
+		echo "no cell completed before the kill window closed" >&2
+		exit 1
+	fi
+	kill -9 "$daemonpid"
+	echo "killed zccd (pid $daemonpid) with leases in flight"
+
+	echo "== restart zccd on the same address and data directory"
+	"$tmpdir/zccd" -addr "$addr" -workers 2 -data "$tmpdir/data" \
+		-agent-ttl 2s -lease-ttl 3s -fleet-backoff 200ms -fleet-backoff-cap 1s \
+		2>"$tmpdir/zccd2.err" &
+	daemonpid=$!
+	wait_addr "$tmpdir/zccd2.err" "$daemonpid" >/dev/null
+	echo "daemon back at $addr (pid $daemonpid)"
+
+	if ! grep -q 'msg="sweep re-adopted"' "$tmpdir/zccd2.err"; then
+		echo "restarted daemon never re-adopted the sweep:" >&2
+		cat "$tmpdir/zccd2.err" >&2
+		exit 1
+	fi
+
+	echo "== wait for the re-adopted sweep to finish"
+	swdone=0
+	for _ in $(seq 1 600); do
+		flat=$(flatjson "http://$addr/v1/sweeps/$sweepid")
+		case $flat in
+		*'"done":true'*)
+			swdone=1
+			break
+			;;
+		esac
+		sleep 0.1
+	done
+	if [ "$swdone" -ne 1 ]; then
+		echo "sweep never finished after restart; last view: $flat" >&2
+		cat "$tmpdir/zccd2.err" >&2
+		cat "$tmpdir/agent1.err" >&2
+		exit 1
+	fi
+	case $flat in
+	*'"abandoned":0'*) ;;
+	*)
+		echo "sweep abandoned cells after restart: $flat" >&2
+		exit 1
+		;;
+	esac
+
+	echo "== invariants: every cell terminal exactly once across both incarnations"
+	journal="$tmpdir/data/sweeps/chaos/cells.jsonl"
+	[ -f "$journal" ] || { echo "no sweep journal at $journal" >&2; exit 1; }
+	for cell in $(echo "$cells" | tr ',' ' '); do
+		nok=$(grep -c "\"id\":\"$cell\",\"status\":\"ok\"" "$journal" || true)
+		if [ "$nok" -ne 1 ]; then
+			echo "cell $cell has $nok ok records, want exactly 1" >&2
+			grep "\"id\":\"$cell\"" "$journal" >&2 || true
+			exit 1
+		fi
+	done
+
+	echo "== invariants: tables match a single-process run"
+	"$tmpdir/zccexp" -quick -seed 42 -ids "$cells" -run-dir "$tmpdir/cmp" -o /dev/null
+	for cell in $(echo "$cells" | tr ',' ' '); do
+		fleet_table=$(grep "\"id\":\"$cell\",\"status\":\"ok\"" "$journal" | tail -n 1 | sed 's/.*"table"://')
+		solo_table=$(grep "\"id\":\"$cell\",\"status\":\"ok\"" "$tmpdir/cmp/cells.jsonl" | tail -n 1 | sed 's/.*"table"://')
+		if [ -z "$fleet_table" ] || [ "$fleet_table" != "$solo_table" ]; then
+			echo "cell $cell: fleet table diverges from single-process run" >&2
+			echo "fleet: $fleet_table" >&2
+			echo "solo:  $solo_table" >&2
+			exit 1
+		fi
+	done
+
+	echo "== drain agents and the restarted daemon"
+	for p in $agentpids; do
+		kill -TERM "$p"
+		wait "$p" && arc=0 || arc=$?
+		if [ "$arc" -ne 0 ]; then
+			echo "an agent exited $arc, want 0; stderr:" >&2
+			cat "$tmpdir"/agent*.err >&2
+			exit 1
+		fi
+	done
+	kill -TERM "$daemonpid"
+	wait "$daemonpid" && rc=0 || rc=$?
+	daemonpid=""
+	agentpids=""
+	kill -TERM "$proxypid" 2>/dev/null || true
+	wait "$proxypid" 2>/dev/null || true
+	proxypid=""
+	if [ "$rc" -ne 0 ]; then
+		echo "restarted daemon exited $rc, want 0; stderr:" >&2
+		cat "$tmpdir/zccd2.err" >&2
+		exit 1
+	fi
+	echo "survived SIGKILL + restart: re-adopted, exactly-once, byte-identical"
 	echo "== ok"
 	exit 0
 fi
