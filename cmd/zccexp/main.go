@@ -72,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cellTimeout = fs.Duration("cell-timeout", 0, "per-experiment watchdog budget, e.g. 10m (0 = none)")
 		stopAfter   = fs.Int("interrupt-after", 0, "stop the sweep after N executed cells (deterministic interruption, for testing)")
 
-		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file (a .gz suffix gzips it)")
+		traceOut   = fs.String("trace", "", "write a simulation event trace to this file (.zct = binary columnar, .gz = gzipped JSONL, else JSONL)")
 		httpAddr   = fs.String("http", "", "serve live /status, /metrics, and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 		spans      = fs.Bool("spans", false, "time run phases (wall clock) and render a span summary")
 		metricsOut = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
@@ -205,9 +205,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 		fmt.Fprintf(stderr, "zccexp: introspection server on http://%s\n", intro.Addr())
 	}
-	var traceFile *zccloud.TraceFile
+	var traceFile zccloud.TraceSink
 	if *traceOut != "" {
-		tf, err := zccloud.CreateTraceFile(*traceOut)
+		tf, err := zccloud.CreateTraceSink(*traceOut)
 		if err != nil {
 			return fmt.Errorf("creating trace output: %w", err)
 		}

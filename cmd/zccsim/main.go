@@ -73,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		snapAt  = fs.Float64("snapshot-at", 0, "deterministically pause at this simulated day (requires -snapshot)")
 		restore = fs.String("restore", "", "resume from a snapshot file (pass the original run's flags)")
 
-		traceOut   = fs.String("trace", "", "write a JSONL simulation event trace to this file (a .gz suffix gzips it)")
+		traceOut   = fs.String("trace", "", "write a simulation event trace to this file (.zct = binary columnar, .gz = gzipped JSONL, else JSONL)")
 		httpAddr   = fs.String("http", "", "serve live /status, /metrics, and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 		httpLinger = fs.Duration("http-linger", 0, "keep the -http server up this long after the run completes (Ctrl-C ends it early)")
 		spans      = fs.Bool("spans", false, "time run phases (wall clock) and print a span summary")
@@ -239,9 +239,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 		fmt.Fprintf(stderr, "zccsim: introspection server on http://%s\n", intro.Addr())
 	}
-	var traceFile *zccloud.TraceFile
+	var traceFile zccloud.TraceSink
 	if *traceOut != "" {
-		tf, err := zccloud.CreateTraceFile(*traceOut)
+		tf, err := zccloud.CreateTraceSink(*traceOut)
 		if err != nil {
 			return fmt.Errorf("creating trace output: %w", err)
 		}

@@ -1,21 +1,27 @@
-// Command zcctrace post-processes JSONL simulation event traces written
-// by zccsim/zccexp's -trace flag (plain or gzipped). It turns a trace —
-// the complete record of the scheduler's decisions — into the
-// time-resolved views the paper plots, and can pinpoint where two
-// supposedly-identical traces diverge.
+// Command zcctrace post-processes simulation event traces written by
+// zccsim/zccexp's -trace flag — JSONL or binary columnar .zct, plain or
+// gzipped. It turns a trace — the complete record of the scheduler's
+// decisions — into the time-resolved views the paper plots, and can
+// pinpoint where two supposedly-identical traces diverge.
 //
 // Usage:
 //
-//	zcctrace summary  t.jsonl            # whole-trace digest
+//	zcctrace summary  t.zct              # whole-trace digest
+//	zcctrace summary  -j 8 big.zct       # fan .zct blocks across 8 cores
 //	zcctrace hist     t.jsonl            # event-kind histogram
-//	zcctrace series   -step 1h t.jsonl   # queue/utilization time series (CSV)
+//	zcctrace series   -step 1h t.zct     # queue/utilization time series (CSV)
 //	zcctrace series   -format markdown t.jsonl.gz
 //	zcctrace waits    t.jsonl            # wait time by size bin and on-time class
 //	zcctrace timeline -job 17 t.jsonl    # one job's lifecycle
-//	zcctrace diff     a.jsonl b.jsonl    # first divergent event (exit 1 if any)
+//	zcctrace diff     a.zct b.jsonl.gz   # first divergent event (exit 1 if any)
+//	zcctrace export   -o t.jsonl t.zct   # convert to JSONL, byte-identical
+//	                                     # to a direct JSONL trace of the run
 //
-// All subcommands read gzipped traces transparently (by content, not
-// file name), and "-" means stdin.
+// All subcommands detect the input format by content, never the file
+// name, so gzipped and binary traces are read transparently; "-" means
+// stdin. The -j flag on summary, hist, and series decodes .zct blocks
+// in parallel with output identical to -j 1 (other formats fall back to
+// the sequential scan).
 package main
 
 import (
@@ -36,7 +42,10 @@ func main() {
 	}
 }
 
-const usage = `usage: zcctrace <command> [flags] <trace.jsonl[.gz]>
+const usage = `usage: zcctrace <command> [flags] <trace>
+
+trace inputs may be JSONL or binary .zct, plain or gzipped; the format
+is detected from content, never the file name
 
 commands:
   summary    whole-trace digest: span, job lifecycle counts, wait stats
@@ -45,8 +54,10 @@ commands:
   waits      wait-time breakdown by job-size bin and on-time/late class
   timeline   every event of one job (-job N)
   diff       compare two traces; report the first divergent event
+  export     convert any trace to JSONL (byte-identical to a direct JSONL run)
 
-run "zcctrace <command> -h" for the command's flags
+summary, hist, and series take -j N to decode .zct blocks on N cores
+(output is identical to -j 1); run "zcctrace <command> -h" for flags
 `
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -68,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cmdTimeline(rest, stdout, stderr)
 	case "diff":
 		return cmdDiff(rest, stdout, stderr)
+	case "export":
+		return cmdExport(rest, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(stdout, usage)
 		return nil
@@ -108,20 +121,25 @@ func render(w io.Writer, t *zccloud.ResultTable, markdown bool) {
 	}
 }
 
+// summarizeArg digests the trace argument: block-parallel over a .zct
+// file path, streaming over stdin or non-.zct formats.
+func summarizeArg(path string, jobs int) (*zccloud.TraceSummary, error) {
+	if path == "-" {
+		return zccloud.SummarizeTrace(os.Stdin)
+	}
+	return zccloud.SummarizeTraceFile(path, jobs)
+}
+
 func cmdSummary(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("zcctrace summary", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	markdown := fs.Bool("markdown", false, "render markdown instead of text")
+	jobs := fs.Int("j", 1, "decode .zct blocks on N goroutines (output identical to -j 1)")
 	path, err := oneTraceArg(fs, args)
 	if err != nil {
 		return err
 	}
-	f, err := openTrace(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	s, err := zccloud.SummarizeTrace(f)
+	s, err := summarizeArg(path, *jobs)
 	if err != nil {
 		return err
 	}
@@ -154,16 +172,12 @@ func cmdHist(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("zcctrace hist", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	markdown := fs.Bool("markdown", false, "render markdown instead of text")
+	jobs := fs.Int("j", 1, "decode .zct blocks on N goroutines (output identical to -j 1)")
 	path, err := oneTraceArg(fs, args)
 	if err != nil {
 		return err
 	}
-	f, err := openTrace(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	s, err := zccloud.SummarizeTrace(f)
+	s, err := summarizeArg(path, *jobs)
 	if err != nil {
 		return err
 	}
@@ -188,6 +202,7 @@ func cmdSeries(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	step := fs.Duration("step", time.Hour, "sample step in simulated time (e.g. 30m, 6h)")
 	format := fs.String("format", "csv", "output format: csv or markdown")
+	jobs := fs.Int("j", 1, "decode .zct blocks on N goroutines (output identical to -j 1)")
 	path, err := oneTraceArg(fs, args)
 	if err != nil {
 		return err
@@ -195,12 +210,12 @@ func cmdSeries(args []string, stdout, stderr io.Writer) error {
 	if *format != "csv" && *format != "markdown" {
 		return fmt.Errorf("unknown -format %q (want csv or markdown)", *format)
 	}
-	f, err := openTrace(path)
-	if err != nil {
-		return err
+	var s *zccloud.TraceSeries
+	if path == "-" {
+		s, err = zccloud.BuildTraceSeries(os.Stdin, zccloud.Time(step.Seconds()))
+	} else {
+		s, err = zccloud.BuildTraceSeriesFile(path, zccloud.Time(step.Seconds()), *jobs)
 	}
-	defer f.Close()
-	s, err := zccloud.BuildTraceSeries(f, zccloud.Time(step.Seconds()))
 	if err != nil {
 		return err
 	}
@@ -362,6 +377,50 @@ func cmdDiff(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "  %s: %s\n", pathA, fmtEvent(d.A))
 	fmt.Fprintf(stdout, "  %s: %s\n", pathB, fmtEvent(d.B))
 	return fmt.Errorf("traces diverge at event %d", d.Index)
+}
+
+// cmdExport converts any trace to JSONL, the interchange format. The
+// output goes through the same encoder the simulator's JSONL sink
+// uses, so exporting a .zct trace yields bytes identical to tracing
+// the run straight to JSONL.
+func cmdExport(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("zcctrace export", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "-", "output path (.jsonl or .jsonl.gz; \"-\" = stdout)")
+	path, err := oneTraceArg(fs, args)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(*out, ".zct") {
+		return fmt.Errorf("export emits JSONL; to produce a .zct trace, run the simulator with -trace out.zct")
+	}
+	f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *out == "-" {
+		jw := zccloud.NewJSONLTracer(stdout)
+		if err := zccloud.ReadAnyTrace(f, func(e zccloud.TraceEvent) error {
+			jw.Trace(e)
+			return nil
+		}); err != nil {
+			return err
+		}
+		return jw.Close()
+	}
+	sink, err := zccloud.CreateTraceFile(*out)
+	if err != nil {
+		return err
+	}
+	if err := zccloud.ReadAnyTrace(f, func(e zccloud.TraceEvent) error {
+		sink.Trace(e)
+		return nil
+	}); err != nil {
+		sink.Abort()
+		return err
+	}
+	return sink.Commit()
 }
 
 func fmtEvent(e *zccloud.TraceEvent) string {

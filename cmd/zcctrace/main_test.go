@@ -8,6 +8,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"zccloud"
+	"zccloud/internal/tracebin"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -176,6 +179,157 @@ func TestDiffTruncated(t *testing.T) {
 	}
 	if !strings.Contains(out, "<end of trace>") {
 		t.Errorf("diff should mark the shorter trace's end:\n%s", out)
+	}
+}
+
+// zctTwin re-encodes a JSONL trace as .zct (with small blocks so the
+// parallel scans see several) and returns the new path.
+func zctTwin(t *testing.T, jsonlPath string, blockEvents int) string {
+	t.Helper()
+	f, err := os.Open(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := filepath.Join(t.TempDir(), "twin.zct")
+	of, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tracebin.NewWriterBlockSize(of, blockEvents)
+	if err := zccloud.ReadAnyTrace(f, func(e zccloud.TraceEvent) error {
+		w.Trace(e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := of.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestZCTTransparent checks every subcommand reads a .zct trace and
+// produces the same analysis as its JSONL twin.
+func TestZCTTransparent(t *testing.T) {
+	zct := zctTwin(t, "testdata/small.jsonl", 4)
+	for _, args := range [][]string{
+		{"summary"}, {"hist"}, {"series", "-step", "6h"}, {"waits"}, {"timeline", "-job", "2"},
+	} {
+		plain, _, err := runCmd(t, append(args, "testdata/small.jsonl")...)
+		if err != nil {
+			t.Fatalf("%v on jsonl: %v", args, err)
+		}
+		bin, _, err := runCmd(t, append(args, zct)...)
+		if err != nil {
+			t.Fatalf("%v on zct: %v", args, err)
+		}
+		plain = strings.ReplaceAll(plain, "testdata/small.jsonl", "TRACE")
+		bin = strings.ReplaceAll(bin, zct, "TRACE")
+		if plain != bin {
+			t.Errorf("%v differs between formats:\n--- jsonl ---\n%s\n--- zct ---\n%s", args, plain, bin)
+		}
+	}
+}
+
+// TestParallelIdentical checks -j N output matches -j 1 byte for byte
+// on a multi-block .zct trace.
+func TestParallelIdentical(t *testing.T) {
+	zct := zctTwin(t, "testdata/small.jsonl", 3)
+	for _, args := range [][]string{
+		{"summary"}, {"hist"}, {"series", "-step", "6h"},
+	} {
+		one, _, err := runCmd(t, append(append([]string{args[0], "-j", "1"}, args[1:]...), zct)...)
+		if err != nil {
+			t.Fatalf("%v -j 1: %v", args, err)
+		}
+		many, _, err := runCmd(t, append(append([]string{args[0], "-j", "4"}, args[1:]...), zct)...)
+		if err != nil {
+			t.Fatalf("%v -j 4: %v", args, err)
+		}
+		if one != many {
+			t.Errorf("%v: -j 4 output differs from -j 1:\n--- j1 ---\n%s\n--- j4 ---\n%s", args, one, many)
+		}
+	}
+}
+
+// TestExportByteIdentical is the round-trip fidelity guarantee: a .zct
+// trace exported to JSONL equals the original JSONL bytes exactly.
+func TestExportByteIdentical(t *testing.T) {
+	want, err := os.ReadFile("testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zct := zctTwin(t, "testdata/small.jsonl", 4)
+
+	out, _, err := runCmd(t, "export", zct)
+	if err != nil {
+		t.Fatalf("export to stdout: %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("export differs from the original JSONL:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+
+	// Through -o, including gzip.
+	dest := filepath.Join(t.TempDir(), "out.jsonl.gz")
+	if _, _, err := runCmd(t, "export", "-o", dest, zct); err != nil {
+		t.Fatalf("export -o: %v", err)
+	}
+	f, err := os.Open(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(zr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("gzipped export differs from the original JSONL")
+	}
+
+	// Exporting to .zct is refused (export is JSONL-only).
+	if _, _, err := runCmd(t, "export", "-o", "no.zct", zct); err == nil {
+		t.Error("export -o x.zct should be rejected")
+	}
+}
+
+// TestDiffMixedFormat diffs a .zct trace against JSONL inputs: the
+// twin matches, a perturbed copy names the same first divergence as
+// the pure-JSONL diff.
+func TestDiffMixedFormat(t *testing.T) {
+	zct := zctTwin(t, "testdata/small.jsonl", 4)
+	out, _, err := runCmd(t, "diff", zct, "testdata/small.jsonl")
+	if err != nil {
+		t.Fatalf("mixed-format diff of identical traces: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "traces identical: 16 events") {
+		t.Errorf("unexpected mixed diff output: %q", out)
+	}
+
+	raw, err := os.ReadFile("testdata/small.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	lines[7] = strings.Replace(lines[7], `"detail":100`, `"detail":250`, 1)
+	bPath := filepath.Join(t.TempDir(), "perturbed.jsonl")
+	if err := os.WriteFile(bPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err = runCmd(t, "diff", zct, bPath)
+	if err == nil {
+		t.Fatal("perturbed mixed diff should diverge")
+	}
+	if !strings.Contains(out, "diverge at event 7") {
+		t.Errorf("mixed diff should name event 7:\n%s", out)
 	}
 }
 

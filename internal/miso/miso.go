@@ -11,6 +11,7 @@ package miso
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"math"
@@ -438,15 +439,40 @@ func (e *ParseError) Error() string {
 
 func (e *ParseError) Unwrap() error { return e.Err }
 
-// ReadCSV streams records from r, invoking fn per record. It stops early
-// if fn returns an error. Malformed input yields a *ParseError.
+// ReadCSV streams records from r, invoking fn per record, in bounded
+// memory regardless of input size. It stops early if fn returns an
+// error. Malformed input yields a *ParseError. Gzipped input is
+// detected by magic bytes and decompressed transparently, so
+// paper-scale archives can stay compressed on disk.
 func ReadCSV(r io.Reader, fn func(Record) error) error {
 	return ReadCSVFile("", r, fn)
+}
+
+// ReadAllCSV materializes an entire record stream into a slice. It is a
+// thin wrapper over the streaming ReadCSV; prefer the callback form for
+// paper-scale inputs, which need not fit in memory.
+func ReadAllCSV(r io.Reader) ([]Record, error) {
+	var recs []Record
+	if err := ReadCSV(r, func(rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // ReadCSVFile is ReadCSV with an input name carried into errors.
 func ReadCSVFile(name string, r io.Reader, fn func(Record) error) error {
 	br := bufio.NewReaderSize(r, 1<<20)
+	if hdr, perr := br.Peek(2); perr == nil && hdr[0] == 0x1f && hdr[1] == 0x8b {
+		zr, zerr := gzip.NewReader(br)
+		if zerr != nil {
+			return &ParseError{File: name, Line: 1, Err: fmt.Errorf("gzip: %v", zerr)}
+		}
+		defer zr.Close()
+		br = bufio.NewReaderSize(zr, 1<<20)
+	}
 	line, err := br.ReadString('\n')
 	if err != nil {
 		return &ParseError{File: name, Line: 1, Err: fmt.Errorf("reading header: %v", err)}

@@ -2,6 +2,8 @@ package miso
 
 import (
 	"bytes"
+	"compress/gzip"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -208,6 +210,39 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 	if i != len(expect) {
 		t.Fatalf("read %d rows, want %d", i, len(expect))
+	}
+}
+
+func TestReadCSVGzipAndReadAll(t *testing.T) {
+	g := testGen(t, 6, 0.5, 5)
+	var plain bytes.Buffer
+	if _, err := WriteCSV(g, &plain); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadAllCSV(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty dataset")
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(plain.Bytes())
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllCSV(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatalf("reading gzipped stream: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("gzipped read diverges from plain read")
+	}
+	// Truncated gzip must surface an error, not silent truncation.
+	cut := gz.Bytes()[:gz.Len()/2]
+	if err := ReadCSV(bytes.NewReader(cut), func(Record) error { return nil }); err == nil {
+		t.Fatal("truncated gzip read succeeded")
 	}
 }
 

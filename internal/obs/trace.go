@@ -70,6 +70,10 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// Known reports whether k is one of the defined event kinds. Decoders
+// use it to reject records written by a newer (or corrupted) producer.
+func (k EventKind) Known() bool { return int(k) < len(kindNames) }
+
 // KindByName returns the EventKind with the given trace-record name.
 func KindByName(name string) (EventKind, bool) {
 	for i, n := range kindNames {

@@ -44,10 +44,13 @@ type RunInfo struct {
 	Error string `json:"error,omitempty"`
 	// Checkpoint is the snapshot file a drained run was parked in;
 	// resume it with `zccsim -restore` under the same configuration.
-	Checkpoint string     `json:"checkpoint,omitempty"`
-	Submitted  time.Time  `json:"submitted"`
-	Started    *time.Time `json:"started,omitempty"`
-	Finished   *time.Time `json:"finished,omitempty"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// Trace is the event-trace file a Spec.Trace request landed in,
+	// under the server's data dir; analyze it with zcctrace.
+	Trace     string     `json:"trace,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
 
 	// Exactly one of these is set on a done run: Metrics for a
 	// simulation spec, Table for an experiment spec.
@@ -67,9 +70,12 @@ type run struct {
 	state      State
 	err        string
 	checkpoint string
-	submitted  time.Time
-	started    time.Time
-	finished   time.Time
+	// trace is the committed event-trace path; set only when the run
+	// reached a terminal state with its trace landed on disk.
+	trace     string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
 	// interruptedAt marks when a running run was first cancelled; the
 	// park-time histogram measures interrupt → terminal.
 	interruptedAt time.Time
@@ -91,6 +97,7 @@ func (r *run) info() RunInfo {
 		State:      r.state,
 		Error:      r.err,
 		Checkpoint: r.checkpoint,
+		Trace:      r.trace,
 		Submitted:  r.submitted,
 		Metrics:    r.metrics,
 		Table:      r.table,

@@ -39,6 +39,7 @@ import (
 	"zccloud/internal/obs"
 	"zccloud/internal/persist"
 	"zccloud/internal/sched"
+	"zccloud/internal/tracebin"
 )
 
 // Admission and lookup errors; the HTTP layer maps these to statuses.
@@ -442,11 +443,25 @@ func (s *Server) execute(r *run) {
 	}
 	var m *core.Metrics
 	var err error
+	var sink tracebin.Sink
+	var tracePath string
 	if s.execHook != nil {
 		m, err = s.execHook(ctx, r.spec)
 	} else {
+		o := obs.Options{Log: s.log, RunID: r.id}
+		if r.spec.Trace != "" {
+			sink, tracePath, err = s.openTraceSink(r)
+			if err != nil {
+				s.finish(r, StateFailed, err.Error(), "", nil, nil)
+				return
+			}
+			// Abort is a no-op after Commit, so the deferred call only
+			// discards traces of runs that did not land.
+			defer sink.Abort()
+			o.Tracer = sink
+		}
 		var cfg core.RunConfig
-		cfg, err = r.spec.runConfig(obs.Options{Log: s.log, RunID: r.id})
+		cfg, err = r.spec.runConfig(o)
 		if err != nil {
 			s.finish(r, StateFailed, err.Error(), "", nil, nil)
 			return
@@ -454,22 +469,62 @@ func (s *Server) execute(r *run) {
 		m, err = core.RunContext(ctx, cfg)
 	}
 	if err == nil {
+		if err := s.commitTrace(r, sink, tracePath); err != nil {
+			s.finish(r, StateFailed, err.Error(), "", nil, nil)
+			return
+		}
 		s.finish(r, StateDone, "", "", m, nil)
 		return
 	}
 	var intr *core.Interrupted
 	if errors.As(err, &intr) {
-		s.settleInterrupted(ctx, r, intr)
+		s.settleInterrupted(ctx, r, intr, sink, tracePath)
 		return
 	}
 	s.finish(r, StateFailed, err.Error(), "", nil, nil)
 }
 
+// openTraceSink creates the event-trace sink a Spec.Trace run writes
+// into, under <data>/traces. The sink stages into a temp file; Commit
+// renames it into place, Abort discards it.
+func (s *Server) openTraceSink(r *run) (tracebin.Sink, string, error) {
+	if s.cfg.DataDir == "" {
+		return nil, "", errors.New("serve: spec requests a trace but the server has no data dir")
+	}
+	dir := filepath.Join(s.cfg.DataDir, "traces")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, "", fmt.Errorf("serve: creating trace dir: %v", err)
+	}
+	path := filepath.Join(dir, r.spec.Trace)
+	sink, err := tracebin.CreateSink(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: creating trace: %v", err)
+	}
+	return sink, path, nil
+}
+
+// commitTrace lands a run's trace atomically and records its path so
+// info() can echo it. A nil sink is a no-op.
+func (s *Server) commitTrace(r *run, sink tracebin.Sink, path string) error {
+	if sink == nil {
+		return nil
+	}
+	if err := sink.Commit(); err != nil {
+		return fmt.Errorf("serve: committing trace: %v", err)
+	}
+	r.mu.Lock()
+	r.trace = path
+	r.mu.Unlock()
+	return nil
+}
+
 // settleInterrupted maps an interrupted simulation to its terminal
 // state from the context cause: a deadline fails it, a drain parks it
 // as a checkpoint (when there is a data dir to park it in), and a
-// client cancel discards it.
-func (s *Server) settleInterrupted(ctx context.Context, r *run, intr *core.Interrupted) {
+// client cancel discards it. A checkpointed run commits its trace too —
+// the prefix written so far is a valid trace of the work done before
+// the park, and resuming appends a fresh file anyway.
+func (s *Server) settleInterrupted(ctx context.Context, r *run, intr *core.Interrupted, sink tracebin.Sink, tracePath string) {
 	cause := context.Cause(ctx)
 	switch {
 	case errors.Is(cause, errRunDeadline):
@@ -479,6 +534,11 @@ func (s *Server) settleInterrupted(ctx context.Context, r *run, intr *core.Inter
 		if err := persist.SaveJSON(path, snapshotFileKind, sched.SnapshotVersion, intr.Snapshot); err != nil {
 			s.finish(r, StateFailed, fmt.Sprintf("draining: checkpoint save failed: %v", err), "", nil, nil)
 			return
+		}
+		if err := s.commitTrace(r, sink, tracePath); err != nil {
+			// The snapshot is the payload here; a lost trace prefix is
+			// worth a log line, not a failed park.
+			r.log.Error("trace commit failed on checkpoint", "err", err.Error())
 		}
 		s.finish(r, StateCheckpointed, "", path, nil, nil)
 	case errors.Is(cause, errDrainCheckpoint):

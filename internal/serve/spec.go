@@ -2,6 +2,8 @@ package serve
 
 import (
 	"fmt"
+	"path/filepath"
+	"strings"
 
 	"zccloud/internal/availability"
 	"zccloud/internal/cluster"
@@ -59,6 +61,15 @@ type Spec struct {
 	// TimeoutSeconds caps the run's wall-clock time. Zero inherits the
 	// server default; a positive value may only tighten it.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+
+	// Trace, when set, records the run's full event trace under the
+	// server's data dir (<data>/traces/<name>). It must be a bare file
+	// name; the suffix picks the format — ".zct" binary columnar,
+	// ".jsonl.gz" gzipped JSONL, ".jsonl" plain. The trace lands
+	// atomically when the run completes (or checkpoints, as a usable
+	// prefix) and is echoed back as RunInfo.Trace. Requires a data dir;
+	// ignored for experiment specs, which aggregate many runs.
+	Trace string `json:"trace,omitempty"`
 }
 
 func (sp Spec) withDefaults() Spec {
@@ -123,6 +134,18 @@ func (sp Spec) Validate() error {
 		return fmt.Errorf("serve: backoff_hours %v < 0", d.BackoffHours)
 	case d.TimeoutSeconds < 0:
 		return fmt.Errorf("serve: timeout_seconds %v < 0", d.TimeoutSeconds)
+	}
+	if sp.Trace != "" {
+		if strings.ContainsAny(sp.Trace, `/\`) || sp.Trace != filepath.Base(sp.Trace) || strings.HasPrefix(sp.Trace, ".") {
+			return fmt.Errorf("serve: trace %q must be a bare file name", sp.Trace)
+		}
+		switch {
+		case strings.HasSuffix(sp.Trace, ".zct"),
+			strings.HasSuffix(sp.Trace, ".jsonl"),
+			strings.HasSuffix(sp.Trace, ".jsonl.gz"):
+		default:
+			return fmt.Errorf("serve: trace %q must end in .zct, .jsonl, or .jsonl.gz", sp.Trace)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zccloud/internal/obs"
+	"zccloud/internal/tracebin"
+)
+
+// countTrace opens the committed trace through the format-sniffing
+// reader and counts its events.
+func countTrace(t *testing.T, path string) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	n := 0
+	if err := tracebin.ReadAny(f, func(obs.Event) error { n++; return nil }); err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	return n
+}
+
+func TestRunTraceLands(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{Workers: 2, DataDir: dir})
+	for _, name := range []string{"run.zct", "run.jsonl.gz"} {
+		sp := tinySpec()
+		sp.Trace = name
+		info, err := s.Submit(sp)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		final := waitTerminal(t, s, info.ID)
+		if final.State != StateDone {
+			t.Fatalf("%s: state = %s (%s), want done", name, final.State, final.Error)
+		}
+		want := filepath.Join(dir, "traces", name)
+		if final.Trace != want {
+			t.Fatalf("%s: RunInfo.Trace = %q, want %q", name, final.Trace, want)
+		}
+		if n := countTrace(t, want); n == 0 {
+			t.Fatalf("%s: committed trace is empty", name)
+		}
+	}
+	// The two formats record the same simulation; binary vs JSONL must
+	// agree on event count.
+	zct := countTrace(t, filepath.Join(dir, "traces", "run.zct"))
+	gz := countTrace(t, filepath.Join(dir, "traces", "run.jsonl.gz"))
+	if zct != gz {
+		t.Fatalf("event counts diverge: zct=%d jsonl.gz=%d", zct, gz)
+	}
+}
+
+func TestTraceRequiresDataDir(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	sp := tinySpec()
+	sp.Trace = "run.zct"
+	info, err := s.Submit(sp)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final := waitTerminal(t, s, info.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "data dir") {
+		t.Fatalf("state = %s (%q), want failed mentioning data dir", final.State, final.Error)
+	}
+}
+
+func TestTraceAbortedOnDeadline(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	sp := Spec{Days: 3660, MiraNodes: 4096, TimeoutSeconds: 0.02, Trace: "dead.zct"}
+	info, err := s.Submit(sp)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final := waitTerminal(t, s, info.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s, want failed (deadline)", final.State)
+	}
+	if final.Trace != "" {
+		t.Fatalf("failed run reported a trace: %q", final.Trace)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "traces", "dead.zct")); !os.IsNotExist(err) {
+		t.Fatalf("aborted trace left on disk (stat err = %v)", err)
+	}
+}
+
+func TestTraceSpecValidation(t *testing.T) {
+	bad := []string{"a/b.zct", `a\b.zct`, "../up.zct", ".hidden.zct", "t.txt", "t.zct.tmp"}
+	for _, name := range bad {
+		sp := tinySpec()
+		sp.Trace = name
+		if err := sp.Validate(); err == nil {
+			t.Errorf("Validate accepted trace %q", name)
+		}
+	}
+	good := []string{"t.zct", "t.jsonl", "t.jsonl.gz"}
+	for _, name := range good {
+		sp := tinySpec()
+		sp.Trace = name
+		if err := sp.Validate(); err != nil {
+			t.Errorf("Validate rejected trace %q: %v", name, err)
+		}
+	}
+}

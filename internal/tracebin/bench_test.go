@@ -1,0 +1,41 @@
+package tracebin
+
+import (
+	"io"
+	"testing"
+
+	"zccloud/internal/obs"
+	"zccloud/internal/sim"
+)
+
+// BenchmarkTraceEncode pins both trace encoders side by side: the
+// per-event JSONL path and the block-batched .zct path. Both must stay
+// at 0 allocs/op (amortized — the .zct writer allocates only per block);
+// events/sec is the throughput signal zccbench -compare gates on.
+func BenchmarkTraceEncode(b *testing.B) {
+	event := func(i int) obs.Event {
+		return obs.Event{Time: sim.Time(i), Kind: obs.EvStart, Job: i, Partition: "mira", Nodes: 512, Detail: 1}
+	}
+	b.Run("jsonl", func(b *testing.B) {
+		s := obs.NewJSONL(io.Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Trace(event(i))
+		}
+		b.StopTimer()
+		s.Close()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+	b.Run("zct", func(b *testing.B) {
+		w := NewWriter(io.Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Trace(event(i))
+		}
+		b.StopTimer()
+		w.Close()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+}

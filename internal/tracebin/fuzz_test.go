@@ -1,0 +1,97 @@
+package tracebin
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"zccloud/internal/obs"
+	"zccloud/internal/sim"
+)
+
+// fuzzSeedEvents is a tiny but representative stream: negative job ids,
+// empty and repeated dictionary strings, zero and non-zero details.
+func fuzzSeedEvents() []obs.Event {
+	return []obs.Event{
+		{Time: 0, Kind: obs.EvArrive, Job: 1, Partition: "green"},
+		{Time: 3600, Kind: obs.EvEnqueue, Job: 1, Partition: "green", Detail: 2},
+		{Time: 3600, Kind: obs.EvWindowUp, Job: -1, Nodes: 128, Run: "r1"},
+		{Time: 7200.5, Kind: obs.EvStart, Job: 1, Partition: "green", Nodes: 16},
+		{Time: 9000.25, Kind: obs.EvFinish, Job: 1, Partition: "green", Nodes: 16, Detail: -1.5},
+	}
+}
+
+// FuzzDecodeBlock feeds arbitrary payloads to the column decoder: it
+// must never panic or over-allocate, and any payload it accepts must
+// re-encode and re-decode to the same events (a fixed point).
+func FuzzDecodeBlock(f *testing.F) {
+	events := fuzzSeedEvents()
+	valid := appendBlock(nil, events)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                                          // truncated column
+	f.Add(valid[:2])                                                     // truncated varint
+	f.Add([]byte{})                                                      // empty payload
+	f.Add([]byte{0x00})                                                  // zero event count
+	f.Add([]byte{0xff, 0xff, 0xff, 7})                                   // huge event count
+	f.Add(append([]byte{1, 1, 0xff}, bytes.Repeat([]byte{0x80}, 16)...)) // hostile dict
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		decoded, err := DecodeBlock(payload, nil)
+		if err != nil {
+			return
+		}
+		re := appendBlock(nil, decoded)
+		again, err := DecodeBlock(re, nil)
+		if err != nil {
+			t.Fatalf("re-encoded block failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, decoded) {
+			t.Fatalf("decode(encode(decode(p))) != decode(p)")
+		}
+	})
+}
+
+// FuzzReadTrace feeds arbitrary bytes to both trace readers: the
+// streaming scanner (which also sniffs JSONL and gzip) and the
+// random-access reader with its footer index and scan fallback. Neither
+// may panic, whatever the corruption — bad CRCs, torn tails, hostile
+// footer geometry.
+func FuzzReadTrace(f *testing.F) {
+	events := fuzzSeedEvents()
+	var buf bytes.Buffer
+	w := NewWriterBlockSize(&buf, 2)
+	for _, e := range events {
+		w.Trace(e)
+	}
+	w.Close()
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // torn trailer
+	f.Add(valid[:9])            // torn first block
+	corrupt := append([]byte(nil), valid...)
+	corrupt[7] ^= 0xff // payload corruption under an intact index
+	f.Add(corrupt)
+	hostile := append([]byte(nil), valid...)
+	hostile[len(hostile)-len(trailerMagic)-8] ^= 0x55 // lie in the index length
+	f.Add(hostile)
+	f.Add([]byte(Magic))
+	f.Add([]byte("{\"t\":0,\"kind\":\"arrive\",\"job\":1}\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := 0
+		_ = ReadAny(bytes.NewReader(data), func(obs.Event) error { n++; return nil })
+		r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		var ev []obs.Event
+		for i := 0; i < r.Blocks(); i++ {
+			ev, _ = r.DecodeBlockAt(i, ev[:0])
+			for _, e := range ev {
+				_ = sim.Time(e.Time) // keep the decode observable
+			}
+		}
+	})
+}

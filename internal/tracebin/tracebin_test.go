@@ -1,0 +1,398 @@
+package tracebin
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"zccloud/internal/obs"
+	"zccloud/internal/sim"
+)
+
+// genEvents builds a deterministic, realistic event stream: monotonic
+// times, a handful of partitions and runs, job-less window events.
+func genEvents(n int) []obs.Event {
+	parts := []string{"green", "grid", "", "spill"}
+	runs := []string{"", "run-a", "run-b"}
+	events := make([]obs.Event, n)
+	t := sim.Time(0)
+	for i := range events {
+		t += sim.Time(float64(i%7) * 13.25)
+		kind := obs.EventKind(i % 21)
+		e := obs.Event{Time: t, Kind: kind, Job: i % 911, Partition: parts[i%len(parts)], Run: runs[i%len(runs)]}
+		if i%5 == 0 {
+			e.Job = -1
+			e.Nodes = 64 * (i % 9)
+		}
+		if i%3 == 0 {
+			e.Detail = float64(i) * 0.375
+		}
+		events[i] = e
+	}
+	return events
+}
+
+// writeTrace encodes events into an in-memory .zct file with small
+// blocks (to exercise multi-block paths) and returns the bytes.
+func writeTrace(t *testing.T, events []obs.Event, blockEvents int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriterBlockSize(&buf, blockEvents)
+	for _, e := range events {
+		w.Trace(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func scanAll(t *testing.T, data []byte) []obs.Event {
+	t.Helper()
+	var got []obs.Event
+	if err := ReadAny(bytes.NewReader(data), func(e obs.Event) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("ReadAny: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripScanner(t *testing.T) {
+	events := genEvents(1000)
+	data := writeTrace(t, events, 64)
+	got := scanAll(t, data)
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("scanner round-trip mismatch: got %d events want %d", len(got), len(events))
+	}
+}
+
+func TestRoundTripReader(t *testing.T) {
+	events := genEvents(1000)
+	data := writeTrace(t, events, 64)
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if !r.Indexed() {
+		t.Fatalf("complete file should carry a footer index")
+	}
+	if want := (len(events) + 63) / 64; r.Blocks() != want {
+		t.Fatalf("Blocks() = %d, want %d", r.Blocks(), want)
+	}
+	if r.Events() != len(events) {
+		t.Fatalf("Events() = %d, want %d", r.Events(), len(events))
+	}
+	var got []obs.Event
+	for i := 0; i < r.Blocks(); i++ {
+		got, err = r.DecodeBlockAt(i, got)
+		if err != nil {
+			t.Fatalf("DecodeBlockAt(%d): %v", i, err)
+		}
+		info := r.BlockInfo(i)
+		if info.MinTime > info.MaxTime {
+			t.Fatalf("block %d: MinTime %v > MaxTime %v", i, info.MinTime, info.MaxTime)
+		}
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("reader round-trip mismatch")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	events := genEvents(500)
+	a := writeTrace(t, events, 128)
+	b := writeTrace(t, events, 128)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same events encoded to different bytes")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	data := writeTrace(t, nil, 0)
+	if got := scanAll(t, data); len(got) != 0 {
+		t.Fatalf("empty trace yielded %d events", len(got))
+	}
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.Blocks() != 0 || !r.Indexed() {
+		t.Fatalf("empty trace: Blocks=%d Indexed=%v", r.Blocks(), r.Indexed())
+	}
+}
+
+// TestTornTail truncates a trace mid-way through its final block and
+// checks both readers recover every complete block, like a torn
+// persist.Journal tail.
+func TestTornTail(t *testing.T) {
+	events := genEvents(640)
+	data := writeTrace(t, events, 128) // 5 blocks
+
+	// Recover block offsets from the footer so we can cut precisely.
+	full, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	last := full.BlockInfo(full.Blocks() - 1)
+	torn := data[:last.Offset+10] // magic + 4 complete blocks + a torn 5th
+
+	got := scanAll(t, torn)
+	if want := events[:4*128]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("torn scan: got %d events, want %d", len(got), len(want))
+	}
+	r, err := NewReader(bytes.NewReader(torn), int64(len(torn)))
+	if err != nil {
+		t.Fatalf("NewReader on torn file: %v", err)
+	}
+	if r.Indexed() {
+		t.Fatalf("torn file should not report a valid footer index")
+	}
+	if r.Blocks() != 4 {
+		t.Fatalf("torn file: Blocks() = %d, want 4", r.Blocks())
+	}
+
+	// A cut mid-header (fewer than 4 length-prefix bytes left) is also a
+	// tolerated torn tail.
+	got = scanAll(t, data[:last.Offset+2])
+	if len(got) != 4*128 {
+		t.Fatalf("torn header scan: got %d events", len(got))
+	}
+}
+
+// TestCorruptionMidFile distinguishes a torn tail (tolerated) from
+// corruption before it (an error).
+func TestCorruptionMidFile(t *testing.T) {
+	events := genEvents(640)
+	data := writeTrace(t, events, 128)
+	full, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	b1 := full.BlockInfo(1)
+
+	corrupt := append([]byte(nil), data...)
+	corrupt[b1.Offset+8] ^= 0xff // inside block 1's payload
+	err = ReadAny(bytes.NewReader(corrupt), func(obs.Event) error { return nil })
+	if err == nil {
+		t.Fatalf("mid-file corruption not detected by scanner")
+	}
+
+	// The footer index is intact, so random access still works for the
+	// undamaged blocks and errors only on the corrupt one.
+	r, err := NewReader(bytes.NewReader(corrupt), int64(len(corrupt)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.DecodeBlockAt(0, nil); err != nil {
+		t.Fatalf("block 0 should decode: %v", err)
+	}
+	if _, err := r.DecodeBlockAt(1, nil); err == nil {
+		t.Fatalf("corrupt block 1 decoded without error")
+	}
+}
+
+// TestCorruptTrailer checks a damaged footer falls back to a scan that
+// reproduces the same block index.
+func TestCorruptTrailer(t *testing.T) {
+	events := genEvents(400)
+	data := writeTrace(t, events, 128)
+	indexed, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-1] ^= 0xff // trailer magic
+	scanned, err := NewReader(bytes.NewReader(corrupt), int64(len(corrupt)))
+	if err != nil {
+		t.Fatalf("NewReader with corrupt trailer: %v", err)
+	}
+	if scanned.Indexed() {
+		t.Fatalf("corrupt trailer should force the scan fallback")
+	}
+	for i := 0; i < indexed.Blocks(); i++ {
+		if indexed.BlockInfo(i) != scanned.BlockInfo(i) {
+			t.Fatalf("block %d: indexed %+v != scanned %+v", i, indexed.BlockInfo(i), scanned.BlockInfo(i))
+		}
+	}
+}
+
+// TestSniffing checks the scanner reads JSONL, gzipped JSONL, and
+// gzipped .zct transparently.
+func TestSniffing(t *testing.T) {
+	events := genEvents(100)
+
+	var jsonl bytes.Buffer
+	jw := obs.NewJSONL(&jsonl)
+	for _, e := range events {
+		jw.Trace(e)
+	}
+	jw.Close()
+	if got := scanAll(t, jsonl.Bytes()); !reflect.DeepEqual(got, events) {
+		t.Fatalf("JSONL sniff mismatch")
+	}
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(jsonl.Bytes())
+	zw.Close()
+	if got := scanAll(t, gz.Bytes()); !reflect.DeepEqual(got, events) {
+		t.Fatalf("gzip JSONL sniff mismatch")
+	}
+
+	zct := writeTrace(t, events, 32)
+	gz.Reset()
+	zw = gzip.NewWriter(&gz)
+	zw.Write(zct)
+	zw.Close()
+	sc, err := NewScanner(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatalf("NewScanner: %v", err)
+	}
+	defer sc.Close()
+	if !sc.Binary() {
+		t.Fatalf("gzipped .zct not sniffed as binary")
+	}
+	var got []obs.Event
+	for {
+		e, ok, err := sc.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("gzipped .zct mismatch")
+	}
+}
+
+func TestCreateSinkAndOpen(t *testing.T) {
+	dir := t.TempDir()
+	events := genEvents(300)
+
+	zctPath := filepath.Join(dir, "trace.zct")
+	sink, err := CreateSink(zctPath)
+	if err != nil {
+		t.Fatalf("CreateSink: %v", err)
+	}
+	if _, ok := sink.(*File); !ok {
+		t.Fatalf("CreateSink(.zct) returned %T, want *tracebin.File", sink)
+	}
+	for _, e := range events {
+		sink.Trace(e)
+	}
+	if err := sink.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	fr, err := Open(zctPath)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer fr.Close()
+	if fr.Events() != len(events) {
+		t.Fatalf("Open: Events() = %d, want %d", fr.Events(), len(events))
+	}
+
+	// Aborted sinks leave nothing behind.
+	gone := filepath.Join(dir, "gone.zct")
+	sink, err = CreateSink(gone)
+	if err != nil {
+		t.Fatalf("CreateSink: %v", err)
+	}
+	sink.Trace(events[0])
+	sink.Abort()
+	if _, err := os.Stat(gone); !os.IsNotExist(err) {
+		t.Fatalf("aborted sink left %s behind", gone)
+	}
+
+	// Non-.zct suffixes get the JSONL sink; the content sniffs back.
+	jsonlPath := filepath.Join(dir, "trace.jsonl.gz")
+	sink, err = CreateSink(jsonlPath)
+	if err != nil {
+		t.Fatalf("CreateSink(jsonl.gz): %v", err)
+	}
+	for _, e := range events {
+		sink.Trace(e)
+	}
+	if err := sink.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	f, err := os.Open(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	if err := ReadAny(f, func(obs.Event) error { n++; return nil }); err != nil {
+		t.Fatalf("ReadAny(jsonl.gz): %v", err)
+	}
+	if n != len(events) {
+		t.Fatalf("jsonl.gz: read %d events, want %d", n, len(events))
+	}
+
+	// Open on a JSONL file reports ErrFormat so callers fall back.
+	if _, err := Open(jsonlPath); err != ErrFormat {
+		t.Fatalf("Open(jsonl.gz) = %v, want ErrFormat", err)
+	}
+}
+
+// TestConcurrentTrace drives the writer from many goroutines; with the
+// race detector this pins the locking discipline.
+func TestConcurrentTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriterBlockSize(&buf, 64)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w.Trace(obs.Event{Time: sim.Time(i), Kind: obs.EvArrive, Job: g*per + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := scanAll(t, buf.Bytes()); len(got) != goroutines*per {
+		t.Fatalf("concurrent trace: read %d events, want %d", len(got), goroutines*per)
+	}
+}
+
+// TestFlushMidStream checks Flush emits a partial block without ending
+// the stream (the zccd pause path relies on this).
+func TestFlushMidStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriterBlockSize(&buf, 1000)
+	events := genEvents(10)
+	for _, e := range events[:6] {
+		w.Trace(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// The flushed prefix is already readable as a torn file.
+	if got := scanAll(t, append([]byte(nil), buf.Bytes()...)); len(got) != 6 {
+		t.Fatalf("flushed prefix held %d events, want 6", len(got))
+	}
+	for _, e := range events[6:] {
+		w.Trace(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := scanAll(t, buf.Bytes()); !reflect.DeepEqual(got, events) {
+		t.Fatalf("flush-then-close round-trip mismatch")
+	}
+}

@@ -1,0 +1,213 @@
+package tracebin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strings"
+	"sync"
+
+	"zccloud/internal/obs"
+	"zccloud/internal/persist"
+)
+
+// Writer is a .zct trace sink: an obs.Tracer that buffers events into
+// fixed-size blocks and emits each as one column-encoded, checksummed
+// frame — amortizing what the JSONL sink pays per event over thousands
+// of events at a time. It is safe for concurrent Trace calls; blocks
+// are never interleaved.
+//
+// Close finishes the stream with the sentinel, footer index, and
+// trailer; a Writer abandoned before Close leaves a torn (but readable)
+// prefix, mirroring a crashed run.
+type Writer struct {
+	mu          sync.Mutex
+	w           io.Writer
+	blockEvents int
+	events      []obs.Event // current block, reused across flushes
+	enc         []byte      // frame scratch, reused across flushes
+	index       []BlockInfo
+	off         int64
+	started     bool // magic written
+	closed      bool
+	err         error
+}
+
+// NewWriter returns a .zct writer targeting w with the default block
+// size.
+func NewWriter(w io.Writer) *Writer {
+	return NewWriterBlockSize(w, DefaultBlockEvents)
+}
+
+// NewWriterBlockSize returns a .zct writer with an explicit
+// events-per-block target (tests use tiny blocks to force many).
+func NewWriterBlockSize(w io.Writer, blockEvents int) *Writer {
+	if blockEvents <= 0 {
+		blockEvents = DefaultBlockEvents
+	}
+	return &Writer{
+		w:           w,
+		blockEvents: blockEvents,
+		events:      make([]obs.Event, 0, blockEvents),
+	}
+}
+
+// Trace buffers one event, flushing a full block when the buffer
+// reaches the block size.
+func (w *Writer) Trace(e obs.Event) {
+	w.mu.Lock()
+	w.events = append(w.events, e)
+	if len(w.events) >= w.blockEvents {
+		w.flushLocked()
+	}
+	w.mu.Unlock()
+}
+
+// Flush encodes and writes the current partial block, if any, and
+// returns the first write error encountered so far. Unlike Close it
+// does not finish the stream, so more events may follow.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushLocked()
+	return w.err
+}
+
+func (w *Writer) flushLocked() {
+	if err := w.startLocked(); err != nil {
+		return
+	}
+	if len(w.events) == 0 {
+		return
+	}
+	info := BlockInfo{Offset: w.off, Events: len(w.events)}
+	info.MinTime, info.MaxTime = w.events[0].Time, w.events[0].Time
+	for _, e := range w.events[1:] {
+		if e.Time < info.MinTime {
+			info.MinTime = e.Time
+		}
+		if e.Time > info.MaxTime {
+			info.MaxTime = e.Time
+		}
+	}
+	// Encode the payload after a 4-byte hole for the length prefix, then
+	// backfill it: one buffer, one Write call per block.
+	w.enc = append(w.enc[:0], 0, 0, 0, 0)
+	w.enc = appendBlock(w.enc, w.events)
+	payload := w.enc[4:]
+	binary.LittleEndian.PutUint32(w.enc[:4], uint32(len(payload)))
+	w.enc = binary.LittleEndian.AppendUint32(w.enc, crc32.ChecksumIEEE(payload))
+	w.events = w.events[:0]
+	if w.write(w.enc) {
+		w.index = append(w.index, info)
+	}
+}
+
+// startLocked writes the magic once, lazily, so even an empty trace is
+// a valid file.
+func (w *Writer) startLocked() error {
+	if !w.started && w.err == nil {
+		w.started = true
+		w.write([]byte(Magic))
+	}
+	return w.err
+}
+
+// write sends b downstream, tracking the offset and the first error.
+// It reports whether the write succeeded.
+func (w *Writer) write(b []byte) bool {
+	if w.err != nil {
+		return false
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return false
+	}
+	w.off += int64(len(b))
+	return true
+}
+
+// Close flushes the final partial block and finishes the stream:
+// sentinel, footer index, trailer. It does not close the underlying
+// writer (the file sinks own that).
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	w.flushLocked()
+	if w.err != nil {
+		return w.err
+	}
+	w.enc = binary.LittleEndian.AppendUint32(w.enc[:0], 0) // sentinel
+	index := appendIndex(nil, w.index)
+	w.enc = append(w.enc, index...)
+	w.enc = binary.LittleEndian.AppendUint32(w.enc, uint32(len(index)))
+	w.enc = binary.LittleEndian.AppendUint32(w.enc, crc32.ChecksumIEEE(index))
+	w.enc = append(w.enc, trailerMagic...)
+	w.write(w.enc)
+	return w.err
+}
+
+// Blocks returns the index of blocks written so far (complete flushes
+// only). Primarily for tests and diagnostics.
+func (w *Writer) Blocks() []BlockInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]BlockInfo(nil), w.index...)
+}
+
+// File is a .zct trace sink bound to an atomically-written file: the
+// destination appears only on Commit, so a crashed run never leaves a
+// half-written trace under the target name. The embedded Writer makes
+// it an obs.Tracer.
+type File struct {
+	*Writer
+	af *persist.File
+}
+
+// Create starts an atomic .zct trace write to path.
+func Create(path string) (*File, error) {
+	af, err := persist.CreateAtomic(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Writer: NewWriter(af), af: af}, nil
+}
+
+// Commit finishes the stream (final block, index, trailer) and lands
+// the file atomically. On any error the destination is untouched.
+func (f *File) Commit() error {
+	if err := f.Writer.Close(); err != nil {
+		f.af.Abort()
+		return fmt.Errorf("tracebin: writing trace: %w", err)
+	}
+	return f.af.Commit()
+}
+
+// Abort discards the trace; a no-op after Commit.
+func (f *File) Abort() { f.af.Abort() }
+
+// Sink is a committable trace destination: an obs.Tracer whose output
+// lands atomically on Commit. Both the JSONL and .zct file sinks
+// satisfy it.
+type Sink interface {
+	obs.Tracer
+	Commit() error
+	Abort()
+}
+
+// CreateSink starts an atomic trace write to path in the format its
+// suffix selects: ".zct" is the binary columnar format, anything else
+// is JSONL (with ".gz" transparently compressed). Every trace reader in
+// the repository sniffs the content, so either output feeds the same
+// analyses.
+func CreateSink(path string) (Sink, error) {
+	if strings.HasSuffix(path, ".zct") {
+		return Create(path)
+	}
+	return obs.CreateTraceFile(path)
+}

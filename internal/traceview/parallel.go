@@ -1,0 +1,380 @@
+package traceview
+
+import (
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"zccloud/internal/obs"
+	"zccloud/internal/sim"
+	"zccloud/internal/tracebin"
+)
+
+// This file implements block-parallel scans over .zct traces. The
+// contract is strict: output must be bit-identical to the sequential
+// scan, not merely statistically equivalent, because check.sh asserts
+// `zcctrace summary -j N` equals `-j 1` byte for byte.
+//
+// Summaries merge trivially (the accumulator is order-insensitive up
+// to block-ordered concatenation). Series are harder: each sample
+// depends on all state since the start of the trace, so the parallel
+// build runs two passes — pass 1 reduces every block to its state
+// transfer function (decoded concurrently), a cheap sequential fold
+// derives each block's exact entry state, and pass 2 replays blocks
+// concurrently, emitting exactly the samples the sequential replay
+// would emit inside each block.
+
+// parmap runs fn(i) for i in [0, n) on up to jobs goroutines and
+// returns the lowest-index error.
+func parmap(n, jobs int, fn func(i int) error) error {
+	if jobs > n {
+		jobs = n
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SummarizeFile digests a trace file, fanning block decodes across up
+// to jobs goroutines when the file is a seekable .zct. Other formats
+// (and jobs <= 1) fall back to the sequential streaming scan; either
+// way the result is identical to Summarize.
+func SummarizeFile(path string, jobs int) (*Summary, error) {
+	if jobs > 1 {
+		fr, err := tracebin.Open(path)
+		if err == nil {
+			defer fr.Close()
+			return summarizeBlocks(fr.Reader, jobs)
+		}
+		if err != tracebin.ErrFormat {
+			return nil, err
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Summarize(f)
+}
+
+func summarizeBlocks(r *tracebin.Reader, jobs int) (*Summary, error) {
+	accs := make([]*summaryAcc, r.Blocks())
+	err := parmap(r.Blocks(), jobs, func(i int) error {
+		events, err := r.DecodeBlockAt(i, nil)
+		if err != nil {
+			return err
+		}
+		acc := newSummaryAcc()
+		for _, e := range events {
+			acc.add(e)
+		}
+		accs[i] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := newSummaryAcc()
+	for _, acc := range accs {
+		total.merge(acc)
+	}
+	return total.finalize(), nil
+}
+
+// seriesTF is one block's contribution to the replayed scheduler
+// state, reduced to a transfer function applicable to any entry state:
+//
+//   - queue: either "apply decs clamped decrements" (no authoritative
+//     enqueue in the block) or "ends at setV" (the block's last enqueue
+//     resolves the queue independent of entry state — decrements after
+//     it were already applied to the known value during pass 1);
+//   - running and per-partition busy: pure integer deltas;
+//   - partition sizes: last set wins within the block;
+//   - maxT: the largest event time, driving sample-to-block assignment.
+type seriesTF struct {
+	decs      int
+	hasSet    bool
+	setV      int
+	runDelta  int
+	busyDelta map[string]int
+	sizeSet   map[string]int
+	maxT      sim.Time
+}
+
+// applyQueue advances a queue value through the block exactly as the
+// sequential replay would: `if queue > 0 { queue-- }` per start, so
+// values at or below zero are fixed points of a decrement.
+func (tf *seriesTF) applyQueue(q int) int {
+	if tf.hasSet {
+		return tf.setV
+	}
+	if q <= 0 {
+		return q
+	}
+	if q < tf.decs {
+		return 0
+	}
+	return q - tf.decs
+}
+
+// blockTF reduces one block's events to its transfer function.
+func blockTF(events []obs.Event) *seriesTF {
+	tf := &seriesTF{busyDelta: make(map[string]int), sizeSet: make(map[string]int), maxT: events[0].Time}
+	for _, e := range events {
+		if e.Time > tf.maxT {
+			tf.maxT = e.Time
+		}
+		switch e.Kind {
+		case obs.EvEnqueue:
+			tf.hasSet, tf.setV = true, int(e.Detail)
+		case obs.EvStart, obs.EvBackfillStart:
+			if tf.hasSet {
+				if tf.setV > 0 {
+					tf.setV--
+				}
+			} else {
+				tf.decs++
+			}
+			tf.runDelta++
+			tf.busyDelta[e.Partition] += e.Nodes
+		case obs.EvFinish, obs.EvKill:
+			tf.runDelta--
+			tf.busyDelta[e.Partition] += -e.Nodes
+		case obs.EvWindowUp, obs.EvWindowDown:
+			tf.sizeSet[e.Partition] = e.Nodes
+		}
+	}
+	return tf
+}
+
+// seriesEntry is the exact replay state at a block boundary.
+type seriesEntry struct {
+	queue, running int
+	busy           map[string]int
+}
+
+type rawSample struct {
+	days           float64
+	queue, running int
+	busy           map[string]int
+}
+
+// replayBlock re-runs one block from its entry state, emitting the
+// samples whose thresholds land inside it — the same loop as the
+// sequential BuildSeries, restricted to one block.
+func replayBlock(events []obs.Event, entry seriesEntry, thresholds []sim.Time) []rawSample {
+	queue, running := entry.queue, entry.running
+	busy := make(map[string]int, len(entry.busy)+8)
+	for p, b := range entry.busy {
+		busy[p] = b
+	}
+	var out []rawSample
+	ti := 0
+	sample := func(t sim.Time) {
+		snap := make(map[string]int, len(busy))
+		for p, b := range busy {
+			snap[p] = b
+		}
+		out = append(out, rawSample{days: float64(t) / float64(sim.Day), queue: queue, running: running, busy: snap})
+	}
+	for _, e := range events {
+		for ti < len(thresholds) && e.Time >= thresholds[ti] {
+			sample(thresholds[ti])
+			ti++
+		}
+		switch e.Kind {
+		case obs.EvEnqueue:
+			queue = int(e.Detail)
+		case obs.EvStart, obs.EvBackfillStart:
+			if queue > 0 {
+				queue--
+			}
+			running++
+			busy[e.Partition] += e.Nodes
+		case obs.EvFinish, obs.EvKill:
+			running--
+			busy[e.Partition] -= e.Nodes
+		case obs.EvWindowUp, obs.EvWindowDown:
+			// size transitions don't enter samples; sizes fold in pass 1
+		}
+	}
+	for ti < len(thresholds) {
+		// Only reachable if a threshold exceeds every event time in the
+		// block, which assignment precludes; kept as a safety net.
+		sample(thresholds[ti])
+		ti++
+	}
+	return out
+}
+
+// BuildSeriesFile samples a trace file's reconstructed state every
+// step, fanning block work across up to jobs goroutines when the file
+// is a seekable .zct; the result is identical to BuildSeries on the
+// same trace. Other formats (and jobs <= 1) use the sequential scan.
+func BuildSeriesFile(path string, step sim.Duration, jobs int) (*Series, error) {
+	if jobs > 1 {
+		fr, err := tracebin.Open(path)
+		if err == nil {
+			defer fr.Close()
+			return buildSeriesBlocks(fr.Reader, step, jobs)
+		}
+		if err != tracebin.ErrFormat {
+			return nil, err
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return BuildSeries(f, step)
+}
+
+func buildSeriesBlocks(r *tracebin.Reader, step sim.Duration, jobs int) (*Series, error) {
+	if step <= 0 {
+		step = sim.Hour
+	}
+	n := r.Blocks()
+
+	// Pass 1: reduce each block to its transfer function, in parallel.
+	tfs := make([]*seriesTF, n)
+	err := parmap(n, jobs, func(i int) error {
+		events, err := r.DecodeBlockAt(i, nil)
+		if err != nil {
+			return err
+		}
+		tfs[i] = blockTF(events)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Sequential fold: exact entry state per block, final state, sizes,
+	// and the running max event time (prevMax) that assigns each sample
+	// threshold to the block holding the first event at or past it.
+	entries := make([]seriesEntry, n)
+	prevMax := make([]sim.Time, n)
+	state := seriesEntry{busy: make(map[string]int)}
+	sizes := make(map[string]int)
+	allParts := make(map[string]bool)
+	runMax := sim.Time(0)
+	haveMax := false
+	for i, tf := range tfs {
+		snap := make(map[string]int, len(state.busy))
+		for p, b := range state.busy {
+			snap[p] = b
+		}
+		entries[i] = seriesEntry{queue: state.queue, running: state.running, busy: snap}
+		if haveMax {
+			prevMax[i] = runMax
+		} else {
+			prevMax[i] = sim.Time(math.Inf(-1))
+		}
+		state.queue = tf.applyQueue(state.queue)
+		state.running += tf.runDelta
+		for p, d := range tf.busyDelta {
+			state.busy[p] += d
+			allParts[p] = true
+		}
+		for p, s := range tf.sizeSet {
+			sizes[p] = s
+			allParts[p] = true
+		}
+		if !haveMax || tf.maxT > runMax {
+			runMax, haveMax = tf.maxT, true
+		}
+	}
+
+	// Thresholds accumulate exactly like the sequential `next += step`,
+	// so each sample's Days value is bit-identical.
+	var thresholds []sim.Time
+	next := sim.Time(step)
+	if haveMax {
+		for next <= runMax {
+			thresholds = append(thresholds, next)
+			next += step
+		}
+	}
+
+	// Assign: block i gets the thresholds in (prevMax[i], max(prevMax[i], maxT[i])].
+	assigned := make([][]sim.Time, n)
+	ti := 0
+	for i, tf := range tfs {
+		hi := tf.maxT
+		if prevMax[i] > hi {
+			hi = prevMax[i]
+		}
+		lo := ti
+		for ti < len(thresholds) && thresholds[ti] <= hi {
+			ti++
+		}
+		assigned[i] = thresholds[lo:ti]
+	}
+
+	// Pass 2: replay blocks with samples in parallel.
+	sampled := make([][]rawSample, n)
+	err = parmap(n, jobs, func(i int) error {
+		if len(assigned[i]) == 0 {
+			return nil
+		}
+		events, err := r.DecodeBlockAt(i, nil)
+		if err != nil {
+			return err
+		}
+		sampled[i] = replayBlock(events, entries[i], assigned[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The sequential scan always emits one trailing sample at the first
+	// unfired threshold, from the final state.
+	final := []rawSample{{days: float64(next) / float64(sim.Day), queue: state.queue, running: state.running, busy: state.busy}}
+
+	s := &Series{StepDays: float64(step) / float64(sim.Day)}
+	for p := range allParts {
+		s.Parts = append(s.Parts, p)
+	}
+	sort.Strings(s.Parts)
+	for _, p := range s.Parts {
+		s.Sizes = append(s.Sizes, sizes[p])
+	}
+	for _, batch := range append(sampled, final) {
+		for _, rp := range batch {
+			p := SeriesPoint{Days: rp.days, Queue: rp.queue, Running: rp.running}
+			for _, name := range s.Parts {
+				p.Busy = append(p.Busy, rp.busy[name])
+			}
+			s.Points = append(s.Points, p)
+		}
+	}
+	return s, nil
+}

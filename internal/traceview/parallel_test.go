@@ -1,0 +1,278 @@
+package traceview
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"zccloud/internal/obs"
+	"zccloud/internal/sim"
+	"zccloud/internal/tracebin"
+)
+
+// genTrace synthesizes a scheduler-shaped event stream: arrivals,
+// enqueues carrying authoritative queue depth, starts/finishes across
+// partitions, window transitions, occasional kills — enough state churn
+// to exercise every transfer-function path (queue clamp, busy deltas,
+// size last-wins) across many blocks.
+func genTrace(n int) []obs.Event {
+	rng := rand.New(rand.NewSource(7))
+	parts := []string{"green", "grid"}
+	var events []obs.Event
+	t := sim.Time(0)
+	queue := 0
+	job := 0
+	type run struct {
+		job   int
+		part  string
+		nodes int
+	}
+	var running []run
+	for len(events) < n {
+		t += sim.Time(rng.Float64() * 900)
+		switch k := rng.Intn(10); {
+		case k < 3:
+			job++
+			nodes := 1 << uint(rng.Intn(10))
+			events = append(events, obs.Event{Time: t, Kind: obs.EvArrive, Job: job, Nodes: nodes, Detail: float64(rng.Intn(7200))})
+			queue++
+			events = append(events, obs.Event{Time: t, Kind: obs.EvEnqueue, Job: job, Nodes: nodes, Detail: float64(queue)})
+		case k < 6 && queue > 0:
+			queue--
+			p := parts[rng.Intn(len(parts))]
+			nodes := 1 << uint(rng.Intn(10))
+			kind := obs.EvStart
+			if rng.Intn(4) == 0 {
+				kind = obs.EvBackfillStart
+			}
+			events = append(events, obs.Event{Time: t, Kind: kind, Job: job, Partition: p, Nodes: nodes})
+			running = append(running, run{job: job, part: p, nodes: nodes})
+		case k < 8 && len(running) > 0:
+			i := rng.Intn(len(running))
+			r := running[i]
+			running = append(running[:i], running[i+1:]...)
+			kind := obs.EvFinish
+			if rng.Intn(8) == 0 {
+				kind = obs.EvKill
+			}
+			events = append(events, obs.Event{Time: t, Kind: kind, Job: r.job, Partition: r.part, Nodes: r.nodes, Detail: float64(rng.Intn(40)) * 360})
+		case k < 9:
+			events = append(events, obs.Event{Time: t, Kind: obs.EvWindowUp, Job: -1, Partition: "green", Nodes: 4096, Detail: float64(t + 4*sim.Time(sim.Hour))})
+		default:
+			events = append(events, obs.Event{Time: t, Kind: obs.EvWindowDown, Job: -1, Partition: "green", Nodes: 4096})
+		}
+	}
+	return events[:n]
+}
+
+// writeZCT writes events to path as .zct with small blocks so the
+// parallel scans see many of them.
+func writeZCT(t *testing.T, path string, events []obs.Event, blockEvents int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tracebin.NewWriterBlockSize(f, blockEvents)
+	for _, e := range events {
+		w.Trace(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeJSONLGz(t *testing.T, path string, events []obs.Event) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	jw := obs.NewJSONL(zw)
+	for _, e := range events {
+		jw.Trace(e)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeFileParallelMatchesSequential(t *testing.T) {
+	events := genTrace(5000)
+	dir := t.TempDir()
+	zct := filepath.Join(dir, "t.zct")
+	writeZCT(t, zct, events, 128)
+
+	seq, err := SummarizeFile(zct, 1)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	if seq.Events != len(events) {
+		t.Fatalf("sequential read %d events, want %d", seq.Events, len(events))
+	}
+	for _, jobs := range []int{2, 4, 16} {
+		par, err := SummarizeFile(zct, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("jobs=%d summary differs from sequential:\npar %+v\nseq %+v", jobs, par, seq)
+		}
+	}
+
+	// The same events as JSONL.gz summarize identically (minus nothing).
+	jz := filepath.Join(dir, "t.jsonl.gz")
+	writeJSONLGz(t, jz, events)
+	viaJSONL, err := SummarizeFile(jz, 4) // falls back to sequential sniffing
+	if err != nil {
+		t.Fatalf("jsonl.gz: %v", err)
+	}
+	if !reflect.DeepEqual(viaJSONL, seq) {
+		t.Fatalf("jsonl.gz summary differs from .zct summary")
+	}
+}
+
+func TestBuildSeriesFileParallelMatchesSequential(t *testing.T) {
+	events := genTrace(5000)
+	dir := t.TempDir()
+	zct := filepath.Join(dir, "t.zct")
+	writeZCT(t, zct, events, 64)
+
+	for _, step := range []sim.Duration{0, sim.Hour, 13 * sim.Duration(sim.Hour) / 7} {
+		seq, err := BuildSeriesFile(zct, step, 1)
+		if err != nil {
+			t.Fatalf("sequential: %v", err)
+		}
+		if len(seq.Points) == 0 || len(seq.Parts) == 0 {
+			t.Fatalf("sequential series is degenerate: %d points, %d parts", len(seq.Points), len(seq.Parts))
+		}
+		for _, jobs := range []int{2, 8} {
+			par, err := BuildSeriesFile(zct, step, jobs)
+			if err != nil {
+				t.Fatalf("step=%v jobs=%d: %v", step, jobs, err)
+			}
+			if !reflect.DeepEqual(par, seq) {
+				t.Fatalf("step=%v jobs=%d series differs from sequential", step, jobs)
+			}
+		}
+	}
+}
+
+// TestBuildSeriesFileEmptyAndTorn pins the edge cases: an empty trace
+// yields the sequential single sample, and a torn .zct still scans.
+func TestBuildSeriesFileEmptyAndTorn(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.zct")
+	writeZCT(t, empty, nil, 0)
+	seq, err := BuildSeriesFile(empty, sim.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildSeriesFile(empty, sim.Hour, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, seq) || len(seq.Points) != 1 {
+		t.Fatalf("empty trace: par %+v seq %+v", par, seq)
+	}
+
+	events := genTrace(1000)
+	full := filepath.Join(dir, "full.zct")
+	writeZCT(t, full, events, 100)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.zct")
+	if err := os.WriteFile(torn, data[:len(data)-37], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seqT, err := BuildSeriesFile(torn, sim.Hour, 1)
+	if err != nil {
+		t.Fatalf("torn sequential: %v", err)
+	}
+	parT, err := BuildSeriesFile(torn, sim.Hour, 4)
+	if err != nil {
+		t.Fatalf("torn parallel: %v", err)
+	}
+	if !reflect.DeepEqual(parT, seqT) {
+		t.Fatalf("torn series differs between parallel and sequential")
+	}
+}
+
+// TestDiffMixedFormats checks first-divergence reporting across
+// formats: a .zct trace against its JSONL.gz twin, identical and then
+// perturbed.
+func TestDiffMixedFormats(t *testing.T) {
+	events := genTrace(2000)
+	dir := t.TempDir()
+	zct := filepath.Join(dir, "a.zct")
+	writeZCT(t, zct, events, 128)
+
+	var jz bytes.Buffer
+	zw := gzip.NewWriter(&jz)
+	jw := obs.NewJSONL(zw)
+	for _, e := range events {
+		jw.Trace(e)
+	}
+	jw.Close()
+	zw.Close()
+
+	fa, err := os.Open(zct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	res, err := Diff(fa, bytes.NewReader(jz.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatalf("identical traces reported divergent at %d: %+v vs %+v", res.Index, res.A, res.B)
+	}
+	if res.Index != len(events) {
+		t.Fatalf("shared prefix %d, want %d", res.Index, len(events))
+	}
+
+	// Perturb one event mid-stream in the JSONL copy.
+	perturbed := append([]obs.Event(nil), events...)
+	perturbed[777].Nodes += 3
+	var jz2 bytes.Buffer
+	zw = gzip.NewWriter(&jz2)
+	jw = obs.NewJSONL(zw)
+	for _, e := range perturbed {
+		jw.Trace(e)
+	}
+	jw.Close()
+	zw.Close()
+
+	fa2, err := os.Open(zct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa2.Close()
+	res, err = Diff(fa2, bytes.NewReader(jz2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged || res.Index != 777 {
+		t.Fatalf("divergence at %d (diverged=%v), want 777", res.Index, res.Diverged)
+	}
+	if res.A == nil || res.B == nil || res.B.Nodes != res.A.Nodes+3 {
+		t.Fatalf("divergent events not reported: %+v vs %+v", res.A, res.B)
+	}
+}

@@ -1,13 +1,17 @@
-// Package traceview post-processes JSONL simulation traces (written by
-// the obs JSONL sink) into the time-resolved views the paper plots:
-// whole-trace summaries, event-kind histograms, queue-depth and
-// utilization time series, wait-time breakdowns by job-size bin and
-// on-time/late class, per-job timelines, and a divergence diff between
-// two same-seed traces.
+// Package traceview post-processes simulation traces — JSONL or binary
+// columnar .zct, plain or gzipped, distinguished by content sniffing —
+// into the time-resolved views the paper plots: whole-trace summaries,
+// event-kind histograms, queue-depth and utilization time series,
+// wait-time breakdowns by job-size bin and on-time/late class, per-job
+// timelines, and a divergence diff between two same-seed traces.
 //
 // Everything here is derived purely from trace records — a trace is a
 // complete record of the scheduler's decisions — so analyses reproduce
-// exactly across runs and machines.
+// exactly across runs and machines. Every view streams its input with
+// memory bounded by one trace block, regardless of trace size; for
+// .zct files SummarizeFile and BuildSeriesFile additionally fan block
+// decodes across CPU cores with output bit-identical to the
+// sequential scan.
 package traceview
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	"zccloud/internal/obs"
 	"zccloud/internal/sim"
+	"zccloud/internal/tracebin"
 )
 
 // sizeBinBounds are the paper's Figure 5 node-count bins (inclusive
@@ -59,52 +64,89 @@ type Summary struct {
 	Partitions []string
 }
 
-// Summarize digests a (possibly gzipped) trace.
-func Summarize(r io.Reader) (*Summary, error) {
-	s := &Summary{}
-	kinds := make(map[string]int)
-	parts := make(map[string]bool)
-	var waits []float64
-	first := true
-	err := obs.ReadTrace(r, func(e obs.Event) error {
-		s.Events++
-		if first {
-			s.FirstDays = float64(e.Time) / float64(sim.Day)
-			first = false
-		}
-		s.LastDays = float64(e.Time) / float64(sim.Day)
-		kinds[e.Kind.String()]++
-		if e.Partition != "" {
-			parts[e.Partition] = true
-		}
-		switch e.Kind {
-		case obs.EvArrive:
-			s.Arrived++
-		case obs.EvFinish:
-			s.Completed++
-			waits = append(waits, e.Detail/float64(sim.Hour))
-		case obs.EvStart:
-			s.Started++
-		case obs.EvBackfillStart:
-			s.Started++
-			s.Backfilled++
-		case obs.EvKill:
-			s.Killed++
-		case obs.EvRequeue:
-			s.Requeued++
-		case obs.EvAbandon:
-			s.Abandoned++
-		case obs.EvPin:
-			s.Pinned++
-		case obs.EvUnrunnable:
-			s.Unrunnable++
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+// summaryAcc accumulates summary state over a run of consecutive
+// events. Accumulators over adjacent runs merge in order, so a
+// block-parallel scan produces exactly the sequential result.
+type summaryAcc struct {
+	s     Summary
+	kinds map[string]int
+	parts map[string]bool
+	waits []float64
+}
+
+func newSummaryAcc() *summaryAcc {
+	return &summaryAcc{kinds: make(map[string]int), parts: make(map[string]bool)}
+}
+
+func (a *summaryAcc) add(e obs.Event) {
+	if a.s.Events == 0 {
+		a.s.FirstDays = float64(e.Time) / float64(sim.Day)
 	}
-	if len(waits) > 0 {
+	a.s.Events++
+	a.s.LastDays = float64(e.Time) / float64(sim.Day)
+	a.kinds[e.Kind.String()]++
+	if e.Partition != "" {
+		a.parts[e.Partition] = true
+	}
+	switch e.Kind {
+	case obs.EvArrive:
+		a.s.Arrived++
+	case obs.EvFinish:
+		a.s.Completed++
+		a.waits = append(a.waits, e.Detail/float64(sim.Hour))
+	case obs.EvStart:
+		a.s.Started++
+	case obs.EvBackfillStart:
+		a.s.Started++
+		a.s.Backfilled++
+	case obs.EvKill:
+		a.s.Killed++
+	case obs.EvRequeue:
+		a.s.Requeued++
+	case obs.EvAbandon:
+		a.s.Abandoned++
+	case obs.EvPin:
+		a.s.Pinned++
+	case obs.EvUnrunnable:
+		a.s.Unrunnable++
+	}
+}
+
+// merge folds o — covering the events immediately after a's — into a.
+func (a *summaryAcc) merge(o *summaryAcc) {
+	if o.s.Events == 0 {
+		return
+	}
+	if a.s.Events == 0 {
+		a.s.FirstDays = o.s.FirstDays
+	}
+	a.s.Events += o.s.Events
+	a.s.LastDays = o.s.LastDays
+	for k, n := range o.kinds {
+		a.kinds[k] += n
+	}
+	for p := range o.parts {
+		a.parts[p] = true
+	}
+	a.waits = append(a.waits, o.waits...)
+	a.s.Arrived += o.s.Arrived
+	a.s.Completed += o.s.Completed
+	a.s.Started += o.s.Started
+	a.s.Backfilled += o.s.Backfilled
+	a.s.Killed += o.s.Killed
+	a.s.Requeued += o.s.Requeued
+	a.s.Abandoned += o.s.Abandoned
+	a.s.Pinned += o.s.Pinned
+	a.s.Unrunnable += o.s.Unrunnable
+}
+
+// finalize computes the derived statistics. The waits are sorted here,
+// so any accumulation order that preserves the multiset yields
+// identical results.
+func (a *summaryAcc) finalize() *Summary {
+	s := a.s
+	if len(a.waits) > 0 {
+		waits := a.waits
 		sort.Float64s(waits)
 		sum := 0.0
 		for _, w := range waits {
@@ -116,7 +158,7 @@ func Summarize(r io.Reader) (*Summary, error) {
 		s.WaitMaxHrs = waits[len(waits)-1]
 	}
 	span := s.LastDays - s.FirstDays
-	for k, n := range kinds {
+	for k, n := range a.kinds {
 		kc := KindCount{Kind: k, Count: n}
 		if span > 0 {
 			kc.PerDay = float64(n) / span
@@ -129,11 +171,24 @@ func Summarize(r io.Reader) (*Summary, error) {
 		}
 		return s.Kinds[i].Kind < s.Kinds[j].Kind
 	})
-	for p := range parts {
+	for p := range a.parts {
 		s.Partitions = append(s.Partitions, p)
 	}
 	sort.Strings(s.Partitions)
-	return s, nil
+	return &s
+}
+
+// Summarize digests a trace in any supported format (JSONL or .zct,
+// plain or gzipped).
+func Summarize(r io.Reader) (*Summary, error) {
+	acc := newSummaryAcc()
+	if err := tracebin.ReadAny(r, func(e obs.Event) error {
+		acc.add(e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return acc.finalize(), nil
 }
 
 // SeriesPoint is one sample of the reconstructed scheduler state.
@@ -170,7 +225,8 @@ func (s *Series) Utilization(p SeriesPoint, i int) float64 {
 	return float64(p.Busy[i]) / float64(s.Sizes[i])
 }
 
-// BuildSeries samples a trace's reconstructed state every step.
+// BuildSeries samples a trace's reconstructed state every step. It
+// accepts any supported trace format.
 func BuildSeries(r io.Reader, step sim.Duration) (*Series, error) {
 	if step <= 0 {
 		step = sim.Hour
@@ -206,7 +262,7 @@ func BuildSeries(r io.Reader, step sim.Duration) (*Series, error) {
 			busy           map[string]int
 		}{float64(next) / float64(sim.Day), queue, running, busy})
 	}
-	err := obs.ReadTrace(r, func(e obs.Event) error {
+	err := tracebin.ReadAny(r, func(e obs.Event) error {
 		for e.Time >= next {
 			sample()
 			next += step
@@ -297,7 +353,7 @@ func BuildWaits(r io.Reader) (*Waits, error) {
 	}, len(sizeBinBounds))
 	var onN, lateN int
 	var onSum, lateSum float64
-	err := obs.ReadTrace(r, func(e obs.Event) error {
+	err := tracebin.ReadAny(r, func(e obs.Event) error {
 		switch e.Kind {
 		case obs.EvWindowUp:
 			w.Classified = true
@@ -378,7 +434,7 @@ func sizeBinIndex(nodes int) int {
 // JobTimeline returns every event of one job, in trace order.
 func JobTimeline(r io.Reader, jobID int) ([]obs.Event, error) {
 	var out []obs.Event
-	err := obs.ReadTrace(r, func(e obs.Event) error {
+	err := tracebin.ReadAny(r, func(e obs.Event) error {
 		if e.Job == jobID {
 			out = append(out, e)
 		}
@@ -402,22 +458,23 @@ type DiffResult struct {
 	A, B *obs.Event
 }
 
-// Diff streams two (possibly gzipped) traces in lockstep and reports
-// the first event where they differ — the debuggable form of the
-// same-seed determinism guarantee: two runs that should be identical
-// either are, or this names the exact decision where they split.
+// Diff streams two traces in lockstep, bounded-memory, exiting on the
+// first event where they differ — the debuggable form of the same-seed
+// determinism guarantee: two runs that should be identical either are,
+// or this names the exact decision where they split. The two inputs
+// may be in different formats (.zct against JSONL.gz compares the
+// decoded events, not the bytes).
 func Diff(a, b io.Reader) (*DiffResult, error) {
-	ra, err := obs.OpenTraceReader(a)
+	sa, err := tracebin.NewScanner(a)
 	if err != nil {
 		return nil, err
 	}
-	defer ra.Close()
-	rb, err := obs.OpenTraceReader(b)
+	defer sa.Close()
+	sb, err := tracebin.NewScanner(b)
 	if err != nil {
 		return nil, err
 	}
-	defer rb.Close()
-	sa, sb := obs.NewTraceScanner(ra), obs.NewTraceScanner(rb)
+	defer sb.Close()
 	idx := 0
 	for {
 		ea, okA, err := sa.Next()

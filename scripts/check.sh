@@ -37,11 +37,13 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== fuzz seed corpora"
-go test ./internal/swf ./internal/miso -run '^Fuzz' -count=1
+go test ./internal/swf ./internal/miso ./internal/tracebin -run '^Fuzz' -count=1
 
 echo "== fuzz smoke (5s each)"
 go test ./internal/swf -fuzz FuzzParse -fuzztime 5s
 go test ./internal/miso -fuzz FuzzReadCSV -fuzztime 5s
+go test ./internal/tracebin -fuzz FuzzDecodeBlock -fuzztime 5s
+go test ./internal/tracebin -fuzz FuzzReadTrace -fuzztime 5s
 
 echo "== same-seed faulted-run determinism"
 tmpdir=$(mktemp -d)
@@ -60,6 +62,40 @@ if ! cmp -s "$tmpdir/t1.jsonl" "$tmpdir/t2.jsonl"; then
 fi
 if ! cmp -s "$tmpdir/out1.txt" "$tmpdir/out2.txt"; then
 	echo "faulted CLI output differs between same-seed runs" >&2
+	exit 1
+fi
+
+echo "== binary trace round-trip fidelity"
+# The same seeded run traced to .zct then exported must be byte-identical
+# to the run traced straight to JSONL, and block-parallel zcctrace scans
+# must produce exactly the sequential output on either format.
+go build -o "$tmpdir/zcctrace" ./cmd/zcctrace
+"$tmpdir/zccsim" -days 7 -mira-nodes 2048 -zc-factor 1 -zc-duty 0.5 \
+	-kill-requeue -mtbf 12 -brownout 0.25 -forecast-err 0.5 -retry-limit 4 \
+	-seed 7 -trace "$tmpdir/t3.zct" >/dev/null
+"$tmpdir/zcctrace" export "$tmpdir/t3.zct" >"$tmpdir/t3.exported.jsonl"
+if ! cmp -s "$tmpdir/t1.jsonl" "$tmpdir/t3.exported.jsonl"; then
+	echo "zcctrace export of .zct differs from a direct JSONL trace" >&2
+	exit 1
+fi
+"$tmpdir/zcctrace" summary -j 1 "$tmpdir/t3.zct" >"$tmpdir/sum.j1"
+"$tmpdir/zcctrace" summary -j 4 "$tmpdir/t3.zct" >"$tmpdir/sum.j4"
+"$tmpdir/zcctrace" summary "$tmpdir/t1.jsonl" >"$tmpdir/sum.jsonl"
+if ! cmp -s "$tmpdir/sum.j1" "$tmpdir/sum.j4"; then
+	echo "zcctrace summary -j 4 diverges from -j 1" >&2
+	exit 1
+fi
+# Cross-format: identical below the header line, which names the input.
+tail -n +2 "$tmpdir/sum.j1" >"$tmpdir/sum.j1.body"
+tail -n +2 "$tmpdir/sum.jsonl" >"$tmpdir/sum.jsonl.body"
+if ! cmp -s "$tmpdir/sum.j1.body" "$tmpdir/sum.jsonl.body"; then
+	echo "zcctrace summary diverges between .zct and JSONL inputs" >&2
+	exit 1
+fi
+"$tmpdir/zcctrace" series -step 6h -j 1 "$tmpdir/t3.zct" >"$tmpdir/ser.j1"
+"$tmpdir/zcctrace" series -step 6h -j 4 "$tmpdir/t3.zct" >"$tmpdir/ser.j4"
+if ! cmp -s "$tmpdir/ser.j1" "$tmpdir/ser.j4"; then
+	echo "zcctrace series -j 4 diverges from -j 1" >&2
 	exit 1
 fi
 

@@ -41,6 +41,7 @@ import (
 	"zccloud/internal/stranded"
 	"zccloud/internal/swf"
 	"zccloud/internal/top500"
+	"zccloud/internal/tracebin"
 	"zccloud/internal/traceview"
 	"zccloud/internal/workload"
 )
@@ -329,8 +330,13 @@ func NewMarketDataset(cfg MarketConfig) (*MarketDataset, error) { return miso.Ne
 // WriteMarketCSV streams an entire dataset to a writer as CSV.
 var WriteMarketCSV = miso.WriteCSV
 
-// ReadMarketCSV streams records from a CSV, invoking fn per record.
+// ReadMarketCSV streams records from a CSV (plain or gzipped),
+// invoking fn per record, in bounded memory.
 var ReadMarketCSV = miso.ReadCSV
+
+// ReadAllMarketCSV materializes an entire record stream; a thin wrapper
+// over the streaming ReadMarketCSV.
+var ReadAllMarketCSV = miso.ReadAllCSV
 
 // ReadMarketCSVFile is ReadMarketCSV with an input name carried into
 // errors.
@@ -663,14 +669,42 @@ var NewTraceScanner = obs.NewTraceScanner
 // trace through a callback.
 var ReadTraceEvents = obs.ReadTrace
 
-// Trace analysis (cmd/zcctrace): post-process JSONL traces into the
-// paper's time-resolved views.
+// Binary columnar traces (internal/tracebin): the .zct format.
+
+// TraceSink is a committable trace destination: a Tracer whose output
+// lands atomically on Commit and vanishes on Abort. Both the JSONL and
+// .zct file sinks satisfy it.
+type TraceSink = tracebin.Sink
+
+// CreateTraceSink starts an atomic trace write in the format the path
+// suffix selects: ".zct" is binary columnar, anything else JSONL (".gz"
+// compressed). All trace readers sniff content, so either output feeds
+// the same analyses.
+var CreateTraceSink = tracebin.CreateSink
+
+// AnyTraceScanner streams events out of any trace input — .zct, JSONL,
+// or either gzipped — by content sniffing.
+type AnyTraceScanner = tracebin.Scanner
+
+// NewAnyTraceScanner sniffs a trace stream and returns a scanner for it.
+var NewAnyTraceScanner = tracebin.NewScanner
+
+// ReadAnyTrace streams every event of a trace in any supported format
+// through a callback, with memory bounded by one block.
+var ReadAnyTrace = tracebin.ReadAny
+
+// Trace analysis (cmd/zcctrace): post-process traces in any supported
+// format into the paper's time-resolved views.
 
 // TraceSummary is a whole-trace digest.
 type TraceSummary = traceview.Summary
 
 // SummarizeTrace digests a trace stream.
 var SummarizeTrace = traceview.Summarize
+
+// SummarizeTraceFile digests a trace file, fanning .zct block decodes
+// across up to jobs goroutines; output is identical to SummarizeTrace.
+var SummarizeTraceFile = traceview.SummarizeFile
 
 // TraceSeries is a queue/utilization time series sampled from a trace.
 type TraceSeries = traceview.Series
@@ -680,6 +714,10 @@ type TraceSeriesPoint = traceview.SeriesPoint
 
 // BuildTraceSeries samples a trace's reconstructed state every step.
 var BuildTraceSeries = traceview.BuildSeries
+
+// BuildTraceSeriesFile samples a trace file, fanning .zct block work
+// across up to jobs goroutines; output is identical to BuildTraceSeries.
+var BuildTraceSeriesFile = traceview.BuildSeriesFile
 
 // TraceWaits is the wait-time breakdown by size bin and on-time class.
 type TraceWaits = traceview.Waits
