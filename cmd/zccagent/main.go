@@ -105,6 +105,7 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		poll        = fs.Duration("poll", 500*time.Millisecond, "idle claim-poll interval (jittered)")
 		connectWait = fs.Duration("connect-wait", 30*time.Second, "how long to keep retrying the initial registration")
 		httpTimeout = fs.Duration("http-timeout", 10*time.Second, "per-attempt HTTP timeout")
+		maxRetryAft = fs.Duration("max-retry-after", 2*time.Minute, "cap on an honored server Retry-After hint (power-aware servers emit window-scale waits)")
 		logLevel    = fs.String("log-level", "info", "log threshold: debug, info, warn, or error")
 		logFormat   = fs.String("log-format", "logfmt", "log line encoding: logfmt or json")
 		quiet       = fs.Bool("quiet", false, "suppress operational log lines")
@@ -151,9 +152,10 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	}
 	a.boot = fmt.Sprintf("%x.%x.%04x", os.Getpid(), bootSeq.Add(1), a.rng.Uint32()&0xffff)
 	a.rc = &retryhttp.Client{
-		HTTP:  &http.Client{Timeout: *httpTimeout},
-		Sleep: a.retrySleep,
-		Log:   logger,
+		HTTP:          &http.Client{Timeout: *httpTimeout},
+		Sleep:         a.retrySleep,
+		Log:           logger,
+		MaxRetryAfter: *maxRetryAft,
 	}
 	if err := a.registerWithRetry(*connectWait); err != nil {
 		return err

@@ -47,10 +47,11 @@ func main() {
 
 // defaultBench is the baseline subset: the end-to-end throughput anchor,
 // the full-month scheduler run, the workload generator, the tracer
-// micro-benches (including the zero-alloc Nop check), and the trace
-// encoders (JSONL vs binary columnar). Fast enough for CI while still
-// covering every layer a perf regression could hide in.
-const defaultBench = "EndToEndEventsPerSec|SchedulerMonth|WorkloadGeneration|NopTracer|JSONLTracer|NopLogger|LogfmtLogger|TraceEncode"
+// micro-benches (including the zero-alloc Nop check), the trace
+// encoders (JSONL vs binary columnar), and the power-admission decision
+// (zero-alloc, sits on every submission's hot path). Fast enough for CI
+// while still covering every layer a perf regression could hide in.
+const defaultBench = "EndToEndEventsPerSec|SchedulerMonth|WorkloadGeneration|NopTracer|JSONLTracer|NopLogger|LogfmtLogger|TraceEncode|AdmitDecision"
 
 // BenchResult is one parsed benchmark line.
 type BenchResult struct {
@@ -79,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		out      = fs.String("o", "BENCH_PR4.json", "baseline output file")
 		pattern  = fs.String("bench", defaultBench, "benchmark regex passed to go test -bench")
-		pkgs     = fs.String("pkg", "zccloud,zccloud/internal/obs,zccloud/internal/tracebin", "comma-separated packages to benchmark")
+		pkgs     = fs.String("pkg", "zccloud,zccloud/internal/obs,zccloud/internal/tracebin,zccloud/internal/admit", "comma-separated packages to benchmark")
 		count    = fs.Int("count", 1, "benchmark repetitions (go test -count)")
 		goTool   = fs.String("go", "go", "go tool to invoke")
 		compare  = fs.String("compare", "", "compare fresh results against this baseline file instead of writing one; exit non-zero on regression")

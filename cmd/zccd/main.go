@@ -30,9 +30,15 @@ import (
 	"syscall"
 	"time"
 
+	"strconv"
+	"strings"
+
+	"zccloud/internal/admit"
 	"zccloud/internal/fleet"
+	"zccloud/internal/forecast"
 	"zccloud/internal/obs"
 	"zccloud/internal/serve"
+	"zccloud/internal/sim"
 )
 
 func main() {
@@ -63,6 +69,19 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		quiet       = fs.Bool("quiet", false, "suppress operational log lines")
 		version     = fs.Bool("version", false, "print build information and exit")
 
+		powerTrace   = fs.String("power-trace", "", "stranded-power schedule enabling renewable-aware admission: a windows CSV (start,end[,frac] in seconds), a MISO market CSV, or a recorded event trace (.zct/.jsonl); empty disables power admission")
+		powerModel   = fs.String("power-model", "NetPrice0", "power: SP model applied to a market-CSV schedule (LMP<x> or NetPrice<x>)")
+		powerSite    = fs.Int("power-site", -1, "power: market-CSV site (-1 = best duty factor)")
+		powerMinMW   = fs.Float64("power-min-mw", 0, "power: minimum offered MW for a market interval to count as SP")
+		powerPolicy  = fs.String("power-policy", "shed", "power: degrade mode for infeasible submissions — shed (429 + Retry-After) or park (accept degraded, resume when the window opens)")
+		powerHorizon = fs.Float64("power-horizon", 0, "power: replay the schedule periodically with this period in schedule seconds (0 = play once)")
+		powerSpeed   = fs.Float64("power-speed", 1, "power: schedule seconds per wall second (time compression for replayed schedules)")
+		powerPredict = fs.String("power-predict", "oracle", "power: window-end forecast — oracle (scheduled ends), median, p<NN> (hazard quantile), or fixed:<seconds>")
+		powerSafety  = fs.Float64("power-safety", admit.DefaultSafety, "power: cost-estimate safety factor")
+		powerGuard   = fs.Duration("power-guard", 0, "power: wall-clock lead before a window's predicted end at which running simulations are preemptively checkpointed (0 = off)")
+		powerNeedDL  = fs.Bool("power-require-deadline", false, "power: reject submissions without deadline_seconds (400) while power admission is active")
+		powerTick    = fs.Duration("power-tick", 250*time.Millisecond, "power: envelope sampling period")
+
 		leaseTTL   = fs.Duration("lease-ttl", 15*time.Second, "fleet: how long a granted sweep cell stays valid between heartbeat renewals")
 		agentTTL   = fs.Duration("agent-ttl", 10*time.Second, "fleet: how long an agent may miss heartbeats before it is reaped and its cells requeued")
 		fleetRetry = fs.Int("fleet-retry-limit", 3, "fleet: involuntary requeues per cell before it is abandoned")
@@ -90,6 +109,21 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		logger = obs.NewLogger(stderr, lv, format)
 	}
 
+	powerCfg, err := buildPowerConfig(powerFlags{
+		trace: *powerTrace, model: *powerModel, site: *powerSite, minMW: *powerMinMW,
+		policy: *powerPolicy, horizon: *powerHorizon, speed: *powerSpeed,
+		predict: *powerPredict, safety: *powerSafety, guard: *powerGuard,
+		requireDeadline: *powerNeedDL,
+	})
+	if err != nil {
+		return err
+	}
+	if powerCfg.Envelope != nil {
+		logger.Info("power admission enabled", "trace", *powerTrace,
+			"windows", len(powerCfg.Envelope.Windows()), "policy", string(powerCfg.Policy),
+			"predict", *powerPredict, "horizon_s", *powerHorizon, "speed", *powerSpeed)
+	}
+
 	srv, err := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -98,6 +132,8 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		Log:            logger,
 		SampleInterval: *sampleEvery,
 		SampleWindow:   *sampleKeep,
+		Power:          powerCfg,
+		PowerTick:      *powerTick,
 		Fleet: fleet.Config{
 			LeaseTTL:   *leaseTTL,
 			AgentTTL:   *agentTTL,
@@ -161,4 +197,79 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	}
 	logger.Info("drained; exiting")
 	return nil
+}
+
+// powerFlags collects the -power-* flags for buildPowerConfig.
+type powerFlags struct {
+	trace, model, policy, predict string
+	site                          int
+	minMW, horizon, speed, safety float64
+	guard                         time.Duration
+	requireDeadline               bool
+}
+
+// buildPowerConfig loads the stranded-power schedule and assembles the
+// renewable-aware admission config. An empty -power-trace disables
+// power admission entirely (zero Config).
+func buildPowerConfig(pf powerFlags) (admit.Config, error) {
+	if pf.trace == "" {
+		return admit.Config{}, nil
+	}
+	model, err := admit.ParseModel(pf.model)
+	if err != nil {
+		return admit.Config{}, err
+	}
+	wins, err := admit.LoadSchedule(pf.trace, admit.LoadOptions{Model: model, Site: pf.site, MinMW: pf.minMW})
+	if err != nil {
+		return admit.Config{}, err
+	}
+	if len(wins) == 0 {
+		return admit.Config{}, fmt.Errorf("power trace %s yields no stranded-power windows", pf.trace)
+	}
+	pred, err := buildPredictor(pf.predict, wins)
+	if err != nil {
+		return admit.Config{}, err
+	}
+	pol, err := admit.ParsePolicy(pf.policy)
+	if err != nil {
+		return admit.Config{}, err
+	}
+	env, err := admit.NewEnvelope(wins, sim.Duration(pf.horizon), pred)
+	if err != nil {
+		return admit.Config{}, err
+	}
+	return admit.Config{
+		Envelope:        env,
+		Clock:           admit.Clock{Speed: pf.speed},
+		Policy:          pol,
+		Safety:          pf.safety,
+		Guard:           pf.guard,
+		RequireDeadline: pf.requireDeadline,
+	}, nil
+}
+
+// buildPredictor parses -power-predict: "oracle" trusts scheduled
+// window ends, "median"/"p<NN>" train a hazard predictor on the
+// schedule's own window lengths, "fixed:<seconds>" predicts a constant
+// duration (the knob soak tests use to inject forecast error).
+func buildPredictor(spec string, wins []admit.Window) (admit.Predictor, error) {
+	switch {
+	case spec == "" || spec == "oracle":
+		return nil, nil
+	case spec == "median":
+		return forecast.Median(admit.Durations(wins))
+	case strings.HasPrefix(spec, "p"):
+		pct, err := strconv.Atoi(spec[1:])
+		if err != nil || pct <= 0 || pct >= 100 {
+			return nil, fmt.Errorf("power predictor %q: want p<1..99>", spec)
+		}
+		return forecast.NewHazard(admit.Durations(wins), float64(pct)/100)
+	case strings.HasPrefix(spec, "fixed:"):
+		sec, err := strconv.ParseFloat(spec[len("fixed:"):], 64)
+		if err != nil || sec <= 0 {
+			return nil, fmt.Errorf("power predictor %q: want fixed:<seconds>", spec)
+		}
+		return forecast.Fixed{Duration: sim.Duration(sec)}, nil
+	}
+	return nil, fmt.Errorf("power predictor %q: want oracle, median, p<NN>, or fixed:<seconds>", spec)
 }

@@ -162,6 +162,25 @@ func renderFrame(f frame) string {
 		if len(sv.Outcomes) > 0 {
 			fmt.Fprintf(&b, "outcome %s\n", joinCounts(sv.Outcomes))
 		}
+		if p := sv.Power; p != nil {
+			state := "CLOSED"
+			if p.WindowOpen {
+				state = "OPEN"
+				if p.Frac > 0 && p.Frac < 1 {
+					state = fmt.Sprintf("OPEN %.0f%%", p.Frac*100)
+				}
+			}
+			if p.Exhausted {
+				state = "EXHAUSTED"
+			}
+			fmt.Fprintf(&b, "power   %s   limit %d/%d   policy %s   next change %s\n",
+				state, p.WorkerLimit, sv.Workers, p.Policy, fmtDur(p.NextChangeSec))
+			fmt.Fprintf(&b, "        admitted %d   shed %d   parked %d (now %d)   resubmitted %d   preempted %d\n",
+				p.Admitted, p.Shed, p.ParkedTotal, p.Parked, p.Resubmitted, p.Preempted)
+			if len(p.Reasons) > 0 {
+				fmt.Fprintf(&b, "        shed by %s\n", joinCounts(p.Reasons))
+			}
+		}
 		if len(sv.Latency) > 0 {
 			fmt.Fprintf(&b, "%-24s %8s %9s %9s %9s\n", "latency", "count", "p50(s)", "p95(s)", "p99(s)")
 			for _, stage := range latencyRows(sv.Latency) {

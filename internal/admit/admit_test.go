@@ -1,0 +1,436 @@
+package admit
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zccloud/internal/core"
+	"zccloud/internal/forecast"
+	"zccloud/internal/obs"
+	"zccloud/internal/sim"
+	"zccloud/internal/stranded"
+	"zccloud/internal/tracebin"
+)
+
+func mustEnvelope(t *testing.T, wins []Window, horizon sim.Duration, pred Predictor) *Envelope {
+	t.Helper()
+	e, err := NewEnvelope(wins, horizon, pred)
+	if err != nil {
+		t.Fatalf("NewEnvelope: %v", err)
+	}
+	return e
+}
+
+func TestNewEnvelopeValidates(t *testing.T) {
+	if _, err := NewEnvelope([]Window{{0, 10, 1}, {5, 15, 1}}, 0, nil); err == nil {
+		t.Fatal("overlapping windows accepted")
+	}
+	if _, err := NewEnvelope([]Window{{0, 10, 2}}, 0, nil); err == nil {
+		t.Fatal("frac > 1 accepted")
+	}
+	if _, err := NewEnvelope([]Window{{0, 100, 1}}, 50, nil); err == nil {
+		t.Fatal("horizon shorter than schedule accepted")
+	}
+	e := mustEnvelope(t, []Window{{20, 30, 0}, {10, 10, 1}, {0, 5, 0.5}}, 0, nil)
+	ws := e.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2 (empty dropped)", len(ws))
+	}
+	if ws[0].Frac != 0.5 || ws[1].Frac != 1 {
+		t.Fatalf("frac normalization wrong: %+v", ws)
+	}
+	if ws[0].Start != 0 || ws[1].Start != 20 {
+		t.Fatalf("windows not sorted: %+v", ws)
+	}
+}
+
+func TestEvaluateOracle(t *testing.T) {
+	// Two one-hour windows with a gap; scheduled ends are the truth.
+	e := mustEnvelope(t, []Window{{0, 3600, 1}, {7200, 10800, 1}}, 0, nil)
+
+	// Admit at window open: plenty of capacity before the deadline.
+	d := e.Evaluate(0, 1800, 3000)
+	if !d.Fit || d.Reason != ReasonFits || !d.WindowOpen || d.Capacity != 3000 {
+		t.Fatalf("admit-at-open: %+v", d)
+	}
+
+	// Shed at the window tail: 600 s left, deadline before the next
+	// window; the retry hint points at the next window start.
+	d = e.Evaluate(3000, 1800, 3600)
+	if d.Fit || d.Reason != ReasonCapacity {
+		t.Fatalf("shed-at-tail: %+v", d)
+	}
+	if d.RetryIn != 4200 { // (3600-3000) to window end + 3600 gap
+		t.Fatalf("shed-at-tail retry %v, want 4200", d.RetryIn)
+	}
+
+	// Closed, but the deadline spans the next window: capacity accrues.
+	d = e.Evaluate(4000, 600, 8000)
+	if !d.Fit || d.WindowOpen || d.Capacity != 800 {
+		t.Fatalf("closed-feasible: %+v", d)
+	}
+
+	// Closed with a deadline inside the gap: infeasible, retry at the
+	// next window start.
+	d = e.Evaluate(4000, 600, 7000)
+	if d.Fit || d.RetryIn != 3200 {
+		t.Fatalf("closed-infeasible: %+v", d)
+	}
+
+	// No deadline: fits as long as the schedule opens again.
+	d = e.Evaluate(4000, 1e9, 0)
+	if !d.Fit || d.Reason != ReasonNoDeadline {
+		t.Fatalf("no-deadline: %+v", d)
+	}
+
+	// Past the last window of a non-looping schedule: exhausted.
+	d = e.Evaluate(20000, 1, 30000)
+	if d.Fit || d.Reason != ReasonExhausted {
+		t.Fatalf("exhausted: %+v", d)
+	}
+}
+
+func TestEvaluateLooping(t *testing.T) {
+	// One-hour window at the top of each six-hour cycle.
+	e := mustEnvelope(t, []Window{{0, 3600, 1}}, 6*sim.Hour, nil)
+
+	// Capacity accrues across replay cycles.
+	if got := e.Capacity(0, 13*sim.Hour); got != 3*3600 {
+		t.Fatalf("looping capacity %v, want %v", got, 3*3600)
+	}
+	// Next start wraps around the horizon.
+	wait, ok := e.NextStart(5 * sim.Hour)
+	if !ok || wait != sim.Hour {
+		t.Fatalf("wrap NextStart %v %v, want 3600 true", wait, ok)
+	}
+	// A window is open at the top of cycle 3.
+	if w, ok := e.At(18*sim.Hour + 10); !ok || w.Start != 18*sim.Hour {
+		t.Fatalf("cycle window: %+v %v", w, ok)
+	}
+	// No deadline never exhausts a looping schedule.
+	if d := e.Evaluate(100*sim.Hour, 1e12, 0); !d.Fit {
+		t.Fatalf("looping no-deadline: %+v", d)
+	}
+}
+
+func TestBrownoutFractionScalesCapacity(t *testing.T) {
+	e := mustEnvelope(t, []Window{{0, 1000, 1}, {1000, 2000, 0.25}}, 0, nil)
+	if got := e.Capacity(0, 2000); got != 1000+250 {
+		t.Fatalf("capacity %v, want 1250", got)
+	}
+}
+
+// TestHazardAdmissionEdges drives admission through a Hazard predictor
+// at the window edges the ISSUE names: admit at open, shed at the tail,
+// and over-/under-prediction changing the decision against the same
+// scheduled truth.
+func TestHazardAdmissionEdges(t *testing.T) {
+	hist := func(d sim.Duration, n int) []sim.Duration {
+		ds := make([]sim.Duration, n)
+		for i := range ds {
+			ds[i] = d
+		}
+		return ds
+	}
+
+	// History matches the schedule exactly (zero forecast error).
+	h, err := forecast.NewHazard(hist(3600, 8), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEnvelope(t, []Window{{0, 3600, 1}, {7200, 10800, 1}}, 0, h)
+
+	// Admit at open: predicted end = start + 3600.
+	if d := e.Evaluate(0, 1800, 2000); !d.Fit {
+		t.Fatalf("hazard admit-at-open: %+v", d)
+	}
+	// Shed at the tail: at age 3000 the conditional prediction leaves
+	// 600 s, not enough for 1800 s of work before the deadline.
+	d := e.Evaluate(3000, 1800, 3600)
+	if d.Fit || d.Reason != ReasonCapacity {
+		t.Fatalf("hazard shed-at-tail: %+v", d)
+	}
+
+	// Over-prediction: history says windows run 7200 s, the schedule
+	// says 3600. Work that cannot fit the real window is admitted —
+	// the forecast-error failure mode the experiment quantifies.
+	hOver, _ := forecast.NewHazard(hist(7200, 8), 0.5)
+	eOver := mustEnvelope(t, []Window{{0, 3600, 1}}, 0, hOver)
+	if d := eOver.Evaluate(0, 5000, 6000); !d.Fit {
+		t.Fatalf("over-prediction should admit: %+v", d)
+	}
+
+	// Under-prediction: history says 1800 s, schedule says 3600. Work
+	// that would fit is shed.
+	hUnder, _ := forecast.NewHazard(hist(1800, 8), 0.5)
+	eUnder := mustEnvelope(t, []Window{{0, 3600, 1}}, 0, hUnder)
+	if d := eUnder.Evaluate(0, 3000, 3600); d.Fit {
+		t.Fatalf("under-prediction should shed: %+v", d)
+	}
+	// The oracle admits the same submission.
+	eOracle := mustEnvelope(t, []Window{{0, 3600, 1}}, 0, nil)
+	if d := eOracle.Evaluate(0, 3000, 3600); !d.Fit {
+		t.Fatalf("oracle should admit: %+v", d)
+	}
+
+	// A window that outlives all history keeps paying out: the tail
+	// grants maxD/4 beyond now, so capacity never goes negative.
+	if end, ok := e.PredictedEnd(3599); !ok || end < 3599 {
+		t.Fatalf("predicted end %v %v", end, ok)
+	}
+	aged := mustEnvelope(t, []Window{{0, 36000, 1}}, 0, h)
+	if end, ok := aged.PredictedEnd(10000); !ok || end != 10000+900 {
+		t.Fatalf("beyond-history prediction %v %v, want 10900", end, ok)
+	}
+}
+
+// TestDecisionReplayDeterministic replays a seeded decision sequence
+// twice — including concurrently, so -race checks the envelope's
+// advertised thread safety — and requires bit-identical decisions.
+func TestDecisionReplayDeterministic(t *testing.T) {
+	durs := make([]sim.Duration, 40)
+	rng := rand.New(rand.NewSource(7))
+	for i := range durs {
+		durs[i] = sim.Duration(600 + rng.Intn(7200))
+	}
+	h, err := forecast.NewHazard(durs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := []Window{{0, 3600, 1}, {9000, 12600, 0.5}, {18000, 25200, 1}}
+	e := mustEnvelope(t, wins, 28800, h)
+
+	replay := func(seed int64) []Decision {
+		r := rand.New(rand.NewSource(seed))
+		out := make([]Decision, 2000)
+		for i := range out {
+			now := sim.Time(r.Float64() * 100000)
+			cost := sim.Duration(r.Float64() * 10000)
+			deadline := now + sim.Time(r.Float64()*50000) - 5000
+			out[i] = e.Evaluate(now, cost, deadline)
+		}
+		return out
+	}
+
+	base := replay(42)
+	var wg sync.WaitGroup
+	results := make([][]Decision, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = replay(42)
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("replay %d diverged from the same seed", i)
+		}
+	}
+	if reflect.DeepEqual(base, replay(43)) {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func TestControllerWallClock(t *testing.T) {
+	// 10-minute window at the top of each 30-minute cycle, replayed at
+	// 60 schedule-seconds per wall-second.
+	e := mustEnvelope(t, []Window{{0, 600, 1}}, 1800, nil)
+	epoch := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	c := NewController(Config{
+		Envelope: e,
+		Clock:    Clock{Epoch: epoch, Speed: 60},
+		Policy:   PolicyShed,
+		Safety:   1.0,
+		Guard:    2 * time.Second,
+	})
+	if !c.Enabled() {
+		t.Fatal("controller disabled")
+	}
+
+	// Wall t=0 is schedule t=0: window open, 600 schedule-seconds = 10
+	// wall-seconds to the end.
+	st := c.State(epoch)
+	if !st.Open || st.Frac != 1 || st.UntilEnd != 10*time.Second {
+		t.Fatalf("state at open: %+v", st)
+	}
+	if c.Limit(8, st) != 8 {
+		t.Fatalf("limit at open: %d", c.Limit(8, st))
+	}
+	if c.ShouldPark(st) {
+		t.Fatal("should not park 10 s out with a 2 s guard")
+	}
+	// 9 wall-seconds in: 60 schedule-seconds (1 s wall) to the end —
+	// inside the guard.
+	if st := c.State(epoch.Add(9 * time.Second)); !c.ShouldPark(st) {
+		t.Fatalf("should park inside guard: %+v", st)
+	}
+
+	// Closed at wall t=15 s (schedule t=900): next open in 900 schedule
+	// seconds = 15 wall-seconds.
+	st = c.State(epoch.Add(15 * time.Second))
+	if st.Open || st.UntilOpen != 15*time.Second {
+		t.Fatalf("state closed: %+v", st)
+	}
+	if c.Limit(8, st) != 0 {
+		t.Fatalf("limit closed: %d", c.Limit(8, st))
+	}
+
+	// Decide in wall units: 4 wall-seconds of work = 240 schedule
+	// seconds; at wall t=0 with an 8 s deadline (480 schedule s) it
+	// fits; with a 3 s deadline it does not, and the retry hint is in
+	// wall units.
+	if d := c.Decide(epoch, 4*time.Second, 8*time.Second); !d.Fit {
+		t.Fatalf("wall decide feasible: %+v", d)
+	}
+	d := c.Decide(epoch, 4*time.Second, 3*time.Second)
+	if d.Fit || d.RetryAfter != 30*time.Second {
+		t.Fatalf("wall decide infeasible: %+v", d)
+	}
+
+	// Brownout fraction shrinks, never zeroes, the pool.
+	st = PowerState{Open: true, Frac: 0.25}
+	if got := c.Limit(8, st); got != 2 {
+		t.Fatalf("brownout limit %d, want 2", got)
+	}
+	if got := c.Limit(1, PowerState{Open: true, Frac: 0.01}); got != 1 {
+		t.Fatalf("brownout floor %d, want 1", got)
+	}
+
+	// A nil controller is permanently off and never limits.
+	var off *Controller
+	if off.Enabled() || off.Limit(8, st) != 8 || off.ShouldPark(st) {
+		t.Fatal("nil controller must be inert")
+	}
+	if NewController(Config{Envelope: e, Policy: PolicyOff}) != nil {
+		t.Fatal("PolicyOff must yield a nil controller")
+	}
+}
+
+func TestParsePolicyAndModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"", PolicyOff}, {"off", PolicyOff}, {"shed", PolicyShed}, {"park", PolicyPark}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	m, err := ParseModel("NetPrice5")
+	if err != nil || m.Kind != stranded.NetPrice || m.Threshold != 5 {
+		t.Fatalf("ParseModel: %+v, %v", m, err)
+	}
+	m, err = ParseModel("LMP0")
+	if err != nil || m.Kind != stranded.LMP || m.Threshold != 0 {
+		t.Fatalf("ParseModel: %+v, %v", m, err)
+	}
+	if _, err := ParseModel("Solar3"); err == nil {
+		t.Fatal("bad model accepted")
+	}
+}
+
+func TestLoadScheduleWindowsCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "windows.csv")
+	body := "start,end,frac\n# comment\n0,600\n\n900,1500,0.5\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := LoadSchedule(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Window{{0, 600, 1}, {900, 1500, 0.5}}
+	if !reflect.DeepEqual(ws, want) {
+		t.Fatalf("got %+v, want %+v", ws, want)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	os.WriteFile(bad, []byte("who,knows\n1,2\n"), 0o644)
+	if _, err := LoadSchedule(bad, LoadOptions{}); err == nil {
+		t.Fatal("unrecognized format accepted")
+	}
+}
+
+func TestLoadScheduleTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.zct")
+	sink, err := tracebin.CreateSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []obs.Event{
+		{Time: 0, Kind: obs.EvWindowUp, Job: -1, Partition: core.ZCPartition, Nodes: 64},
+		{Time: 50, Kind: obs.EvWindowUp, Job: -1, Partition: core.MiraPartition, Nodes: 8}, // other partition: ignored
+		{Time: 600, Kind: obs.EvBrownout, Job: -1, Partition: core.ZCPartition, Nodes: 16, Detail: 0.25},
+		{Time: 900, Kind: obs.EvWindowUp, Job: -1, Partition: core.ZCPartition, Nodes: 64},
+		{Time: 1500, Kind: obs.EvWindowDown, Job: -1, Partition: core.ZCPartition, Nodes: 64},
+		{Time: 2000, Kind: obs.EvWindowUp, Job: -1, Partition: core.ZCPartition, Nodes: 64}, // trailing open: dropped
+	}
+	for _, ev := range evs {
+		sink.Trace(ev)
+	}
+	if err := sink.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := LoadSchedule(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Window{{0, 600, 1}, {600, 900, 0.25}, {900, 1500, 1}}
+	if !reflect.DeepEqual(ws, want) {
+		t.Fatalf("got %+v, want %+v", ws, want)
+	}
+}
+
+func TestLoadScheduleMarketCSV(t *testing.T) {
+	// Site 1 is stranded (negative LMP) for the first 6 intervals of
+	// each half-day; site 0 never is.
+	var b strings.Builder
+	b.WriteString("interval,site,lmp,delivered_mw,economic_max_mw\n")
+	for iv := int64(0); iv < 24; iv++ {
+		lmp1 := 20.0
+		if iv%12 < 6 {
+			lmp1 = -8.0
+		}
+		fmt.Fprintf(&b, "%d,0,30.0,50.0,80.0\n", iv)
+		fmt.Fprintf(&b, "%d,1,%.1f,50.0,80.0\n", iv, lmp1)
+	}
+	path := filepath.Join(t.TempDir(), "market.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := LoadSchedule(path, LoadOptions{Model: stranded.Model{Kind: stranded.LMP, Threshold: 0}, Site: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best site by duty factor is site 1: two 6-interval windows.
+	want := []Window{{0, 6 * 300, 1}, {12 * 300, 18 * 300, 1}}
+	if !reflect.DeepEqual(ws, want) {
+		t.Fatalf("got %+v, want %+v", ws, want)
+	}
+	if _, err := LoadSchedule(path, LoadOptions{Site: 9}); err == nil {
+		t.Fatal("missing site accepted")
+	}
+}
+
+func TestDurationsAndSpan(t *testing.T) {
+	wins := []Window{{0, 600, 1}, {900, 2700, 1}}
+	ds := Durations(wins)
+	if len(ds) != 2 || ds[0] != 600 || ds[1] != 1800 {
+		t.Fatalf("durations %v", ds)
+	}
+	if Span(wins) != 2700 {
+		t.Fatalf("span %v", Span(wins))
+	}
+}

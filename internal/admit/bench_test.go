@@ -1,0 +1,45 @@
+package admit
+
+import (
+	"testing"
+
+	"zccloud/internal/forecast"
+	"zccloud/internal/sim"
+)
+
+// BenchmarkAdmitDecision pins the admission hot path: one Evaluate per
+// submission against a looping schedule with a hazard predictor. The
+// accept path must stay allocation-free — zccd calls this under the
+// admission lock, and the zccbench -compare gate fails the build if an
+// allocation sneaks in.
+func BenchmarkAdmitDecision(b *testing.B) {
+	wins := make([]Window, 0, 48)
+	durs := make([]sim.Duration, 0, 48)
+	for i := 0; i < 48; i++ {
+		start := sim.Time(i) * sim.Hour
+		d := sim.Duration(20+i%17) * sim.Minute
+		wins = append(wins, Window{Start: start, End: start + d, Frac: 1})
+		durs = append(durs, d)
+	}
+	h, err := forecast.NewHazard(durs, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEnvelope(wins, 48*sim.Hour, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var admitted int
+	for i := 0; i < b.N; i++ {
+		now := sim.Time(i%977) * 593 // walk the schedule, hit open and closed phases
+		d := e.Evaluate(now, 10*sim.Minute, now+4*sim.Hour)
+		if d.Fit {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		b.Fatal("no decision admitted; benchmark is not exercising the accept path")
+	}
+}

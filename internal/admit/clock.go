@@ -1,0 +1,227 @@
+package admit
+
+import (
+	"math"
+	"time"
+
+	"zccloud/internal/sim"
+)
+
+// Clock maps wall-clock instants onto schedule time. Epoch is the wall
+// instant of schedule time zero; Speed is schedule-seconds per
+// wall-second (0 means real time), letting a soak test replay an
+// hours-long SP schedule in seconds.
+type Clock struct {
+	Epoch time.Time
+	Speed float64
+}
+
+func (c Clock) speed() float64 {
+	if c.Speed <= 0 {
+		return 1
+	}
+	return c.Speed
+}
+
+// At converts a wall instant to schedule time.
+func (c Clock) At(wall time.Time) sim.Time {
+	return sim.Time(wall.Sub(c.Epoch).Seconds() * c.speed())
+}
+
+// Wall converts a schedule-time span to wall-clock duration.
+func (c Clock) Wall(d sim.Duration) time.Duration {
+	return time.Duration(float64(d) / c.speed() * float64(time.Second))
+}
+
+// Sched converts a wall-clock duration to schedule time.
+func (c Clock) Sched(d time.Duration) sim.Duration {
+	return sim.Duration(d.Seconds() * c.speed())
+}
+
+// Policy is what happens to a power-infeasible submission.
+type Policy string
+
+// Admission policies.
+const (
+	// PolicyOff disables power admission entirely.
+	PolicyOff Policy = "off"
+	// PolicyShed rejects infeasible submissions with a Retry-After
+	// derived from the next predicted window start.
+	PolicyShed Policy = "shed"
+	// PolicyPark accepts infeasible submissions degraded: the spec is
+	// parked durably and auto-resubmitted when the window opens.
+	PolicyPark Policy = "park"
+)
+
+// ParsePolicy validates a policy string ("" means off).
+func ParsePolicy(s string) (Policy, error) {
+	switch p := Policy(s); p {
+	case "", PolicyOff:
+		return PolicyOff, nil
+	case PolicyShed, PolicyPark:
+		return p, nil
+	}
+	return "", errBadPolicy(s)
+}
+
+type errBadPolicy string
+
+func (e errBadPolicy) Error() string {
+	return "admit: policy " + string(e) + " not one of off, shed, park"
+}
+
+// DefaultSafety pads cost estimates so a run admitted at the margin
+// still fits when it runs a little long.
+const DefaultSafety = 1.2
+
+// Config assembles a Controller.
+type Config struct {
+	// Envelope is the power schedule; nil disables admission.
+	Envelope *Envelope
+	// Clock maps wall time onto the schedule.
+	Clock Clock
+	// Policy is the degrade mode for infeasible submissions; off (or
+	// empty) disables admission even with an envelope configured.
+	Policy Policy
+	// Safety multiplies cost estimates; 0 means DefaultSafety.
+	Safety float64
+	// Guard is the wall-clock lead before a window's predicted end at
+	// which running work is preemptively drained to checkpoints; 0
+	// disables preemptive parking.
+	Guard time.Duration
+	// RequireDeadline rejects submissions that carry no deadline while
+	// power admission is active (a 400, not a shed).
+	RequireDeadline bool
+}
+
+// Controller applies an admission Config in the wall-clock domain. It
+// is immutable after construction and safe for concurrent use; a nil
+// controller is valid and permanently disabled.
+type Controller struct {
+	cfg Config
+}
+
+// NewController builds a controller; nil when the config disables
+// admission, so callers can gate on Enabled without nil checks.
+func NewController(cfg Config) *Controller {
+	if cfg.Envelope == nil || cfg.Policy == "" || cfg.Policy == PolicyOff {
+		return nil
+	}
+	if cfg.Safety <= 0 {
+		cfg.Safety = DefaultSafety
+	}
+	return &Controller{cfg: cfg}
+}
+
+// Enabled reports whether power admission is active.
+func (c *Controller) Enabled() bool { return c != nil }
+
+// Policy returns the configured degrade mode (off when disabled).
+func (c *Controller) Policy() Policy {
+	if c == nil {
+		return PolicyOff
+	}
+	return c.cfg.Policy
+}
+
+// RequireDeadline reports whether deadline-less submissions must be
+// rejected outright.
+func (c *Controller) RequireDeadline() bool { return c != nil && c.cfg.RequireDeadline }
+
+// Safety returns the configured cost safety factor.
+func (c *Controller) Safety() float64 {
+	if c == nil {
+		return 1
+	}
+	return c.cfg.Safety
+}
+
+// WallDecision is a Decision mapped back to the wall clock.
+type WallDecision struct {
+	Decision
+	// RetryAfter is the wall-clock wait before a retry could succeed
+	// (zero when Fit, or when no retry will ever help).
+	RetryAfter time.Duration
+}
+
+// Decide evaluates one submission: cost is the estimated execution
+// wall-time (before the safety factor), deadline the wall-time budget
+// from now (non-positive = none). Allocation-free on the accept path.
+func (c *Controller) Decide(now time.Time, cost, deadline time.Duration) WallDecision {
+	t := c.cfg.Clock.At(now)
+	var dl sim.Time
+	if deadline > 0 {
+		dl = t + c.cfg.Clock.Sched(deadline)
+	}
+	sc := sim.Duration(c.cfg.Clock.Sched(cost) * sim.Duration(c.cfg.Safety))
+	d := c.cfg.Envelope.Evaluate(t, sc, dl)
+	wd := WallDecision{Decision: d}
+	if d.RetryIn > 0 {
+		wd.RetryAfter = c.cfg.Clock.Wall(d.RetryIn)
+	}
+	return wd
+}
+
+// PowerState is the envelope's live state at a wall instant, driving
+// the worker-pool gate and the /status power block.
+type PowerState struct {
+	// Open reports whether a power window is open now.
+	Open bool
+	// Frac is the open window's capacity fraction (0 when closed).
+	Frac float64
+	// UntilEnd is the wall time until the open window's predicted end
+	// (0 when closed).
+	UntilEnd time.Duration
+	// UntilOpen is the wall time until the next window opens (0 when
+	// open now, or when the schedule is exhausted).
+	UntilOpen time.Duration
+	// Exhausted reports a non-looping schedule with no windows left.
+	Exhausted bool
+}
+
+// State samples the envelope at a wall instant.
+func (c *Controller) State(now time.Time) PowerState {
+	t := c.cfg.Clock.At(now)
+	var st PowerState
+	if w, ok := c.cfg.Envelope.At(t); ok {
+		st.Open = true
+		st.Frac = w.Frac
+		st.UntilEnd = c.cfg.Clock.Wall(c.cfg.Envelope.forecastEnd(w, t) - t)
+		return st
+	}
+	wait, ok := c.cfg.Envelope.NextStart(t)
+	if !ok {
+		st.Exhausted = true
+		return st
+	}
+	st.UntilOpen = c.cfg.Clock.Wall(wait)
+	return st
+}
+
+// Limit maps a power state onto a worker-pool concurrency limit: the
+// full pool when admission is off, zero when the window is closed, and
+// a brownout shrinks the pool proportionally (always leaving one worker
+// while any capacity remains).
+func (c *Controller) Limit(workers int, st PowerState) int {
+	if c == nil {
+		return workers
+	}
+	if !st.Open || st.Frac <= 0 {
+		return 0
+	}
+	n := int(math.Ceil(st.Frac * float64(workers)))
+	if n < 1 {
+		n = 1
+	}
+	if n > workers {
+		n = workers
+	}
+	return n
+}
+
+// ShouldPark reports whether running work should be preemptively
+// drained to checkpoints now: the open window's predicted end is within
+// the configured guard. Always false with no guard configured.
+func (c *Controller) ShouldPark(st PowerState) bool {
+	return c != nil && c.cfg.Guard > 0 && st.Open && st.UntilEnd <= c.cfg.Guard
+}

@@ -1,0 +1,246 @@
+package admit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"zccloud/internal/core"
+	"zccloud/internal/miso"
+	"zccloud/internal/obs"
+	"zccloud/internal/sim"
+	"zccloud/internal/stranded"
+	"zccloud/internal/tracebin"
+)
+
+// LoadOptions steer schedule extraction from a market dataset.
+type LoadOptions struct {
+	// Model is the SP definition applied to market CSVs ("LMP0",
+	// "NetPrice5", ...); ignored for other formats.
+	Model stranded.Model
+	// Site picks the market-CSV site; negative means the best site by
+	// duty factor, the paper's choice.
+	Site int
+	// MinMW requires at least this much offered power for SP to count
+	// (market CSVs only).
+	MinMW float64
+}
+
+// LoadSchedule reads a stranded-power schedule from a file, sniffing
+// the format:
+//
+//   - an event trace (.zct, .jsonl, .jsonl.gz): the ZC partition's
+//     window-up/down/brownout events replay as windows, so a recorded
+//     simulation trace drives live admission;
+//   - a MISO market CSV (interval,site,lmp,...): streamed through
+//     stranded.Analysis under Model, the chosen site's SP intervals
+//     become windows;
+//   - a plain windows CSV (start,end[,frac] header, seconds): the
+//     scriptable form soak tests write directly.
+func LoadSchedule(path string, opt LoadOptions) ([]Window, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("admit: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".zct") || strings.HasSuffix(path, ".jsonl") ||
+		strings.HasSuffix(path, ".jsonl.gz") {
+		ws, err := windowsFromTrace(f)
+		if err != nil {
+			return nil, fmt.Errorf("admit: %s: %w", path, err)
+		}
+		return ws, nil
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	head, _ := br.Peek(256)
+	switch {
+	case strings.HasPrefix(string(head), "interval,site"), len(head) >= 2 && head[0] == 0x1f && head[1] == 0x8b:
+		ws, err := windowsFromMarket(path, br, opt)
+		if err != nil {
+			return nil, err
+		}
+		return ws, nil
+	case strings.HasPrefix(string(head), "start,end"):
+		ws, err := windowsFromCSV(br)
+		if err != nil {
+			return nil, fmt.Errorf("admit: %s: %w", path, err)
+		}
+		return ws, nil
+	}
+	return nil, fmt.Errorf("admit: %s: unrecognized schedule format (want a .zct/.jsonl trace, a MISO market CSV, or a start,end[,frac] windows CSV)", path)
+}
+
+// windowsFromCSV parses the scriptable windows form: a "start,end" or
+// "start,end,frac" header, then one window per line in schedule
+// seconds. Blank lines and #-comments are skipped.
+func windowsFromCSV(r io.Reader) ([]Window, error) {
+	sc := bufio.NewScanner(r)
+	var wins []Window
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if line == 1 {
+			continue // header
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("line %d: want start,end[,frac], got %q", line, text)
+		}
+		var vals [3]float64
+		vals[2] = 1
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			vals[i] = v
+		}
+		wins = append(wins, Window{Start: sim.Time(vals[0]), End: sim.Time(vals[1]), Frac: vals[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return wins, nil
+}
+
+// windowsFromMarket streams a MISO market CSV through the SP analysis
+// and converts the chosen site's intervals to windows.
+func windowsFromMarket(name string, r io.Reader, opt LoadOptions) ([]Window, error) {
+	recs, err := miso.ReadAllCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	nSites := 0
+	for _, rec := range recs {
+		if int(rec.Site) >= nSites {
+			nSites = int(rec.Site) + 1
+		}
+	}
+	if nSites == 0 {
+		return nil, fmt.Errorf("admit: %s: no market records", name)
+	}
+	an := stranded.NewAnalysisMin(opt.Model, nSites, opt.MinMW)
+	for _, rec := range recs {
+		an.Observe(rec)
+	}
+	results := an.Results()
+	pick := results[0] // best duty factor
+	if opt.Site >= 0 {
+		found := false
+		for _, st := range results {
+			if st.Site == opt.Site {
+				pick, found = st, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("admit: %s: site %d not in dataset", name, opt.Site)
+		}
+	}
+	svw := stranded.Windows(pick.Intervals)
+	wins := make([]Window, 0, len(svw))
+	for _, w := range svw {
+		wins = append(wins, Window{Start: w.Start, End: w.End, Frac: 1})
+	}
+	return wins, nil
+}
+
+// windowsFromTrace replays the ZC partition's power events from a
+// recorded trace: window-up opens a full-capacity window, window-down
+// closes it, and a brownout closes it while leaving the surviving
+// fraction available until the next window-up.
+func windowsFromTrace(r io.Reader) ([]Window, error) {
+	var wins []Window
+	open := false
+	start := sim.Time(0)
+	frac := 1.0
+	flush := func(end sim.Time) {
+		if open && end > start {
+			wins = append(wins, Window{Start: start, End: end, Frac: frac})
+		}
+		open = false
+	}
+	err := tracebin.ReadAny(r, func(ev obs.Event) error {
+		if ev.Partition != core.ZCPartition {
+			return nil
+		}
+		switch ev.Kind {
+		case obs.EvWindowUp:
+			flush(ev.Time)
+			open, start, frac = true, ev.Time, 1
+		case obs.EvWindowDown:
+			flush(ev.Time)
+		case obs.EvBrownout:
+			// The window ends but a fraction of nodes rides through the
+			// down period; model it as a reduced-capacity window that
+			// lasts until the next window-up.
+			flush(ev.Time)
+			if ev.Detail > 0 {
+				open, start, frac = true, ev.Time, ev.Detail
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A trailing open window has no recorded end; drop it rather than
+	// inventing one.
+	return wins, nil
+}
+
+// ParseModel parses an SP model name in the paper's notation: "LMP0",
+// "NetPrice5", ...
+func ParseModel(s string) (stranded.Model, error) {
+	var m stranded.Model
+	var rest string
+	switch {
+	case strings.HasPrefix(s, "NetPrice"):
+		m.Kind = stranded.NetPrice
+		rest = strings.TrimPrefix(s, "NetPrice")
+	case strings.HasPrefix(s, "LMP"):
+		m.Kind = stranded.LMP
+		rest = strings.TrimPrefix(s, "LMP")
+	default:
+		return m, fmt.Errorf("admit: model %q: want LMP<x> or NetPrice<x>", s)
+	}
+	thr, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return m, fmt.Errorf("admit: model %q: bad threshold: %v", s, err)
+	}
+	m.Threshold = thr
+	return m, nil
+}
+
+// Durations returns the schedule's window lengths, sorted ascending —
+// the empirical sample a forecast.Hazard predictor trains on.
+func Durations(wins []Window) []sim.Duration {
+	ds := make([]sim.Duration, 0, len(wins))
+	for _, w := range wins {
+		if d := w.Duration(); d > 0 {
+			ds = append(ds, d)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}
+
+// Span returns the end of the last window — the minimum loop horizon
+// for a periodic replay.
+func Span(wins []Window) sim.Time {
+	var span sim.Time
+	for _, w := range wins {
+		if w.End > span {
+			span = w.End
+		}
+	}
+	return span
+}

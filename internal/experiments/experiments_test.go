@@ -93,6 +93,29 @@ func TestStaticTables(t *testing.T) {
 	}
 }
 
+func TestAdmissionQuick(t *testing.T) {
+	tb, err := Admission(quickLab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 slack levels × ("none" + three forecast biases).
+	if len(tb.Rows) != 8 {
+		t.Fatalf("admission rows = %d, want 8", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[0] == "none" && row[4] != "0" {
+			t.Errorf("admit-all sheds %s jobs", row[4])
+		}
+		goodput, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatalf("goodput %q: %v", row[6], err)
+		}
+		if goodput < 0 || goodput > 100 {
+			t.Errorf("goodput %v outside [0, 100]", goodput)
+		}
+	}
+}
+
 func TestTable1Quick(t *testing.T) {
 	tb, err := Table1(quickLab())
 	if err != nil {

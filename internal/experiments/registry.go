@@ -40,6 +40,7 @@ var All = []Experiment{
 	{"checkpoint", "Checkpoint/restart on stranded power (future work)", "extension", Checkpoint},
 	{"caiso", "Solar-dominated ISO scenario (future work)", "extension", CAISO},
 	{"resilience", "Fault injection: MTBF × checkpoint × recovery policy (robustness)", "extension", Resilience},
+	{"admission", "Renewable-aware admission control: goodput vs forecast error (robustness)", "extension", Admission},
 }
 
 // ByID returns the experiment with the given id.

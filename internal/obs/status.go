@@ -79,6 +79,36 @@ type ServeStatus struct {
 	Latency   map[string]LatencyStat `json:"latency,omitempty"`
 	Outcomes  map[string]int64       `json:"outcomes,omitempty"`
 	Fleet     *FleetStatus           `json:"fleet,omitempty"`
+	Power     *PowerStatus           `json:"power,omitempty"`
+}
+
+// PowerStatus is the renewable-aware admission state as served on
+// /status: the live power envelope (window open/closed, brownout
+// fraction, worker limit), the parked backlog, and cumulative admission
+// outcomes — so an operator can see not just that traffic is being
+// refused, but why and until when.
+type PowerStatus struct {
+	// Policy is the degrade mode ("shed" or "park").
+	Policy     string  `json:"policy"`
+	WindowOpen bool    `json:"window_open"`
+	Frac       float64 `json:"frac,omitempty"`
+	// NextChangeSec is the wall-clock seconds until the open window's
+	// predicted end, or until the next window opens when closed.
+	NextChangeSec float64 `json:"next_change_sec,omitempty"`
+	// WorkerLimit is the envelope's current concurrency allowance.
+	WorkerLimit int `json:"worker_limit"`
+	// Parked is the current parked-for-power backlog.
+	Parked int `json:"parked"`
+	// Exhausted marks a non-looping schedule with no windows left.
+	Exhausted bool `json:"exhausted,omitempty"`
+	// Cumulative admission outcomes.
+	Admitted    int64 `json:"admitted"`
+	Shed        int64 `json:"shed"`
+	ParkedTotal int64 `json:"parked_total"`
+	Resubmitted int64 `json:"resubmitted"`
+	Preempted   int64 `json:"preempted"`
+	// Reasons breaks sheds down by admission reason.
+	Reasons map[string]int64 `json:"shed_reasons,omitempty"`
 }
 
 // FleetStatus is the distributed-sweep control plane's live state as

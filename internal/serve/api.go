@@ -154,13 +154,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, err := s.Submit(spec)
+	var shed *PowerShedError
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// The hint tracks the observed drain rate (EWMA of exec time
 		// over the worker pool) with jitter, so shed clients neither
 		// hammer a busy server every second nor stampede back in
 		// lockstep when a slot finally frees.
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.drainRetryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.As(err, &shed):
+		// Power-infeasible: the hint is the wall-clock wait until the
+		// next predicted stranded-power window (same jitter/clamp path
+		// as the drain-rate hint, but its own, much higher, cap).
+		w.Header().Set("Retry-After", strconv.Itoa(s.powerRetryAfter(shed.RetryAfter)))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})

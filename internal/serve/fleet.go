@@ -264,7 +264,7 @@ func (s *Server) fleetErr(w http.ResponseWriter, err error) {
 		errors.Is(err, fleet.ErrUnknownCell):
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
 	case errors.Is(err, fleet.ErrDraining), errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.drainRetryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	default:
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
@@ -308,6 +308,17 @@ func (s *Server) handleCellClaim(w http.ResponseWriter, r *http.Request) {
 	var req claimReq
 	if !decodeBody(w, r, maxSpecBytes, &req) {
 		return
+	}
+	// Sweep cells follow the power envelope too: a closed window grants
+	// nothing, and the Retry-After floor tells agents when it reopens
+	// so the fleet goes quiet instead of spin-polling dark hours.
+	if s.power.Enabled() {
+		if st := s.power.State(time.Now()); !st.Open {
+			w.Header().Set("Retry-After", strconv.Itoa(s.powerRetryAfter(st.UntilOpen)))
+			writeJSON(w, http.StatusServiceUnavailable,
+				apiError{Error: "serve: power window closed; no cells granted"})
+			return
+		}
 	}
 	grant, err := s.fleet.Claim(req.Agent)
 	if err != nil {
@@ -363,7 +374,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 	case errors.Is(err, ErrDraining), errors.Is(err, fleet.ErrDraining),
 		errors.Is(err, ErrRegistryUnavailable):
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.drainRetryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	case err != nil && strings.Contains(err.Error(), "already holds a sweep"):
 		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"math"
+	"time"
+)
+
+// Retry-After hints. Every 429/503 the server sheds carries one, and
+// they all route through retryAfterHint so the clamping and jitter
+// behave identically whether the estimate comes from the admission
+// drain rate or from the power schedule: jittered uniformly in
+// [0.5x, 1.5x] so a burst of shed clients does not stampede back in
+// lockstep, then clamped to [lo, hi] seconds.
+func (s *Server) retryAfterHint(estSec float64, lo, hi int) int {
+	if estSec <= 0 {
+		return lo
+	}
+	s.retryMu.Lock()
+	jitter := 0.5 + s.retryRng.Float64()
+	s.retryMu.Unlock()
+	secs := int(math.Ceil(estSec * jitter))
+	if secs < lo {
+		secs = lo
+	}
+	if secs > hi {
+		secs = hi
+	}
+	return secs
+}
+
+// drainRetryAfter derives the queue-full hint from the observed
+// admission drain rate: with W workers retiring runs every EWMA
+// seconds, a queue slot frees roughly every EWMA/W seconds.
+func (s *Server) drainRetryAfter() int {
+	ewma := math.Float64frombits(s.execEWMA.Load())
+	if ewma <= 0 {
+		return 1 // nothing observed yet: the old static hint
+	}
+	return s.retryAfterHint(ewma/float64(s.cfg.Workers), 1, 60)
+}
+
+// powerRetryAfter derives the power-shed hint from the wall-clock wait
+// until the next predicted stranded-power window. Power waits can be
+// far longer than queue drains, so the cap is an hour rather than a
+// minute; a zero wait (no prediction) falls back to the drain rate.
+func (s *Server) powerRetryAfter(wait time.Duration) int {
+	if wait <= 0 {
+		return s.drainRetryAfter()
+	}
+	return s.retryAfterHint(wait.Seconds(), 1, 3600)
+}

@@ -8,12 +8,15 @@ import (
 	"zccloud/internal/core"
 	"zccloud/internal/experiments"
 	"zccloud/internal/obs"
+	"zccloud/internal/sched"
 )
 
 // State is a run's position in its lifecycle. Transitions only move
 // forward: queued → running → one of the terminal states, or queued →
 // cancelled directly (a queued run cancelled before a worker picks it
-// up never runs at all).
+// up never runs at all). The one loop is renewable-aware admission:
+// parked-for-power ↔ queued/running may cycle as power windows close
+// and reopen, until the run reaches a terminal state.
 type State string
 
 // Run states. Every accepted run ends in exactly one terminal state —
@@ -25,6 +28,10 @@ const (
 	StateFailed       State = "failed"       // error, panic, or deadline
 	StateCancelled    State = "cancelled"    // client cancel, or shed at drain
 	StateCheckpointed State = "checkpointed" // drained mid-run; snapshot on disk
+	// StateParkedPower holds a run accepted (or preempted) outside a
+	// stranded-power window: parked durably, auto-resubmitted when the
+	// forecasted window opens. Not terminal.
+	StateParkedPower State = "parked-for-power"
 )
 
 // Terminal reports whether a run in this state will never change again.
@@ -51,6 +58,9 @@ type RunInfo struct {
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
+	// Deadline is the wall instant a power-admitted run expires; a run
+	// still parked for power past it fails with the deadline outcome.
+	Deadline *time.Time `json:"deadline,omitempty"`
 
 	// Exactly one of these is set on a done run: Metrics for a
 	// simulation spec, Table for an experiment spec.
@@ -79,8 +89,19 @@ type run struct {
 	// interruptedAt marks when a running run was first cancelled; the
 	// park-time histogram measures interrupt → terminal.
 	interruptedAt time.Time
-	metrics       *core.Metrics
-	table         *experiments.Table
+	// deadline is the wall instant a power-admitted run expires (zero =
+	// none); the power loop fails parked runs past it.
+	deadline time.Time
+	// snapPath / resumeSnap carry a power-parked run's mid-run
+	// checkpoint (durable path, or in memory without a data dir);
+	// execute resumes from it instead of regenerating the workload.
+	snapPath   string
+	resumeSnap *sched.Snapshot
+	// parkedPath is the durable parked record; removed once terminal
+	// (except checkpointed, which a successor server re-adopts).
+	parkedPath string
+	metrics    *core.Metrics
+	table      *experiments.Table
 	// cancel interrupts the run's context with a cause that tells the
 	// worker whether to checkpoint (drain) or discard (client cancel);
 	// nil until the run starts.
@@ -102,6 +123,10 @@ func (r *run) info() RunInfo {
 		Metrics:    r.metrics,
 		Table:      r.table,
 	}
+	if ri.Checkpoint == "" {
+		// A power-parked run's mid-run snapshot is its checkpoint too.
+		ri.Checkpoint = r.snapPath
+	}
 	if !r.started.IsZero() {
 		t := r.started
 		ri.Started = &t
@@ -109,6 +134,10 @@ func (r *run) info() RunInfo {
 	if !r.finished.IsZero() {
 		t := r.finished
 		ri.Finished = &t
+	}
+	if !r.deadline.IsZero() {
+		t := r.deadline
+		ri.Deadline = &t
 	}
 	return ri
 }

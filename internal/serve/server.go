@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zccloud/internal/admit"
 	"zccloud/internal/core"
 	"zccloud/internal/experiments"
 	"zccloud/internal/fleet"
@@ -99,6 +100,18 @@ type Config struct {
 	// Fleet sizes the distributed-sweep control plane (lease TTLs, reap
 	// thresholds, requeue backoff). The zero value uses fleet defaults.
 	Fleet fleet.Config
+
+	// Power configures renewable-aware admission control: submissions
+	// are checked against the forecasted stranded-power envelope, the
+	// worker pool follows it (shrinking on brownout, pausing while the
+	// window is closed), and infeasible work is shed or parked per the
+	// policy. A nil Envelope (or an off policy) disables all of it. A
+	// zero Clock.Epoch is pinned durably under DataDir (power.json), so
+	// a restart replays the schedule in phase.
+	Power admit.Config
+	// PowerTick is the power envelope sampling period; zero means
+	// 250ms.
+	PowerTick time.Duration
 }
 
 // Lifecycle histogram shapes, in seconds. Uniform buckets; the ranges
@@ -159,10 +172,18 @@ type Server struct {
 
 	// execEWMA holds the float64 bits of an exponentially weighted
 	// moving average of run execution seconds; the 429 Retry-After hint
-	// derives the admission drain rate from it.
+	// derives the admission drain rate from it (and power admission
+	// uses it as the default cost estimate).
 	execEWMA atomic.Uint64
 	retryMu  sync.Mutex
 	retryRng *rand.Rand
+
+	// Renewable-aware admission: the power controller (nil = off), the
+	// launch gate the power loop throttles, and the loop's lifecycle.
+	power     *admit.Controller
+	gate      *workGate
+	powerStop chan struct{}
+	powerWG   sync.WaitGroup
 
 	drainOnce sync.Once
 	drainErr  error
@@ -193,6 +214,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SampleWindow == 0 {
 		cfg.SampleWindow = 600
 	}
+	if cfg.PowerTick == 0 {
+		cfg.PowerTick = 250 * time.Millisecond
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -206,6 +230,7 @@ func New(cfg Config) (*Server, error) {
 		queue:         make(chan *run, cfg.QueueDepth),
 		runs:          make(map[string]*run),
 		fleetStop:     make(chan struct{}),
+		powerStop:     make(chan struct{}),
 		sweepJournals: make(map[string]*sweepJournal),
 		sweepDone:     make(map[string]bool),
 		idem:          newIdemCache(idemCacheCap),
@@ -256,11 +281,23 @@ func New(cfg Config) (*Server, error) {
 	s.journal = newJournalSink("run_id", app, s.log, s.scope)
 	s.registry = newJournalSink("run_id", regApp, s.log, s.scope)
 	s.readoptSweeps(reopen)
+	// Power admission boots before the workers: the gate must reflect
+	// the envelope (a server starting into a closed window launches
+	// nothing) and parked runs must be re-adopted before anything can
+	// collide with their ids.
+	if err := s.initPower(); err != nil {
+		return nil, err
+	}
+	s.readoptParked()
 	s.ts = obs.NewTimeSeries(cfg.SampleInterval, cfg.SampleWindow, s.sampleTelemetry)
 	s.ts.Start()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.power.Enabled() {
+		s.powerWG.Add(1)
+		go s.powerLoop(cfg.PowerTick)
 	}
 	// The reap loop ticks several times per TTL so a dead agent or
 	// expired lease is noticed well before the next one accrues.
@@ -303,7 +340,17 @@ func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	if s.draining.Load() {
 		return RunInfo{}, ErrDraining
 	}
+	// Renewable-aware admission: can this run's estimated cost fit
+	// inside forecasted stranded-power capacity before its deadline?
+	// Infeasible work is shed (PowerShedError → 429 with a
+	// window-derived Retry-After) or parked durably per the policy.
+	if handled, info, err := s.powerAdmit(spec, time.Now()); handled {
+		return info, err
+	}
 	r := &run{spec: spec, state: StateQueued, submitted: time.Now()}
+	if d := time.Duration(spec.DeadlineSeconds * float64(time.Second)); d > 0 {
+		r.deadline = r.submitted.Add(d)
+	}
 	s.mu.Lock()
 	s.nextID++
 	r.id = fmt.Sprintf("r-%06d", s.nextID)
@@ -375,11 +422,14 @@ func (s *Server) Cancel(id string) (RunInfo, error) {
 	case r.state.Terminal():
 		r.mu.Unlock()
 		return r.info(), ErrTerminal
-	case r.state == StateQueued:
+	case r.state == StateQueued, r.state == StateParkedPower:
 		rec := r.finishLocked(StateCancelled, "cancelled by client", "", nil, nil, time.Now())
+		parkedPath, snapPath := r.parkedPath, r.snapPath
 		rl := r.log
 		r.mu.Unlock()
 		s.recordFinish(rec, lifecycleTimes{execSec: -1, parkSec: -1}, rl)
+		removeQuiet(parkedPath)
+		removeQuiet(snapPath)
 	default:
 		if r.interruptedAt.IsZero() {
 			r.interruptedAt = time.Now()
@@ -392,16 +442,40 @@ func (s *Server) Cancel(id string) (RunInfo, error) {
 
 // worker executes queued runs until the queue is closed by Drain.
 // During drain, still-queued runs are finalized as cancelled instead of
-// executed.
+// executed. Each launch first acquires a power-gate slot: the power
+// loop moves the gate's limit with the stranded-power envelope, so
+// workers idle (holding their queued run) while the window is closed
+// and a brownout shrinks effective concurrency without killing
+// anything already running.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for r := range s.queue {
 		if s.draining.Load() {
-			s.finish(r, StateCancelled, "cancelled: server draining", "", nil, nil)
+			s.finishDrained(r)
+			continue
+		}
+		if !s.gate.acquire() {
+			// Gate closed: the server is shutting down.
+			s.finishDrained(r)
 			continue
 		}
 		s.execute(r)
+		s.gate.release()
 	}
+}
+
+// finishDrained settles a queued run the drain overtook: one with a
+// resumable snapshot parks as a checkpoint (a successor server
+// re-adopts it), the rest cancel.
+func (s *Server) finishDrained(r *run) {
+	r.mu.Lock()
+	snapPath := r.snapPath
+	r.mu.Unlock()
+	if snapPath != "" {
+		s.finish(r, StateCheckpointed, "", snapPath, nil, nil)
+		return
+	}
+	s.finish(r, StateCancelled, "cancelled: server draining", "", nil, nil)
 }
 
 // execute runs one spec under panic isolation, a cancellable context,
@@ -460,13 +534,26 @@ func (s *Server) execute(r *run) {
 			defer sink.Abort()
 			o.Tracer = sink
 		}
-		var cfg core.RunConfig
-		cfg, err = r.spec.runConfig(o)
+		var snap *sched.Snapshot
+		snap, err = s.takeResume(r)
 		if err != nil {
 			s.finish(r, StateFailed, err.Error(), "", nil, nil)
 			return
 		}
-		m, err = core.RunContext(ctx, cfg)
+		if snap != nil {
+			// A power-parked run resumes from its checkpoint: the
+			// snapshot carries job state, so only the system config is
+			// rebuilt.
+			m, err = core.ResumeContext(ctx, core.RunConfig{System: r.spec.systemConfig(), Obs: o}, snap)
+		} else {
+			var cfg core.RunConfig
+			cfg, err = r.spec.runConfig(o)
+			if err != nil {
+				s.finish(r, StateFailed, err.Error(), "", nil, nil)
+				return
+			}
+			m, err = core.RunContext(ctx, cfg)
+		}
 	}
 	if err == nil {
 		if err := s.commitTrace(r, sink, tracePath); err != nil {
@@ -529,6 +616,10 @@ func (s *Server) settleInterrupted(ctx context.Context, r *run, intr *core.Inter
 	switch {
 	case errors.Is(cause, errRunDeadline):
 		s.finish(r, StateFailed, errRunDeadline.Error(), "", nil, nil)
+	case errors.Is(cause, errPowerPark):
+		// Preemptive power drain: the window's predicted end is near.
+		// The run parks (not terminal) and resumes when it reopens.
+		s.parkInterrupted(r, intr, sink, tracePath)
 	case errors.Is(cause, errDrainCheckpoint) && s.cfg.DataDir != "" && intr.Snapshot != nil:
 		path := filepath.Join(s.cfg.DataDir, r.id+".snapshot.json")
 		if err := persist.SaveJSON(path, snapshotFileKind, sched.SnapshotVersion, intr.Snapshot); err != nil {
@@ -622,9 +713,16 @@ func (s *Server) finish(r *run, st State, errMsg, checkpoint string, m *core.Met
 	if !r.interruptedAt.IsZero() {
 		lt.parkSec = r.finished.Sub(r.interruptedAt).Seconds()
 	}
+	parkedPath, snapPath := r.parkedPath, r.snapPath
 	rl := r.log
 	r.mu.Unlock()
 	s.recordFinish(rec, lt, rl)
+	if st != StateCheckpointed {
+		// Parked-for-power artifacts outlive only non-terminal states
+		// (and checkpointed, which a successor server re-adopts).
+		removeQuiet(parkedPath)
+		removeQuiet(snapPath)
+	}
 }
 
 // outcomeOf maps a terminal transition to its lifecycle outcome label:
@@ -642,7 +740,7 @@ func outcomeOf(st State, errMsg string) string {
 		switch {
 		case strings.HasPrefix(errMsg, "panic:"):
 			return "panic"
-		case errMsg == errRunDeadline.Error():
+		case errMsg == errRunDeadline.Error(), strings.HasPrefix(errMsg, "deadline:"):
 			return "deadline"
 		}
 		return "error"
@@ -718,6 +816,9 @@ func (s *Server) drain(ctx context.Context) error {
 	s.draining.Store(true)
 	close(s.queue)
 	s.admitMu.Unlock()
+	// Close the power gate so workers blocked waiting for a window pick
+	// their runs back up and settle them (checkpointed when resumable).
+	s.gate.close()
 	// The fleet drains in parallel with runs: claims stop immediately,
 	// heartbeat replies ask agents to release their cells, and leases
 	// already granted stay valid so in-flight completions still land
@@ -742,6 +843,12 @@ func (s *Server) drain(ctx context.Context) error {
 		}
 	}
 	s.ts.Stop()
+	close(s.powerStop)
+	s.powerWG.Wait()
+	// Runs still parked for power settle now: checkpointed when they
+	// have a durable snapshot (their parked records stay on disk for a
+	// successor server), cancelled otherwise.
+	s.finalizeParked()
 	close(s.fleetStop)
 	s.fleetWG.Wait()
 	// One final registry pass: a sweep that finished just before drain
@@ -778,7 +885,10 @@ func (s *Server) Kill() {
 		s.draining.Store(true)
 		close(s.queue)
 		s.admitMu.Unlock()
+		s.gate.close()
 		s.ts.Stop()
+		close(s.powerStop)
+		s.powerWG.Wait()
 		close(s.fleetStop)
 		s.fleetWG.Wait()
 		s.wg.Wait()
@@ -809,30 +919,6 @@ func (s *Server) observeExecTime(sec float64) {
 	s.execEWMA.Store(math.Float64bits(next))
 }
 
-// retryAfterSeconds derives the 429 Retry-After hint from the observed
-// admission drain rate: with W workers retiring runs every EWMA
-// seconds, a queue slot frees roughly every EWMA/W seconds. The hint is
-// jittered uniformly in [0.5x, 1.5x] so a burst of shed clients does
-// not stampede back in lockstep, and clamped to [1, 60].
-func (s *Server) retryAfterSeconds() int {
-	ewma := math.Float64frombits(s.execEWMA.Load())
-	if ewma <= 0 {
-		return 1 // nothing observed yet: the old static hint
-	}
-	est := ewma / float64(s.cfg.Workers)
-	s.retryMu.Lock()
-	jitter := 0.5 + s.retryRng.Float64()
-	s.retryMu.Unlock()
-	secs := int(math.Ceil(est * jitter))
-	if secs < 1 {
-		secs = 1
-	}
-	if secs > 60 {
-		secs = 60
-	}
-	return secs
-}
-
 // lifecycleStages are the four /status latency summaries and the
 // histograms behind them.
 var lifecycleStages = [...]string{"admission_wait", "queue_wait", "exec", "park"}
@@ -850,15 +936,19 @@ func (s *Server) Status() obs.ServeStatus {
 		Workers:  s.cfg.Workers,
 		Draining: s.draining.Load(),
 	}
+	parked := 0
 	for _, r := range runs {
 		switch r.currentState() {
 		case StateQueued:
 			st.Queued++
 		case StateRunning:
 			st.Running++
+		case StateParkedPower:
+			parked++
 		}
 	}
 	ms := s.reg.Snapshot()
+	st.Power = s.powerStatusFor(ms, parked)
 	st.Submitted = ms.Counter("serve.runs_submitted")
 	st.Completed = ms.Counter("serve.runs_done")
 	st.Failed = ms.Counter("serve.runs_failed")
@@ -917,6 +1007,15 @@ func (s *Server) sampleTelemetry(put func(string, float64)) {
 		put("leases_active", float64(f.LeasesActive))
 		put("fleet_requeues", float64(f.Requeues))
 		put("cells_completed", float64(f.CellsCompleted))
+	}
+	if p := st.Power; p != nil {
+		open := 0.0
+		if p.WindowOpen {
+			open = 1
+		}
+		put("power_window_open", open)
+		put("power_parked", float64(p.Parked))
+		put("power_shed", float64(p.Shed))
 	}
 }
 

@@ -62,6 +62,23 @@ type Spec struct {
 	// server default; a positive value may only tighten it.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 
+	// Renewable-aware admission (meaningful only when the server runs
+	// with a power schedule; otherwise accepted and ignored).
+	//
+	// DeadlineSeconds is the wall-clock budget from submission within
+	// which the run must complete; admission checks the forecasted
+	// stranded-power capacity before it, and a parked run past it fails
+	// with the deadline outcome. Zero means no deadline — the run may
+	// park across closed windows indefinitely.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// CostHintSeconds estimates the run's execution wall-time; zero
+	// falls back to the server's observed average.
+	CostHintSeconds float64 `json:"cost_hint_seconds,omitempty"`
+	// PowerPolicy overrides the server's degrade mode for this
+	// submission: "shed" (429 + Retry-After) or "park" (accept
+	// degraded). Empty inherits the server policy.
+	PowerPolicy string `json:"power_policy,omitempty"`
+
 	// Trace, when set, records the run's full event trace under the
 	// server's data dir (<data>/traces/<name>). It must be a bare file
 	// name; the suffix picks the format — ".zct" binary columnar,
@@ -96,6 +113,10 @@ func (sp Spec) withDefaults() Spec {
 	}
 	return sp
 }
+
+// maxPowerSeconds bounds deadline and cost hints to a year: beyond it
+// the value is a unit mistake, not a plan.
+const maxPowerSeconds = 366 * 24 * 3600
 
 // Validate rejects malformed or unreasonable specs before admission.
 func (sp Spec) Validate() error {
@@ -134,6 +155,19 @@ func (sp Spec) Validate() error {
 		return fmt.Errorf("serve: backoff_hours %v < 0", d.BackoffHours)
 	case d.TimeoutSeconds < 0:
 		return fmt.Errorf("serve: timeout_seconds %v < 0", d.TimeoutSeconds)
+	case d.DeadlineSeconds < 0:
+		return fmt.Errorf("serve: deadline_seconds %v < 0", d.DeadlineSeconds)
+	case d.DeadlineSeconds > maxPowerSeconds:
+		return fmt.Errorf("serve: deadline_seconds %v > %v (a year)", d.DeadlineSeconds, float64(maxPowerSeconds))
+	case d.CostHintSeconds < 0:
+		return fmt.Errorf("serve: cost_hint_seconds %v < 0", d.CostHintSeconds)
+	case d.CostHintSeconds > maxPowerSeconds:
+		return fmt.Errorf("serve: cost_hint_seconds %v > %v (a year)", d.CostHintSeconds, float64(maxPowerSeconds))
+	}
+	switch sp.PowerPolicy {
+	case "", "shed", "park":
+	default:
+		return fmt.Errorf("serve: power_policy %q not one of shed, park", sp.PowerPolicy)
 	}
 	if sp.Trace != "" {
 		if strings.ContainsAny(sp.Trace, `/\`) || sp.Trace != filepath.Base(sp.Trace) || strings.HasPrefix(sp.Trace, ".") {
@@ -182,9 +216,10 @@ func (sp Spec) faultConfig() *faults.Config {
 	return fc
 }
 
-// runConfig turns a (defaulted, validated) simulation spec into a
-// core.RunConfig, generating its workload.
-func (sp Spec) runConfig(o obs.Options) (core.RunConfig, error) {
+// systemConfig builds the simulated-system half of a run config. The
+// resume path (power-parked runs restarting from a snapshot) reuses it
+// without regenerating the workload — the snapshot carries job state.
+func (sp Spec) systemConfig() core.SystemConfig {
 	var zc availability.Model
 	if sp.ZCFactor > 0 {
 		if sp.ZCDuty >= 1 {
@@ -193,6 +228,18 @@ func (sp Spec) runConfig(o obs.Options) (core.RunConfig, error) {
 			zc = availability.NewPeriodic(sp.ZCDuty, sim.Time(sp.ZCPhaseHours)*sim.Hour)
 		}
 	}
+	return core.SystemConfig{
+		MiraNodes: sp.MiraNodes,
+		ZCFactor:  sp.ZCFactor,
+		ZCAvail:   zc,
+		NonOracle: sp.KillRequeue,
+		Faults:    sp.faultConfig(),
+	}
+}
+
+// runConfig turns a (defaulted, validated) simulation spec into a
+// core.RunConfig, generating its workload.
+func (sp Spec) runConfig(o obs.Options) (core.RunConfig, error) {
 	tr, err := workload.Generate(workload.Config{
 		Seed:              sp.Seed,
 		Days:              sp.Days,
@@ -205,14 +252,8 @@ func (sp Spec) runConfig(o obs.Options) (core.RunConfig, error) {
 	}
 	o.Check = o.Check || sp.Check
 	return core.RunConfig{
-		Trace: tr,
-		System: core.SystemConfig{
-			MiraNodes: sp.MiraNodes,
-			ZCFactor:  sp.ZCFactor,
-			ZCAvail:   zc,
-			NonOracle: sp.KillRequeue,
-			Faults:    sp.faultConfig(),
-		},
-		Obs: o,
+		Trace:  tr,
+		System: sp.systemConfig(),
+		Obs:    o,
 	}, nil
 }

@@ -35,6 +35,11 @@ func TestSpecValidateRejects(t *testing.T) {
 		{"negative retry limit", Spec{RetryLimit: -1}, "retry_limit"},
 		{"negative timeout", Spec{TimeoutSeconds: -5}, "timeout_seconds"},
 		{"unknown experiment", Spec{Experiment: "fig99"}, "unknown id"},
+		{"negative deadline", Spec{DeadlineSeconds: -1}, "deadline_seconds"},
+		{"absurd deadline", Spec{DeadlineSeconds: 4e7}, "deadline_seconds"},
+		{"negative cost hint", Spec{CostHintSeconds: -1}, "cost_hint_seconds"},
+		{"absurd cost hint", Spec{CostHintSeconds: 4e7}, "cost_hint_seconds"},
+		{"unknown power policy", Spec{PowerPolicy: "brown"}, "power_policy"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate()

@@ -354,9 +354,10 @@ wait "$proxypid" 2>/dev/null || true
 chaospids=""
 
 echo "== disabled-instrumentation zero-alloc benchmarks"
-out=$(go test ./internal/obs -run '^$' -bench 'BenchmarkNopTracer|BenchmarkNopLogger' -benchmem -benchtime 100x)
+out=$(go test ./internal/obs -run '^$' -bench 'BenchmarkNopTracer|BenchmarkNopLogger' -benchmem -benchtime 100x
+	go test ./internal/admit -run '^$' -bench 'BenchmarkAdmitDecision' -benchmem -benchtime 100x)
 echo "$out"
-for b in BenchmarkNopTracer BenchmarkNopLogger; do
+for b in BenchmarkNopTracer BenchmarkNopLogger BenchmarkAdmitDecision; do
 	allocs=$(echo "$out" | awk -v b="$b" '$0 ~ b {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}')
 	if [ "$allocs" != "0" ]; then
 		echo "$b allocates ($allocs allocs/op, want 0)" >&2

@@ -20,6 +20,21 @@
 #     zccexp run of the same sweep;
 #   - surviving agents and the daemon drain cleanly on SIGTERM.
 #
+# Power mode:  scripts/soak.sh power
+#   Renewable-aware admission chaos: zccd follows a scripted
+#   stranded-power schedule (time-compressed via -power-speed). A
+#   feasible run is admitted and completes inside the window; a
+#   deadline-infeasible submission during the dark gap is shed with a
+#   Retry-After derived from the next window start; a park-policy
+#   submission is accepted degraded, survives a SIGKILL + restart of
+#   the daemon while the window is closed, and completes once the next
+#   window opens. Asserts:
+#
+#   - the shed 429's Retry-After is window-scale, not the 1h cap;
+#   - the parked run is re-adopted after the crash (log + /metrics);
+#   - no accepted run ever lands failed (no mid-window kills);
+#   - the daemon drains cleanly on SIGTERM.
+#
 # Restart mode:  scripts/soak.sh restart
 #   Control-plane crash chaos: agents talk to zccd through a netchaos
 #   proxy (latency + random connection drops), zccd is SIGKILLed
@@ -228,6 +243,171 @@ if [ "$mode" = "agents" ]; then
 		exit 1
 	fi
 	echo "reaped=$reaped requeues=$requeues; all cells exactly-once and byte-identical"
+	echo "== ok"
+	exit 0
+fi
+
+if [ "$mode" = "power" ]; then
+	echo "== build (zccd)"
+	go build -o "$tmpdir/zccd" ./cmd/zccd
+
+	# Schedule (schedule seconds, played at 10x): window A [0,30),
+	# a dark gap [30,80), then a long window B [80,2000). Wall clock:
+	# A is 0-3s after boot, the gap 3-8s, B from 8s on.
+	printf 'start,end\n0,30\n80,2000\n' >"$tmpdir/sched.csv"
+	power_flags="-power-trace $tmpdir/sched.csv -power-policy shed -power-speed 10 -power-tick 50ms"
+
+	echo "== start daemon on the scripted power schedule"
+	# shellcheck disable=SC2086
+	"$tmpdir/zccd" -addr 127.0.0.1:0 -workers 2 -data "$tmpdir/data" \
+		$power_flags 2>"$tmpdir/zccd.err" &
+	daemonpid=$!
+	addr=$(wait_addr "$tmpdir/zccd.err" "$daemonpid")
+	echo "daemon at $addr (pid $daemonpid)"
+
+	echo "== window A open: a feasible run is admitted and completes"
+	code=$(curl -s -o "$tmpdir/feasible.json" -w '%{http_code}' -XPOST "http://$addr/v1/runs" \
+		-d '{"days": 2, "mira_nodes": 4096, "deadline_seconds": 3600, "cost_hint_seconds": 5}')
+	if [ "$code" != "202" ]; then
+		echo "feasible submit = $code, want 202:" >&2
+		cat "$tmpdir/feasible.json" >&2
+		exit 1
+	fi
+	fid=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$tmpdir/feasible.json" | head -n 1)
+	fdone=0
+	for _ in $(seq 1 100); do
+		case $(flatjson "http://$addr/v1/runs/$fid") in
+		*'"state":"done"'*)
+			fdone=1
+			break
+			;;
+		esac
+		sleep 0.05
+	done
+	if [ "$fdone" -ne 1 ]; then
+		echo "feasible run $fid never completed inside the window" >&2
+		cat "$tmpdir/zccd.err" >&2
+		exit 1
+	fi
+
+	echo "== wait for the dark gap"
+	closed=0
+	for _ in $(seq 1 200); do
+		case $(flatjson "http://$addr/status") in
+		*'"window_open":false'*)
+			closed=1
+			break
+			;;
+		esac
+		sleep 0.05
+	done
+	[ "$closed" -eq 1 ] || { echo "power window never closed" >&2; exit 1; }
+
+	echo "== gap: deadline-infeasible submission is shed with a window-derived Retry-After"
+	code=$(curl -s -D "$tmpdir/shed.hdr" -o "$tmpdir/shed.json" -w '%{http_code}' \
+		-XPOST "http://$addr/v1/runs" \
+		-d '{"days": 2, "mira_nodes": 4096, "deadline_seconds": 2, "cost_hint_seconds": 60}')
+	if [ "$code" != "429" ]; then
+		echo "infeasible submit = $code, want 429:" >&2
+		cat "$tmpdir/shed.json" >&2
+		exit 1
+	fi
+	ra=$(sed -n 's/^[Rr]etry-[Aa]fter: *\([0-9]*\).*/\1/p' "$tmpdir/shed.hdr" | head -n 1)
+	# The gap is <= 5 wall seconds wide; with jitter the hint must stay
+	# window-scale (a handful of seconds), never the 3600 s power cap.
+	if [ -z "$ra" ] || [ "$ra" -lt 1 ] || [ "$ra" -gt 15 ]; then
+		echo "shed Retry-After = '$ra', want window-derived seconds in [1, 15]" >&2
+		exit 1
+	fi
+
+	echo "== gap: a park-policy submission is accepted degraded"
+	# Padded cost (300 wall s x speed 10 x 1.2 safety = 3600 schedule s)
+	# exceeds window B's 1920 schedule seconds, so the run cannot be
+	# admitted outright; the 600 s wall deadline leaves plenty of room to
+	# finish once the window opens and the run is resubmitted.
+	code=$(curl -s -o "$tmpdir/park.json" -w '%{http_code}' -XPOST "http://$addr/v1/runs" \
+		-d '{"days": 2, "mira_nodes": 4096, "deadline_seconds": 600, "cost_hint_seconds": 300, "power_policy": "park"}')
+	if [ "$code" != "202" ]; then
+		echo "park submit = $code, want 202:" >&2
+		cat "$tmpdir/park.json" >&2
+		exit 1
+	fi
+	pid=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$tmpdir/park.json" | head -n 1)
+	case $(flatjson "http://$addr/v1/runs/$pid") in
+	*'"state":"parked-for-power"'*) ;;
+	*)
+		echo "park run $pid not in parked-for-power state" >&2
+		exit 1
+		;;
+	esac
+	[ -f "$tmpdir/data/parked/$pid.json" ] || {
+		echo "no durable parked record for $pid" >&2
+		exit 1
+	}
+
+	echo "== SIGKILL zccd with the run parked and the window still closed"
+	kill -9 "$daemonpid"
+	echo "killed zccd (pid $daemonpid)"
+
+	echo "== restart zccd on the same schedule and data directory"
+	# shellcheck disable=SC2086
+	"$tmpdir/zccd" -addr 127.0.0.1:0 -workers 2 -data "$tmpdir/data" \
+		$power_flags 2>"$tmpdir/zccd2.err" &
+	daemonpid=$!
+	addr=$(wait_addr "$tmpdir/zccd2.err" "$daemonpid")
+	echo "daemon back at $addr (pid $daemonpid)"
+	if ! grep -q 'msg="parked run re-adopted"' "$tmpdir/zccd2.err"; then
+		echo "restarted daemon never re-adopted the parked run:" >&2
+		cat "$tmpdir/zccd2.err" >&2
+		exit 1
+	fi
+
+	echo "== parked run completes once window B opens"
+	pdone=0
+	for _ in $(seq 1 400); do
+		case $(flatjson "http://$addr/v1/runs/$pid") in
+		*'"state":"done"'*)
+			pdone=1
+			break
+			;;
+		esac
+		sleep 0.05
+	done
+	if [ "$pdone" -ne 1 ]; then
+		echo "parked run $pid never completed; last: $(flatjson "http://$addr/v1/runs/$pid")" >&2
+		cat "$tmpdir/zccd2.err" >&2
+		exit 1
+	fi
+
+	echo "== invariants: re-adoption and resubmission visible in /metrics"
+	curl -s "http://$addr/metrics" >"$tmpdir/metrics.txt"
+	readopted=$(sed -n 's/^[a-z_]*power_readopted \([0-9][0-9]*\)$/\1/p' "$tmpdir/metrics.txt")
+	resubmitted=$(sed -n 's/^[a-z_]*power_resubmitted \([0-9][0-9]*\)$/\1/p' "$tmpdir/metrics.txt")
+	if [ "${readopted:-0}" -lt 1 ] || [ "${resubmitted:-0}" -lt 1 ]; then
+		echo "metrics show readopted=$readopted resubmitted=$resubmitted; want both >= 1" >&2
+		exit 1
+	fi
+
+	echo "== invariants: no accepted run failed (no mid-window kills)"
+	journal="$tmpdir/data/runs.jsonl"
+	[ -f "$journal" ] || { echo "no run journal at $journal" >&2; exit 1; }
+	nfailed=$(grep -c '"state":"failed"' "$journal" || true)
+	if [ "$nfailed" -ne 0 ]; then
+		echo "journal has $nfailed failed runs; power control must not kill work" >&2
+		grep '"state":"failed"' "$journal" >&2
+		exit 1
+	fi
+
+	echo "== drain"
+	kill -TERM "$daemonpid"
+	wait "$daemonpid" && rc=0 || rc=$?
+	daemonpid=""
+	if [ "$rc" -ne 0 ]; then
+		echo "daemon exited $rc, want 0; stderr:" >&2
+		cat "$tmpdir/zccd2.err" >&2
+		exit 1
+	fi
+	echo "shed Retry-After=${ra}s (window-derived); parked run survived SIGKILL and completed"
 	echo "== ok"
 	exit 0
 fi
